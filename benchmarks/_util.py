@@ -1,0 +1,39 @@
+"""Shared benchmark helpers (scale resolution, report publishing).
+
+Every benchmark regenerates one of the paper's figures/tables and
+
+* prints the paper-style report (visible with ``pytest -s`` or on failure),
+* writes it to ``benchmarks/results/<name>.txt`` so the committed numbers
+  in EXPERIMENTS.md can be traced back to a concrete run.
+
+Scale defaults are laptop-friendly; override with environment variables
+``REPRO_BENCH_USERS``, ``REPRO_BENCH_SLOTS``, ``REPRO_BENCH_REPS``
+(e.g. paper scale: USERS=300 SLOTS=60 REPS=5 — expect a long run).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.experiments.settings import ExperimentScale
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_scale() -> ExperimentScale:
+    """Benchmark scale, overridable via environment variables."""
+    return ExperimentScale(
+        num_users=int(os.environ.get("REPRO_BENCH_USERS", "16")),
+        num_slots=int(os.environ.get("REPRO_BENCH_SLOTS", "12")),
+        repetitions=int(os.environ.get("REPRO_BENCH_REPS", "2")),
+        seed=int(os.environ.get("REPRO_BENCH_SEED", "2017")),
+    )
+
+
+def publish_report(name: str, report: str) -> None:
+    """Print a report and persist it under benchmarks/results/."""
+    print()
+    print(report)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(report + "\n")

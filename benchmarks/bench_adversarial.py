@@ -1,0 +1,46 @@
+"""EXT-THRESHOLD — adversarial price oscillation (empirical lower bounds).
+
+The paper leaves competitive-ratio lower bounds as future work; this bench
+measures them on the deterministic oscillating-price family: prices flip
+every slot with amplitude A, the migrate-or-stay break-even sits at
+A = b + c = 2, and parking stays optimal until A = 2(b + c) = 4.
+
+Expected shape: greedy is exactly optimal outside (2, 4) and pays a sharp
+penalty inside (it chases a price that immediately flips back), while
+online-approx moves through the trap smoothly and beats greedy inside it.
+"""
+
+from repro.experiments.adversarial import run_threshold_sweep
+from repro.experiments.report import format_table
+
+from ._util import publish_report
+
+AMPLITUDES = (1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0, 5.0)
+
+
+def test_threshold_sweep(benchmark, scale):
+    sweep = benchmark.pedantic(
+        run_threshold_sweep,
+        kwargs={"amplitudes": AMPLITUDES, "num_slots": 2 * scale.num_slots},
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = [
+        [f"A={amplitude:g}", ratios["online-greedy"], ratios["online-approx"]]
+        for amplitude, ratios in sweep.items()
+    ]
+    report = "\n".join(
+        [
+            "EXT-THRESHOLD - oscillating prices, flip every slot, "
+            "move cost b+c = 2 (trap region: 2 < A < 4)",
+            format_table(["amplitude", "online-greedy", "online-approx"], rows),
+        ]
+    )
+    publish_report("adversarial_threshold", report)
+
+    # Greedy optimal below the chase threshold, hurt inside the trap.
+    assert sweep[1.0]["online-greedy"] < 1.001
+    trap = sweep[3.0]
+    assert trap["online-greedy"] > 1.1
+    assert trap["online-approx"] < trap["online-greedy"]

@@ -1,0 +1,32 @@
+"""EXT-CAPACITY — sensitivity to the over-provisioning factor.
+
+The paper fixes capacity at 1.25x the total workload (80% utilization);
+this bench sweeps the factor from nearly-tight to generous and reports the
+empirical ratios, locating the paper's choice on the operational curve.
+"""
+
+from repro.experiments.capacity import OVERPROVISION_FACTORS, run_capacity_sweep
+from repro.experiments.runner import ratio_table
+
+from ._util import publish_report
+
+
+def test_capacity_sweep(benchmark, scale):
+    points = benchmark.pedantic(
+        run_capacity_sweep, kwargs={"scale": scale}, rounds=1, iterations=1
+    )
+
+    report = "\n".join(
+        [
+            "EXT-CAPACITY - empirical ratio vs over-provisioning factor "
+            "(paper's setting: 1.25x)",
+            ratio_table(points, axis_name="capacity"),
+        ]
+    )
+    publish_report("capacity", report)
+
+    assert [p.label for p in points] == [
+        f"capacity={f:g}x" for f in OVERPROVISION_FACTORS
+    ]
+    for point in points:
+        assert point.mean_ratio("online-approx") < 1.6, point.label

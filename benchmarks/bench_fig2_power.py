@@ -1,0 +1,45 @@
+"""FIG2 — empirical competitive ratios, taxi mobility, power workloads.
+
+Regenerates Figure 2: six hourly test cases, all six algorithms, ratios
+normalized by offline-opt, plus the headline claims (online-approx ~1.1,
+up to 60% better than online-greedy, up to 4x better than the atomistic /
+static approaches). Paper-scale via REPRO_BENCH_USERS/SLOTS/REPS.
+"""
+
+from repro.experiments.fig2 import fig2_report, run_fig2, run_fig2_continuous_day
+
+from ._util import publish_report
+
+
+def test_fig2_competitive_ratio(benchmark, scale):
+    points = benchmark.pedantic(
+        run_fig2, kwargs={"scale": scale}, rounds=1, iterations=1
+    )
+
+    report = fig2_report(points)
+    publish_report("fig2_power", report)
+
+    for point in points:
+        # Paper shape: online-approx is near-optimal and beats every
+        # atomistic algorithm in every test case.
+        approx = point.mean_ratio("online-approx")
+        assert approx < 1.45, f"{point.label}: online-approx ratio {approx}"
+        for name in ("perf-opt", "oper-opt", "stat-opt"):
+            assert point.mean_ratio(name) > approx, (point.label, name)
+
+
+def test_fig2_continuous_day(benchmark, scale):
+    """The paper's exact method: hourly cases sliced from one day, sharing
+    taxis and the day-level capacity plan."""
+    points = benchmark.pedantic(
+        run_fig2_continuous_day,
+        kwargs={"scale": scale, "hours": ("3pm", "4pm", "5pm")},
+        rounds=1,
+        iterations=1,
+    )
+    report = fig2_report(points)
+    publish_report("fig2_power_continuous_day", report)
+
+    for point in points:
+        approx = point.mean_ratio("online-approx")
+        assert approx < 1.45, f"{point.label}: online-approx ratio {approx}"

@@ -1,0 +1,26 @@
+"""FIG3 — competitive ratios under uniform and normal workloads.
+
+Regenerates Figure 3: the Figure 2 comparison with the user-workload
+distribution swapped to uniform and normal. Expected shape: online-approx
+stays near-optimal under every distribution.
+"""
+
+from repro.experiments.fig3 import fig3_report, run_fig3
+
+from ._util import publish_report
+
+
+def test_fig3_workload_distributions(benchmark, scale):
+    points = benchmark.pedantic(
+        run_fig3, kwargs={"scale": scale}, rounds=1, iterations=1
+    )
+
+    report = fig3_report(points)
+    publish_report("fig3_workloads", report)
+
+    assert [p.label for p in points] == ["uniform", "normal"]
+    for point in points:
+        approx = point.mean_ratio("online-approx")
+        assert approx < 1.45, f"{point.label}: online-approx ratio {approx}"
+        for name in ("perf-opt", "oper-opt", "stat-opt"):
+            assert point.mean_ratio(name) > approx, (point.label, name)

@@ -1,0 +1,37 @@
+"""FIG4 (left) — impact of the regularization parameter eps.
+
+Regenerates the eps sweep of Figure 4 (eps = eps1 = eps2 over
+[1e-3, 1e3]) and reports the theoretical bound r = 1 + gamma|I| next to
+the empirical ratios. Expected shapes: the empirical curve moves within a
+narrow band and stabilizes for large eps; the theoretical bound is
+monotonically decreasing in eps (Remark after Theorem 2).
+"""
+
+import numpy as np
+
+from repro.experiments.fig4 import (
+    EPS_VALUES,
+    fig4_report,
+    run_eps_sweep,
+    theoretical_bounds,
+)
+
+from ._util import publish_report
+
+
+def test_fig4_eps_sweep(benchmark, scale):
+    points = benchmark.pedantic(
+        run_eps_sweep, kwargs={"scale": scale}, rounds=1, iterations=1
+    )
+    bounds = theoretical_bounds(scale, EPS_VALUES)
+
+    report = fig4_report(points, mu_points=[], bounds=bounds)
+    publish_report("fig4_epsilon", report)
+
+    ratios = [p.mean_ratio("online-approx") for p in points]
+    # Empirical ratios stay in a stable band across six decades of eps.
+    assert max(ratios) - min(ratios) < 0.3
+    assert max(ratios) < 1.5
+    # The theoretical bound is monotone decreasing in eps.
+    bound_values = [bounds[e] for e in EPS_VALUES]
+    assert np.all(np.diff(bound_values) <= 1e-9)

@@ -1,0 +1,27 @@
+"""FIG4 (right) — impact of mu, the dynamic/static weight ratio.
+
+Regenerates the mu sweep of Figure 4 over [1e-3, 1e3]. Expected shape
+(paper Section V-C): for small mu the static cost dominates and the
+algorithm is near-optimal; for large mu the ratio settles at a stable,
+reasonably good level.
+"""
+
+from repro.experiments.fig4 import MU_VALUES, fig4_report, run_mu_sweep
+
+from ._util import publish_report
+
+
+def test_fig4_mu_sweep(benchmark, scale):
+    points = benchmark.pedantic(
+        run_mu_sweep, kwargs={"scale": scale}, rounds=1, iterations=1
+    )
+
+    report = fig4_report(eps_points=[], mu_points=points)
+    publish_report("fig4_mu", report)
+
+    ratios = {p.label: p.mean_ratio("online-approx") for p in points}
+    # Small mu (static-dominated): essentially optimal.
+    assert ratios[f"mu={MU_VALUES[0]:g}"] < 1.1
+    # Every point stays at a reasonable ratio (paper: "stable yet
+    # reasonably good").
+    assert max(ratios.values()) < 1.6

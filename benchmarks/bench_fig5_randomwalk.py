@@ -1,0 +1,59 @@
+"""FIG5 — synthetic random-walk mobility, varying the number of users.
+
+Regenerates Figure 5: users walk the metro graph (uniform choice among
+{stay} + neighbors, the paper's process), the user count sweeps upward,
+and online-approx / online-greedy are normalized by offline-opt.
+
+Two series are reported (see EXPERIMENTS.md):
+
+* ``uniform`` — the paper's exact walk (a user may hop stations every
+  one-minute slot);
+* ``dwell`` — the same walk with a stay bias so a hop takes several slots
+  (a metro ride is longer than one minute). This is the regime where
+  greedy's myopia becomes clearly more expensive than online-approx.
+"""
+
+from repro.experiments.fig5 import fig5_report, run_fig5
+
+from ._util import publish_report
+
+
+def _user_counts(scale):
+    base = max(4, scale.num_users // 2)
+    return (base, scale.num_users, 2 * scale.num_users)
+
+
+def test_fig5_uniform_walk(benchmark, scale):
+    counts = _user_counts(scale)
+    points = benchmark.pedantic(
+        run_fig5,
+        kwargs={"scale": scale, "user_counts": counts, "stay_bias": 0.0},
+        rounds=1,
+        iterations=1,
+    )
+    report = fig5_report(points)
+    publish_report("fig5_randomwalk_uniform", report)
+
+    approx = [p.mean_ratio("online-approx") for p in points]
+    # Paper shape: online-approx performs stably regardless of user count.
+    assert max(approx) - min(approx) < 0.25
+    assert max(approx) < 1.5
+
+
+def test_fig5_dwell_walk(benchmark, scale):
+    counts = _user_counts(scale)
+    points = benchmark.pedantic(
+        run_fig5,
+        kwargs={"scale": scale, "user_counts": counts, "stay_bias": 3.0},
+        rounds=1,
+        iterations=1,
+    )
+    report = fig5_report(points)
+    publish_report("fig5_randomwalk_dwell", report)
+
+    for point in points:
+        approx = point.mean_ratio("online-approx")
+        greedy = point.mean_ratio("online-greedy")
+        assert approx < 1.5
+        # Greedy pays for its myopia once user dwell times span slots.
+        assert greedy > approx - 0.05, (point.label, greedy, approx)

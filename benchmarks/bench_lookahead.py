@@ -1,0 +1,54 @@
+"""EXT-LOOKAHEAD — what perfect prediction buys (receding-horizon ablation).
+
+Related work assumes predicted future costs; the paper's algorithm needs no
+prediction. This ablation sweeps a receding-horizon controller with a
+perfect W-slot oracle from W=1 (= online-greedy) to W=T (= offline-opt)
+and places the prediction-free online-approx on the same axis — showing
+how many slots of *perfect* foresight the regularization is worth.
+"""
+
+from repro.baselines import OfflineOptimal, OnlineGreedy, RecedingHorizon
+from repro.core.costs import total_cost
+from repro.core.regularization import OnlineRegularizedAllocator
+from repro.experiments.report import format_table
+from repro.simulation.scenario import Scenario
+
+from ._util import publish_report
+
+
+def run_lookahead_sweep(scale):
+    scenario = Scenario(num_users=scale.num_users, num_slots=scale.num_slots)
+    instance = scenario.build(seed=scale.seed)
+    offline = total_cost(OfflineOptimal().run(instance), instance)
+    windows = [1, 2, 3, max(4, scale.num_slots // 2), scale.num_slots]
+    rows = {}
+    for window in windows:
+        cost = total_cost(RecedingHorizon(window=window).run(instance), instance)
+        rows[f"lookahead-{window}"] = cost / offline
+    rows["online-approx (no prediction)"] = (
+        total_cost(OnlineRegularizedAllocator().run(instance), instance) / offline
+    )
+    rows["online-greedy"] = total_cost(OnlineGreedy().run(instance), instance) / offline
+    return rows
+
+
+def test_lookahead_ablation(benchmark, scale):
+    rows = benchmark.pedantic(
+        run_lookahead_sweep, args=(scale,), rounds=1, iterations=1
+    )
+
+    report = "\n".join(
+        [
+            "EXT-LOOKAHEAD - empirical ratio vs perfect prediction window",
+            format_table(
+                ["algorithm", "ratio"], [[k, v] for k, v in rows.items()]
+            ),
+        ]
+    )
+    publish_report("lookahead", report)
+
+    # Endpoints are exact by construction.
+    assert abs(rows["lookahead-1"] - rows["online-greedy"]) < 1e-6
+    assert abs(rows[f"lookahead-{scale.num_slots}"] - 1.0) < 1e-6
+    # Full lookahead dominates greedy.
+    assert rows[f"lookahead-{scale.num_slots}"] <= rows["lookahead-1"] + 1e-9

@@ -1,0 +1,35 @@
+"""EXT-MOBILITY — "arbitrary user mobility": robustness across processes.
+
+The paper's guarantee holds for arbitrary mobility. This bench runs the
+same scenario under four structurally different mobility processes (smooth
+taxi trips, the paper's uniform metro walk, a lazy Markov walk, heavy-
+tailed Levy flights) and reports the empirical ratios. Expected shape:
+online-approx stays in a narrow band across all processes.
+"""
+
+from repro.experiments.robustness import robustness_spread, run_mobility_robustness
+from repro.experiments.runner import ratio_table
+
+from ._util import publish_report
+
+
+def test_mobility_robustness(benchmark, scale):
+    points = benchmark.pedantic(
+        run_mobility_robustness, kwargs={"scale": scale}, rounds=1, iterations=1
+    )
+
+    spread = robustness_spread(points, "online-approx")
+    report = "\n".join(
+        [
+            "EXT-MOBILITY - empirical ratio across mobility processes",
+            ratio_table(points, axis_name="mobility"),
+            "",
+            f"online-approx spread across processes: {spread:.3f} "
+            "(paper's claim: performance independent of the mobility pattern)",
+        ]
+    )
+    publish_report("mobility_robustness", report)
+
+    for point in points:
+        assert point.mean_ratio("online-approx") < 1.5, point.label
+    assert spread < 0.25

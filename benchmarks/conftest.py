@@ -1,0 +1,10 @@
+"""Benchmark fixtures."""
+
+import pytest
+
+from ._util import bench_scale
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return bench_scale()

@@ -1,0 +1,52 @@
+"""Tuning the regularization parameter eps (paper Figure 4, left).
+
+Theorem 2 gives the worst-case ratio r = 1 + gamma|I| with gamma shrinking
+as eps grows, while the empirical ratio follows its own curve. This example
+sweeps eps on a fixed scenario, prints both curves side by side, and shows
+the heuristic default from :func:`repro.core.bounds.suggest_epsilon`.
+
+Run:  python examples/parameter_tuning.py
+"""
+
+import numpy as np
+
+from repro import (
+    OfflineOptimal,
+    OnlineRegularizedAllocator,
+    Scenario,
+    competitive_ratio_bound,
+    total_cost,
+)
+from repro.core.bounds import suggest_epsilon
+
+EPS_VALUES = [1e-3, 1e-2, 1e-1, 1.0, 1e1, 1e2, 1e3]
+
+
+def main() -> None:
+    scenario = Scenario(num_users=12, num_slots=10)
+    instance = scenario.build(seed=7)
+    offline_cost = total_cost(OfflineOptimal().run(instance), instance)
+
+    print(f"{'eps':>10s} {'empirical ratio':>16s} {'Theorem 2 bound':>16s}")
+    for eps in EPS_VALUES:
+        algorithm = OnlineRegularizedAllocator(eps1=eps, eps2=eps)
+        cost = total_cost(algorithm.run(instance), instance)
+        bound = competitive_ratio_bound(instance, eps, eps)
+        print(f"{eps:10g} {cost / offline_cost:16.3f} {bound:16.4g}")
+
+    suggested = suggest_epsilon(instance)
+    algorithm = OnlineRegularizedAllocator(eps1=suggested, eps2=suggested)
+    cost = total_cost(algorithm.run(instance), instance)
+    print(
+        f"\nsuggest_epsilon() -> {suggested:.3g} "
+        f"(empirical ratio {cost / offline_cost:.3f})"
+    )
+    print(
+        "\nNote: the theoretical bound decreases monotonically in eps "
+        "(Remark after Theorem 2); the empirical curve is far below it and "
+        "nearly flat, matching the paper's Figure 4."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Quickstart: allocate resources for mobile users in Rome's edge clouds.
+
+Builds the paper's evaluation scenario (15 edge clouds at Rome metro
+stations, taxi-like user mobility, power-law workloads), runs the paper's
+online algorithm against the offline optimum and the greedy baseline, and
+prints the empirical competitive ratios plus a cost breakdown.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    OfflineOptimal,
+    OnlineGreedy,
+    OnlineRegularizedAllocator,
+    Scenario,
+    compare_algorithms,
+)
+
+
+def main() -> None:
+    # A scenario is a reproducible experiment configuration; build() draws
+    # a concrete instance (workloads, prices, mobility) from one seed.
+    scenario = Scenario(num_users=20, num_slots=15)
+    instance = scenario.build(seed=42)
+    print(
+        f"Instance: {instance.num_clouds} edge clouds, "
+        f"{instance.num_users} users, {instance.num_slots} time slots, "
+        f"total workload {instance.total_workload:.0f}"
+    )
+
+    comparison = compare_algorithms(
+        [
+            OfflineOptimal(),  # impractical hindsight baseline (= ratio 1)
+            OnlineGreedy(),  # myopic per-slot optimization
+            OnlineRegularizedAllocator(),  # the paper's algorithm
+        ],
+        instance,
+    )
+
+    print("\nEmpirical competitive ratios (total cost / offline optimum):")
+    for name, ratio in comparison.ratios().items():
+        print(f"  {name:15s} {ratio:.3f}")
+
+    print("\nCost breakdown of online-approx:")
+    breakdown = comparison.results["online-approx"].breakdown
+    for component, value in breakdown.totals().items():
+        print(f"  {component:15s} {value:10.2f}")
+
+    improvement = comparison.improvement_over("online-approx", "online-greedy")
+    if improvement >= 0:
+        print(f"\nonline-approx is {100 * improvement:.1f}% cheaper than online-greedy")
+    else:
+        print(
+            f"\nonline-approx is {-100 * improvement:.1f}% more expensive than "
+            "online-greedy on this draw (they trade places instance by "
+            "instance; see the Figure 2/5 benchmarks for aggregates)"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,120 @@
+"""Regenerate every experiment report and figure-data CSV in one pass.
+
+The pytest benchmarks are the canonical way to reproduce the paper's
+figures with timing; this script is the benchmark-free variant for release
+engineering: it runs every experiment driver at a chosen scale and writes
+
+* paper-style text reports to ``benchmarks/results/``;
+* flat CSV figure data to ``benchmarks/results/csv/`` (for plotting).
+
+Usage::
+
+    python scripts/regenerate_all.py                 # default (laptop) scale
+    python scripts/regenerate_all.py --users 24 --slots 24 --repetitions 3
+    python scripts/regenerate_all.py --paper-scale   # 300 x 60 x 5 (hours)
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from pathlib import Path
+
+from repro.experiments import (
+    ExperimentScale,
+    fig2_report,
+    fig3_report,
+    fig4_report,
+    fig5_report,
+    run_capacity_sweep,
+    run_eps_sweep,
+    run_fig1,
+    run_fig2,
+    run_fig3,
+    run_fig5,
+    run_mobility_robustness,
+    run_mu_sweep,
+    run_threshold_sweep,
+    theoretical_bounds,
+)
+from repro.experiments.report import format_table
+from repro.experiments.runner import ratio_table
+from repro.io import save_ratio_points_csv
+
+RESULTS = Path(__file__).resolve().parent.parent / "benchmarks" / "results"
+
+
+def main() -> None:
+    """Run every driver and write reports + CSVs."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--users", type=int, default=None)
+    parser.add_argument("--slots", type=int, default=None)
+    parser.add_argument("--repetitions", type=int, default=None)
+    parser.add_argument("--paper-scale", action="store_true")
+    args = parser.parse_args()
+
+    scale = ExperimentScale.paper() if args.paper_scale else ExperimentScale()
+    overrides = {
+        k: v
+        for k, v in {
+            "num_users": args.users,
+            "num_slots": args.slots,
+            "repetitions": args.repetitions,
+        }.items()
+        if v is not None
+    }
+    if overrides:
+        scale = ExperimentScale(**{**scale.__dict__, **overrides})
+
+    csv_dir = RESULTS / "csv"
+    csv_dir.mkdir(parents=True, exist_ok=True)
+
+    def emit(name: str, report: str, points=None) -> None:
+        (RESULTS / f"{name}.txt").write_text(report + "\n")
+        if points is not None:
+            save_ratio_points_csv(points, csv_dir / f"{name}.csv")
+        print(f"[{time.strftime('%H:%M:%S')}] wrote {name}")
+
+    results1 = run_fig1()
+    lines = ["FIG1"]
+    for key, result in sorted(results1.items()):
+        lines.append(
+            f"({key}) greedy {result.greedy_cost:.1f} optimal {result.optimal_cost:.1f}"
+        )
+    emit("fig1_examples", "\n".join(lines))
+
+    points = run_fig2(scale)
+    emit("fig2_power", fig2_report(points), points)
+
+    points = run_fig3(scale)
+    emit("fig3_workloads", fig3_report(points), points)
+
+    eps_points = run_eps_sweep(scale)
+    mu_points = run_mu_sweep(scale)
+    bounds = theoretical_bounds(scale)
+    emit("fig4_epsilon", fig4_report(eps_points, [], bounds), eps_points)
+    emit("fig4_mu", fig4_report([], mu_points), mu_points)
+
+    points = run_fig5(scale)
+    emit("fig5_randomwalk_uniform", fig5_report(points), points)
+    points = run_fig5(scale, stay_bias=3.0)
+    emit("fig5_randomwalk_dwell", fig5_report(points), points)
+
+    sweep = run_threshold_sweep()
+    rows = [[f"A={a:g}", r["online-greedy"], r["online-approx"]] for a, r in sweep.items()]
+    emit(
+        "adversarial_threshold",
+        format_table(["amplitude", "online-greedy", "online-approx"], rows),
+    )
+
+    points = run_mobility_robustness(scale)
+    emit("mobility_robustness", ratio_table(points, axis_name="mobility"), points)
+
+    points = run_capacity_sweep(scale)
+    emit("capacity", ratio_table(points, axis_name="capacity"), points)
+
+    print("done.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+This environment is offline and lacks the ``wheel`` package, so modern
+PEP 517/660 editable installs cannot build; ``pip install -e .`` uses this
+shim via the legacy ``setup.py develop`` path instead. All metadata lives
+in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

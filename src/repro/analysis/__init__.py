@@ -1,0 +1,25 @@
+"""Post-run analysis: ratio statistics, cost timelines, dual prices."""
+
+from .prices import DualPriceSeries, extract_dual_prices
+from .ratios import (
+    RatioEstimate,
+    paired_improvement,
+    ratio_confidence_interval,
+    ratio_samples,
+    win_rate,
+)
+from .timelines import churn_timeline, cost_shares, cumulative_cost, regret_curve
+
+__all__ = [
+    "DualPriceSeries",
+    "RatioEstimate",
+    "churn_timeline",
+    "cost_shares",
+    "cumulative_cost",
+    "extract_dual_prices",
+    "paired_improvement",
+    "ratio_confidence_interval",
+    "ratio_samples",
+    "regret_curve",
+    "win_rate",
+]

@@ -1,0 +1,98 @@
+"""Statistical analysis of empirical competitive ratios.
+
+The paper reports means and standard deviations over five repetitions;
+these helpers add confidence intervals and paired comparisons so statements
+like "online-approx beats online-greedy" can be made with error bars.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats as scipy_stats
+
+from ..simulation.results import Comparison
+
+
+@dataclass(frozen=True)
+class RatioEstimate:
+    """Mean empirical ratio with a Student-t confidence interval."""
+
+    algorithm: str
+    mean: float
+    std: float
+    lower: float
+    upper: float
+    confidence: float
+    num_samples: int
+
+
+def ratio_samples(comparisons: list[Comparison], algorithm: str) -> np.ndarray:
+    """Per-repetition ratio samples of one algorithm."""
+    return np.array([c.ratio(algorithm) for c in comparisons])
+
+
+def ratio_confidence_interval(
+    comparisons: list[Comparison], algorithm: str, *, confidence: float = 0.95
+) -> RatioEstimate:
+    """Mean ratio with a two-sided t confidence interval.
+
+    With a single repetition the interval degenerates to the point estimate.
+    """
+    if not 0 < confidence < 1:
+        raise ValueError("confidence must be in (0, 1)")
+    samples = ratio_samples(comparisons, algorithm)
+    if samples.size == 0:
+        raise ValueError("need at least one comparison")
+    mean = float(samples.mean())
+    std = float(samples.std(ddof=1)) if samples.size > 1 else 0.0
+    if samples.size > 1 and std > 0:
+        half_width = float(
+            scipy_stats.t.ppf(0.5 + confidence / 2.0, df=samples.size - 1)
+            * std
+            / np.sqrt(samples.size)
+        )
+    else:
+        half_width = 0.0
+    return RatioEstimate(
+        algorithm=algorithm,
+        mean=mean,
+        std=std,
+        lower=mean - half_width,
+        upper=mean + half_width,
+        confidence=confidence,
+        num_samples=int(samples.size),
+    )
+
+
+def paired_improvement(
+    comparisons: list[Comparison], algorithm: str, reference: str
+) -> tuple[float, float]:
+    """Mean and std of the per-repetition relative improvement.
+
+    Improvement of ``algorithm`` over ``reference`` on each repetition:
+    (cost_ref - cost_alg) / cost_ref. Pairing by repetition removes the
+    instance-to-instance variance that independent means would smear.
+    """
+    values = np.array(
+        [c.improvement_over(algorithm, reference) for c in comparisons]
+    )
+    if values.size == 0:
+        raise ValueError("need at least one comparison")
+    std = float(values.std(ddof=1)) if values.size > 1 else 0.0
+    return float(values.mean()), std
+
+
+def win_rate(
+    comparisons: list[Comparison], algorithm: str, reference: str
+) -> float:
+    """Fraction of repetitions where ``algorithm`` is strictly cheaper."""
+    if not comparisons:
+        raise ValueError("need at least one comparison")
+    wins = sum(
+        1
+        for c in comparisons
+        if c.results[algorithm].total_cost < c.results[reference].total_cost
+    )
+    return wins / len(comparisons)

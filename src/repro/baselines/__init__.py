@@ -1,0 +1,24 @@
+"""Comparison algorithms: the atomistic and holistic groups of Section V-B."""
+
+from .atomistic import OperOpt, PerfOpt, StatOpt, solve_static_slot
+from .base import AllocationAlgorithm, run_per_slot, weighted_static_prices
+from .greedy import OnlineGreedy
+from .lookahead import RecedingHorizon
+from .offline import OfflineOptimal
+from .periodic import PeriodicRebalance
+from .static import StaticAllocation
+
+__all__ = [
+    "AllocationAlgorithm",
+    "OfflineOptimal",
+    "OnlineGreedy",
+    "OperOpt",
+    "PerfOpt",
+    "PeriodicRebalance",
+    "RecedingHorizon",
+    "StatOpt",
+    "StaticAllocation",
+    "run_per_slot",
+    "solve_static_slot",
+    "weighted_static_prices",
+]

@@ -1,0 +1,63 @@
+"""Shared interface for every allocation algorithm (paper Section V-B).
+
+The evaluation compares two groups:
+
+* **atomistic** — per-slot optimizers of part of the static cost
+  (perf-opt, oper-opt, stat-opt);
+* **holistic** — offline-opt (full horizon, impractical baseline) and
+  online-greedy (per-slot P0 objective), plus the paper's online-approx
+  (:class:`repro.core.regularization.OnlineRegularizedAllocator`).
+
+Every algorithm consumes a :class:`ProblemInstance` and produces an
+:class:`AllocationSchedule`; all cost accounting happens downstream in
+:mod:`repro.core.costs`, so every algorithm is scored by exactly the same
+P0 objective.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from ..core.allocation import AllocationSchedule
+from ..core.problem import ProblemInstance
+
+
+@runtime_checkable
+class AllocationAlgorithm(Protocol):
+    """Anything that maps a problem instance to a full allocation schedule."""
+
+    name: str
+
+    def run(self, instance: ProblemInstance) -> AllocationSchedule:
+        """Produce an allocation for every slot of the instance."""
+        ...
+
+
+def weighted_static_prices(instance: ProblemInstance, slot: int) -> np.ndarray:
+    """Static-weight-scaled per-unit prices p_ij for one slot, shape (I, J)."""
+    return instance.weights.static * instance.static_prices(slot)
+
+
+def run_per_slot(
+    instance: ProblemInstance,
+    solve_slot,
+) -> AllocationSchedule:
+    """Drive a per-slot decision function over the horizon.
+
+    Args:
+        instance: the problem instance.
+        solve_slot: callable (slot, x_prev) -> (I, J) allocation, where
+            ``x_prev`` is the previous slot's decision (zeros for slot 0).
+
+    Returns:
+        The stacked schedule.
+    """
+    x_prev = np.zeros((instance.num_clouds, instance.num_users))
+    slots: list[np.ndarray] = []
+    for t in range(instance.num_slots):
+        x_t = solve_slot(t, x_prev)
+        slots.append(x_t)
+        x_prev = x_t
+    return AllocationSchedule.from_slots(slots)

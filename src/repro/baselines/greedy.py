@@ -1,0 +1,90 @@
+"""online-greedy: per-slot minimization of the P0 objective (Section V-B).
+
+    "The online-greedy algorithm directly takes the objective value of P0
+    and minimizes P0 in every time slot. Decision making is based on the
+    outcome of the previous time slot, but considers no future
+    possibilities."
+
+Each slot solves a small LP: static cost of the current slot plus the
+dynamic (reconfiguration + migration) cost of transitioning from the
+previous decision, with the same auxiliary-variable linearization as the
+offline LP. Section II-E shows why this is suboptimal: it can be both too
+aggressive (migrating for any instantaneous gain) and too conservative
+(never migrating when a one-slot gain looks too small).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.allocation import AllocationSchedule
+from ..core.problem import ProblemInstance
+from ..solvers.linear import LinearProgramBuilder
+from .base import run_per_slot, weighted_static_prices
+
+
+@dataclass(frozen=True)
+class OnlineGreedy:
+    """Greedy one-shot optimization of each slot's immediate total cost."""
+
+    name: str = "online-greedy"
+
+    def run(self, instance: ProblemInstance) -> AllocationSchedule:
+        """Greedily optimize each slot in sequence."""
+        return run_per_slot(instance, lambda t, x_prev: self.solve_slot(instance, t, x_prev))
+
+    @staticmethod
+    def solve_slot(
+        instance: ProblemInstance, slot: int, x_prev: np.ndarray
+    ) -> np.ndarray:
+        """Minimize this slot's static + transition cost from ``x_prev``."""
+        num_clouds, num_users = instance.num_clouds, instance.num_users
+        w_dyn = instance.weights.dynamic
+        x_prev = np.asarray(x_prev, dtype=float)
+        prev_totals = x_prev.sum(axis=1)
+
+        builder = LinearProgramBuilder()
+        x = builder.add_block("x", num_clouds, num_users)
+        u = builder.add_block("u", num_clouds)
+        m_in = builder.add_block("m_in", num_clouds, num_users)
+        m_out = builder.add_block("m_out", num_clouds, num_users)
+        x_idx = x.indices()
+        u_idx = u.indices()
+        m_in_idx = m_in.indices()
+        m_out_idx = m_out.indices()
+
+        builder.set_cost(x_idx, weighted_static_prices(instance, slot))
+        builder.set_cost(u_idx, w_dyn * np.asarray(instance.reconfig_prices, dtype=float))
+        b_out = np.asarray(instance.migration_prices.out, dtype=float)
+        b_in = np.asarray(instance.migration_prices.into, dtype=float)
+        builder.set_cost(m_out_idx, w_dyn * np.broadcast_to(b_out[:, None], (num_clouds, num_users)))
+        builder.set_cost(m_in_idx, w_dyn * np.broadcast_to(b_in[:, None], (num_clouds, num_users)))
+
+        workloads = np.asarray(instance.workloads, dtype=float)
+        capacities = np.asarray(instance.capacities, dtype=float)
+        # Demand (per user) and capacity (per cloud).
+        builder.add_ge_rows(x_idx.T, 1.0, workloads)
+        builder.add_le_rows(x_idx, 1.0, capacities)
+        # Reconfiguration: u_i >= sum_j x_ij - sum_j x_prev_ij.
+        builder.add_le_rows(
+            np.concatenate([x_idx, u_idx[:, None]], axis=1),
+            np.concatenate(
+                [np.ones((num_clouds, num_users)), -np.ones((num_clouds, 1))], axis=1
+            ),
+            prev_totals,
+        )
+        # Migration: m_in >= x - x_prev; m_out >= x_prev - x.
+        builder.add_le_rows(
+            np.stack([x_idx.ravel(), m_in_idx.ravel()], axis=1),
+            np.array([1.0, -1.0]),
+            x_prev.ravel(),
+        )
+        builder.add_le_rows(
+            np.stack([x_idx.ravel(), m_out_idx.ravel()], axis=1),
+            np.array([-1.0, -1.0]),
+            -x_prev.ravel(),
+        )
+        result = builder.solve()
+        return result.x[x_idx].reshape(num_clouds, num_users)

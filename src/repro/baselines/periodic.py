@@ -1,0 +1,47 @@
+"""Periodic rebalancing: the operationally-simple middle ground.
+
+Real deployments often avoid per-slot optimization and instead re-run a
+static optimizer every k slots ("nightly rebalance"). This baseline makes
+that policy concrete: every ``period`` slots it recomputes the static-cost
+optimum for the current prices/attachments, and holds the allocation in
+between. ``period = 1`` degenerates to stat-opt; ``period >= T`` to the
+decide-once static baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.allocation import AllocationSchedule
+from ..core.problem import ProblemInstance
+from .atomistic import solve_static_slot
+from .base import weighted_static_prices
+
+
+@dataclass(frozen=True)
+class PeriodicRebalance:
+    """Re-run the static optimizer every ``period`` slots, hold in between."""
+
+    period: int = 5
+
+    def __post_init__(self) -> None:
+        if self.period < 1:
+            raise ValueError("period must be at least 1")
+
+    @property
+    def name(self) -> str:
+        return f"periodic-{self.period}"
+
+    def run(self, instance: ProblemInstance) -> AllocationSchedule:
+        """Rebalance on schedule boundaries, hold the allocation in between."""
+        slots: list[np.ndarray] = []
+        current: np.ndarray | None = None
+        for t in range(instance.num_slots):
+            if current is None or t % self.period == 0:
+                current = solve_static_slot(
+                    instance, weighted_static_prices(instance, t)
+                )
+            slots.append(current.copy())
+        return AllocationSchedule.from_slots(slots)

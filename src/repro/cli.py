@@ -1,0 +1,248 @@
+"""Command-line entry point: regenerate any of the paper's figures.
+
+Examples::
+
+    repro-edge fig1
+    repro-edge fig2 --users 24 --slots 24 --repetitions 3
+    repro-edge fig4 --users 12 --slots 10
+    repro-edge fig5 --user-counts 10 20 40 --stay-bias 3.0
+    repro-edge quickstart
+    repro-edge threshold            # adversarial oscillating-price sweep
+    repro-edge lookahead            # perfect-prediction ablation
+    repro-edge certify              # dual certificate of eq. 12
+
+Every command prints a paper-style ASCII table to stdout; see
+EXPERIMENTS.md for how the output maps onto the paper's figures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .experiments import (
+    ExperimentScale,
+    fig2_report,
+    fig3_report,
+    fig4_report,
+    fig5_report,
+    format_table,
+    run_eps_sweep,
+    run_fig1,
+    run_fig2,
+    run_fig3,
+    run_fig5,
+    run_mu_sweep,
+    run_threshold_sweep,
+    theoretical_bounds,
+)
+
+
+def _add_scale_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--users", type=int, default=None, help="number of users J")
+    parser.add_argument("--slots", type=int, default=None, help="number of time slots T")
+    parser.add_argument(
+        "--repetitions", type=int, default=None, help="seeded repetitions per point"
+    )
+    parser.add_argument("--seed", type=int, default=None, help="base random seed")
+    parser.add_argument("--eps", type=float, default=None, help="eps1 = eps2 value")
+    parser.add_argument(
+        "--paper-scale",
+        action="store_true",
+        help="run at the paper's full scale (300 users, 60 slots, 5 repetitions)",
+    )
+
+
+def _scale_from_args(args: argparse.Namespace) -> ExperimentScale:
+    scale = ExperimentScale.paper() if args.paper_scale else ExperimentScale()
+    overrides = {}
+    if args.users is not None:
+        overrides["num_users"] = args.users
+    if args.slots is not None:
+        overrides["num_slots"] = args.slots
+    if args.repetitions is not None:
+        overrides["repetitions"] = args.repetitions
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if args.eps is not None:
+        overrides["eps"] = args.eps
+    if overrides:
+        scale = ExperimentScale(**{**scale.__dict__, **overrides})
+    return scale
+
+
+def _cmd_fig1(_args: argparse.Namespace) -> str:
+    lines = ["Figure 1 - greedy vs optimal on the Section II-E examples", ""]
+    for name, result in run_fig1().items():
+        lines.append(
+            f"example ({name}): greedy {'-'.join(result.greedy_placements)} "
+            f"cost {result.greedy_cost:.1f} | optimal "
+            f"{'-'.join(result.optimal_placements)} cost {result.optimal_cost:.1f}"
+        )
+    return "\n".join(lines)
+
+
+def _cmd_fig2(args: argparse.Namespace) -> str:
+    return fig2_report(run_fig2(_scale_from_args(args)))
+
+
+def _cmd_fig3(args: argparse.Namespace) -> str:
+    return fig3_report(run_fig3(_scale_from_args(args)))
+
+
+def _cmd_fig4(args: argparse.Namespace) -> str:
+    scale = _scale_from_args(args)
+    eps_points = run_eps_sweep(scale)
+    mu_points = run_mu_sweep(scale)
+    bounds = theoretical_bounds(scale)
+    return fig4_report(eps_points, mu_points, bounds)
+
+
+def _cmd_fig5(args: argparse.Namespace) -> str:
+    scale = _scale_from_args(args)
+    return fig5_report(
+        run_fig5(
+            scale,
+            user_counts=tuple(args.user_counts),
+            stay_bias=args.stay_bias,
+        )
+    )
+
+
+def _cmd_threshold(args: argparse.Namespace) -> str:
+    scale = _scale_from_args(args)
+    sweep = run_threshold_sweep(num_slots=2 * scale.num_slots)
+    rows = [
+        [f"A={amplitude:g}", ratios["online-greedy"], ratios["online-approx"]]
+        for amplitude, ratios in sweep.items()
+    ]
+    return "\n".join(
+        [
+            "Adversarial oscillating prices (move cost b+c = 2; trap: 2 < A < 4)",
+            format_table(["amplitude", "online-greedy", "online-approx"], rows),
+        ]
+    )
+
+
+def _cmd_lookahead(args: argparse.Namespace) -> str:
+    # Deferred import: pulls in the LP machinery.
+    from .baselines import OfflineOptimal, RecedingHorizon
+    from .core.costs import total_cost
+    from .core.regularization import OnlineRegularizedAllocator
+    from .simulation.scenario import Scenario
+
+    scale = _scale_from_args(args)
+    instance = Scenario(
+        num_users=scale.num_users, num_slots=scale.num_slots
+    ).build(seed=scale.seed)
+    offline = total_cost(OfflineOptimal().run(instance), instance)
+    rows = []
+    for window in sorted({1, 2, 3, scale.num_slots}):
+        cost = total_cost(RecedingHorizon(window=window).run(instance), instance)
+        rows.append([f"lookahead-{window}", cost / offline])
+    approx = total_cost(OnlineRegularizedAllocator().run(instance), instance)
+    rows.append(["online-approx (no prediction)", approx / offline])
+    return "\n".join(
+        [
+            "Perfect-prediction ablation (ratio vs offline-opt)",
+            format_table(["algorithm", "ratio"], rows),
+        ]
+    )
+
+
+def _cmd_certify(args: argparse.Namespace) -> str:
+    # Deferred import: pulls in the LP machinery.
+    from .core.duality import duality_certificate
+    from .core.regularization import OnlineRegularizedAllocator
+    from .simulation.scenario import Scenario
+
+    scale = _scale_from_args(args)
+    instance = Scenario(
+        num_users=scale.num_users, num_slots=scale.num_slots
+    ).build(seed=scale.seed)
+    algorithm = OnlineRegularizedAllocator(eps1=scale.eps, eps2=scale.eps)
+    schedule = algorithm.run(instance)
+    certificate = duality_certificate(instance, schedule)
+    lines = [
+        "Duality certificate (paper eq. 12: P1 >= P3 >= D)",
+        f"  P1(online-approx) : {certificate.p1:12.3f}",
+        f"  P3* (relaxed LP)  : {certificate.p3:12.3f}",
+        f"  D*  (dual LP)     : {certificate.dual:12.3f}",
+        f"  chain holds       : {certificate.chain_holds}",
+        f"  certified ratio   : {certificate.p1 / certificate.dual:.3f}"
+        "  (upper bound on the empirical competitive ratio,"
+        " no offline solve needed)",
+    ]
+    return "\n".join(lines)
+
+
+def _cmd_quickstart(args: argparse.Namespace) -> str:
+    # Deferred import: the quickstart pulls in the whole public API.
+    from . import (
+        OfflineOptimal,
+        OnlineGreedy,
+        OnlineRegularizedAllocator,
+        Scenario,
+        compare_algorithms,
+    )
+
+    scale = _scale_from_args(args)
+    scenario = Scenario(num_users=scale.num_users, num_slots=scale.num_slots)
+    instance = scenario.build(seed=scale.seed)
+    comparison = compare_algorithms(
+        [OfflineOptimal(), OnlineGreedy(), OnlineRegularizedAllocator()], instance
+    )
+    lines = ["Quickstart comparison (taxi mobility, power workloads)"]
+    for name, ratio in comparison.ratios().items():
+        lines.append(f"  {name:15s} ratio {ratio:.3f}")
+    return "\n".join(lines)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser with one subcommand per experiment."""
+    parser = argparse.ArgumentParser(
+        prog="repro-edge",
+        description="Reproduce the ICDCS 2017 online edge-cloud allocation paper.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("fig1", help="the two greedy-pitfall examples").set_defaults(
+        func=_cmd_fig1
+    )
+    for name, func, help_text in (
+        ("fig2", _cmd_fig2, "taxi mobility, power workloads"),
+        ("fig3", _cmd_fig3, "uniform / normal workloads"),
+        ("fig4", _cmd_fig4, "eps and mu sweeps"),
+        ("quickstart", _cmd_quickstart, "minimal three-algorithm comparison"),
+        ("threshold", _cmd_threshold, "adversarial oscillating-price sweep"),
+        ("lookahead", _cmd_lookahead, "perfect-prediction (receding horizon) ablation"),
+        ("certify", _cmd_certify, "dual certificate of the competitive-ratio chain"),
+    ):
+        p = sub.add_parser(name, help=help_text)
+        _add_scale_arguments(p)
+        p.set_defaults(func=func)
+
+    p5 = sub.add_parser("fig5", help="random-walk mobility, varying user counts")
+    _add_scale_arguments(p5)
+    p5.add_argument(
+        "--user-counts", type=int, nargs="+", default=[10, 20, 40], metavar="N"
+    )
+    p5.add_argument(
+        "--stay-bias",
+        type=float,
+        default=0.0,
+        help="0 = the paper's uniform walk; >0 makes users dwell several slots",
+    )
+    p5.set_defaults(func=_cmd_fig5)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    print(args.func(args))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

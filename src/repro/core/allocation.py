@@ -1,0 +1,135 @@
+"""Allocation schedules: the decision variables x_{i,j,t} over a horizon.
+
+An :class:`AllocationSchedule` is the output of every algorithm in this
+project — online or offline — stored as a dense (T, I, J) array. It knows
+how to check its own feasibility against a :class:`ProblemInstance`
+(constraints (6a)-(6c) of problem P0).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .problem import ProblemInstance
+
+#: Default absolute tolerance for feasibility checks; solvers are iterative.
+FEASIBILITY_TOL = 1e-6
+
+
+@dataclass(frozen=True)
+class FeasibilityReport:
+    """Worst-case violations of each P0 constraint family (0 = satisfied)."""
+
+    demand_violation: float
+    capacity_violation: float
+    negativity_violation: float
+
+    @property
+    def is_feasible(self) -> bool:
+        return (
+            self.demand_violation <= 0
+            and self.capacity_violation <= 0
+            and self.negativity_violation <= 0
+        )
+
+    def worst(self) -> float:
+        """Largest violation across all constraint families."""
+        return max(self.demand_violation, self.capacity_violation, self.negativity_violation)
+
+
+@dataclass(frozen=True)
+class AllocationSchedule:
+    """A full allocation trajectory x with shape (T, I, J).
+
+    The convention x_{i,j,0} = 0 from the paper means the slot *before* the
+    first slot of this schedule is all-zero; dynamic costs for t = 0 are
+    charged against that zero baseline.
+    """
+
+    x: np.ndarray
+
+    def __post_init__(self) -> None:
+        x = np.asarray(self.x, dtype=float)
+        if x.ndim != 3:
+            raise ValueError("allocation must have shape (T, I, J)")
+        if not np.all(np.isfinite(x)):
+            raise ValueError("allocation contains non-finite values")
+        object.__setattr__(self, "x", x)
+
+    @property
+    def num_slots(self) -> int:
+        return int(self.x.shape[0])
+
+    @property
+    def num_clouds(self) -> int:
+        return int(self.x.shape[1])
+
+    @property
+    def num_users(self) -> int:
+        return int(self.x.shape[2])
+
+    def cloud_totals(self) -> np.ndarray:
+        """x_{i,t} = Sum_j x_{i,j,t}, shape (T, I)."""
+        return self.x.sum(axis=2)
+
+    def user_totals(self) -> np.ndarray:
+        """Sum_i x_{i,j,t}, shape (T, J)."""
+        return self.x.sum(axis=1)
+
+    def with_previous(self) -> tuple[np.ndarray, np.ndarray]:
+        """(x_t, x_{t-1}) aligned arrays, using the all-zero slot -1 baseline.
+
+        Returns:
+            A pair of (T, I, J) arrays where the second is the schedule
+            shifted by one slot with zeros prepended.
+        """
+        prev = np.zeros_like(self.x)
+        prev[1:] = self.x[:-1]
+        return self.x, prev
+
+    def feasibility_report(self, instance: ProblemInstance) -> FeasibilityReport:
+        """Measure the worst violation of constraints (6a), (6b), (6c)."""
+        if self.x.shape != (instance.num_slots, instance.num_clouds, instance.num_users):
+            raise ValueError(
+                f"allocation shape {self.x.shape} does not match instance "
+                f"({instance.num_slots}, {instance.num_clouds}, {instance.num_users})"
+            )
+        workloads = np.asarray(instance.workloads, dtype=float)
+        capacities = np.asarray(instance.capacities, dtype=float)
+        demand = float((workloads[None, :] - self.user_totals()).max())
+        capacity = float((self.cloud_totals() - capacities[None, :]).max())
+        negativity = float((-self.x).max())
+        return FeasibilityReport(
+            demand_violation=max(0.0, demand),
+            capacity_violation=max(0.0, capacity),
+            negativity_violation=max(0.0, negativity),
+        )
+
+    def is_feasible(self, instance: ProblemInstance, tol: float = FEASIBILITY_TOL) -> bool:
+        """True if every P0 constraint holds up to ``tol``."""
+        return self.feasibility_report(instance).worst() <= tol
+
+    def require_feasible(self, instance: ProblemInstance, tol: float = FEASIBILITY_TOL) -> None:
+        """Raise ValueError (with the violations) unless feasible up to ``tol``."""
+        report = self.feasibility_report(instance)
+        if report.worst() > tol:
+            raise ValueError(
+                "infeasible allocation: "
+                f"demand violation {report.demand_violation:.3e}, "
+                f"capacity violation {report.capacity_violation:.3e}, "
+                f"negativity violation {report.negativity_violation:.3e}"
+            )
+
+    @classmethod
+    def zeros(cls, num_slots: int, num_clouds: int, num_users: int) -> "AllocationSchedule":
+        """An all-zero schedule (the paper's slot-0 baseline)."""
+        return cls(np.zeros((num_slots, num_clouds, num_users)))
+
+    @classmethod
+    def from_slots(cls, slots: list[np.ndarray]) -> "AllocationSchedule":
+        """Stack per-slot (I, J) decisions into a schedule."""
+        if not slots:
+            raise ValueError("need at least one slot")
+        return cls(np.stack([np.asarray(s, dtype=float) for s in slots], axis=0))

@@ -1,0 +1,154 @@
+"""The four cost functions of the paper's model (Section II-C).
+
+Every function returns *per-slot* unweighted costs; :class:`CostBreakdown`
+assembles them and applies the static/dynamic weights to produce the P0
+objective. Dynamic costs for the first slot are charged against the paper's
+all-zero slot-0 baseline (x_{i,j,0} = 0).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .allocation import AllocationSchedule
+from .problem import CostWeights, ProblemInstance
+
+
+def positive_part(values: np.ndarray) -> np.ndarray:
+    """The paper's (x)+ = max(x, 0), elementwise."""
+    return np.maximum(values, 0.0)
+
+
+def operation_cost(schedule: AllocationSchedule, instance: ProblemInstance) -> np.ndarray:
+    """Cost_op per slot: Sum_i Sum_j a_{i,t} x_{i,j,t} (eq. 1)."""
+    cloud_totals = schedule.cloud_totals()  # (T, I)
+    return np.einsum("ti,ti->t", np.asarray(instance.op_prices, dtype=float), cloud_totals)
+
+
+def service_quality_cost(schedule: AllocationSchedule, instance: ProblemInstance) -> np.ndarray:
+    """Cost_sq per slot (eq. 3): access delay + weighted inter-cloud delay.
+
+    Per slot t: Sum_j ( d(j, l_{j,t}) + Sum_i x_{i,j,t} d(l_{j,t}, i) / lambda_j ).
+    """
+    x = schedule.x
+    attachment = np.asarray(instance.attachment)
+    delay = np.asarray(instance.inter_cloud_delay, dtype=float)
+    workloads = np.asarray(instance.workloads, dtype=float)
+    per_slot = np.asarray(instance.access_delay, dtype=float).sum(axis=1)
+    # d(l_{j,t}, i) for each (t, i, j): index delay rows by attachment.
+    # delay[:, attachment] has shape (I, T, J) -> transpose to (T, I, J).
+    d_att = np.transpose(delay[:, attachment], (1, 0, 2))
+    per_slot = per_slot + np.einsum("tij,tij->t", x, d_att / workloads[None, None, :])
+    return per_slot
+
+
+def reconfiguration_cost(schedule: AllocationSchedule, instance: ProblemInstance) -> np.ndarray:
+    """Cost_rc per slot (eq. 2): c_i (x_{i,t} - x_{i,t-1})+ summed over clouds."""
+    totals = schedule.cloud_totals()
+    prev = np.zeros_like(totals)
+    prev[1:] = totals[:-1]
+    increase = positive_part(totals - prev)
+    return increase @ np.asarray(instance.reconfig_prices, dtype=float)
+
+
+def migration_volumes(schedule: AllocationSchedule) -> tuple[np.ndarray, np.ndarray]:
+    """Per-cloud migration volumes (eq. 4): (z_out, z_in), each (T, I).
+
+    z_{i,t}^out = Sum_j (x_{i,j,t-1} - x_{i,j,t})+ and
+    z_{i,t}^in  = Sum_j (x_{i,j,t} - x_{i,j,t-1})+.
+    """
+    x, prev = schedule.with_previous()
+    z_out = positive_part(prev - x).sum(axis=2)
+    z_in = positive_part(x - prev).sum(axis=2)
+    return z_out, z_in
+
+
+def migration_cost(schedule: AllocationSchedule, instance: ProblemInstance) -> np.ndarray:
+    """Cost_mg per slot (eq. 5): b_i^out z_out + b_i^in z_in."""
+    z_out, z_in = migration_volumes(schedule)
+    prices = instance.migration_prices
+    return z_out @ np.asarray(prices.out, dtype=float) + z_in @ np.asarray(prices.into, dtype=float)
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """Per-slot unweighted costs plus the weights needed for the P0 objective.
+
+    Attributes:
+        operation, service_quality, reconfiguration, migration: (T,) arrays.
+        weights: the static/dynamic weights of the owning instance.
+    """
+
+    operation: np.ndarray
+    service_quality: np.ndarray
+    reconfiguration: np.ndarray
+    migration: np.ndarray
+    weights: CostWeights
+
+    def __post_init__(self) -> None:
+        shape = np.asarray(self.operation).shape
+        for name in ("service_quality", "reconfiguration", "migration"):
+            if np.asarray(getattr(self, name)).shape != shape:
+                raise ValueError("all per-slot cost arrays must share a shape")
+
+    @property
+    def num_slots(self) -> int:
+        return int(np.asarray(self.operation).shape[0])
+
+    @property
+    def static_per_slot(self) -> np.ndarray:
+        """Unweighted static cost per slot: Cost_op + Cost_sq."""
+        return self.operation + self.service_quality
+
+    @property
+    def dynamic_per_slot(self) -> np.ndarray:
+        """Unweighted dynamic cost per slot: Cost_rc + Cost_mg."""
+        return self.reconfiguration + self.migration
+
+    @property
+    def total_per_slot(self) -> np.ndarray:
+        """Weighted total cost per slot (the P0 objective, sliced by slot)."""
+        return (
+            self.weights.static * self.static_per_slot
+            + self.weights.dynamic * self.dynamic_per_slot
+        )
+
+    @property
+    def total(self) -> float:
+        """The P0 objective value: weighted static + dynamic cost over time."""
+        return float(self.total_per_slot.sum())
+
+    def totals(self) -> dict[str, float]:
+        """Summed unweighted components plus the weighted total, by name."""
+        return {
+            "operation": float(self.operation.sum()),
+            "service_quality": float(self.service_quality.sum()),
+            "reconfiguration": float(self.reconfiguration.sum()),
+            "migration": float(self.migration.sum()),
+            "static": float(self.static_per_slot.sum()),
+            "dynamic": float(self.dynamic_per_slot.sum()),
+            "total": self.total,
+        }
+
+
+def cost_breakdown(schedule: AllocationSchedule, instance: ProblemInstance) -> CostBreakdown:
+    """Evaluate all four cost families of a schedule on an instance."""
+    if schedule.x.shape != (instance.num_slots, instance.num_clouds, instance.num_users):
+        raise ValueError(
+            f"allocation shape {schedule.x.shape} does not match instance "
+            f"({instance.num_slots}, {instance.num_clouds}, {instance.num_users})"
+        )
+    return CostBreakdown(
+        operation=operation_cost(schedule, instance),
+        service_quality=service_quality_cost(schedule, instance),
+        reconfiguration=reconfiguration_cost(schedule, instance),
+        migration=migration_cost(schedule, instance),
+        weights=instance.weights,
+    )
+
+
+def total_cost(schedule: AllocationSchedule, instance: ProblemInstance) -> float:
+    """The P0 objective of a schedule (weighted sum of all four costs)."""
+    return cost_breakdown(schedule, instance).total

@@ -1,0 +1,126 @@
+"""The paper's online algorithm (Section III-B).
+
+At the start of each slot t, observe the attachments l_{j,t} and prices
+a_{i,t}, build the regularized subproblem P2 from the previous decision
+x*_{t-1} (with x*_0 = 0), solve it optimally with a convex backend, and
+output x*_t. Theorem 1 guarantees the resulting trajectory is feasible for
+P0/P1; Theorem 2 bounds its competitive ratio by 1 + gamma |I|.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..solvers.base import ConvexBackend, SolverResult
+from ..solvers.registry import default_backend
+from .allocation import AllocationSchedule
+from .problem import ProblemInstance
+from .subproblem import RegularizedSubproblem
+
+#: Default regularization parameters; Figure 4 sweeps them over [1e-3, 1e3].
+DEFAULT_EPSILON = 1.0
+
+
+def _repair_feasibility(x: np.ndarray, instance: ProblemInstance) -> np.ndarray:
+    """Project a numerically-converged P2 solution onto exact feasibility.
+
+    Iterative solvers satisfy the binding demand constraints only up to
+    their tolerance. Clip negatives and scale each deficient user's
+    allocation up by the (tiny) missing factor; the capacity headroom of P2
+    optima (Theorem 1 keeps them strictly inside whenever the instance is
+    overprovisioned) absorbs the adjustment.
+    """
+    x = np.maximum(x, 0.0)
+    workloads = np.asarray(instance.workloads, dtype=float)
+    totals = x.sum(axis=0)
+    deficient = totals < workloads
+    if np.any(deficient):
+        scale = np.ones_like(totals)
+        positive = totals > 0
+        scale[deficient & positive] = (
+            workloads[deficient & positive] / totals[deficient & positive]
+        )
+        x = x * scale[None, :]
+        # A user with an all-zero column (cannot happen at a P2 optimum, but
+        # guard anyway) gets its workload at its attached cloud's column.
+        for j in np.nonzero(deficient & ~positive)[0]:
+            x[:, j] = workloads[j] / x.shape[0]
+    return x
+
+
+@dataclass
+class OnlineRegularizedAllocator:
+    """online-approx: solve the regularized subproblem P2 in every slot.
+
+    Attributes:
+        eps1: regularizer parameter for the reconfiguration term.
+        eps2: regularizer parameter for the migration term.
+        backend: convex backend used to solve P2 (default: registry default).
+        tol: optimizer tolerance per subproblem.
+        warm_start: start each solve from the previous slot's solution
+            (projected into the interior) instead of the canonical interior
+            point; identical optima, usually fewer iterations.
+    """
+
+    eps1: float = DEFAULT_EPSILON
+    eps2: float = DEFAULT_EPSILON
+    backend: ConvexBackend | None = None
+    tol: float = 1e-8
+    warm_start: bool = True
+    name: str = "online-approx"
+    #: Per-slot solver results from the most recent run (diagnostics).
+    last_solves: list[SolverResult] = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.eps1 <= 0 or self.eps2 <= 0:
+            raise ValueError("eps1 and eps2 must be positive")
+        if self.tol <= 0:
+            raise ValueError("tol must be positive")
+
+    def _resolve_backend(self) -> ConvexBackend:
+        return self.backend if self.backend is not None else default_backend()
+
+    def step(
+        self, instance: ProblemInstance, slot: int, x_prev: np.ndarray
+    ) -> tuple[np.ndarray, SolverResult]:
+        """Solve P2 for one slot; returns (x*_t as (I, J), solver result)."""
+        subproblem = RegularizedSubproblem.from_instance(
+            instance, slot, x_prev, eps1=self.eps1, eps2=self.eps2
+        )
+        x0 = None
+        if self.warm_start and slot > 0:
+            x0 = self._warm_start_point(subproblem, x_prev)
+        program = subproblem.build_program(x0=x0)
+        result = self._resolve_backend().solve(program, tol=self.tol)
+        x_opt = result.x.reshape(instance.num_clouds, instance.num_users)
+        x_opt = _repair_feasibility(x_opt, instance)
+        return x_opt, result
+
+    def run(self, instance: ProblemInstance) -> AllocationSchedule:
+        """Run the online algorithm over the whole horizon of the instance."""
+        num_clouds, num_users = instance.num_clouds, instance.num_users
+        x_prev = np.zeros((num_clouds, num_users))
+        slots: list[np.ndarray] = []
+        self.last_solves = []
+        for t in range(instance.num_slots):
+            x_opt, result = self.step(instance, t, x_prev)
+            slots.append(x_opt)
+            self.last_solves.append(result)
+            x_prev = x_opt
+        return AllocationSchedule.from_slots(slots)
+
+    @staticmethod
+    def _warm_start_point(
+        subproblem: RegularizedSubproblem, x_prev: np.ndarray
+    ) -> np.ndarray:
+        """Blend the previous optimum with the canonical interior point.
+
+        x_prev is feasible (Theorem 1) but may sit on the boundary (zero
+        entries, tight demand rows); a small convex combination with the
+        strictly interior point restores strict feasibility.
+        """
+        interior = subproblem.interior_point()
+        blend = 0.9 * np.asarray(x_prev, dtype=float).ravel() + 0.1 * interior
+        return blend

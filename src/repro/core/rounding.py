@@ -1,0 +1,141 @@
+"""Integral (VM-granular) allocation via rounding.
+
+The paper's model allocates fractional resources but notes that "virtual
+machines are the smallest resource segment in the edge clouds"
+(Section II-C). This module bridges the gap: it rounds a fractional
+schedule to an integral one, per user and per slot, and measures what the
+integrality restriction costs — a natural extension experiment
+(``benchmarks/bench_rounding.py``).
+
+The procedure per (slot, user):
+
+1. rescale the user's allocations to sum exactly to its (integer)
+   workload lambda_j;
+2. apply the largest-remainder method: floor every entry, then hand the
+   remaining units to the entries with the largest fractional parts
+   (deterministic, ties broken by cloud index);
+3. repair capacity overflows caused by rounding by moving single units
+   from overloaded clouds to the cheapest cloud with a free unit.
+
+The result satisfies the demand constraints exactly; the capacity repair
+succeeds whenever sum_i floor-headroom covers the overflow (always, for
+instances whose capacities exceed total workload by >= J units — checked
+and reported otherwise).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .allocation import AllocationSchedule
+from .costs import total_cost
+from .problem import ProblemInstance
+
+
+class RoundingError(RuntimeError):
+    """Raised when the capacity repair cannot restore feasibility."""
+
+
+def round_user_allocation(x_user: np.ndarray, workload: float) -> np.ndarray:
+    """Round one user's (I,) fractional allocation to integers summing to
+    its integer workload, via the largest-remainder method."""
+    workload_int = int(round(workload))
+    if abs(workload - workload_int) > 1e-9:
+        raise ValueError(f"workload {workload} is not an integer")
+    x_user = np.asarray(x_user, dtype=float)
+    total = x_user.sum()
+    if total <= 0:
+        # Degenerate column: place everything on cloud 0.
+        y = np.zeros_like(x_user, dtype=np.int64)
+        y[0] = workload_int
+        return y
+    scaled = x_user * (workload_int / total)
+    floors = np.floor(scaled + 1e-12).astype(np.int64)
+    remaining = workload_int - int(floors.sum())
+    if remaining > 0:
+        remainders = scaled - floors
+        order = np.argsort(-remainders, kind="stable")
+        floors[order[:remaining]] += 1
+    return floors
+
+
+def repair_capacity(
+    y: np.ndarray, capacities: np.ndarray, move_prices: np.ndarray
+) -> np.ndarray:
+    """Move single units between clouds until capacities hold.
+
+    Args:
+        y: (I, J) integral allocation for one slot.
+        capacities: (I,) capacity limits.
+        move_prices: (I, J) price of a unit at each (cloud, user) — used to
+            pick the cheapest destination for displaced units.
+
+    Returns:
+        A repaired copy of ``y``.
+
+    Raises:
+        RoundingError: when no cloud has room for a displaced unit.
+    """
+    y = y.copy()
+    capacities = np.asarray(capacities, dtype=float)
+    for _ in range(int(y.sum()) + 1):
+        loads = y.sum(axis=1)
+        overloaded = np.nonzero(loads > capacities + 1e-9)[0]
+        if overloaded.size == 0:
+            return y
+        cloud = int(overloaded[0])
+        # Displace a unit of the user with the most units on this cloud.
+        user = int(np.argmax(y[cloud]))
+        slack = capacities - loads
+        candidates = np.nonzero(slack >= 1.0 - 1e-9)[0]
+        candidates = candidates[candidates != cloud]
+        if candidates.size == 0:
+            raise RoundingError(
+                "capacity repair failed: no cloud has a free unit "
+                f"(overflow at cloud {cloud})"
+            )
+        destination = int(candidates[np.argmin(move_prices[candidates, user])])
+        y[cloud, user] -= 1
+        y[destination, user] += 1
+    raise RoundingError("capacity repair did not terminate")
+
+
+def round_schedule(
+    schedule: AllocationSchedule, instance: ProblemInstance
+) -> AllocationSchedule:
+    """Round a fractional schedule to an integral one, slot by slot.
+
+    Demand constraints hold exactly (each user's allocation sums to its
+    integer workload); capacity overflows introduced by rounding are
+    repaired by unit moves toward the cheapest static price.
+    """
+    workloads = np.asarray(instance.workloads, dtype=float)
+    rounded = np.zeros_like(schedule.x)
+    for t in range(schedule.num_slots):
+        y = np.stack(
+            [
+                round_user_allocation(schedule.x[t, :, j], workloads[j])
+                for j in range(schedule.num_users)
+            ],
+            axis=1,
+        ).astype(np.int64)
+        y = repair_capacity(
+            y, np.asarray(instance.capacities), instance.static_prices(t)
+        )
+        rounded[t] = y
+    return AllocationSchedule(rounded)
+
+
+def integrality_gap(
+    schedule: AllocationSchedule, instance: ProblemInstance
+) -> tuple[AllocationSchedule, float]:
+    """Round a schedule and report the relative cost increase.
+
+    Returns:
+        (rounded schedule, relative gap), where the gap is
+        cost(rounded)/cost(fractional) - 1.
+    """
+    rounded = round_schedule(schedule, instance)
+    fractional_cost = total_cost(schedule, instance)
+    rounded_cost = total_cost(rounded, instance)
+    return rounded, rounded_cost / fractional_cost - 1.0

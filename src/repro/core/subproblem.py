@@ -1,0 +1,322 @@
+"""The regularized per-slot subproblem P2 (paper Section III-B, eq. 10).
+
+Given the previous slot's optimal allocation x*_{t-1}, the online algorithm
+solves
+
+    min  sum_ij p_ij x_ij                                  (static prices)
+       + sum_i (c_i/eta_i) [ (X_i+eps1) ln (X_i+eps1)/(X'_i+eps1) - X_i ]
+       + sum_ij (b_i/tau_j) [ (x_ij+eps2) ln (x_ij+eps2)/(x'_ij+eps2) - x_ij ]
+    s.t. sum_i x_ij >= lambda_j   for every user j                (10a)
+         sum_j x_ij <= C_i        for every cloud i    (capacity, see below)
+         x_ij >= 0                                                 (10c)
+
+where p_ij = w_s (a_{i,t} + d(l_{j,t}, i)/lambda_j), X_i = sum_j x_ij,
+eta_i = ln(1 + C_i/eps1), tau_j = ln(1 + lambda_j/eps2), and c_i, b_i are
+the (dynamic-weighted) reconfiguration price and combined migration price.
+
+The relative-entropy terms are the regularization of the non-smooth (.)+
+dynamic costs; their gradients are the logarithmic "price of change" that
+makes the algorithm provably competitive.
+
+The paper writes the capacity constraint in the complement form (10b),
+``sum_{k != i} X_k >= Lambda - C_i``, and argues (Theorem 1) that optima
+respect ``X_i <= C_i`` anyway because the demand constraint binds. That
+argument fails under the entropy regularizer's *decrease* penalty (holding
+stale allocation can beat paying the static price, so total allocation can
+exceed total demand and a cloud can exceed its capacity while (10b) still
+holds). We therefore enforce capacity directly — equivalent to (10b)
+whenever the paper's argument applies, and strictly safe otherwise. See
+``constraint_matrices`` and DESIGN.md.
+
+Variables are flattened cloud-major: ``flat[i * J + j] = x[i, j]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import sparse
+
+from ..solvers.base import ConvexProgram
+from .bounds import eta as eta_fn
+from .bounds import tau as tau_fn
+from .problem import ProblemInstance
+from .transformation import combined_migration_prices
+
+#: Relative slack (>1) used to construct a strictly feasible starting point.
+_INTERIOR_MARGIN = 1.05
+
+#: Floor applied inside logarithms so that trial points slightly outside the
+#: feasible region (some optimizers evaluate them) yield finite values.
+_LOG_FLOOR = 1e-12
+
+
+def _safe(values: np.ndarray | float) -> np.ndarray:
+    """Clamp log arguments away from zero; identity on the feasible region."""
+    return np.maximum(values, _LOG_FLOOR)
+
+
+@dataclass(frozen=True)
+class RegularizedSubproblem:
+    """P2 for one time slot, ready to hand to any convex backend.
+
+    Attributes:
+        static_prices: (I, J) effective static prices p_ij (already weighted).
+        reconfig_prices: (I,) dynamic-weighted reconfiguration prices c_i.
+        migration_prices: (I,) dynamic-weighted combined prices b_i.
+        capacities: (I,) cloud capacities C_i.
+        workloads: (J,) user workloads lambda_j.
+        x_prev: (I, J) previous slot's allocation x*_{t-1}.
+        eps1, eps2: the regularization parameters.
+    """
+
+    static_prices: np.ndarray
+    reconfig_prices: np.ndarray
+    migration_prices: np.ndarray
+    capacities: np.ndarray
+    workloads: np.ndarray
+    x_prev: np.ndarray
+    eps1: float
+    eps2: float
+
+    def __post_init__(self) -> None:
+        num_clouds, num_users = np.asarray(self.static_prices).shape
+        if np.asarray(self.x_prev).shape != (num_clouds, num_users):
+            raise ValueError("x_prev must have shape (I, J)")
+        if np.any(np.asarray(self.x_prev) < 0):
+            raise ValueError("x_prev must be nonnegative")
+        if self.eps1 <= 0 or self.eps2 <= 0:
+            raise ValueError("eps1 and eps2 must be positive")
+        if np.asarray(self.capacities).shape != (num_clouds,):
+            raise ValueError("capacities must have shape (I,)")
+        if np.asarray(self.workloads).shape != (num_users,):
+            raise ValueError("workloads must have shape (J,)")
+
+    @classmethod
+    def from_instance(
+        cls,
+        instance: ProblemInstance,
+        slot: int,
+        x_prev: np.ndarray,
+        *,
+        eps1: float,
+        eps2: float,
+    ) -> "RegularizedSubproblem":
+        """Build the slot-``slot`` subproblem of an instance.
+
+        Static prices get the static weight; the reconfiguration and
+        combined migration prices get the dynamic weight, mirroring the
+        weighted P0 objective.
+        """
+        weights = instance.weights
+        return cls(
+            static_prices=weights.static * instance.static_prices(slot),
+            reconfig_prices=weights.dynamic
+            * np.asarray(instance.reconfig_prices, dtype=float),
+            migration_prices=weights.dynamic * combined_migration_prices(instance),
+            capacities=np.asarray(instance.capacities, dtype=float),
+            workloads=np.asarray(instance.workloads, dtype=float),
+            x_prev=np.asarray(x_prev, dtype=float),
+            eps1=eps1,
+            eps2=eps2,
+        )
+
+    # ----- shapes and scales -------------------------------------------------
+
+    @property
+    def num_clouds(self) -> int:
+        return int(np.asarray(self.static_prices).shape[0])
+
+    @property
+    def num_users(self) -> int:
+        return int(np.asarray(self.static_prices).shape[1])
+
+    @property
+    def eta(self) -> np.ndarray:
+        """eta_i = ln(1 + C_i/eps1)."""
+        return eta_fn(np.asarray(self.capacities), self.eps1)
+
+    @property
+    def tau(self) -> np.ndarray:
+        """tau_j = ln(1 + lambda_j/eps2) (the paper's tau_{i,j} is j-only)."""
+        return tau_fn(np.asarray(self.workloads), self.eps2)
+
+    def _reshape(self, flat: np.ndarray) -> np.ndarray:
+        return np.asarray(flat, dtype=float).reshape(self.num_clouds, self.num_users)
+
+    # ----- objective ----------------------------------------------------------
+
+    def objective(self, flat: np.ndarray) -> float:
+        """P2(t) evaluated at a flattened allocation."""
+        x = self._reshape(flat)
+        total = float(np.sum(np.asarray(self.static_prices) * x))
+        cloud_totals = x.sum(axis=1)
+        prev_totals = np.asarray(self.x_prev).sum(axis=1)
+        creg = np.asarray(self.reconfig_prices) / self.eta
+        shifted = _safe(cloud_totals + self.eps1)
+        prev_shifted = prev_totals + self.eps1
+        total += float(
+            np.sum(creg * (shifted * np.log(shifted / prev_shifted) - cloud_totals))
+        )
+        bmig = (np.asarray(self.migration_prices)[:, None] / self.tau[None, :])
+        xs = _safe(x + self.eps2)
+        prev = np.asarray(self.x_prev) + self.eps2
+        total += float(np.sum(bmig * (xs * np.log(xs / prev) - x)))
+        return total
+
+    def gradient(self, flat: np.ndarray) -> np.ndarray:
+        """Analytic gradient of P2(t) (flattened, cloud-major)."""
+        x = self._reshape(flat)
+        grad = np.asarray(self.static_prices, dtype=float).copy()
+        cloud_totals = x.sum(axis=1)
+        prev_totals = np.asarray(self.x_prev).sum(axis=1)
+        creg = np.asarray(self.reconfig_prices) / self.eta
+        grad += (
+            creg * np.log(_safe(cloud_totals + self.eps1) / (prev_totals + self.eps1))
+        )[:, None]
+        bmig = np.asarray(self.migration_prices)[:, None] / self.tau[None, :]
+        grad += bmig * np.log(
+            _safe(x + self.eps2) / (np.asarray(self.x_prev) + self.eps2)
+        )
+        return grad.ravel()
+
+    def hessian(self, flat: np.ndarray) -> sparse.spmatrix:
+        """Sparse Hessian: diagonal + per-cloud rank-one blocks of ones."""
+        x = self._reshape(flat)
+        num_clouds, num_users = x.shape
+        diag = (
+            np.asarray(self.migration_prices)[:, None]
+            / self.tau[None, :]
+            / _safe(x + self.eps2)
+        ).ravel()
+        hess = sparse.diags(diag).tolil()
+        cloud_totals = x.sum(axis=1)
+        creg = np.asarray(self.reconfig_prices) / self.eta
+        block_scale = creg / _safe(cloud_totals + self.eps1)
+        for i in range(num_clouds):
+            sl = slice(i * num_users, (i + 1) * num_users)
+            hess[sl, sl] = hess[sl, sl] + block_scale[i] * np.ones((num_users, num_users))
+        return hess.tocsr()
+
+    def hessian_factors(self, flat: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Structured Hessian: (diag, cloud_scale) with
+        H = diag(diag) + sum_i cloud_scale[i] * 1_i 1_i^T,
+        where 1_i is the indicator of cloud i's variables. Used by the
+        custom interior-point backend's Woodbury solve."""
+        x = self._reshape(flat)
+        diag = (
+            np.asarray(self.migration_prices)[:, None]
+            / self.tau[None, :]
+            / _safe(x + self.eps2)
+        ).ravel()
+        cloud_totals = x.sum(axis=1)
+        creg = np.asarray(self.reconfig_prices) / self.eta
+        return diag, creg / _safe(cloud_totals + self.eps1)
+
+    # ----- constraints --------------------------------------------------------
+
+    def constraint_matrices(self) -> tuple[sparse.spmatrix, np.ndarray]:
+        """(A, lower) for A x >= lower covering demand (10a) and capacity.
+
+        Capacity is enforced directly as ``sum_j x_ij <= C_i`` (written as
+        ``-X_i >= -C_i``) instead of the paper's complement form (10b).
+        The two are equivalent on the region the paper's Theorem 1 argues
+        the optimum lives in (demand binding), and (10b) alone does *not*
+        imply (6b) when the entropy regularizer makes the optimizer hold
+        allocation above demand (its decrease penalty can beat the static
+        price); enforcing (6b) directly makes feasibility of the online
+        trajectory structural rather than argumentative. See DESIGN.md.
+        """
+        num_clouds, num_users = self.num_clouds, self.num_users
+        n = num_clouds * num_users
+        # (10a): sum_i x_ij >= lambda_j. Row j has ones at columns i*J + j.
+        demand = sparse.coo_matrix(
+            (np.ones(n), (np.tile(np.arange(num_users), num_clouds), np.arange(n))),
+            shape=(num_users, n),
+        )
+        # Capacity: -sum_j x_ij >= -C_i. Row i has -1 on cloud i's columns.
+        capacity = sparse.coo_matrix(
+            (
+                -np.ones(n),
+                (np.repeat(np.arange(num_clouds), num_users), np.arange(n)),
+            ),
+            shape=(num_clouds, n),
+        )
+        matrix = sparse.vstack([demand, capacity]).tocsr()
+        lower = np.concatenate(
+            [
+                np.asarray(self.workloads, dtype=float),
+                -np.asarray(self.capacities, dtype=float),
+            ]
+        )
+        return matrix, lower
+
+    def interior_point(self) -> np.ndarray:
+        """A strictly feasible start: capacity-proportional with margin.
+
+        x_ij = m * lambda_j * C_i / sum(C) with margin m in (1, sum(C)/Lambda)
+        gives demand slack (m-1) lambda_j > 0 and capacity slack
+        C_i (1 - m Lambda / sum(C)) > 0. Requires strict overprovisioning
+        (sum(C) > Lambda); raises ValueError otherwise since the subproblem
+        then has an empty interior.
+        """
+        capacities = np.asarray(self.capacities, dtype=float)
+        total_workload = float(np.asarray(self.workloads).sum())
+        headroom = capacities.sum() / total_workload
+        if headroom <= 1.0:
+            raise ValueError(
+                "no strictly feasible point: total capacity must exceed total workload"
+            )
+        margin = min(_INTERIOR_MARGIN, 0.5 * (1.0 + headroom))
+        share = capacities / capacities.sum()
+        x = margin * share[:, None] * np.asarray(self.workloads, dtype=float)[None, :]
+        return x.ravel()
+
+    def build_program(self, x0: np.ndarray | None = None) -> ConvexProgram:
+        """Package the subproblem for a :class:`ConvexBackend`."""
+        matrix, lower = self.constraint_matrices()
+        n = self.num_clouds * self.num_users
+        return ConvexProgram(
+            objective=self.objective,
+            gradient=self.gradient,
+            hessian=self.hessian,
+            constraint_matrix=matrix,
+            constraint_lower=lower,
+            x_lower=np.zeros(n),
+            x0=self.interior_point() if x0 is None else np.asarray(x0, dtype=float),
+            structure=self,
+        )
+
+    # ----- optimality diagnostics ---------------------------------------------
+
+    def kkt_stationarity_residual(
+        self, flat: np.ndarray, theta: np.ndarray, rho: np.ndarray
+    ) -> float:
+        """Max violation of the stationarity conditions (cf. 15a) given duals.
+
+        With demand multipliers theta_j >= 0 and capacity multipliers
+        rho_i >= 0, stationarity at a P2 optimum requires, for every (i, j),
+        the reduced gradient g_ij = grad_ij - theta_j + rho_i to satisfy the
+        complementarity pair g_ij >= 0 and x_ij * g_ij = 0. The residual is
+
+            max_ij max( -g_ij, min(x_ij, |g_ij|) ),
+
+        which is zero exactly at KKT points and robust to variables sitting
+        just off the boundary (interior-point solutions have x ~ mu / g
+        there, making the min(.) term of order mu).
+
+        Args:
+            flat: candidate solution (flattened).
+            theta: (J,) demand multipliers.
+            rho: (I,) capacity multipliers.
+
+        Returns:
+            The largest violation over all (i, j).
+        """
+        x = self._reshape(flat)
+        grad = self.gradient(flat).reshape(x.shape)
+        reduced = grad - np.asarray(theta)[None, :] + np.asarray(rho)[:, None]
+        dual_infeasibility = np.maximum(0.0, -reduced)
+        complementarity = np.minimum(np.abs(x), np.abs(reduced))
+        return float(np.maximum(dual_infeasibility, complementarity).max())

@@ -1,0 +1,39 @@
+"""Plain-text rendering of experiment results (paper-style tables).
+
+The paper reports bar charts of empirical competitive ratios with error
+bars over five repetitions; the harness prints the same content as rows of
+``mean +/- std`` per algorithm and test case.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render an ASCII table with left-aligned first column."""
+    materialized = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        if len(row) != len(headers):
+            raise ValueError("row length does not match headers")
+        for k, cell in enumerate(row):
+            widths[k] = max(widths[k], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[k]) for k, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in materialized:
+        lines.append("  ".join(cell.ljust(widths[k]) for k, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_mean_std(mean: float, std: float, *, digits: int = 3) -> str:
+    """``1.102 +/- 0.014`` style cell."""
+    return f"{mean:.{digits}f} +/- {std:.{digits}f}"
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)

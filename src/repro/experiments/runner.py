@@ -1,0 +1,69 @@
+"""Generic competitive-ratio experiment runner shared by Figures 2-5.
+
+Each figure is a sweep over some axis (test case, workload distribution,
+epsilon, mu, user count); every point runs the algorithm roster on several
+seeded repetitions of a scenario and aggregates the empirical competitive
+ratios (mean +/- std over repetitions, as the paper plots them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..baselines.base import AllocationAlgorithm
+from ..simulation.engine import compare_algorithms
+from ..simulation.results import Comparison, aggregate_ratios
+from ..simulation.scenario import Scenario
+from .report import format_mean_std, format_table
+
+
+@dataclass(frozen=True)
+class RatioPoint:
+    """Aggregated ratios at one sweep point.
+
+    Attributes:
+        label: the sweep-axis value ("hour 3pm", "eps=0.1", "users=100", ...).
+        stats: algorithm name -> (mean ratio, std over repetitions).
+        comparisons: the raw per-repetition comparisons.
+    """
+
+    label: str
+    stats: dict[str, tuple[float, float]]
+    comparisons: list[Comparison]
+
+    def mean_ratio(self, algorithm: str) -> float:
+        """Mean empirical ratio of one algorithm at this point."""
+        return self.stats[algorithm][0]
+
+
+def run_ratio_point(
+    label: str,
+    scenario: Scenario,
+    algorithms: list[AllocationAlgorithm],
+    *,
+    repetitions: int,
+    seed: int,
+) -> RatioPoint:
+    """Run ``repetitions`` seeded instances of a scenario and aggregate."""
+    comparisons = [
+        compare_algorithms(algorithms, scenario.build(seed=seed + rep))
+        for rep in range(repetitions)
+    ]
+    return RatioPoint(
+        label=label, stats=aggregate_ratios(comparisons), comparisons=comparisons
+    )
+
+
+def ratio_table(points: list[RatioPoint], *, axis_name: str = "case") -> str:
+    """Paper-style table: one row per sweep point, one column per algorithm."""
+    if not points:
+        return "(no data)"
+    algorithms = [name for name in points[0].stats if name != "offline-opt"]
+    headers = [axis_name, *algorithms]
+    rows = []
+    for point in points:
+        rows.append(
+            [point.label]
+            + [format_mean_std(*point.stats[name]) for name in algorithms]
+        )
+    return format_table(headers, rows)

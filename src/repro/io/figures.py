@@ -1,0 +1,43 @@
+"""CSV export of experiment sweep results (figure data).
+
+Each :class:`RatioPoint` row becomes ``label, algorithm, mean, std`` — the
+flat layout plotting tools want. Round-trips through
+:func:`load_ratio_points_csv` for downstream analysis without re-running
+the experiments.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from ..experiments.runner import RatioPoint
+
+
+def save_ratio_points_csv(points: list[RatioPoint], path: str | Path) -> None:
+    """Write sweep results as flat CSV rows."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["label", "algorithm", "mean_ratio", "std_ratio"])
+        for point in points:
+            for algorithm, (mean, std) in sorted(point.stats.items()):
+                writer.writerow([point.label, algorithm, f"{mean!r}", f"{std!r}"])
+
+
+def load_ratio_points_csv(path: str | Path) -> dict[str, dict[str, tuple[float, float]]]:
+    """Read a figure-data CSV back as {label: {algorithm: (mean, std)}}.
+
+    The raw comparisons are not persisted, so this returns plain statistics
+    rather than :class:`RatioPoint` objects.
+    """
+    data: dict[str, dict[str, tuple[float, float]]] = {}
+    with open(path, newline="") as handle:
+        for row in csv.DictReader(handle):
+            label = row["label"]
+            data.setdefault(label, {})[row["algorithm"]] = (
+                float(row["mean_ratio"]),
+                float(row["std_ratio"]),
+            )
+    if not data:
+        raise ValueError(f"figure-data file {path} is empty")
+    return data

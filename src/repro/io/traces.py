@@ -1,0 +1,113 @@
+"""Mobility-trace serialization.
+
+Traces round-trip through two formats:
+
+* **JSON** — one self-describing document (attachment, access delay,
+  optional positions), good for archiving experiment inputs;
+* **CSV** — one row per (slot, user) with columns
+  ``slot,user,cloud,access_delay[,lat,lon]``, good for interop with trace
+  tooling (the CRAWDAD-style flat layout).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..mobility.base import MobilityTrace
+
+
+def trace_to_dict(trace: MobilityTrace) -> dict:
+    """A JSON-serializable representation of a trace."""
+    data = {
+        "num_clouds": trace.num_clouds,
+        "attachment": trace.attachment.tolist(),
+        "access_delay": trace.access_delay.tolist(),
+    }
+    if trace.positions is not None:
+        data["positions"] = trace.positions.tolist()
+    return data
+
+
+def trace_from_dict(data: dict) -> MobilityTrace:
+    """Inverse of :func:`trace_to_dict`."""
+    positions = data.get("positions")
+    return MobilityTrace(
+        attachment=np.asarray(data["attachment"], dtype=np.int64),
+        access_delay=np.asarray(data["access_delay"], dtype=float),
+        num_clouds=int(data["num_clouds"]),
+        positions=None if positions is None else np.asarray(positions, dtype=float),
+    )
+
+
+def save_trace_json(trace: MobilityTrace, path: str | Path) -> None:
+    """Write a trace as a JSON document."""
+    Path(path).write_text(json.dumps(trace_to_dict(trace)))
+
+
+def load_trace_json(path: str | Path) -> MobilityTrace:
+    """Read a trace previously written by :func:`save_trace_json`."""
+    return trace_from_dict(json.loads(Path(path).read_text()))
+
+
+def save_trace_csv(trace: MobilityTrace, path: str | Path) -> None:
+    """Write a trace as flat CSV rows (slot, user, cloud, delay[, lat, lon])."""
+    has_positions = trace.positions is not None
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        header = ["slot", "user", "cloud", "access_delay"]
+        if has_positions:
+            header += ["lat", "lon"]
+        writer.writerow(header)
+        for t in range(trace.num_slots):
+            for j in range(trace.num_users):
+                row = [
+                    t,
+                    j,
+                    int(trace.attachment[t, j]),
+                    float(trace.access_delay[t, j]),
+                ]
+                if has_positions:
+                    row += [
+                        float(trace.positions[t, j, 0]),
+                        float(trace.positions[t, j, 1]),
+                    ]
+                writer.writerow(row)
+
+
+def load_trace_csv(path: str | Path, *, num_clouds: int) -> MobilityTrace:
+    """Read a CSV trace written by :func:`save_trace_csv`.
+
+    ``num_clouds`` must be supplied because the CSV only records the clouds
+    that were actually visited.
+    """
+    rows: list[dict[str, str]] = []
+    with open(path, newline="") as handle:
+        rows = list(csv.DictReader(handle))
+    if not rows:
+        raise ValueError(f"trace file {path} is empty")
+    num_slots = max(int(r["slot"]) for r in rows) + 1
+    num_users = max(int(r["user"]) for r in rows) + 1
+    attachment = np.zeros((num_slots, num_users), dtype=np.int64)
+    access = np.zeros((num_slots, num_users))
+    has_positions = "lat" in rows[0]
+    positions = np.zeros((num_slots, num_users, 2)) if has_positions else None
+    seen = np.zeros((num_slots, num_users), dtype=bool)
+    for r in rows:
+        t, j = int(r["slot"]), int(r["user"])
+        attachment[t, j] = int(r["cloud"])
+        access[t, j] = float(r["access_delay"])
+        if positions is not None:
+            positions[t, j] = (float(r["lat"]), float(r["lon"]))
+        seen[t, j] = True
+    if not seen.all():
+        raise ValueError(f"trace file {path} has missing (slot, user) entries")
+    return MobilityTrace(
+        attachment=attachment,
+        access_delay=access,
+        num_clouds=num_clouds,
+        positions=positions,
+    )

@@ -1,0 +1,35 @@
+"""User mobility models, traces, and trace statistics."""
+
+from .attachment import nearest_cloud_attachment
+from .base import MobilityModel, MobilityTrace
+from .levy import LevyFlightMobility
+from .markov import MarkovMobility, lazy_random_walk_matrix
+from .random_walk import RandomWalkMobility
+from .stats import (
+    TraceStats,
+    dwell_lengths,
+    mean_dwell,
+    occupancy_distribution,
+    occupancy_entropy,
+    switch_rate,
+    trace_stats,
+)
+from .taxi import TaxiMobility
+
+__all__ = [
+    "LevyFlightMobility",
+    "MarkovMobility",
+    "MobilityModel",
+    "MobilityTrace",
+    "RandomWalkMobility",
+    "TaxiMobility",
+    "TraceStats",
+    "dwell_lengths",
+    "lazy_random_walk_matrix",
+    "mean_dwell",
+    "nearest_cloud_attachment",
+    "occupancy_distribution",
+    "occupancy_entropy",
+    "switch_rate",
+    "trace_stats",
+]

@@ -1,0 +1,92 @@
+"""Mobility traces: the interface every mobility model produces.
+
+A trace records, for each time slot t and user j, which edge cloud the user
+is attached to (l_{j,t} in the paper) and the access delay d(j, l_{j,t})
+between the user and that cloud. The paper makes *no assumption* on how
+these sequences are produced ("the movement of each user is arbitrary"), so
+the rest of the system only ever consumes this container.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class MobilityTrace:
+    """Per-slot attachment and access delay for every user.
+
+    Attributes:
+        attachment: (T, J) integer array; attachment[t, j] = l_{j,t}, the
+            index of the cloud covering user j in slot t.
+        access_delay: (T, J) float array; access_delay[t, j] = d(j, l_{j,t})
+            in the same (priced) units as the inter-cloud delay matrix.
+        num_clouds: number of clouds I the attachments index into.
+        positions: optional (T, J, 2) array of raw (lat, lon) positions, kept
+            for inspection/plotting; not used by the optimizer.
+    """
+
+    attachment: np.ndarray
+    access_delay: np.ndarray
+    num_clouds: int
+    positions: np.ndarray | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        attachment = np.asarray(self.attachment)
+        delay = np.asarray(self.access_delay)
+        if attachment.ndim != 2:
+            raise ValueError("attachment must be a (T, J) array")
+        if delay.shape != attachment.shape:
+            raise ValueError(
+                f"access_delay shape {delay.shape} != attachment shape {attachment.shape}"
+            )
+        if self.num_clouds <= 0:
+            raise ValueError("num_clouds must be positive")
+        if attachment.size:
+            if not np.issubdtype(attachment.dtype, np.integer):
+                raise ValueError("attachment must be an integer array")
+            if attachment.min() < 0 or attachment.max() >= self.num_clouds:
+                raise ValueError("attachment entries must be in [0, num_clouds)")
+            if np.any(delay < 0) or not np.all(np.isfinite(delay)):
+                raise ValueError("access delays must be finite and nonnegative")
+        if self.positions is not None:
+            positions = np.asarray(self.positions)
+            if positions.shape != (*attachment.shape, 2):
+                raise ValueError("positions must have shape (T, J, 2)")
+
+    @property
+    def num_slots(self) -> int:
+        return int(self.attachment.shape[0])
+
+    @property
+    def num_users(self) -> int:
+        return int(self.attachment.shape[1])
+
+    def slice_slots(self, start: int, stop: int) -> "MobilityTrace":
+        """A sub-trace covering slots [start, stop) (e.g., one test hour)."""
+        if not 0 <= start <= stop <= self.num_slots:
+            raise ValueError(f"invalid slot range [{start}, {stop})")
+        positions = None if self.positions is None else self.positions[start:stop]
+        return MobilityTrace(
+            attachment=self.attachment[start:stop],
+            access_delay=self.access_delay[start:stop],
+            num_clouds=self.num_clouds,
+            positions=positions,
+        )
+
+    def switch_count(self) -> int:
+        """Total number of attachment changes across all users (mobility level)."""
+        if self.num_slots < 2:
+            return 0
+        return int(np.sum(self.attachment[1:] != self.attachment[:-1]))
+
+
+class MobilityModel(Protocol):
+    """Anything that can generate a mobility trace."""
+
+    def generate(self, num_users: int, num_slots: int, rng: np.random.Generator) -> MobilityTrace:
+        """Produce a (T, J) trace for ``num_users`` users over ``num_slots``."""
+        ...

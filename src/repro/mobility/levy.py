@@ -1,0 +1,124 @@
+"""Levy-flight mobility.
+
+Human-mobility studies (including analyses of exactly the kind of taxi
+traces the paper replays) consistently report heavy-tailed displacement
+lengths: many short hops, occasional long jumps. This model implements a
+truncated-Pareto Levy flight over the deployment's bounding box — a
+stress-test mobility pattern between the taxi model's smooth trips and the
+random walk's relentless hopping, useful for robustness experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..topology.metro import Topology
+from .attachment import nearest_cloud_attachment
+from .base import MobilityTrace
+
+_KM_PER_DEG_LAT = 111.32
+
+
+@dataclass(frozen=True)
+class LevyFlightMobility:
+    """Truncated-Pareto displacement lengths, uniform directions.
+
+    Attributes:
+        topology: deployment providing the bounding box and the clouds.
+        alpha: Pareto tail index of the jump length (1 < alpha <= 3 is the
+            empirically reported range; smaller = heavier tail).
+        min_jump_km: minimum displacement per slot.
+        max_jump_km: truncation of the jump length.
+        pause_probability: chance of not moving in a slot.
+        price_per_km: converts km to access-delay cost units.
+    """
+
+    topology: Topology
+    alpha: float = 1.6
+    min_jump_km: float = 0.05
+    max_jump_km: float = 5.0
+    pause_probability: float = 0.3
+    price_per_km: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.alpha <= 1.0:
+            raise ValueError("alpha must exceed 1")
+        if not 0 < self.min_jump_km <= self.max_jump_km:
+            raise ValueError("need 0 < min_jump_km <= max_jump_km")
+        if not 0.0 <= self.pause_probability < 1.0:
+            raise ValueError("pause_probability must be in [0, 1)")
+
+    def _jump_lengths(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Truncated Pareto jump lengths in km (inverse-CDF sampling)."""
+        u = rng.uniform(0.0, 1.0, size=n)
+        a = self.alpha - 1.0
+        lo, hi = self.min_jump_km, self.max_jump_km
+        # CDF of Pareto(a) truncated to [lo, hi].
+        norm = lo ** (-a) - hi ** (-a)
+        return (lo ** (-a) - u * norm) ** (-1.0 / a)
+
+    def generate(
+        self, num_users: int, num_slots: int, rng: np.random.Generator
+    ) -> MobilityTrace:
+        """Per-slot positions and nearest-cloud attachments."""
+        if num_users < 0 or num_slots < 0:
+            raise ValueError("num_users and num_slots must be nonnegative")
+        num_sites = self.topology.num_sites
+        if num_slots == 0 or num_users == 0:
+            empty = np.zeros((num_slots, num_users))
+            return MobilityTrace(
+                attachment=empty.astype(np.int64),
+                access_delay=empty.astype(float),
+                num_clouds=num_sites,
+            )
+        lat_min, lat_max, lon_min, lon_max = self.topology.bounding_box()
+        km_per_deg_lon = _KM_PER_DEG_LAT * np.cos(
+            np.radians(0.5 * (lat_min + lat_max))
+        )
+        positions = np.zeros((num_slots, num_users, 2))
+        pos = np.stack(
+            [
+                rng.uniform(lat_min, lat_max, size=num_users),
+                rng.uniform(lon_min, lon_max, size=num_users),
+            ],
+            axis=1,
+        )
+        for t in range(num_slots):
+            positions[t] = pos
+            moving = rng.uniform(size=num_users) >= self.pause_probability
+            n_moving = int(moving.sum())
+            if n_moving:
+                lengths = self._jump_lengths(rng, n_moving)
+                angles = rng.uniform(0.0, 2.0 * np.pi, size=n_moving)
+                dlat = lengths * np.sin(angles) / _KM_PER_DEG_LAT
+                dlon = lengths * np.cos(angles) / km_per_deg_lon
+                pos = pos.copy()
+                pos[moving, 0] += dlat
+                pos[moving, 1] += dlon
+                # Reflect at the bounding box so users stay in coverage.
+                pos[:, 0] = _reflect(pos[:, 0], lat_min, lat_max)
+                pos[:, 1] = _reflect(pos[:, 1], lon_min, lon_max)
+        attachment, access_delay = nearest_cloud_attachment(
+            positions, self.topology, price_per_km=self.price_per_km
+        )
+        return MobilityTrace(
+            attachment=attachment,
+            access_delay=access_delay,
+            num_clouds=num_sites,
+            positions=positions,
+        )
+
+
+def _reflect(values: np.ndarray, low: float, high: float) -> np.ndarray:
+    """Reflect values into [low, high] (single bounce is enough here)."""
+    span = high - low
+    if span <= 0:
+        return np.full_like(values, low)
+    out = values.copy()
+    over = out > high
+    out[over] = high - np.minimum(out[over] - high, span)
+    under = out < low
+    out[under] = low + np.minimum(low - out[under], span)
+    return np.clip(out, low, high)

@@ -1,0 +1,100 @@
+"""Markov-chain mobility.
+
+Prior work the paper compares against (Wang et al., Urgaonkar et al.)
+*assumes* user movement follows a Markov chain; the paper's algorithm does
+not need that assumption but must handle such traces too. This model lets
+experiments exercise the algorithm on exactly that class of mobility, and
+doubles as a generalization of the random walk (arbitrary transition
+matrices instead of uniform neighbor choice).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .base import MobilityTrace
+
+
+@dataclass(frozen=True)
+class MarkovMobility:
+    """Mobility driven by a user-independent Markov chain over clouds.
+
+    Attributes:
+        transition: (I, I) row-stochastic matrix; transition[a, b] is the
+            probability a user attached to cloud a in slot t attaches to
+            cloud b in slot t+1.
+        initial: optional (I,) distribution over starting clouds; uniform
+            when omitted.
+    """
+
+    transition: np.ndarray
+    initial: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        transition = np.asarray(self.transition, dtype=float)
+        if transition.ndim != 2 or transition.shape[0] != transition.shape[1]:
+            raise ValueError("transition must be a square matrix")
+        if np.any(transition < 0):
+            raise ValueError("transition probabilities must be nonnegative")
+        if not np.allclose(transition.sum(axis=1), 1.0, atol=1e-9):
+            raise ValueError("transition rows must sum to 1")
+        if self.initial is not None:
+            initial = np.asarray(self.initial, dtype=float)
+            if initial.shape != (transition.shape[0],):
+                raise ValueError("initial must have shape (I,)")
+            if np.any(initial < 0) or not np.isclose(initial.sum(), 1.0, atol=1e-9):
+                raise ValueError("initial must be a probability distribution")
+
+    @property
+    def num_clouds(self) -> int:
+        return int(np.asarray(self.transition).shape[0])
+
+    def generate(
+        self, num_users: int, num_slots: int, rng: np.random.Generator
+    ) -> MobilityTrace:
+        """Sample a (T, J) attachment trace from the chain."""
+        if num_users < 0 or num_slots < 0:
+            raise ValueError("num_users and num_slots must be nonnegative")
+        num_clouds = self.num_clouds
+        attachment = np.zeros((num_slots, num_users), dtype=np.int64)
+        if num_slots and num_users:
+            initial = (
+                np.full(num_clouds, 1.0 / num_clouds) if self.initial is None else self.initial
+            )
+            attachment[0] = rng.choice(num_clouds, size=num_users, p=initial)
+            transition = np.asarray(self.transition, dtype=float)
+            for t in range(1, num_slots):
+                for j in range(num_users):
+                    attachment[t, j] = rng.choice(
+                        num_clouds, p=transition[attachment[t - 1, j]]
+                    )
+        return MobilityTrace(
+            attachment=attachment,
+            access_delay=np.zeros_like(attachment, dtype=float),
+            num_clouds=num_clouds,
+        )
+
+
+def lazy_random_walk_matrix(adjacency: np.ndarray, stay_probability: float = 0.5) -> np.ndarray:
+    """Row-stochastic lazy-walk matrix from a 0/1 adjacency matrix.
+
+    With probability ``stay_probability`` the user stays; otherwise it moves
+    to a uniformly random neighbor (or stays if isolated).
+    """
+    adjacency = np.asarray(adjacency, dtype=float)
+    if adjacency.ndim != 2 or adjacency.shape[0] != adjacency.shape[1]:
+        raise ValueError("adjacency must be square")
+    if not 0.0 <= stay_probability <= 1.0:
+        raise ValueError("stay_probability must be in [0, 1]")
+    n = adjacency.shape[0]
+    transition = np.zeros((n, n))
+    for a in range(n):
+        degree = adjacency[a].sum()
+        if degree == 0:
+            transition[a, a] = 1.0
+            continue
+        transition[a] = (1.0 - stay_probability) * adjacency[a] / degree
+        transition[a, a] += stay_probability
+    return transition

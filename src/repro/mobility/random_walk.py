@@ -1,0 +1,75 @@
+"""Random-walk mobility on the station graph (paper Section V-D).
+
+    "We assume each user starts from an arbitrary metro station equipped
+    with an edge cloud and is traveling with the metro. In each time slot,
+    each user determines its location for the next time slot by choosing
+    randomly from the neighbor stations with an edge cloud equipped or just
+    staying at the same metro station. Assume in a certain time slot the
+    user is at a location with three neighbors so the probability of moving
+    to any of the three neighbors, as well as of staying at the same
+    location, in the next time slot, would be 25%."
+
+Users sit exactly at stations, so the access delay d(j, l_{j,t}) is zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..topology.metro import Topology
+from .base import MobilityTrace
+
+
+@dataclass(frozen=True)
+class RandomWalkMobility:
+    """Uniform random walk over a topology's adjacency graph.
+
+    Attributes:
+        topology: deployment whose graph the users walk on.
+        stay_bias: extra probability mass (>= 0) added to "stay" relative to
+            each neighbor; 0.0 reproduces the paper's uniform choice among
+            {stay} + neighbors.
+    """
+
+    topology: Topology
+    stay_bias: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.stay_bias < 0:
+            raise ValueError("stay_bias must be nonnegative")
+
+    def generate(
+        self, num_users: int, num_slots: int, rng: np.random.Generator
+    ) -> MobilityTrace:
+        """Generate a (T, J) trace of station attachments."""
+        if num_users < 0 or num_slots < 0:
+            raise ValueError("num_users and num_slots must be nonnegative")
+        num_sites = self.topology.num_sites
+        neighbors = [self.topology.neighbors(s) for s in range(num_sites)]
+        attachment = np.zeros((num_slots, num_users), dtype=np.int64)
+        if num_slots == 0 or num_users == 0:
+            return MobilityTrace(
+                attachment=attachment,
+                access_delay=np.zeros_like(attachment, dtype=float),
+                num_clouds=num_sites,
+            )
+        attachment[0] = rng.integers(0, num_sites, size=num_users)
+        # Precompute per-site choice lists: index 0 = stay, rest = neighbors.
+        choices = [[s, *neighbors[s]] for s in range(num_sites)]
+        weights = []
+        for s in range(num_sites):
+            w = np.ones(len(choices[s]), dtype=float)
+            w[0] += self.stay_bias * len(neighbors[s])
+            weights.append(w / w.sum())
+        for t in range(1, num_slots):
+            prev = attachment[t - 1]
+            for j in range(num_users):
+                site = int(prev[j])
+                attachment[t, j] = rng.choice(choices[site], p=weights[site])
+        return MobilityTrace(
+            attachment=attachment,
+            access_delay=np.zeros_like(attachment, dtype=float),
+            num_clouds=num_sites,
+        )

@@ -1,0 +1,105 @@
+"""Mobility-trace statistics.
+
+The paper characterizes its traces informally ("moderate mobility", "the
+number of users ... is generally around 300"). These helpers make such
+statements measurable, and the scenario docs/tests use them to verify that
+the synthetic taxi traces really are "moderate" compared to the uniform
+random walk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .base import MobilityTrace
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """Summary statistics of one mobility trace."""
+
+    num_slots: int
+    num_users: int
+    num_clouds: int
+    switch_rate: float
+    mean_dwell: float
+    occupancy_entropy: float
+    max_occupancy_share: float
+
+    def as_dict(self) -> dict[str, float]:
+        """Flat dict form (for CSV/JSON reporting)."""
+        return {
+            "num_slots": self.num_slots,
+            "num_users": self.num_users,
+            "num_clouds": self.num_clouds,
+            "switch_rate": self.switch_rate,
+            "mean_dwell": self.mean_dwell,
+            "occupancy_entropy": self.occupancy_entropy,
+            "max_occupancy_share": self.max_occupancy_share,
+        }
+
+
+def switch_rate(trace: MobilityTrace) -> float:
+    """Fraction of (user, slot-transition) pairs where attachment changed."""
+    if trace.num_slots < 2 or trace.num_users == 0:
+        return 0.0
+    transitions = (trace.num_slots - 1) * trace.num_users
+    return trace.switch_count() / transitions
+
+
+def dwell_lengths(trace: MobilityTrace) -> np.ndarray:
+    """Lengths of all maximal constant-attachment runs, across all users."""
+    lengths: list[int] = []
+    for j in range(trace.num_users):
+        run = 1
+        for t in range(1, trace.num_slots):
+            if trace.attachment[t, j] == trace.attachment[t - 1, j]:
+                run += 1
+            else:
+                lengths.append(run)
+                run = 1
+        if trace.num_slots:
+            lengths.append(run)
+    return np.asarray(lengths, dtype=int)
+
+
+def mean_dwell(trace: MobilityTrace) -> float:
+    """Average number of consecutive slots a user stays attached."""
+    lengths = dwell_lengths(trace)
+    return float(lengths.mean()) if lengths.size else 0.0
+
+
+def occupancy_distribution(trace: MobilityTrace) -> np.ndarray:
+    """Fraction of all (slot, user) attachments landing on each cloud."""
+    counts = np.bincount(
+        np.asarray(trace.attachment).ravel(), minlength=trace.num_clouds
+    ).astype(float)
+    total = counts.sum()
+    return counts / total if total else counts
+
+
+def occupancy_entropy(trace: MobilityTrace) -> float:
+    """Shannon entropy (nats) of the occupancy distribution.
+
+    ln(num_clouds) means perfectly even usage; 0 means one station takes
+    all attachments.
+    """
+    p = occupancy_distribution(trace)
+    p = p[p > 0]
+    return float(-(p * np.log(p)).sum()) if p.size else 0.0
+
+
+def trace_stats(trace: MobilityTrace) -> TraceStats:
+    """All statistics bundled."""
+    occupancy = occupancy_distribution(trace)
+    return TraceStats(
+        num_slots=trace.num_slots,
+        num_users=trace.num_users,
+        num_clouds=trace.num_clouds,
+        switch_rate=switch_rate(trace),
+        mean_dwell=mean_dwell(trace),
+        occupancy_entropy=occupancy_entropy(trace),
+        max_occupancy_share=float(occupancy.max()) if occupancy.size else 0.0,
+    )

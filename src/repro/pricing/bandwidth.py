@@ -1,0 +1,95 @@
+"""Migration (bandwidth) prices b_i^out, b_i^in (paper Section V-A).
+
+    "We categorize all the edge clouds in three clusters, each of which is
+    subscribed to one of the three Internet providers: Tiscali Italia,
+    Vodafone Italia, and Infostrada-Wind. The per-month flat rate prices
+    averaged for 1Mbps connection are 2.49 euro, 4.86 euro, and 1.25 euro,
+    respectively. We will use this relative ratios between them to set the
+    bandwidth prices for the three categories of edge clouds."
+
+Only the *relative ratios* matter; ``reference_price`` rescales the mean.
+Migration is "usually counted at both ends" (Section II-C-4): we split each
+cloud's bandwidth price into outbound and inbound halves by default, with a
+knob for asymmetric splits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: (provider name, flat monthly rate in EUR per Mbps) from the paper.
+ISP_RATES: tuple[tuple[str, float], ...] = (
+    ("Tiscali Italia", 2.49),
+    ("Vodafone Italia", 4.86),
+    ("Infostrada-Wind", 1.25),
+)
+
+
+@dataclass(frozen=True)
+class MigrationPrices:
+    """Per-cloud unit migration prices for outbound and inbound data.
+
+    ``combined`` is the paper's b_i = b_i^out + b_i^in used after the
+    gap-preserving transformation (Section III-A).
+    """
+
+    out: np.ndarray
+    into: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.out.shape != self.into.shape:
+            raise ValueError("out/in price arrays must have the same shape")
+        if np.any(self.out < 0) or np.any(self.into < 0):
+            raise ValueError("migration prices must be nonnegative")
+
+    @property
+    def combined(self) -> np.ndarray:
+        """b_i = b_i^out + b_i^in."""
+        return self.out + self.into
+
+
+def isp_cluster_assignment(num_clouds: int, rng: np.random.Generator | None = None) -> np.ndarray:
+    """Assign each cloud to one of the three ISP clusters.
+
+    With an rng, clusters are shuffled uniformly; otherwise assignment is
+    round-robin by index (deterministic).
+    """
+    if num_clouds < 0:
+        raise ValueError("num_clouds must be nonnegative")
+    clusters = np.arange(num_clouds) % len(ISP_RATES)
+    if rng is not None:
+        rng.shuffle(clusters)
+    return clusters
+
+
+def isp_migration_prices(
+    num_clouds: int,
+    *,
+    rng: np.random.Generator | None = None,
+    reference_price: float = 1.0,
+    outbound_fraction: float = 0.5,
+) -> MigrationPrices:
+    """Migration prices based on the three-ISP clustering.
+
+    Args:
+        num_clouds: number of edge clouds I.
+        rng: optional generator for random cluster assignment.
+        reference_price: mean of the per-cloud combined price b_i.
+        outbound_fraction: fraction of b_i charged on the outbound end
+            (0.5 = symmetric).
+
+    Returns:
+        :class:`MigrationPrices` with arrays of shape (I,).
+    """
+    if not 0.0 <= outbound_fraction <= 1.0:
+        raise ValueError("outbound_fraction must be within [0, 1]")
+    if reference_price < 0:
+        raise ValueError("reference_price must be nonnegative")
+    rates = np.array([rate for _, rate in ISP_RATES], dtype=float)
+    clusters = isp_cluster_assignment(num_clouds, rng)
+    combined = rates[clusters]
+    if combined.size:
+        combined = combined * (reference_price / combined.mean())
+    return MigrationPrices(out=combined * outbound_fraction, into=combined * (1.0 - outbound_fraction))

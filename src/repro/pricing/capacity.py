@@ -1,0 +1,68 @@
+"""Capacity provisioning (paper Section V-A, "Capacity").
+
+    "The total capacity of the edge clouds is assumed to be slightly larger
+    than the total workload in the system by design. More specifically, we
+    assume that the utilization of the system keeps at the level of 80%.
+    Consequently, the total capacity is set to be 1.25 times the total
+    workload. The capacity will be distributed to all the edge clouds
+    proportionally to the frequency of users being attached to them, i.e.,
+    the total number of direct user connection in all the relevant time
+    slots."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Paper default: 80% target utilization -> capacity = 1.25 x total workload.
+DEFAULT_OVERPROVISION = 1.25
+
+
+def attachment_frequency(attachment: np.ndarray, num_clouds: int) -> np.ndarray:
+    """Count of direct user connections per cloud over all slots.
+
+    Args:
+        attachment: (T, J) integer matrix, attachment[t, j] = attached cloud.
+        num_clouds: number of clouds I.
+
+    Returns:
+        (I,) counts. Every entry of ``attachment`` must lie in [0, I).
+    """
+    attachment = np.asarray(attachment)
+    if attachment.ndim != 2:
+        raise ValueError("attachment must be a (T, J) matrix")
+    if attachment.size and (attachment.min() < 0 or attachment.max() >= num_clouds):
+        raise ValueError("attachment entries must be valid cloud indices")
+    return np.bincount(attachment.ravel(), minlength=num_clouds).astype(float)
+
+
+def provision_capacities(
+    workloads: np.ndarray,
+    attachment: np.ndarray,
+    num_clouds: int,
+    *,
+    overprovision: float = DEFAULT_OVERPROVISION,
+    smoothing: float = 1.0,
+) -> np.ndarray:
+    """Distribute total capacity proportionally to attachment frequency.
+
+    ``smoothing`` is a Laplace-style additive count per cloud ensuring that
+    clouds never visited still get a sliver of capacity (a zero-capacity
+    cloud would make several denominators in the model degenerate).
+
+    Returns:
+        (I,) strictly positive capacities with
+        sum(capacities) = overprovision * sum(workloads).
+    """
+    workloads = np.asarray(workloads, dtype=float)
+    if overprovision <= 0:
+        raise ValueError("overprovision must be positive")
+    if smoothing < 0:
+        raise ValueError("smoothing must be nonnegative")
+    total_capacity = overprovision * float(workloads.sum())
+    if total_capacity <= 0:
+        raise ValueError("total workload must be positive")
+    freq = attachment_frequency(attachment, num_clouds) + smoothing
+    if np.all(freq == 0):
+        freq = np.ones(num_clouds)
+    return total_capacity * freq / freq.sum()

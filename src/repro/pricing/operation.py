@@ -1,0 +1,77 @@
+"""Operation ("resource usage") prices a_{i,t} (paper Section V-A).
+
+The paper's generation process:
+
+    "For each edge cloud, we first determine its base operation price
+    reversely proportional to its capacity. This is reasonable due to the
+    economy-of-scale effect on both energy and maintenance. The real-time
+    operation price for each edge cloud follows Gaussian distributions,
+    where we set the mean value as the base price we just generated and the
+    standard deviation as half of the base price."
+
+Prices are clipped at a small positive floor: the model (and the KKT-based
+competitive analysis) assumes a_{i,t} > 0.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Lower clip applied to sampled prices, as a fraction of the base price.
+PRICE_FLOOR_FRACTION = 0.05
+
+
+def base_operation_prices(
+    capacities: np.ndarray,
+    *,
+    reference_price: float = 1.0,
+) -> np.ndarray:
+    """Base prices inversely proportional to capacity (economy of scale).
+
+    Normalized so that the *capacity-weighted mean* base price equals
+    ``reference_price``; this keeps total operation cost comparable across
+    scenarios with different numbers of clouds.
+    """
+    capacities = np.asarray(capacities, dtype=float)
+    if capacities.ndim != 1 or capacities.size == 0:
+        raise ValueError("capacities must be a nonempty 1-D array")
+    if np.any(capacities <= 0):
+        raise ValueError("capacities must be positive")
+    raw = 1.0 / capacities
+    weighted_mean = float(np.sum(raw * capacities) / np.sum(capacities))
+    return raw * (reference_price / weighted_mean)
+
+
+def gaussian_operation_prices(
+    capacities: np.ndarray,
+    num_slots: int,
+    rng: np.random.Generator,
+    *,
+    reference_price: float = 1.0,
+    std_fraction: float = 0.5,
+) -> np.ndarray:
+    """Time-varying prices a_{i,t}: Gaussian around the base price.
+
+    Args:
+        capacities: (I,) edge-cloud capacities.
+        num_slots: number of time slots T.
+        rng: numpy random generator.
+        reference_price: capacity-weighted mean of the base prices.
+        std_fraction: standard deviation as a fraction of the base price;
+            the paper uses 0.5 ("half of the base price").
+
+    Returns:
+        Array of shape (T, I), strictly positive.
+    """
+    if num_slots < 0:
+        raise ValueError("num_slots must be nonnegative")
+    if std_fraction < 0:
+        raise ValueError("std_fraction must be nonnegative")
+    base = base_operation_prices(capacities, reference_price=reference_price)
+    prices = rng.normal(
+        loc=base[None, :],
+        scale=std_fraction * base[None, :],
+        size=(num_slots, base.size),
+    )
+    floor = PRICE_FLOOR_FRACTION * base[None, :]
+    return np.maximum(prices, floor)

@@ -1,0 +1,49 @@
+"""Reconfiguration prices c_i (paper Section V-A).
+
+    "The reconfiguration price is assumed to be static over time and it
+    varies among different edge clouds. We generate the reconfiguration
+    prices following a Gauss distribution with the negative tail cutted."
+
+We implement the truncation by resampling the negative tail (rather than
+clipping at zero) so the resulting prices remain strictly positive — a zero
+reconfiguration price would remove the dynamic cost the paper studies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Strictly-positive floor, as a fraction of the mean, for degenerate draws.
+_MIN_PRICE_FRACTION = 0.01
+
+
+def gaussian_reconfiguration_prices(
+    num_clouds: int,
+    rng: np.random.Generator,
+    *,
+    mean: float = 1.0,
+    std: float = 0.5,
+    max_resamples: int = 100,
+) -> np.ndarray:
+    """Static per-cloud reconfiguration prices, truncated Gaussian.
+
+    Draws N(mean, std) per cloud and resamples any non-positive values
+    ("negative tail cut"). After ``max_resamples`` rounds any remaining
+    non-positive entries are set to a small positive floor.
+
+    Returns:
+        Array of shape (I,), strictly positive.
+    """
+    if num_clouds < 0:
+        raise ValueError("num_clouds must be nonnegative")
+    if mean <= 0:
+        raise ValueError("mean must be positive")
+    if std < 0:
+        raise ValueError("std must be nonnegative")
+    prices = rng.normal(mean, std, size=num_clouds)
+    for _ in range(max_resamples):
+        bad = prices <= 0
+        if not np.any(bad):
+            break
+        prices[bad] = rng.normal(mean, std, size=int(bad.sum()))
+    return np.maximum(prices, _MIN_PRICE_FRACTION * mean)

@@ -1,0 +1,30 @@
+"""Discrete-time simulation: scenarios, the engine, and result containers."""
+
+from .engine import compare_algorithms, run_algorithm
+from .results import Comparison, RunResult, aggregate_ratios
+from .scenario import Scenario
+from .streaming import (
+    GreedyController,
+    OnlineController,
+    RegularizedController,
+    SlotObservation,
+    SystemDescription,
+    observations_from_instance,
+    replay,
+)
+
+__all__ = [
+    "Comparison",
+    "GreedyController",
+    "OnlineController",
+    "RegularizedController",
+    "RunResult",
+    "Scenario",
+    "SlotObservation",
+    "SystemDescription",
+    "aggregate_ratios",
+    "compare_algorithms",
+    "observations_from_instance",
+    "replay",
+    "run_algorithm",
+]

@@ -1,0 +1,103 @@
+"""Result containers: per-run cost accounting and cross-algorithm comparison.
+
+The central metric is the paper's **empirical competitive ratio**: every
+algorithm's P0 objective normalized by offline-opt's (Figures 2, 3, 4, 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.allocation import AllocationSchedule, FeasibilityReport
+from ..core.costs import CostBreakdown
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """One algorithm's outcome on one problem instance.
+
+    Attributes:
+        algorithm: the algorithm's name (e.g. "online-approx").
+        schedule: the produced allocation trajectory.
+        breakdown: per-slot cost breakdown (includes access-delay constant).
+        feasibility: worst constraint violations of the schedule.
+        wall_time_s: wall-clock seconds the run took.
+    """
+
+    algorithm: str
+    schedule: AllocationSchedule = field(repr=False)
+    breakdown: CostBreakdown = field(repr=False)
+    feasibility: FeasibilityReport
+    wall_time_s: float
+
+    @property
+    def total_cost(self) -> float:
+        """The P0 objective (weighted total over the horizon)."""
+        return self.breakdown.total
+
+    def summary(self) -> dict[str, float]:
+        """Flat dict of cost components, total, and runtime."""
+        data = self.breakdown.totals()
+        data["wall_time_s"] = self.wall_time_s
+        return data
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """Results of several algorithms on the same instance.
+
+    ``baseline`` names the normalizer (offline-opt in the paper); ratios are
+    total cost divided by the baseline's total cost.
+    """
+
+    results: dict[str, RunResult]
+    baseline: str = "offline-opt"
+
+    def __post_init__(self) -> None:
+        if self.baseline not in self.results:
+            raise ValueError(
+                f"baseline {self.baseline!r} missing from results "
+                f"({sorted(self.results)})"
+            )
+
+    @property
+    def baseline_cost(self) -> float:
+        return self.results[self.baseline].total_cost
+
+    def ratio(self, algorithm: str) -> float:
+        """Empirical competitive ratio of ``algorithm`` vs the baseline."""
+        return self.results[algorithm].total_cost / self.baseline_cost
+
+    def ratios(self) -> dict[str, float]:
+        """All empirical competitive ratios, sorted by value."""
+        pairs = {name: self.ratio(name) for name in self.results}
+        return dict(sorted(pairs.items(), key=lambda kv: kv[1]))
+
+    def improvement_over(self, algorithm: str, reference: str) -> float:
+        """Relative cost reduction of ``algorithm`` vs ``reference``.
+
+        E.g. the paper's "outperforms the online greedy one-shot
+        optimizations by up to 70%" is
+        ``improvement_over("online-approx", "online-greedy")``.
+        """
+        ref = self.results[reference].total_cost
+        alg = self.results[algorithm].total_cost
+        return (ref - alg) / ref
+
+
+def aggregate_ratios(comparisons: list[Comparison]) -> dict[str, tuple[float, float]]:
+    """Mean and standard deviation of each algorithm's ratio across repetitions.
+
+    Matches the paper's reporting ("the plots show the mean values as well
+    as the standard deviations" over five repetitions).
+    """
+    if not comparisons:
+        return {}
+    names = sorted(comparisons[0].results)
+    stats: dict[str, tuple[float, float]] = {}
+    for name in names:
+        values = np.array([c.ratio(name) for c in comparisons])
+        stats[name] = (float(values.mean()), float(values.std()))
+    return stats

@@ -1,0 +1,108 @@
+"""Scenario builders: compose topology + mobility + workload + prices into a
+:class:`ProblemInstance` exactly the way Section V-A does.
+
+A :class:`Scenario` is the reproducible description of one experiment
+configuration; :meth:`Scenario.build` consumes a seed and produces the
+concrete instance (workloads, traces, prices are all drawn from one
+``numpy`` generator so a scenario + seed pair is fully deterministic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from ..core.problem import CostWeights, ProblemInstance
+from ..mobility.base import MobilityModel
+from ..mobility.taxi import TaxiMobility
+from ..pricing.bandwidth import isp_migration_prices
+from ..pricing.capacity import DEFAULT_OVERPROVISION, provision_capacities
+from ..pricing.operation import gaussian_operation_prices
+from ..pricing.reconfiguration import gaussian_reconfiguration_prices
+from ..topology.delays import inter_cloud_delay_matrix
+from ..topology.metro import Topology, rome_metro_topology
+from ..workload.distributions import make_workloads
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A reproducible experiment configuration (paper Section V-A defaults).
+
+    Attributes:
+        topology: edge-cloud deployment (default: 15 Rome metro stations).
+        mobility: mobility model (default: synthetic Rome taxi traces).
+        num_users: J.
+        num_slots: T (paper: 60 one-minute slots per test case).
+        workload_distribution: "power" | "uniform" | "normal".
+        weights: static/dynamic cost weights (mu sweep of Figure 4).
+        overprovision: total capacity / total workload (paper: 1.25).
+        op_reference_price: capacity-weighted mean operation price.
+        reconfig_mean, reconfig_std: truncated-Gaussian reconfiguration prices.
+        migration_reference_price: mean combined migration price b_i.
+        delay_price_per_km: converts km to service-quality cost units.
+    """
+
+    topology: Topology = field(default_factory=rome_metro_topology)
+    mobility: MobilityModel | None = None
+    num_users: int = 50
+    num_slots: int = 30
+    workload_distribution: str = "power"
+    weights: CostWeights = field(default_factory=CostWeights)
+    overprovision: float = DEFAULT_OVERPROVISION
+    op_reference_price: float = 0.3
+    reconfig_mean: float = 1.0
+    reconfig_std: float = 0.5
+    migration_reference_price: float = 1.0
+    delay_price_per_km: float = 2.0
+
+    def resolve_mobility(self) -> MobilityModel:
+        """The configured mobility model, defaulting to taxi traces."""
+        if self.mobility is not None:
+            return self.mobility
+        return TaxiMobility(self.topology, price_per_km=self.delay_price_per_km)
+
+    def build(self, seed: int) -> ProblemInstance:
+        """Draw a concrete problem instance for this scenario."""
+        rng = np.random.default_rng(seed)
+        num_clouds = self.topology.num_sites
+        workloads = make_workloads(self.workload_distribution, self.num_users, rng)
+        trace = self.resolve_mobility().generate(self.num_users, self.num_slots, rng)
+        if trace.num_clouds != num_clouds:
+            raise ValueError(
+                "mobility model and topology disagree on the number of clouds"
+            )
+        capacities = provision_capacities(
+            workloads, trace.attachment, num_clouds, overprovision=self.overprovision
+        )
+        op_prices = gaussian_operation_prices(
+            capacities, self.num_slots, rng, reference_price=self.op_reference_price
+        )
+        reconfig_prices = gaussian_reconfiguration_prices(
+            num_clouds, rng, mean=self.reconfig_mean, std=self.reconfig_std
+        )
+        migration_prices = isp_migration_prices(
+            num_clouds, rng=rng, reference_price=self.migration_reference_price
+        )
+        delay = inter_cloud_delay_matrix(
+            self.topology, price_per_km=self.delay_price_per_km
+        )
+        return ProblemInstance(
+            workloads=workloads.astype(float),
+            capacities=capacities,
+            op_prices=op_prices,
+            reconfig_prices=reconfig_prices,
+            migration_prices=migration_prices,
+            inter_cloud_delay=delay,
+            attachment=trace.attachment,
+            access_delay=trace.access_delay,
+            weights=self.weights,
+        )
+
+    def with_mu(self, mu: float) -> "Scenario":
+        """The same scenario with dynamic/static weight ratio ``mu``."""
+        return replace(self, weights=CostWeights.from_mu(mu))
+
+    def with_users(self, num_users: int) -> "Scenario":
+        """The same scenario with a different number of users."""
+        return replace(self, num_users=num_users)

@@ -1,0 +1,29 @@
+"""LP and convex solver substrate (replaces the paper's GLPK/Pyomo/IPOPT)."""
+
+from .base import ConvexBackend, ConvexProgram, SolverError, SolverResult
+from .interior_point import InteriorPointBackend
+from .linear import LinearProgramBuilder, VariableBlock
+from .registry import (
+    FallbackBackend,
+    available_backends,
+    default_backend,
+    get_backend,
+    register_backend,
+)
+from .scipy_backend import ScipyTrustConstrBackend
+
+__all__ = [
+    "ConvexBackend",
+    "ConvexProgram",
+    "FallbackBackend",
+    "InteriorPointBackend",
+    "LinearProgramBuilder",
+    "ScipyTrustConstrBackend",
+    "SolverError",
+    "SolverResult",
+    "VariableBlock",
+    "available_backends",
+    "default_backend",
+    "get_backend",
+    "register_backend",
+]

@@ -1,0 +1,101 @@
+"""Solver interfaces shared by the LP and convex backends.
+
+The paper modeled its programs in Pyomo and solved them with IPOPT/GLPK.
+Neither is available offline, so this package provides the equivalent
+substrate: a sparse LP layer on top of SciPy's HiGHS, and two interchangeable
+convex backends (SciPy ``trust-constr`` and a custom structured interior
+point method) for the regularized subproblem P2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+import numpy as np
+from scipy import sparse
+
+
+class SolverError(RuntimeError):
+    """Raised when a backend cannot produce a solution of acceptable quality."""
+
+
+@dataclass(frozen=True)
+class SolverResult:
+    """Outcome of one solve.
+
+    Attributes:
+        x: the (flattened) primal solution.
+        objective: objective value at ``x``.
+        iterations: iterations the backend reports (0 when unavailable).
+        backend: name of the backend that produced the result.
+        duals: optional mapping of constraint-family name -> multipliers.
+    """
+
+    x: np.ndarray
+    objective: float
+    iterations: int = 0
+    backend: str = ""
+    duals: dict[str, np.ndarray] = field(default_factory=dict)
+
+
+@dataclass
+class ConvexProgram:
+    """min f(x) s.t. A x >= lower, x >= x_lower (all constraints linear).
+
+    ``hessian`` may return any scipy-sparse matrix or dense array; backends
+    that cannot use second-order information ignore it.
+
+    Attributes:
+        objective: f(x) -> float, convex and differentiable on the feasible set.
+        gradient: grad f(x) -> (n,).
+        hessian: optional hess f(x) -> (n, n) sparse/dense.
+        constraint_matrix: (M, n) sparse matrix A.
+        constraint_lower: (M,) lower bounds for A x.
+        x_lower: (n,) variable lower bounds (typically zeros).
+        x0: strictly feasible starting point.
+    """
+
+    objective: Callable[[np.ndarray], float]
+    gradient: Callable[[np.ndarray], np.ndarray]
+    constraint_matrix: sparse.spmatrix
+    constraint_lower: np.ndarray
+    x_lower: np.ndarray
+    x0: np.ndarray
+    hessian: Callable[[np.ndarray], object] | None = None
+    #: Optional problem-specific structure (e.g. the P2 subproblem) that
+    #: specialized backends can exploit; generic backends ignore it.
+    structure: object | None = None
+
+    @property
+    def num_variables(self) -> int:
+        return int(np.asarray(self.x0).size)
+
+    @property
+    def num_constraints(self) -> int:
+        return int(np.asarray(self.constraint_lower).size)
+
+    def constraint_slack(self, x: np.ndarray) -> np.ndarray:
+        """A x - lower (negative entries = violated constraints)."""
+        return np.asarray(self.constraint_matrix @ x) - np.asarray(self.constraint_lower)
+
+    def max_violation(self, x: np.ndarray) -> float:
+        """Worst violation across linear constraints and variable bounds."""
+        slack = self.constraint_slack(x)
+        bound = np.asarray(self.x_lower) - np.asarray(x)
+        worst = 0.0
+        if slack.size:
+            worst = max(worst, float(-slack.min()))
+        if bound.size:
+            worst = max(worst, float(bound.max()))
+        return max(worst, 0.0)
+
+
+class ConvexBackend(Protocol):
+    """A solver capable of minimizing a :class:`ConvexProgram`."""
+
+    name: str
+
+    def solve(self, program: ConvexProgram, *, tol: float = 1e-8) -> SolverResult:
+        """Minimize the program to tolerance ``tol``; raise SolverError on failure."""
+        ...

@@ -1,0 +1,202 @@
+"""Sparse linear-program construction and solution via SciPy HiGHS.
+
+This is the substrate the paper obtained from GLPK: the offline optimum,
+the online greedy step, and the atomistic baselines are all linear programs
+once the (x)+ terms are linearized with auxiliary variables. The
+:class:`LinearProgramBuilder` keeps that linearization code readable: named
+variable blocks, constraints assembled in sparse triplet form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import sparse
+from scipy.optimize import linprog
+
+from .base import SolverError, SolverResult
+
+
+@dataclass(frozen=True)
+class VariableBlock:
+    """A named contiguous block of LP variables with an arbitrary shape."""
+
+    name: str
+    offset: int
+    shape: tuple[int, ...]
+
+    @property
+    def size(self) -> int:
+        return int(np.prod(self.shape)) if self.shape else 1
+
+    def indices(self) -> np.ndarray:
+        """Flat LP-column indices of the whole block, shaped like the block."""
+        return np.arange(self.offset, self.offset + self.size).reshape(self.shape)
+
+
+class LinearProgramBuilder:
+    """Assemble ``min c^T v  s.t.  A_ub v <= b_ub, v >= 0`` incrementally.
+
+    Variables are declared as named blocks; constraints are added as sparse
+    rows referencing flat column indices obtained from the blocks. All
+    variables are nonnegative (which is what every program in the paper
+    needs); upper bounds can be attached per block.
+    """
+
+    def __init__(self) -> None:
+        self._blocks: dict[str, VariableBlock] = {}
+        self._num_vars = 0
+        self._cost_entries: list[tuple[np.ndarray, np.ndarray]] = []
+        self._rows: list[np.ndarray] = []
+        self._cols: list[np.ndarray] = []
+        self._vals: list[np.ndarray] = []
+        self._rhs: list[float] = []
+        self._num_rows = 0
+        self._upper: dict[int, float] = {}
+        self._free: set[int] = set()
+
+    def add_block(self, name: str, *shape: int) -> VariableBlock:
+        """Declare a new nonnegative variable block."""
+        if name in self._blocks:
+            raise ValueError(f"variable block {name!r} already exists")
+        block = VariableBlock(name=name, offset=self._num_vars, shape=tuple(shape))
+        self._blocks[name] = block
+        self._num_vars += block.size
+        return block
+
+    def block(self, name: str) -> VariableBlock:
+        """Look up a declared variable block by name."""
+        return self._blocks[name]
+
+    def set_cost(self, indices: np.ndarray, coefficients: np.ndarray) -> None:
+        """Add objective coefficients for the given flat variable indices.
+
+        ``coefficients`` may be a scalar or any array with the same number
+        of elements as ``indices`` (both are flattened in C order).
+        """
+        indices = np.asarray(indices).ravel()
+        coefficients = np.asarray(coefficients, dtype=float).ravel()
+        if coefficients.size == 1:
+            coefficients = np.full(indices.size, float(coefficients[0]))
+        elif coefficients.size != indices.size:
+            raise ValueError(
+                f"coefficients size {coefficients.size} != indices size {indices.size}"
+            )
+        self._cost_entries.append((indices, coefficients))
+
+    def set_upper_bound(self, indices: np.ndarray, upper: np.ndarray) -> None:
+        """Attach upper bounds to specific variables (default is +inf)."""
+        indices = np.asarray(indices).ravel()
+        upper = np.asarray(upper, dtype=float).ravel()
+        if upper.size == 1:
+            upper = np.full(indices.size, float(upper[0]))
+        elif upper.size != indices.size:
+            raise ValueError(f"upper size {upper.size} != indices size {indices.size}")
+        for idx, ub in zip(indices, upper):
+            self._upper[int(idx)] = float(ub)
+
+    def set_free(self, indices: np.ndarray) -> None:
+        """Lift the default nonnegativity: these variables range over R.
+
+        Needed for relaxation variables like P3's reconfiguration term,
+        whose lower bound is a constraint (u >= Delta X) rather than zero.
+        """
+        for idx in np.asarray(indices).ravel():
+            self._free.add(int(idx))
+
+    def add_le(self, indices: np.ndarray, coefficients: np.ndarray, rhs: float) -> None:
+        """Add one constraint  sum coefficients * v[indices] <= rhs."""
+        indices = np.asarray(indices).ravel()
+        coefficients = np.asarray(coefficients, dtype=float).ravel()
+        if coefficients.size == 1:
+            coefficients = np.full(indices.size, float(coefficients[0]))
+        elif coefficients.size != indices.size:
+            raise ValueError(
+                f"coefficients size {coefficients.size} != indices size {indices.size}"
+            )
+        self._rows.append(np.full(indices.size, self._num_rows))
+        self._cols.append(indices.astype(int))
+        self._vals.append(coefficients)
+        self._rhs.append(float(rhs))
+        self._num_rows += 1
+
+    def add_ge(self, indices: np.ndarray, coefficients: np.ndarray, rhs: float) -> None:
+        """Add one constraint  sum coefficients * v[indices] >= rhs."""
+        self.add_le(indices, -np.asarray(coefficients, dtype=float), -rhs)
+
+    def add_le_rows(
+        self, columns: np.ndarray, coefficients: np.ndarray, rhs: np.ndarray
+    ) -> None:
+        """Add many constraints at once (vectorized).
+
+        Args:
+            columns: (R, K) integer matrix; row r lists the K variable
+                indices of constraint r.
+            coefficients: (R, K) (or broadcastable) coefficient matrix.
+            rhs: (R,) right-hand sides; row r is  sum_k coef * v[col] <= rhs[r].
+        """
+        columns = np.asarray(columns, dtype=int)
+        if columns.ndim != 2:
+            raise ValueError("columns must be a (R, K) matrix")
+        num_rows, width = columns.shape
+        coefficients = np.broadcast_to(
+            np.asarray(coefficients, dtype=float), columns.shape
+        )
+        rhs = np.asarray(rhs, dtype=float).ravel()
+        if rhs.size != num_rows:
+            raise ValueError(f"rhs size {rhs.size} != number of rows {num_rows}")
+        row_ids = np.repeat(np.arange(self._num_rows, self._num_rows + num_rows), width)
+        self._rows.append(row_ids)
+        self._cols.append(columns.ravel())
+        self._vals.append(coefficients.ravel().copy())
+        self._rhs.extend(rhs.tolist())
+        self._num_rows += num_rows
+
+    def add_ge_rows(
+        self, columns: np.ndarray, coefficients: np.ndarray, rhs: np.ndarray
+    ) -> None:
+        """Vectorized >= counterpart of :meth:`add_le_rows`."""
+        coefficients = np.broadcast_to(
+            np.asarray(coefficients, dtype=float), np.asarray(columns).shape
+        )
+        self.add_le_rows(columns, -coefficients, -np.asarray(rhs, dtype=float))
+
+    @property
+    def num_variables(self) -> int:
+        return self._num_vars
+
+    @property
+    def num_constraints(self) -> int:
+        return self._num_rows
+
+    def solve(self, *, method: str = "highs") -> SolverResult:
+        """Run HiGHS and return the solution; raise SolverError if not optimal."""
+        cost = np.zeros(self._num_vars)
+        for indices, coefficients in self._cost_entries:
+            np.add.at(cost, indices, coefficients)
+        if self._num_rows:
+            a_ub = sparse.coo_matrix(
+                (
+                    np.concatenate(self._vals),
+                    (np.concatenate(self._rows), np.concatenate(self._cols)),
+                ),
+                shape=(self._num_rows, self._num_vars),
+            ).tocsr()
+            b_ub = np.asarray(self._rhs)
+        else:
+            a_ub = None
+            b_ub = None
+        bounds = [
+            (None if i in self._free else 0.0, self._upper.get(i))
+            for i in range(self._num_vars)
+        ]
+        result = linprog(cost, A_ub=a_ub, b_ub=b_ub, bounds=bounds, method=method)
+        if not result.success:
+            raise SolverError(f"linprog failed: status={result.status} {result.message}")
+        return SolverResult(
+            x=np.asarray(result.x),
+            objective=float(result.fun),
+            iterations=int(getattr(result, "nit", 0) or 0),
+            backend=f"linprog-{method}",
+        )

@@ -1,0 +1,60 @@
+"""Backend registry: look up convex backends by name, pick sensible defaults."""
+
+from __future__ import annotations
+
+from .base import ConvexBackend, ConvexProgram, SolverError, SolverResult
+from .interior_point import InteriorPointBackend
+from .scipy_backend import ScipyTrustConstrBackend
+
+_BACKENDS: dict[str, ConvexBackend] = {}
+
+
+def register_backend(name: str, backend: ConvexBackend) -> None:
+    """Register (or replace) a backend under ``name``."""
+    _BACKENDS[name] = backend
+
+
+def get_backend(name: str) -> ConvexBackend:
+    """Look up a backend by name; raises KeyError with the known names."""
+    try:
+        return _BACKENDS[name]
+    except KeyError:
+        known = ", ".join(sorted(_BACKENDS))
+        raise KeyError(f"unknown backend {name!r}; known: {known}") from None
+
+
+def available_backends() -> list[str]:
+    """Sorted names of every registered backend."""
+    return sorted(_BACKENDS)
+
+
+class FallbackBackend:
+    """Try a fast specialized backend, fall back to a robust one.
+
+    The structured interior-point method requires programs carrying the P2
+    structure and can (rarely) hit numerically hard barrier subproblems; the
+    SciPy backend is slower but general. This wrapper gives the best of
+    both and is the project default.
+    """
+
+    def __init__(self, primary: ConvexBackend, secondary: ConvexBackend) -> None:
+        self.primary = primary
+        self.secondary = secondary
+        self.name = f"{primary.name}+{secondary.name}"
+
+    def solve(self, program: ConvexProgram, *, tol: float = 1e-8) -> SolverResult:
+        """Try the primary backend; on SolverError, retry with the secondary."""
+        try:
+            return self.primary.solve(program, tol=tol)
+        except SolverError:
+            return self.secondary.solve(program, tol=tol)
+
+
+register_backend("scipy", ScipyTrustConstrBackend())
+register_backend("ipm", InteriorPointBackend())
+register_backend("auto", FallbackBackend(InteriorPointBackend(), ScipyTrustConstrBackend()))
+
+
+def default_backend() -> ConvexBackend:
+    """The backend used when an algorithm is not given one explicitly."""
+    return get_backend("auto")

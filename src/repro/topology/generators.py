@@ -1,0 +1,123 @@
+"""Synthetic topology generators for experiments beyond the Rome deployment.
+
+These let the experiment harness vary the number of edge clouds and their
+spatial layout while keeping the same :class:`~repro.topology.metro.Topology`
+interface used everywhere else.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from .geo import GeoPoint
+from .metro import Topology
+
+
+def grid_topology(
+    rows: int,
+    cols: int,
+    *,
+    origin: tuple[float, float] = (41.88, 12.45),
+    spacing_km: float = 1.0,
+) -> Topology:
+    """A rows x cols grid of edge clouds with 4-neighbour adjacency.
+
+    Sites are laid out on a regular lattice anchored at ``origin``
+    (lat, lon); ``spacing_km`` is the approximate distance between adjacent
+    sites. Useful for controlled scaling experiments.
+    """
+    if rows < 1 or cols < 1:
+        raise ValueError("grid dimensions must be positive")
+    lat0, lon0 = origin
+    # Degrees per kilometer: 1 deg latitude ~ 111.32 km; longitude scaled by
+    # cos(latitude).
+    dlat = spacing_km / 111.32
+    dlon = spacing_km / (111.32 * np.cos(np.radians(lat0)))
+    names: list[str] = []
+    points: list[GeoPoint] = []
+    graph = nx.Graph()
+    for r in range(rows):
+        for c in range(cols):
+            idx = r * cols + c
+            names.append(f"grid-{r}-{c}")
+            points.append(GeoPoint(lat0 + r * dlat, lon0 + c * dlon))
+            graph.add_node(idx)
+            if c > 0:
+                graph.add_edge(idx, idx - 1)
+            if r > 0:
+                graph.add_edge(idx, idx - cols)
+    return Topology(names=names, points=points, graph=graph)
+
+
+def ring_topology(
+    num_sites: int,
+    *,
+    center: tuple[float, float] = (41.89, 12.48),
+    radius_km: float = 3.0,
+) -> Topology:
+    """``num_sites`` edge clouds evenly spaced on a circle, ring adjacency."""
+    if num_sites < 3:
+        raise ValueError("a ring needs at least 3 sites")
+    lat0, lon0 = center
+    dlat = radius_km / 111.32
+    dlon = radius_km / (111.32 * np.cos(np.radians(lat0)))
+    names: list[str] = []
+    points: list[GeoPoint] = []
+    graph = nx.Graph()
+    for k in range(num_sites):
+        angle = 2.0 * np.pi * k / num_sites
+        names.append(f"ring-{k}")
+        points.append(GeoPoint(lat0 + dlat * np.sin(angle), lon0 + dlon * np.cos(angle)))
+        graph.add_node(k)
+    for k in range(num_sites):
+        graph.add_edge(k, (k + 1) % num_sites)
+    return Topology(names=names, points=points, graph=graph)
+
+
+def random_geometric_topology(
+    num_sites: int,
+    *,
+    seed: int,
+    bbox: tuple[float, float, float, float] = (41.86, 41.92, 12.40, 12.52),
+    connect_radius_km: float = 2.5,
+) -> Topology:
+    """Edge clouds scattered uniformly in a bounding box.
+
+    Sites within ``connect_radius_km`` of each other are adjacent; if the
+    resulting graph is disconnected, a minimal chain of nearest-neighbour
+    edges is added so random walks can reach every site.
+    """
+    if num_sites < 1:
+        raise ValueError("need at least one site")
+    rng = np.random.default_rng(seed)
+    lat_min, lat_max, lon_min, lon_max = bbox
+    lats = rng.uniform(lat_min, lat_max, size=num_sites)
+    lons = rng.uniform(lon_min, lon_max, size=num_sites)
+    names = [f"site-{k}" for k in range(num_sites)]
+    points = [GeoPoint(float(a), float(o)) for a, o in zip(lats, lons)]
+    graph = nx.Graph()
+    graph.add_nodes_from(range(num_sites))
+    for a in range(num_sites):
+        for b in range(a + 1, num_sites):
+            if points[a].distance_km(points[b]) <= connect_radius_km:
+                graph.add_edge(a, b)
+    _connect_components(graph, points)
+    return Topology(names=names, points=points, graph=graph)
+
+
+def _connect_components(graph: nx.Graph, points: list[GeoPoint]) -> None:
+    """Stitch disconnected components together via closest cross-pairs."""
+    components = [sorted(c) for c in nx.connected_components(graph)]
+    while len(components) > 1:
+        base = components[0]
+        best: tuple[float, int, int] | None = None
+        for other in components[1:]:
+            for a in base:
+                for b in other:
+                    d = points[a].distance_km(points[b])
+                    if best is None or d < best[0]:
+                        best = (d, a, b)
+        assert best is not None
+        graph.add_edge(best[1], best[2])
+        components = [sorted(c) for c in nx.connected_components(graph)]

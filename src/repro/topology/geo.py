@@ -1,0 +1,73 @@
+"""Geographic primitives used by topologies and mobility models.
+
+The paper measures network delay "by the geographical distance between any
+two entities based on their GPS locations" (Section V-A). This module
+provides the point type and the haversine great-circle distance that every
+delay computation in the repository is built on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Mean Earth radius in kilometers (IUGG value), used by haversine.
+EARTH_RADIUS_KM = 6371.0088
+
+
+@dataclass(frozen=True)
+class GeoPoint:
+    """A WGS84 latitude/longitude pair in decimal degrees."""
+
+    lat: float
+    lon: float
+
+    def __post_init__(self) -> None:
+        if not -90.0 <= self.lat <= 90.0:
+            raise ValueError(f"latitude {self.lat} outside [-90, 90]")
+        if not -180.0 <= self.lon <= 180.0:
+            raise ValueError(f"longitude {self.lon} outside [-180, 180]")
+
+    def distance_km(self, other: "GeoPoint") -> float:
+        """Great-circle distance to ``other`` in kilometers."""
+        return haversine_km(self.lat, self.lon, other.lat, other.lon)
+
+
+def haversine_km(lat1: float, lon1: float, lat2: float, lon2: float) -> float:
+    """Great-circle distance between two (lat, lon) pairs in kilometers.
+
+    Uses the haversine formula, which is numerically stable for the small
+    (city-scale) distances this project works with.
+    """
+    phi1, phi2 = math.radians(lat1), math.radians(lat2)
+    dphi = phi2 - phi1
+    dlmb = math.radians(lon2 - lon1)
+    a = math.sin(dphi / 2.0) ** 2 + math.cos(phi1) * math.cos(phi2) * math.sin(dlmb / 2.0) ** 2
+    return 2.0 * EARTH_RADIUS_KM * math.asin(min(1.0, math.sqrt(a)))
+
+
+def haversine_km_vec(
+    lat1: np.ndarray, lon1: np.ndarray, lat2: np.ndarray, lon2: np.ndarray
+) -> np.ndarray:
+    """Vectorized haversine distance (kilometers) with numpy broadcasting."""
+    phi1 = np.radians(np.asarray(lat1, dtype=float))
+    phi2 = np.radians(np.asarray(lat2, dtype=float))
+    dphi = phi2 - phi1
+    dlmb = np.radians(np.asarray(lon2, dtype=float) - np.asarray(lon1, dtype=float))
+    a = np.sin(dphi / 2.0) ** 2 + np.cos(phi1) * np.cos(phi2) * np.sin(dlmb / 2.0) ** 2
+    return 2.0 * EARTH_RADIUS_KM * np.arcsin(np.minimum(1.0, np.sqrt(a)))
+
+
+def pairwise_distance_km(points: list[GeoPoint]) -> np.ndarray:
+    """Symmetric matrix of pairwise haversine distances in kilometers.
+
+    The diagonal is exactly zero, matching the paper's convention
+    ``d(i, i) = 0`` for inter-cloud delays.
+    """
+    lats = np.array([p.lat for p in points], dtype=float)
+    lons = np.array([p.lon for p in points], dtype=float)
+    dist = haversine_km_vec(lats[:, None], lons[:, None], lats[None, :], lons[None, :])
+    np.fill_diagonal(dist, 0.0)
+    return dist

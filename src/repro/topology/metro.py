@@ -1,0 +1,129 @@
+"""The Rome metro topology used in the paper's evaluation.
+
+The paper (Section V-A) deploys 15 edge clouds at 15 selected metro stations
+in the center of Rome; station GPS locations were collected manually from
+Google Maps. We reproduce the same setting with the 15 central stations of
+Metro Line A and Line B below, with their (approximate) real coordinates and
+the real line adjacency, which the random-walk mobility model of Section V-D
+walks over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+import numpy as np
+
+from .geo import GeoPoint, pairwise_distance_km
+
+#: Station name -> (lat, lon). Fifteen central stations of Rome Metro A/B.
+ROME_METRO_STATIONS: dict[str, tuple[float, float]] = {
+    "Battistini": (41.9052, 12.4100),
+    "Cornelia": (41.9007, 12.4179),
+    "Cipro": (41.9074, 12.4476),
+    "Ottaviano": (41.9053, 12.4586),
+    "Lepanto": (41.9093, 12.4633),
+    "Flaminio": (41.9109, 12.4760),
+    "Spagna": (41.9073, 12.4833),
+    "Barberini": (41.9038, 12.4888),
+    "Repubblica": (41.9028, 12.4964),
+    "Termini": (41.9010, 12.5011),
+    "Vittorio Emanuele": (41.8945, 12.5065),
+    "San Giovanni": (41.8860, 12.5091),
+    "Colosseo": (41.8902, 12.4931),
+    "Circo Massimo": (41.8835, 12.4885),
+    "Piramide": (41.8765, 12.4815),
+}
+
+#: Consecutive-station segments of Line A (Battistini -> San Giovanni).
+ROME_METRO_LINE_A: tuple[str, ...] = (
+    "Battistini",
+    "Cornelia",
+    "Cipro",
+    "Ottaviano",
+    "Lepanto",
+    "Flaminio",
+    "Spagna",
+    "Barberini",
+    "Repubblica",
+    "Termini",
+    "Vittorio Emanuele",
+    "San Giovanni",
+)
+
+#: Consecutive-station segments of Line B (Termini -> Piramide); the two
+#: lines interchange at Termini.
+ROME_METRO_LINE_B: tuple[str, ...] = (
+    "Termini",
+    "Colosseo",
+    "Circo Massimo",
+    "Piramide",
+)
+
+
+@dataclass
+class Topology:
+    """An edge-cloud deployment: named sites with GPS locations and adjacency.
+
+    Attributes:
+        names: site names, index-aligned with every matrix in the project.
+        points: GPS location of each site.
+        graph: undirected adjacency between sites (used by random-walk
+            mobility); nodes are integer site indices.
+    """
+
+    names: list[str]
+    points: list[GeoPoint]
+    graph: nx.Graph = field(repr=False)
+
+    def __post_init__(self) -> None:
+        if len(self.names) != len(self.points):
+            raise ValueError("names and points must be index-aligned")
+        if len(set(self.names)) != len(self.names):
+            raise ValueError("site names must be unique")
+        if set(self.graph.nodes) != set(range(len(self.names))):
+            raise ValueError("graph nodes must be exactly 0..len(names)-1")
+
+    @property
+    def num_sites(self) -> int:
+        return len(self.names)
+
+    def index_of(self, name: str) -> int:
+        """Index of a site by name. Raises KeyError for unknown names."""
+        try:
+            return self.names.index(name)
+        except ValueError:
+            raise KeyError(name) from None
+
+    def distance_matrix_km(self) -> np.ndarray:
+        """Pairwise great-circle distances between sites (km, zero diagonal)."""
+        return pairwise_distance_km(self.points)
+
+    def neighbors(self, site: int) -> list[int]:
+        """Adjacent site indices (sorted, for determinism)."""
+        return sorted(self.graph.neighbors(site))
+
+    def bounding_box(self) -> tuple[float, float, float, float]:
+        """(lat_min, lat_max, lon_min, lon_max) covering every site."""
+        lats = [p.lat for p in self.points]
+        lons = [p.lon for p in self.points]
+        return min(lats), max(lats), min(lons), max(lons)
+
+    def nearest_site(self, point: GeoPoint) -> int:
+        """Index of the site geographically closest to ``point``."""
+        dists = [point.distance_km(p) for p in self.points]
+        return int(np.argmin(dists))
+
+
+def rome_metro_topology() -> Topology:
+    """The paper's 15-station Rome metro deployment (Section V-A)."""
+    names = list(ROME_METRO_STATIONS)
+    points = [GeoPoint(*ROME_METRO_STATIONS[name]) for name in names]
+    graph = nx.Graph()
+    graph.add_nodes_from(range(len(names)))
+    index = {name: i for i, name in enumerate(names)}
+    for line in (ROME_METRO_LINE_A, ROME_METRO_LINE_B):
+        for a, b in zip(line, line[1:]):
+            graph.add_edge(index[a], index[b])
+    return Topology(names=names, points=points, graph=graph)

@@ -1,0 +1,19 @@
+"""User workload models."""
+
+from .distributions import (
+    WORKLOAD_DISTRIBUTIONS,
+    WorkloadGenerator,
+    make_workloads,
+    normal_workloads,
+    power_workloads,
+    uniform_workloads,
+)
+
+__all__ = [
+    "WORKLOAD_DISTRIBUTIONS",
+    "WorkloadGenerator",
+    "make_workloads",
+    "normal_workloads",
+    "power_workloads",
+    "uniform_workloads",
+]

@@ -1,0 +1,112 @@
+"""User workload generators (paper Section V-A, "User workload").
+
+The paper studies three workload distributions:
+
+* **power** — highly skewed workloads "typically seen in online social
+  network services" (power law / Zipf-like);
+* **uniform** — every workload size equally likely in a range;
+* **normal** — Gaussian around a mean.
+
+Workloads are positive integers (the competitive analysis in Lemma 6 uses
+``lambda_j in Z+`` with ``lambda_j >= 1``), so every generator rounds and
+clips to ``>= 1``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+WorkloadGenerator = Callable[[int, np.random.Generator], np.ndarray]
+
+
+def _as_positive_int(values: np.ndarray) -> np.ndarray:
+    """Round to integers and clip at 1, per the lambda_j in Z+ assumption."""
+    return np.maximum(1, np.rint(values)).astype(np.int64)
+
+
+def power_workloads(
+    num_users: int,
+    rng: np.random.Generator,
+    *,
+    exponent: float = 2.0,
+    scale: float = 2.0,
+    max_workload: int = 50,
+) -> np.ndarray:
+    """Power-law (Pareto) distributed integer workloads.
+
+    ``exponent`` is the Pareto tail index (larger = lighter tail); ``scale``
+    is the minimum of the underlying continuous distribution. The result is
+    capped at ``max_workload`` to keep single users from dominating the whole
+    system capacity, then rounded to integers >= 1.
+    """
+    if num_users < 0:
+        raise ValueError("num_users must be nonnegative")
+    if exponent <= 0 or scale <= 0:
+        raise ValueError("exponent and scale must be positive")
+    raw = scale * (1.0 + rng.pareto(exponent, size=num_users))
+    return _as_positive_int(np.minimum(raw, float(max_workload)))
+
+
+def uniform_workloads(
+    num_users: int,
+    rng: np.random.Generator,
+    *,
+    low: int = 1,
+    high: int = 10,
+) -> np.ndarray:
+    """Integer workloads drawn uniformly from {low, ..., high}."""
+    if num_users < 0:
+        raise ValueError("num_users must be nonnegative")
+    if low < 1 or high < low:
+        raise ValueError("need 1 <= low <= high")
+    return rng.integers(low, high + 1, size=num_users).astype(np.int64)
+
+
+def normal_workloads(
+    num_users: int,
+    rng: np.random.Generator,
+    *,
+    mean: float = 5.0,
+    std: float = 2.0,
+) -> np.ndarray:
+    """Gaussian integer workloads, truncated below at 1."""
+    if num_users < 0:
+        raise ValueError("num_users must be nonnegative")
+    if std < 0:
+        raise ValueError("std must be nonnegative")
+    return _as_positive_int(rng.normal(mean, std, size=num_users))
+
+
+#: Name -> generator mapping used by scenario builders and the CLI.
+WORKLOAD_DISTRIBUTIONS: dict[str, WorkloadGenerator] = {
+    "power": power_workloads,
+    "uniform": uniform_workloads,
+    "normal": normal_workloads,
+}
+
+
+def make_workloads(
+    distribution: str,
+    num_users: int,
+    rng: np.random.Generator,
+    **kwargs: float,
+) -> np.ndarray:
+    """Dispatch to a named workload distribution.
+
+    Args:
+        distribution: one of ``"power"``, ``"uniform"``, ``"normal"``.
+        num_users: number of users J.
+        rng: numpy random generator (callers own seeding).
+        **kwargs: forwarded to the specific generator.
+
+    Returns:
+        Integer array of shape (J,), every entry >= 1.
+    """
+    try:
+        generator = WORKLOAD_DISTRIBUTIONS[distribution]
+    except KeyError:
+        known = ", ".join(sorted(WORKLOAD_DISTRIBUTIONS))
+        raise ValueError(f"unknown workload distribution {distribution!r}; known: {known}") from None
+    return generator(num_users, rng, **kwargs)

@@ -1,0 +1,90 @@
+"""Tests for ratio statistics (confidence intervals, paired comparisons)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.ratios import (
+    paired_improvement,
+    ratio_confidence_interval,
+    ratio_samples,
+    win_rate,
+)
+from tests.simulation.test_results import make_comparison
+
+
+def comparisons_with_ratios(ratios):
+    """One comparison per ratio value, baseline cost fixed at 10."""
+    return [
+        make_comparison({"offline-opt": 10.0, "alg": 10.0 * r, "ref": 12.0})
+        for r in ratios
+    ]
+
+
+class TestRatioSamples:
+    def test_values(self):
+        comparisons = comparisons_with_ratios([1.1, 1.3])
+        assert np.allclose(ratio_samples(comparisons, "alg"), [1.1, 1.3])
+
+
+class TestConfidenceInterval:
+    def test_point_estimate(self):
+        estimate = ratio_confidence_interval(
+            comparisons_with_ratios([1.2, 1.4, 1.0]), "alg"
+        )
+        assert estimate.mean == pytest.approx(1.2)
+        assert estimate.lower < estimate.mean < estimate.upper
+        assert estimate.num_samples == 3
+
+    def test_single_sample_degenerates(self):
+        estimate = ratio_confidence_interval(comparisons_with_ratios([1.5]), "alg")
+        assert estimate.lower == estimate.mean == estimate.upper == pytest.approx(1.5)
+        assert estimate.std == 0.0
+
+    def test_wider_at_higher_confidence(self):
+        comparisons = comparisons_with_ratios([1.0, 1.2, 1.4, 1.1])
+        narrow = ratio_confidence_interval(comparisons, "alg", confidence=0.80)
+        wide = ratio_confidence_interval(comparisons, "alg", confidence=0.99)
+        assert wide.upper - wide.lower > narrow.upper - narrow.lower
+
+    def test_contains_true_mean_usually(self):
+        # Frequentist sanity: with many repetitions of a known distribution,
+        # the 95% interval contains the true mean most of the time.
+        rng = np.random.default_rng(0)
+        hits = 0
+        for _ in range(40):
+            ratios = 1.2 + 0.1 * rng.standard_normal(8)
+            estimate = ratio_confidence_interval(
+                comparisons_with_ratios(list(ratios)), "alg"
+            )
+            hits += estimate.lower <= 1.2 <= estimate.upper
+        assert hits >= 30
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ratio_confidence_interval(comparisons_with_ratios([1.0]), "alg", confidence=1.5)
+        with pytest.raises(ValueError):
+            ratio_confidence_interval([], "alg")
+
+
+class TestPairedImprovement:
+    def test_values(self):
+        comparisons = comparisons_with_ratios([1.0, 1.1])
+        # alg costs 10, 11; ref costs 12 in both: improvements 2/12, 1/12.
+        mean, std = paired_improvement(comparisons, "alg", "ref")
+        assert mean == pytest.approx((2 / 12 + 1 / 12) / 2)
+        assert std > 0
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            paired_improvement([], "alg", "ref")
+
+
+class TestWinRate:
+    def test_values(self):
+        comparisons = comparisons_with_ratios([1.0, 1.3])
+        # alg costs 10 (<12: win) then 13 (>12: loss).
+        assert win_rate(comparisons, "alg", "ref") == pytest.approx(0.5)
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            win_rate([], "alg", "ref")

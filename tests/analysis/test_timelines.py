@@ -1,0 +1,75 @@
+"""Tests for cost timelines and regret curves."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.timelines import (
+    churn_timeline,
+    cost_shares,
+    cumulative_cost,
+    regret_curve,
+)
+from repro.baselines import OfflineOptimal, OnlineGreedy
+from repro.simulation.engine import run_algorithm
+
+
+@pytest.fixture(scope="module")
+def runs(small_instance):
+    return {
+        "offline": run_algorithm(OfflineOptimal(), small_instance),
+        "greedy": run_algorithm(OnlineGreedy(), small_instance),
+    }
+
+
+class TestCumulativeCost:
+    def test_monotone_nondecreasing(self, runs):
+        curve = cumulative_cost(runs["greedy"].breakdown)
+        assert np.all(np.diff(curve) >= -1e-9)
+
+    def test_final_value_is_total(self, runs):
+        curve = cumulative_cost(runs["greedy"].breakdown)
+        assert curve[-1] == pytest.approx(runs["greedy"].total_cost)
+
+
+class TestRegret:
+    def test_final_regret_matches_ratio(self, runs):
+        regret = regret_curve(runs["greedy"], runs["offline"])
+        expected = runs["greedy"].total_cost - runs["offline"].total_cost
+        assert regret[-1] == pytest.approx(expected)
+        assert regret[-1] >= -1e-6  # offline is optimal
+
+    def test_horizon_mismatch(self, runs, tiny_instance):
+        other = run_algorithm(OnlineGreedy(), tiny_instance)
+        with pytest.raises(ValueError):
+            regret_curve(runs["greedy"], other)
+
+
+class TestCostShares:
+    def test_sums_to_one(self, runs):
+        shares = cost_shares(runs["greedy"].breakdown)
+        assert sum(shares.values()) == pytest.approx(1.0)
+        assert all(0.0 <= v <= 1.0 for v in shares.values())
+
+    def test_component_names(self, runs):
+        assert set(cost_shares(runs["greedy"].breakdown)) == {
+            "operation",
+            "service_quality",
+            "reconfiguration",
+            "migration",
+        }
+
+
+class TestChurn:
+    def test_first_slot_is_initial_provisioning(self, runs):
+        churn = churn_timeline(runs["greedy"])
+        assert churn[0] == pytest.approx(runs["greedy"].schedule.x[0].sum())
+
+    def test_nonnegative(self, runs):
+        assert np.all(churn_timeline(runs["greedy"]) >= 0.0)
+
+    def test_static_schedule_has_zero_churn_after_start(self, small_instance):
+        from repro.baselines import StaticAllocation
+
+        run = run_algorithm(StaticAllocation(), small_instance)
+        churn = churn_timeline(run)
+        assert np.allclose(churn[1:], 0.0)

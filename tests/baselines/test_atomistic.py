@@ -1,0 +1,92 @@
+"""Tests for the atomistic baselines (perf-opt / oper-opt / stat-opt)."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.baselines.atomistic import OperOpt, PerfOpt, StatOpt, solve_static_slot
+from repro.baselines.offline import OfflineOptimal
+from repro.core.costs import (
+    operation_cost,
+    service_quality_cost,
+    total_cost,
+)
+from repro.core.problem import ProblemInstance
+from tests.conftest import make_tiny_instance
+
+
+class TestSolveStaticSlot:
+    def test_respects_demand_and_capacity(self, tiny_instance):
+        prices = tiny_instance.static_prices(0)
+        x = solve_static_slot(tiny_instance, prices)
+        assert np.all(x.sum(axis=0) >= np.asarray(tiny_instance.workloads) - 1e-6)
+        assert np.all(x.sum(axis=1) <= np.asarray(tiny_instance.capacities) + 1e-6)
+
+    def test_picks_cheapest_cloud(self, tiny_instance):
+        # With uniform prices except one free cloud, everything lands there
+        # (up to its capacity).
+        prices = np.ones((tiny_instance.num_clouds, tiny_instance.num_users))
+        prices[1, :] = 0.0
+        x = solve_static_slot(tiny_instance, prices)
+        assert x.sum(axis=1)[1] == pytest.approx(
+            min(tiny_instance.capacities[1], tiny_instance.total_workload)
+        )
+
+
+class TestBaselineObjectives:
+    def test_perf_opt_minimizes_sq(self, tiny_instance):
+        """perf-opt's per-slot service-quality cost is minimal among all
+        the baselines (it optimizes exactly that)."""
+        perf = PerfOpt().run(tiny_instance)
+        stat = StatOpt().run(tiny_instance)
+        oper = OperOpt().run(tiny_instance)
+        sq_perf = service_quality_cost(perf, tiny_instance).sum()
+        assert sq_perf <= service_quality_cost(stat, tiny_instance).sum() + 1e-6
+        assert sq_perf <= service_quality_cost(oper, tiny_instance).sum() + 1e-6
+
+    def test_oper_opt_minimizes_op(self, tiny_instance):
+        oper = OperOpt().run(tiny_instance)
+        perf = PerfOpt().run(tiny_instance)
+        op_oper = operation_cost(oper, tiny_instance).sum()
+        assert op_oper <= operation_cost(perf, tiny_instance).sum() + 1e-6
+
+    def test_stat_opt_minimizes_static_sum(self, tiny_instance):
+        stat = StatOpt().run(tiny_instance)
+        perf = PerfOpt().run(tiny_instance)
+        oper = OperOpt().run(tiny_instance)
+
+        def static(schedule):
+            return (
+                operation_cost(schedule, tiny_instance).sum()
+                + service_quality_cost(schedule, tiny_instance).sum()
+            )
+
+        assert static(stat) <= static(perf) + 1e-6
+        assert static(stat) <= static(oper) + 1e-6
+
+    def test_perf_opt_ignores_operation_prices(self):
+        # Same instance, different op prices: perf-opt's decision unchanged.
+        base = make_tiny_instance(seed=1)
+        fields = {f.name: getattr(base, f.name) for f in dataclasses.fields(base)}
+        fields["op_prices"] = np.asarray(base.op_prices) * 13.0
+        scaled = ProblemInstance(**fields)
+        a = PerfOpt().run(base)
+        b = PerfOpt().run(scaled)
+        assert np.allclose(a.x, b.x, atol=1e-6)
+
+    def test_all_feasible(self, tiny_instance):
+        for algorithm in (PerfOpt(), OperOpt(), StatOpt()):
+            schedule = algorithm.run(tiny_instance)
+            schedule.require_feasible(tiny_instance, tol=1e-6)
+
+    def test_names(self):
+        assert PerfOpt().name == "perf-opt"
+        assert OperOpt().name == "oper-opt"
+        assert StatOpt().name == "stat-opt"
+
+    def test_never_beat_offline_on_total(self, tiny_instance):
+        offline_cost = total_cost(OfflineOptimal().run(tiny_instance), tiny_instance)
+        for algorithm in (PerfOpt(), OperOpt(), StatOpt()):
+            cost = total_cost(algorithm.run(tiny_instance), tiny_instance)
+            assert cost >= offline_cost - 1e-6

@@ -1,0 +1,83 @@
+"""Tests for the online-greedy baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.greedy import OnlineGreedy
+from repro.baselines.offline import OfflineOptimal
+from repro.core.costs import total_cost
+from repro.core.problem import ProblemInstance
+from repro.pricing.bandwidth import MigrationPrices
+from tests.conftest import make_tiny_instance
+
+
+def fig1a_like_instance(delay_cost: float, path: list[int]) -> ProblemInstance:
+    """A two-cloud, one-user instance mirroring the Figure 1 examples.
+
+    Unlike the paper's worked example, slot 0 charges initial provisioning
+    (the x_{i,j,0} = 0 convention) — identically for every algorithm.
+    """
+    num_slots = len(path)
+    return ProblemInstance(
+        workloads=np.array([1.0]),
+        capacities=np.array([2.0, 2.0]),
+        op_prices=np.ones((num_slots, 2)),
+        reconfig_prices=np.array([1.0, 1.0]),
+        migration_prices=MigrationPrices(
+            out=np.array([0.5, 0.5]), into=np.array([0.5, 0.5])
+        ),
+        inter_cloud_delay=np.array([[0.0, delay_cost], [delay_cost, 0.0]]),
+        attachment=np.array([[p] for p in path]),
+        access_delay=np.full((num_slots, 1), 1.5),
+    )
+
+
+class TestGreedyBehaviour:
+    def test_aggressive_on_fig1a(self):
+        # Paper example (a): delay 2.1, user path A-B-A. Greedy chases the
+        # user both times; the optimum keeps the workload parked at A.
+        instance = fig1a_like_instance(2.1, [0, 1, 0])
+        greedy = OnlineGreedy().run(instance)
+        offline = OfflineOptimal().run(instance)
+        # Greedy's allocation follows the user (workload at cloud 1 in slot 1).
+        assert greedy.x[1, 1, 0] == pytest.approx(1.0, abs=1e-6)
+        # The optimum keeps everything at cloud 0 the whole time.
+        assert np.allclose(offline.x[:, 0, 0], 1.0, atol=1e-6)
+        assert total_cost(greedy, instance) > total_cost(offline, instance) + 0.5
+
+    def test_conservative_on_fig1b(self):
+        # Paper example (b): delay 1.9, user path A-B-B. Greedy never moves;
+        # the optimum migrates to B at slot 1.
+        instance = fig1a_like_instance(1.9, [0, 1, 1])
+        greedy = OnlineGreedy().run(instance)
+        offline = OfflineOptimal().run(instance)
+        assert np.allclose(greedy.x[:, 0, 0], 1.0, atol=1e-6)
+        assert offline.x[2, 1, 0] == pytest.approx(1.0, abs=1e-6)
+        assert total_cost(greedy, instance) > total_cost(offline, instance) + 0.5
+
+    def test_feasible(self, tiny_instance):
+        OnlineGreedy().run(tiny_instance).require_feasible(tiny_instance, tol=1e-6)
+
+    def test_never_beats_offline(self, tiny_instance):
+        greedy_cost = total_cost(OnlineGreedy().run(tiny_instance), tiny_instance)
+        offline_cost = total_cost(OfflineOptimal().run(tiny_instance), tiny_instance)
+        assert greedy_cost >= offline_cost - 1e-6
+
+    def test_matches_offline_on_single_slot(self):
+        # With one slot there is no future: greedy IS optimal.
+        instance = make_tiny_instance(num_slots=1)
+        greedy_cost = total_cost(OnlineGreedy().run(instance), instance)
+        offline_cost = total_cost(OfflineOptimal().run(instance), instance)
+        assert greedy_cost == pytest.approx(offline_cost, rel=1e-6)
+
+    def test_deterministic(self, tiny_instance):
+        a = OnlineGreedy().run(tiny_instance)
+        b = OnlineGreedy().run(tiny_instance)
+        assert np.allclose(a.x, b.x)
+
+    def test_solve_slot_uses_previous_allocation(self, tiny_instance):
+        shape = (tiny_instance.num_clouds, tiny_instance.num_users)
+        cold = OnlineGreedy.solve_slot(tiny_instance, 1, np.zeros(shape))
+        warm = OnlineGreedy.solve_slot(tiny_instance, 1, cold)
+        # Starting from its own decision, greedy has no reason to move.
+        assert np.allclose(warm, cold, atol=1e-6)

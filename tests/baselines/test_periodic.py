@@ -1,0 +1,43 @@
+"""Tests for the periodic-rebalance baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.atomistic import StatOpt
+from repro.baselines.periodic import PeriodicRebalance
+from repro.baselines.static import StaticAllocation
+from repro.core.costs import total_cost
+
+
+class TestPeriodicRebalance:
+    def test_period_one_equals_stat_opt(self, tiny_instance):
+        periodic = PeriodicRebalance(period=1).run(tiny_instance)
+        stat = StatOpt().run(tiny_instance)
+        assert total_cost(periodic, tiny_instance) == pytest.approx(
+            total_cost(stat, tiny_instance), rel=1e-6
+        )
+
+    def test_period_beyond_horizon_equals_static(self, tiny_instance):
+        periodic = PeriodicRebalance(period=99).run(tiny_instance)
+        static = StaticAllocation().run(tiny_instance)
+        assert total_cost(periodic, tiny_instance) == pytest.approx(
+            total_cost(static, tiny_instance), rel=1e-6
+        )
+
+    def test_holds_between_rebalances(self, tiny_instance):
+        schedule = PeriodicRebalance(period=2).run(tiny_instance)
+        for t in range(tiny_instance.num_slots):
+            if t % 2 == 1:
+                assert np.array_equal(schedule.x[t], schedule.x[t - 1])
+
+    def test_feasible(self, tiny_instance):
+        PeriodicRebalance(period=3).run(tiny_instance).require_feasible(
+            tiny_instance, tol=1e-6
+        )
+
+    def test_invalid_period(self):
+        with pytest.raises(ValueError):
+            PeriodicRebalance(period=0)
+
+    def test_name(self):
+        assert PeriodicRebalance(period=5).name == "periodic-5"

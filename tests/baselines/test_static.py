@@ -1,0 +1,30 @@
+"""Tests for the decide-once static baseline."""
+
+import numpy as np
+
+from repro.baselines.offline import OfflineOptimal
+from repro.baselines.static import StaticAllocation
+from repro.core.costs import migration_cost, reconfiguration_cost, total_cost
+
+
+class TestStaticAllocation:
+    def test_constant_over_time(self, tiny_instance):
+        schedule = StaticAllocation().run(tiny_instance)
+        for t in range(1, schedule.num_slots):
+            assert np.array_equal(schedule.x[t], schedule.x[0])
+
+    def test_feasible(self, tiny_instance):
+        StaticAllocation().run(tiny_instance).require_feasible(tiny_instance, tol=1e-6)
+
+    def test_no_dynamic_cost_after_first_slot(self, tiny_instance):
+        schedule = StaticAllocation().run(tiny_instance)
+        assert np.allclose(reconfiguration_cost(schedule, tiny_instance)[1:], 0.0)
+        assert np.allclose(migration_cost(schedule, tiny_instance)[1:], 0.0)
+
+    def test_never_beats_offline(self, tiny_instance):
+        static_cost = total_cost(StaticAllocation().run(tiny_instance), tiny_instance)
+        offline_cost = total_cost(OfflineOptimal().run(tiny_instance), tiny_instance)
+        assert static_cost >= offline_cost - 1e-6
+
+    def test_name(self):
+        assert StaticAllocation().name == "static"

@@ -1,0 +1,117 @@
+"""Tests for AllocationSchedule and feasibility checking."""
+
+import numpy as np
+import pytest
+
+from repro.core.allocation import AllocationSchedule, FeasibilityReport
+from tests.conftest import random_schedule
+
+
+class TestConstruction:
+    def test_zeros(self):
+        schedule = AllocationSchedule.zeros(3, 2, 4)
+        assert schedule.num_slots == 3
+        assert schedule.num_clouds == 2
+        assert schedule.num_users == 4
+        assert np.all(schedule.x == 0)
+
+    def test_from_slots(self):
+        slots = [np.ones((2, 3)), 2 * np.ones((2, 3))]
+        schedule = AllocationSchedule.from_slots(slots)
+        assert schedule.num_slots == 2
+        assert np.all(schedule.x[1] == 2.0)
+
+    def test_from_empty_slots(self):
+        with pytest.raises(ValueError):
+            AllocationSchedule.from_slots([])
+
+    def test_wrong_rank(self):
+        with pytest.raises(ValueError):
+            AllocationSchedule(np.zeros((2, 3)))
+
+    def test_non_finite(self):
+        x = np.zeros((1, 2, 2))
+        x[0, 0, 0] = np.nan
+        with pytest.raises(ValueError):
+            AllocationSchedule(x)
+
+
+class TestAggregations:
+    def test_cloud_totals(self):
+        x = np.arange(12, dtype=float).reshape(2, 2, 3)
+        schedule = AllocationSchedule(x)
+        assert np.allclose(schedule.cloud_totals(), x.sum(axis=2))
+
+    def test_user_totals(self):
+        x = np.arange(12, dtype=float).reshape(2, 2, 3)
+        schedule = AllocationSchedule(x)
+        assert np.allclose(schedule.user_totals(), x.sum(axis=1))
+
+    def test_with_previous_zero_baseline(self):
+        x = np.ones((3, 2, 2))
+        current, prev = AllocationSchedule(x).with_previous()
+        assert np.all(prev[0] == 0.0)  # the paper's x_{i,j,0} = 0
+        assert np.allclose(prev[1:], x[:-1])
+        assert current is not prev
+
+
+class TestFeasibility:
+    def test_feasible_random_schedule(self, tiny_instance):
+        schedule = AllocationSchedule(random_schedule(tiny_instance, seed=1))
+        report = schedule.feasibility_report(tiny_instance)
+        assert report.worst() <= 1e-9
+        assert schedule.is_feasible(tiny_instance)
+
+    def test_demand_violation_detected(self, tiny_instance):
+        x = random_schedule(tiny_instance, seed=2)
+        x[:, :, 0] *= 0.5  # user 0 gets half its workload
+        report = AllocationSchedule(x).feasibility_report(tiny_instance)
+        assert report.demand_violation == pytest.approx(
+            0.5 * tiny_instance.workloads[0]
+        )
+        assert not report.is_feasible
+
+    def test_capacity_violation_detected(self, tiny_instance):
+        x = np.zeros(
+            (tiny_instance.num_slots, tiny_instance.num_clouds, tiny_instance.num_users)
+        )
+        # Cram everything into cloud 0 (capacity 6 < workload total 10).
+        x[:, 0, :] = tiny_instance.workloads[None, :]
+        report = AllocationSchedule(x).feasibility_report(tiny_instance)
+        assert report.capacity_violation == pytest.approx(10.0 - 6.0)
+
+    def test_negativity_detected(self, tiny_instance):
+        x = random_schedule(tiny_instance, seed=3)
+        x[0, 0, 0] = -0.5
+        report = AllocationSchedule(x).feasibility_report(tiny_instance)
+        assert report.negativity_violation == pytest.approx(0.5)
+
+    def test_require_feasible_raises_with_details(self, tiny_instance):
+        x = np.zeros(
+            (tiny_instance.num_slots, tiny_instance.num_clouds, tiny_instance.num_users)
+        )
+        with pytest.raises(ValueError, match="demand violation"):
+            AllocationSchedule(x).require_feasible(tiny_instance)
+
+    def test_tolerance(self, tiny_instance):
+        x = random_schedule(tiny_instance, seed=4)
+        x[:, :, 0] *= 1.0 - 1e-9  # violate demand by ~2e-9
+        schedule = AllocationSchedule(x)
+        assert schedule.is_feasible(tiny_instance, tol=1e-6)
+        assert not schedule.is_feasible(tiny_instance, tol=1e-12)
+
+    def test_shape_mismatch(self, tiny_instance):
+        schedule = AllocationSchedule.zeros(2, 2, 2)
+        with pytest.raises(ValueError, match="shape"):
+            schedule.feasibility_report(tiny_instance)
+
+
+class TestFeasibilityReport:
+    def test_worst(self):
+        report = FeasibilityReport(0.1, 0.0, 0.3)
+        assert report.worst() == 0.3
+        assert not report.is_feasible
+
+    def test_clean(self):
+        report = FeasibilityReport(0.0, 0.0, 0.0)
+        assert report.is_feasible

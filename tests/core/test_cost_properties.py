@@ -1,0 +1,115 @@
+"""Property-based invariants of the cost model (paper equations 1-5)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.allocation import AllocationSchedule
+from repro.core.costs import (
+    cost_breakdown,
+    migration_cost,
+    migration_volumes,
+    operation_cost,
+    reconfiguration_cost,
+    service_quality_cost,
+    total_cost,
+)
+from repro.core.problem import CostWeights
+from tests.conftest import make_tiny_instance, random_schedule
+
+seeds = st.integers(min_value=0, max_value=100_000)
+
+
+class TestHomogeneity:
+    @given(seed=seeds, scale=st.floats(min_value=0.05, max_value=0.9))
+    @settings(max_examples=20, deadline=None)
+    def test_all_cost_families_positively_homogeneous(self, seed, scale):
+        """Every cost family satisfies cost(a*x) = a*cost(x) for a > 0.
+
+        (Downscaling keeps schedules feasible w.r.t. capacity; demand
+        feasibility is irrelevant to the cost arithmetic.)
+        """
+        instance = make_tiny_instance(seed=seed % 9)
+        x = random_schedule(instance, seed=seed)
+        base = AllocationSchedule(x)
+        scaled = AllocationSchedule(scale * x)
+        assert np.allclose(
+            operation_cost(scaled, instance), scale * operation_cost(base, instance)
+        )
+        assert np.allclose(
+            reconfiguration_cost(scaled, instance),
+            scale * reconfiguration_cost(base, instance),
+        )
+        assert np.allclose(
+            migration_cost(scaled, instance), scale * migration_cost(base, instance)
+        )
+        # Service quality has the allocation-independent access-delay term.
+        sq_base = service_quality_cost(base, instance)
+        sq_scaled = service_quality_cost(scaled, instance)
+        constant = np.asarray(instance.access_delay).sum(axis=1)
+        assert np.allclose(sq_scaled - constant, scale * (sq_base - constant))
+
+
+class TestWeightLinearity:
+    @given(
+        seed=seeds,
+        w_s=st.floats(min_value=0.1, max_value=10.0),
+        w_d=st.floats(min_value=0.1, max_value=10.0),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_total_cost_is_linear_in_weights(self, seed, w_s, w_d):
+        base = make_tiny_instance(seed=seed % 9)
+        weighted = make_tiny_instance(
+            weights=CostWeights(static=w_s, dynamic=w_d), seed=seed % 9
+        )
+        schedule = AllocationSchedule(random_schedule(base, seed=seed))
+        breakdown = cost_breakdown(schedule, base)
+        expected = w_s * breakdown.static_per_slot.sum() + w_d * (
+            breakdown.dynamic_per_slot.sum()
+        )
+        assert total_cost(schedule, weighted) == pytest.approx(expected, rel=1e-9)
+
+
+class TestTelescoping:
+    @given(seed=seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_total_inflow_dominates_final_load(self, seed):
+        """Sum_t z_in_{i,t} >= x_{i,T}: increases must at least build the
+        final load from the zero baseline."""
+        instance = make_tiny_instance(seed=seed % 9)
+        schedule = AllocationSchedule(random_schedule(instance, seed=seed))
+        _, z_in = migration_volumes(schedule)
+        final_load = schedule.x[-1].sum(axis=1)
+        # Per-user inflow bounds per-user final allocation, hence per cloud.
+        assert np.all(z_in.sum(axis=0) >= final_load - 1e-9)
+
+    @given(seed=seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_reconfiguration_bounded_by_total_inflow_cost_shape(self, seed):
+        """Per cloud: (X_t - X_{t-1})+ <= z_in_{i,t} (aggregate growth can't
+        exceed the per-user inflow sum)."""
+        instance = make_tiny_instance(seed=seed % 9)
+        schedule = AllocationSchedule(random_schedule(instance, seed=seed))
+        totals = schedule.cloud_totals()
+        prev = np.zeros_like(totals)
+        prev[1:] = totals[:-1]
+        growth = np.maximum(totals - prev, 0.0)
+        _, z_in = migration_volumes(schedule)
+        assert np.all(growth <= z_in + 1e-9)
+
+
+class TestShuffleInvariance:
+    @given(seed=seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_operation_cost_invariant_to_user_relabeling(self, seed):
+        """Cost_op depends only on per-cloud totals, not which user is
+        which (eq. 1 sums over j)."""
+        instance = make_tiny_instance(seed=seed % 9)
+        x = random_schedule(instance, seed=seed)
+        rng = np.random.default_rng(seed)
+        perm = rng.permutation(instance.num_users)
+        assert np.allclose(
+            operation_cost(AllocationSchedule(x), instance),
+            operation_cost(AllocationSchedule(x[:, :, perm]), instance),
+        )

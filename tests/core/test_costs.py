@@ -1,0 +1,179 @@
+"""Tests for the four cost functions (eqs. 1, 2, 3, 5)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.allocation import AllocationSchedule
+from repro.core.costs import (
+    cost_breakdown,
+    migration_cost,
+    migration_volumes,
+    operation_cost,
+    positive_part,
+    reconfiguration_cost,
+    service_quality_cost,
+    total_cost,
+)
+from repro.core.problem import CostWeights, ProblemInstance
+from repro.pricing.bandwidth import MigrationPrices
+from tests.conftest import make_tiny_instance, random_schedule
+
+
+def two_cloud_instance(weights: CostWeights | None = None) -> ProblemInstance:
+    """A 2-cloud, 1-user, 2-slot instance with round numbers."""
+    return ProblemInstance(
+        workloads=np.array([1.0]),
+        capacities=np.array([2.0, 2.0]),
+        op_prices=np.array([[1.0, 3.0], [2.0, 1.0]]),
+        reconfig_prices=np.array([0.5, 0.7]),
+        migration_prices=MigrationPrices(
+            out=np.array([0.2, 0.3]), into=np.array([0.4, 0.1])
+        ),
+        inter_cloud_delay=np.array([[0.0, 2.0], [2.0, 0.0]]),
+        attachment=np.array([[0], [1]]),
+        access_delay=np.array([[1.5], [0.5]]),
+        weights=weights or CostWeights(),
+    )
+
+
+def move_schedule() -> AllocationSchedule:
+    """Workload at cloud 0 in slot 0, migrated to cloud 1 in slot 1."""
+    x = np.zeros((2, 2, 1))
+    x[0, 0, 0] = 1.0
+    x[1, 1, 0] = 1.0
+    return AllocationSchedule(x)
+
+
+class TestHandComputed:
+    def test_operation_cost(self):
+        instance = two_cloud_instance()
+        cost = operation_cost(move_schedule(), instance)
+        # Slot 0: a_{0,0} * 1 = 1; slot 1: a_{1,1} * 1 = 1.
+        assert np.allclose(cost, [1.0, 1.0])
+
+    def test_service_quality_cost(self):
+        instance = two_cloud_instance()
+        cost = service_quality_cost(move_schedule(), instance)
+        # Slot 0: user attached to 0, workload at 0 -> access 1.5 + 0.
+        # Slot 1: user attached to 1, workload at 1 -> access 0.5 + 0.
+        assert np.allclose(cost, [1.5, 0.5])
+
+    def test_service_quality_remote_workload(self):
+        instance = two_cloud_instance()
+        x = np.zeros((2, 2, 1))
+        x[:, 0, 0] = 1.0  # workload stays at cloud 0
+        cost = service_quality_cost(AllocationSchedule(x), instance)
+        # Slot 1: attached to 1, served from 0 -> access 0.5 + 1 * d(1,0)/1.
+        assert cost[1] == pytest.approx(0.5 + 2.0)
+
+    def test_reconfiguration_cost(self):
+        instance = two_cloud_instance()
+        cost = reconfiguration_cost(move_schedule(), instance)
+        # Slot 0: cloud 0 grows by 1 -> c_0 = 0.5.
+        # Slot 1: cloud 1 grows by 1 -> c_1 = 0.7 (cloud 0 shrink is free).
+        assert np.allclose(cost, [0.5, 0.7])
+
+    def test_migration_volumes(self):
+        z_out, z_in = migration_volumes(move_schedule())
+        assert np.allclose(z_in, [[1.0, 0.0], [0.0, 1.0]])
+        assert np.allclose(z_out, [[0.0, 0.0], [1.0, 0.0]])
+
+    def test_migration_cost(self):
+        instance = two_cloud_instance()
+        cost = migration_cost(move_schedule(), instance)
+        # Slot 0: 1 unit into cloud 0 -> b_in_0 = 0.4.
+        # Slot 1: 1 out of cloud 0 (0.2) + 1 into cloud 1 (0.1) = 0.3.
+        assert np.allclose(cost, [0.4, 0.3])
+
+    def test_total_matches_sum(self):
+        instance = two_cloud_instance()
+        schedule = move_schedule()
+        expected = (1.0 + 1.0) + (1.5 + 0.5) + (0.5 + 0.7) + (0.4 + 0.3)
+        assert total_cost(schedule, instance) == pytest.approx(expected)
+
+    def test_weights_applied(self):
+        instance = two_cloud_instance(CostWeights(static=2.0, dynamic=3.0))
+        schedule = move_schedule()
+        static = (1.0 + 1.0) + (1.5 + 0.5)
+        dynamic = (0.5 + 0.7) + (0.4 + 0.3)
+        assert total_cost(schedule, instance) == pytest.approx(
+            2.0 * static + 3.0 * dynamic
+        )
+
+
+class TestPositivePart:
+    def test_values(self):
+        assert np.allclose(positive_part(np.array([-1.0, 0.0, 2.5])), [0.0, 0.0, 2.5])
+
+
+class TestBreakdown:
+    def test_components_consistent(self, tiny_instance):
+        schedule = AllocationSchedule(random_schedule(tiny_instance, seed=5))
+        breakdown = cost_breakdown(schedule, tiny_instance)
+        totals = breakdown.totals()
+        assert totals["static"] == pytest.approx(
+            totals["operation"] + totals["service_quality"]
+        )
+        assert totals["dynamic"] == pytest.approx(
+            totals["reconfiguration"] + totals["migration"]
+        )
+        assert totals["total"] == pytest.approx(
+            tiny_instance.weights.static * totals["static"]
+            + tiny_instance.weights.dynamic * totals["dynamic"]
+        )
+        assert breakdown.num_slots == tiny_instance.num_slots
+
+    def test_shape_mismatch(self, tiny_instance):
+        with pytest.raises(ValueError, match="shape"):
+            cost_breakdown(AllocationSchedule.zeros(1, 1, 1), tiny_instance)
+
+    def test_per_slot_sum_equals_total(self, tiny_instance):
+        schedule = AllocationSchedule(random_schedule(tiny_instance, seed=6))
+        breakdown = cost_breakdown(schedule, tiny_instance)
+        assert breakdown.total == pytest.approx(float(breakdown.total_per_slot.sum()))
+
+
+class TestInvariants:
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_all_costs_nonnegative(self, seed):
+        instance = make_tiny_instance(seed=seed % 7)
+        schedule = AllocationSchedule(random_schedule(instance, seed=seed))
+        breakdown = cost_breakdown(schedule, instance)
+        assert np.all(breakdown.operation >= 0)
+        assert np.all(breakdown.service_quality >= 0)
+        assert np.all(breakdown.reconfiguration >= 0)
+        assert np.all(breakdown.migration >= 0)
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_constant_schedule_has_no_dynamic_cost_after_first_slot(self, seed):
+        instance = make_tiny_instance(seed=seed % 5)
+        rng = np.random.default_rng(seed)
+        one_slot = random_schedule(instance, seed=seed)[0]
+        x = np.repeat(one_slot[None, :, :], instance.num_slots, axis=0)
+        breakdown = cost_breakdown(AllocationSchedule(x), instance)
+        assert np.allclose(breakdown.reconfiguration[1:], 0.0)
+        assert np.allclose(breakdown.migration[1:], 0.0)
+        # Slot 0 pays full provisioning from the zero baseline.
+        assert breakdown.reconfiguration[0] > 0
+        assert breakdown.migration[0] > 0
+
+    @given(scale=st.floats(min_value=0.1, max_value=5.0))
+    @settings(max_examples=15, deadline=None)
+    def test_operation_cost_is_linear_in_allocation(self, scale):
+        instance = make_tiny_instance()
+        x = random_schedule(instance, seed=1)
+        base = operation_cost(AllocationSchedule(x), instance)
+        scaled = operation_cost(AllocationSchedule(scale * x), instance)
+        assert np.allclose(scaled, scale * base)
+
+    def test_migration_conservation(self, tiny_instance):
+        # Total inflow - total outflow equals the change in total allocation.
+        schedule = AllocationSchedule(random_schedule(tiny_instance, seed=9))
+        z_out, z_in = migration_volumes(schedule)
+        totals = schedule.cloud_totals().sum(axis=1)
+        prev = np.concatenate([[0.0], totals[:-1]])
+        assert np.allclose((z_in - z_out).sum(axis=1), totals - prev)

@@ -1,0 +1,113 @@
+"""Tests for integral (VM-granular) rounding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.allocation import AllocationSchedule
+from repro.core.regularization import OnlineRegularizedAllocator
+from repro.core.rounding import (
+    RoundingError,
+    integrality_gap,
+    repair_capacity,
+    round_schedule,
+    round_user_allocation,
+)
+from tests.conftest import make_tiny_instance, random_schedule
+
+
+class TestRoundUser:
+    def test_sums_to_workload(self):
+        y = round_user_allocation(np.array([0.4, 1.3, 2.3]), 4.0)
+        assert y.sum() == 4
+        assert np.issubdtype(y.dtype, np.integer)
+
+    def test_already_integral_unchanged(self):
+        y = round_user_allocation(np.array([1.0, 0.0, 3.0]), 4.0)
+        assert list(y) == [1, 0, 3]
+
+    def test_largest_remainder_wins(self):
+        # Scaled values are [0.9, 0.1, 1.0]; the extra unit goes to index 0.
+        y = round_user_allocation(np.array([0.9, 0.1, 1.0]), 2.0)
+        assert list(y) == [1, 0, 1]
+
+    def test_zero_column_fallback(self):
+        y = round_user_allocation(np.zeros(3), 2.0)
+        assert y.sum() == 2
+
+    def test_non_integer_workload_rejected(self):
+        with pytest.raises(ValueError):
+            round_user_allocation(np.array([1.0, 1.0]), 2.5)
+
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        workload=st.integers(min_value=1, max_value=50),
+        clouds=st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_exact_sum_and_proximity(self, seed, workload, clouds):
+        rng = np.random.default_rng(seed)
+        x = rng.uniform(0.0, 1.0, size=clouds)
+        y = round_user_allocation(x, float(workload))
+        assert y.sum() == workload
+        assert y.min() >= 0
+        # Largest-remainder never moves any entry by a full unit from the
+        # rescaled fractional value.
+        total = x.sum()
+        if total > 0:
+            scaled = x * workload / total
+            assert np.all(np.abs(y - scaled) < 1.0 + 1e-9)
+
+
+class TestRepairCapacity:
+    def test_noop_when_feasible(self):
+        y = np.array([[1, 1], [1, 0]])
+        out = repair_capacity(y, np.array([3.0, 3.0]), np.zeros((2, 2)))
+        assert np.array_equal(out, y)
+
+    def test_moves_overflow(self):
+        y = np.array([[3, 2], [0, 0]])
+        out = repair_capacity(y, np.array([4.0, 4.0]), np.ones((2, 2)))
+        assert out.sum(axis=1)[0] <= 4
+        assert out.sum() == 5  # units conserved
+        assert np.array_equal(out.sum(axis=0), y.sum(axis=0))  # per user too
+
+    def test_prefers_cheaper_destination(self):
+        y = np.array([[2], [0], [0]])
+        prices = np.array([[0.0], [5.0], [1.0]])
+        out = repair_capacity(y, np.array([1.0, 5.0, 5.0]), prices)
+        assert out[2, 0] == 1  # cheaper than cloud 1
+
+    def test_impossible_repair_raises(self):
+        y = np.array([[3], [0]])
+        with pytest.raises(RoundingError):
+            repair_capacity(y, np.array([1.0, 0.5]), np.zeros((2, 1)))
+
+
+class TestRoundSchedule:
+    def test_feasible_and_integral(self, tiny_instance):
+        fractional = AllocationSchedule(random_schedule(tiny_instance, seed=1))
+        rounded = round_schedule(fractional, tiny_instance)
+        assert np.allclose(rounded.x, np.rint(rounded.x))
+        rounded.require_feasible(tiny_instance, tol=1e-9)
+        # Demand met exactly (workloads are integers in the tiny instance).
+        assert np.allclose(
+            rounded.user_totals(), np.asarray(tiny_instance.workloads)[None, :]
+        )
+
+    def test_integrality_gap_small_on_online_solution(self):
+        instance = make_tiny_instance(seed=3)
+        schedule = OnlineRegularizedAllocator().run(instance)
+        rounded, gap = integrality_gap(schedule, instance)
+        assert rounded.is_feasible(instance, tol=1e-9)
+        # Rounding the regularized solution costs a modest premium.
+        assert -0.05 < gap < 0.5
+
+    def test_integral_input_roundtrips(self, tiny_instance):
+        # Build an integral feasible schedule: all workload at the attached
+        # cloud would break capacity; use capacity-aware rounding output.
+        fractional = AllocationSchedule(random_schedule(tiny_instance, seed=2))
+        once = round_schedule(fractional, tiny_instance)
+        twice = round_schedule(once, tiny_instance)
+        assert np.array_equal(once.x, twice.x)

@@ -1,0 +1,68 @@
+"""Tests for the capacity sweep and the continuous-day Figure 2 variant."""
+
+import pytest
+
+from repro.experiments.capacity import run_capacity_sweep
+from repro.experiments.fig2 import run_fig2_continuous_day
+from repro.experiments.settings import ExperimentScale
+
+TINY = ExperimentScale(num_users=4, num_slots=3, repetitions=1, seed=31)
+
+
+class TestCapacitySweep:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return run_capacity_sweep(TINY, factors=(1.1, 2.0))
+
+    def test_labels(self, points):
+        assert [p.label for p in points] == ["capacity=1.1x", "capacity=2x"]
+
+    def test_ratios_sane(self, points):
+        for point in points:
+            assert 1.0 - 1e-9 <= point.mean_ratio("online-approx") < 2.0
+            assert point.stats["offline-opt"][0] == pytest.approx(1.0)
+
+    def test_capacity_actually_varies(self):
+        from dataclasses import replace
+
+        from repro.simulation.scenario import Scenario
+
+        base = Scenario(num_users=4, num_slots=2)
+        tight = replace(base, overprovision=1.05).build(seed=1)
+        loose = replace(base, overprovision=2.0).build(seed=1)
+        assert loose.capacities.sum() > 1.8 * tight.capacities.sum()
+
+
+class TestContinuousDay:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return run_fig2_continuous_day(TINY, hours=("3pm", "4pm"))
+
+    def test_one_point_per_hour(self, points):
+        assert [p.label for p in points] == ["3pm", "4pm"]
+
+    def test_full_roster_present(self, points):
+        expected = {
+            "offline-opt",
+            "online-greedy",
+            "online-approx",
+            "perf-opt",
+            "oper-opt",
+            "stat-opt",
+        }
+        for point in points:
+            assert set(point.stats) == expected
+
+    def test_hours_share_the_day(self, points):
+        # Consecutive hours come from one instance: same capacities (the
+        # day-level provisioning) in the underlying comparisons.
+        import numpy as np
+
+        first = points[0].comparisons[0].results["offline-opt"].schedule
+        second = points[1].comparisons[0].results["offline-opt"].schedule
+        assert first.num_users == second.num_users
+
+    def test_ratios_at_least_one(self, points):
+        for point in points:
+            for name, (mean, _) in point.stats.items():
+                assert mean >= 1.0 - 1e-9, (point.label, name)

@@ -1,0 +1,107 @@
+"""Smoke tests of the figure drivers at minimal scale.
+
+These verify the experiment plumbing end-to-end: every driver runs, the
+offline baseline normalizes to 1, reports render. The committed
+paper-shape numbers live in the benchmarks (see EXPERIMENTS.md); here the
+scale is kept minimal so the whole suite stays fast.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentScale,
+    fig2_report,
+    fig3_report,
+    fig4_report,
+    fig5_report,
+    run_eps_sweep,
+    run_fig2,
+    run_fig3,
+    run_fig5,
+    run_mu_sweep,
+    theoretical_bounds,
+)
+
+TINY = ExperimentScale(num_users=4, num_slots=3, repetitions=1, seed=42)
+
+
+@pytest.fixture(scope="module")
+def fig2_points():
+    return run_fig2(TINY, hours=("3pm",))
+
+
+class TestFig2:
+    def test_point_structure(self, fig2_points):
+        assert len(fig2_points) == 1
+        point = fig2_points[0]
+        assert point.label == "3pm"
+        expected = {
+            "offline-opt",
+            "online-greedy",
+            "online-approx",
+            "perf-opt",
+            "oper-opt",
+            "stat-opt",
+        }
+        assert set(point.stats) == expected
+
+    def test_offline_normalizes_to_one(self, fig2_points):
+        mean, std = fig2_points[0].stats["offline-opt"]
+        assert mean == pytest.approx(1.0)
+        assert std == pytest.approx(0.0)
+
+    def test_all_ratios_at_least_one(self, fig2_points):
+        for name, (mean, _std) in fig2_points[0].stats.items():
+            assert mean >= 1.0 - 1e-9, name
+
+    def test_report_renders(self, fig2_points):
+        report = fig2_report(fig2_points)
+        assert "Figure 2" in report
+        assert "online-approx" in report
+        assert "paper" in report
+
+
+class TestFig3:
+    def test_distributions_covered(self):
+        points = run_fig3(TINY, distributions=("uniform",))
+        assert points[0].label == "uniform"
+        report = fig3_report(points)
+        assert "uniform" in report
+
+
+class TestFig4:
+    def test_eps_sweep(self):
+        points = run_eps_sweep(TINY, eps_values=(0.1, 10.0))
+        assert [p.label for p in points] == ["eps=0.1", "eps=10"]
+        for point in points:
+            assert point.stats["online-approx"][0] >= 1.0 - 1e-9
+
+    def test_mu_sweep(self):
+        points = run_mu_sweep(TINY, mu_values=(0.1, 10.0))
+        assert [p.label for p in points] == ["mu=0.1", "mu=10"]
+
+    def test_theoretical_bounds_monotone(self):
+        bounds = theoretical_bounds(TINY, eps_values=(0.1, 1.0, 10.0))
+        values = list(bounds.values())
+        assert values[0] >= values[1] >= values[2]
+
+    def test_report_renders(self):
+        eps_points = run_eps_sweep(TINY, eps_values=(1.0,))
+        mu_points = run_mu_sweep(TINY, mu_values=(1.0,))
+        bounds = theoretical_bounds(TINY, eps_values=(1.0,))
+        report = fig4_report(eps_points, mu_points, bounds)
+        assert "eps" in report
+        assert "mu" in report
+        assert "Theorem 2" in report
+
+
+class TestFig5:
+    def test_user_sweep(self):
+        points = run_fig5(TINY, user_counts=(3, 5))
+        assert [p.label for p in points] == ["users=3", "users=5"]
+        report = fig5_report(points)
+        assert "Figure 5" in report
+
+    def test_stay_bias_accepted(self):
+        points = run_fig5(TINY, user_counts=(3,), stay_bias=2.0)
+        assert points[0].stats["online-approx"][0] >= 1.0 - 1e-9

@@ -1,0 +1,72 @@
+"""Tests that the Figure 1 worked examples reproduce the paper exactly."""
+
+import pytest
+
+from repro.experiments.fig1 import (
+    EXAMPLE_A,
+    EXAMPLE_B,
+    PAPER_TOTALS,
+    Fig1Example,
+    run_example,
+    run_fig1,
+)
+
+
+class TestPaperNumbers:
+    def test_example_a_totals(self):
+        result = run_example(EXAMPLE_A)
+        greedy_expected, optimal_expected = PAPER_TOTALS["a"]
+        assert result.greedy_cost == pytest.approx(greedy_expected)
+        assert result.optimal_cost == pytest.approx(optimal_expected)
+
+    def test_example_b_totals(self):
+        result = run_example(EXAMPLE_B)
+        greedy_expected, optimal_expected = PAPER_TOTALS["b"]
+        assert result.greedy_cost == pytest.approx(greedy_expected)
+        assert result.optimal_cost == pytest.approx(optimal_expected)
+
+    def test_example_a_placements(self):
+        # Too aggressive: greedy follows the user A-B-A, optimum stays at A.
+        result = run_example(EXAMPLE_A)
+        assert result.greedy_placements == ("A", "B", "A")
+        assert result.optimal_placements == ("A", "A", "A")
+
+    def test_example_b_placements(self):
+        # Too conservative: greedy stays at A, optimum migrates to B.
+        result = run_example(EXAMPLE_B)
+        assert result.greedy_placements == ("A", "A", "A")
+        assert result.optimal_placements == ("A", "B", "B")
+
+    def test_run_fig1_keys(self):
+        results = run_fig1()
+        assert set(results) == {"a", "b"}
+
+    def test_gaps_positive(self):
+        for result in run_fig1().values():
+            assert result.gap > 0.15  # greedy is ~20% worse in both examples
+
+
+class TestExampleMechanics:
+    def test_slot_cost_components(self):
+        # Serving remotely adds the delay; migrating adds both dynamic costs.
+        ex = EXAMPLE_A
+        assert ex.slot_cost("A", "A", migrated=False) == pytest.approx(2.5)
+        assert ex.slot_cost("A", "B", migrated=False) == pytest.approx(2.5 + 2.1)
+        assert ex.slot_cost("B", "B", migrated=True) == pytest.approx(2.5 + 2.0)
+
+    def test_total_cost_requires_full_placement(self):
+        with pytest.raises(ValueError):
+            EXAMPLE_A.total_cost(("A",))
+
+    def test_greedy_tie_breaks_toward_not_migrating(self):
+        # With delay exactly equal to migration + reconfiguration cost the
+        # two choices tie; min() keeps the first (stay) option.
+        example = Fig1Example(name="tie", user_path=("A", "B"), inter_cloud_delay=2.0)
+        assert example.greedy_placements() == ("A", "A")
+
+    def test_optimal_exhaustive_matches_greedy_when_greedy_is_right(self):
+        # With a huge delay cost, following the user is optimal and greedy
+        # does exactly that.
+        example = Fig1Example(name="big", user_path=("A", "B", "B"), inter_cloud_delay=10.0)
+        result = run_example(example)
+        assert result.greedy_cost == pytest.approx(result.optimal_cost)

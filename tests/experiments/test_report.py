@@ -1,0 +1,40 @@
+"""Tests for the table renderer."""
+
+import pytest
+
+from repro.experiments.report import format_mean_std, format_table
+
+
+class TestFormatTable:
+    def test_basic(self):
+        table = format_table(["name", "value"], [["a", 1.5], ["bb", 2.0]])
+        lines = table.splitlines()
+        assert lines[0].startswith("name")
+        assert "----" in lines[1]
+        assert lines[2].startswith("a")
+        assert "1.500" in lines[2]
+
+    def test_column_widths_adapt(self):
+        table = format_table(["x"], [["very-long-cell-value"]])
+        header, rule, row = table.splitlines()
+        assert len(rule) >= len("very-long-cell-value")
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_empty_rows(self):
+        table = format_table(["a"], [])
+        assert len(table.splitlines()) == 2  # header + rule only
+
+    def test_non_float_cells_passed_through(self):
+        table = format_table(["k", "v"], [["key", "text"]])
+        assert "text" in table
+
+
+class TestMeanStd:
+    def test_format(self):
+        assert format_mean_std(1.1234, 0.0567) == "1.123 +/- 0.057"
+
+    def test_digits(self):
+        assert format_mean_std(1.0, 0.5, digits=1) == "1.0 +/- 0.5"

@@ -1,0 +1,49 @@
+"""Tests for the mobility-robustness driver."""
+
+import pytest
+
+from repro.experiments.robustness import (
+    mobility_suite,
+    robustness_spread,
+    run_mobility_robustness,
+)
+from repro.experiments.settings import ExperimentScale
+from repro.topology.metro import rome_metro_topology
+
+
+class TestMobilitySuite:
+    def test_four_processes(self):
+        suite = mobility_suite(rome_metro_topology())
+        assert set(suite) == {"taxi", "uniform-walk", "lazy-markov", "levy-flight"}
+
+    def test_all_generate_valid_traces(self):
+        import numpy as np
+
+        topo = rome_metro_topology()
+        for name, model in mobility_suite(topo).items():
+            trace = model.generate(4, 3, np.random.default_rng(0))
+            assert trace.num_clouds == topo.num_sites, name
+            assert trace.attachment.shape == (3, 4), name
+
+
+class TestRobustnessRun:
+    @pytest.fixture(scope="class")
+    def points(self):
+        scale = ExperimentScale(num_users=4, num_slots=3, repetitions=1, seed=9)
+        return run_mobility_robustness(scale)
+
+    def test_one_point_per_process(self, points):
+        assert [p.label for p in points] == [
+            "taxi",
+            "uniform-walk",
+            "lazy-markov",
+            "levy-flight",
+        ]
+
+    def test_ratios_sane(self, points):
+        for point in points:
+            assert 1.0 - 1e-9 <= point.mean_ratio("online-approx") < 2.0
+
+    def test_spread(self, points):
+        spread = robustness_spread(points, "online-approx")
+        assert 0.0 <= spread < 1.0

@@ -1,0 +1,58 @@
+"""Tests for the generic ratio-experiment runner."""
+
+import pytest
+
+from repro.experiments.runner import RatioPoint, ratio_table, run_ratio_point
+from repro.experiments.settings import holistic_algorithms
+from repro.simulation.scenario import Scenario
+
+
+@pytest.fixture(scope="module")
+def point():
+    scenario = Scenario(num_users=4, num_slots=3)
+    return run_ratio_point(
+        "case-a", scenario, holistic_algorithms(), repetitions=2, seed=77
+    )
+
+
+class TestRunRatioPoint:
+    def test_label_and_stats(self, point):
+        assert point.label == "case-a"
+        assert set(point.stats) == {"offline-opt", "online-greedy", "online-approx"}
+
+    def test_offline_is_exactly_one(self, point):
+        mean, std = point.stats["offline-opt"]
+        assert mean == pytest.approx(1.0)
+        assert std == pytest.approx(0.0)
+
+    def test_repetitions_recorded(self, point):
+        assert len(point.comparisons) == 2
+
+    def test_repetitions_use_distinct_seeds(self, point):
+        costs = [c.baseline_cost for c in point.comparisons]
+        assert costs[0] != costs[1]
+
+    def test_mean_ratio_accessor(self, point):
+        assert point.mean_ratio("online-approx") == point.stats["online-approx"][0]
+
+
+class TestRatioTable:
+    def test_renders_all_points(self, point):
+        table = ratio_table([point], axis_name="case")
+        assert "case-a" in table
+        assert "online-approx" in table
+        # The normalizer column is omitted (always 1.0).
+        assert "offline-opt" not in table.splitlines()[0]
+
+    def test_empty(self):
+        assert ratio_table([]) == "(no data)"
+
+    def test_custom_axis_name(self, point):
+        table = ratio_table([point], axis_name="hour")
+        assert table.splitlines()[0].startswith("hour")
+
+    def test_multiple_points(self, point):
+        other = RatioPoint(label="case-b", stats=point.stats, comparisons=[])
+        table = ratio_table([point, other])
+        assert "case-a" in table
+        assert "case-b" in table

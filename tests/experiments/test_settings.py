@@ -1,0 +1,57 @@
+"""Tests for experiment settings and algorithm rosters."""
+
+import pytest
+
+from repro.experiments.settings import (
+    PAPER_NUM_SLOTS,
+    PAPER_NUM_USERS,
+    PAPER_REPETITIONS,
+    ExperimentScale,
+    all_paper_algorithms,
+    atomistic_algorithms,
+    holistic_algorithms,
+)
+
+
+class TestExperimentScale:
+    def test_defaults_are_laptop_sized(self):
+        scale = ExperimentScale()
+        assert scale.num_users < 100
+        assert scale.num_slots < 60
+        assert scale.eps > 0
+
+    def test_paper_scale(self):
+        scale = ExperimentScale.paper()
+        assert scale.num_users == PAPER_NUM_USERS == 300
+        assert scale.num_slots == PAPER_NUM_SLOTS == 60
+        assert scale.repetitions == PAPER_REPETITIONS == 5
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            ExperimentScale().num_users = 5
+
+
+class TestRosters:
+    def test_holistic_contents(self):
+        names = {a.name for a in holistic_algorithms()}
+        assert names == {"offline-opt", "online-greedy", "online-approx"}
+
+    def test_atomistic_contents(self):
+        names = {a.name for a in atomistic_algorithms()}
+        assert names == {"perf-opt", "oper-opt", "stat-opt"}
+
+    def test_all_paper_algorithms(self):
+        names = {a.name for a in all_paper_algorithms()}
+        assert len(names) == 6
+        assert "offline-opt" in names
+
+    def test_eps_applied_to_approx(self):
+        algorithms = holistic_algorithms(eps=0.25)
+        approx = next(a for a in algorithms if a.name == "online-approx")
+        assert approx.eps1 == approx.eps2 == 0.25
+
+    def test_fresh_instances_per_call(self):
+        # Rosters must not share mutable algorithm state between calls.
+        first = holistic_algorithms()
+        second = holistic_algorithms()
+        assert first[2] is not second[2]

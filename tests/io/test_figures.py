@@ -1,0 +1,59 @@
+"""Round-trip tests for figure-data CSV export."""
+
+import pytest
+
+from repro.experiments.runner import RatioPoint
+from repro.io.figures import load_ratio_points_csv, save_ratio_points_csv
+
+
+def make_points():
+    return [
+        RatioPoint(
+            label="3pm",
+            stats={"offline-opt": (1.0, 0.0), "online-approx": (1.15, 0.02)},
+            comparisons=[],
+        ),
+        RatioPoint(
+            label="4pm",
+            stats={"offline-opt": (1.0, 0.0), "online-approx": (1.18, 0.01)},
+            comparisons=[],
+        ),
+    ]
+
+
+class TestFigureCsv:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "fig2.csv"
+        save_ratio_points_csv(make_points(), path)
+        data = load_ratio_points_csv(path)
+        assert set(data) == {"3pm", "4pm"}
+        mean, std = data["3pm"]["online-approx"]
+        assert mean == pytest.approx(1.15)
+        assert std == pytest.approx(0.02)
+
+    def test_exact_float_round_trip(self, tmp_path):
+        # repr-based serialization keeps full float precision.
+        points = [
+            RatioPoint(
+                label="x",
+                stats={"a": (1.123456789012345, 0.000000001234)},
+                comparisons=[],
+            )
+        ]
+        path = tmp_path / "exact.csv"
+        save_ratio_points_csv(points, path)
+        mean, std = load_ratio_points_csv(path)["x"]["a"]
+        assert mean == 1.123456789012345
+        assert std == 0.000000001234
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("label,algorithm,mean_ratio,std_ratio\n")
+        with pytest.raises(ValueError, match="empty"):
+            load_ratio_points_csv(path)
+
+    def test_empty_points_list(self, tmp_path):
+        path = tmp_path / "none.csv"
+        save_ratio_points_csv([], path)
+        with pytest.raises(ValueError):
+            load_ratio_points_csv(path)

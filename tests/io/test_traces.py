@@ -1,0 +1,84 @@
+"""Round-trip tests for trace serialization."""
+
+import numpy as np
+import pytest
+
+from repro.io.traces import (
+    load_trace_csv,
+    load_trace_json,
+    save_trace_csv,
+    save_trace_json,
+    trace_from_dict,
+    trace_to_dict,
+)
+from repro.mobility.base import MobilityTrace
+from repro.mobility.taxi import TaxiMobility
+from repro.topology.metro import rome_metro_topology
+
+
+@pytest.fixture
+def taxi_trace():
+    topo = rome_metro_topology()
+    return TaxiMobility(topo).generate(4, 5, np.random.default_rng(0))
+
+
+@pytest.fixture
+def plain_trace():
+    return MobilityTrace(
+        attachment=np.array([[0, 1], [2, 1]]),
+        access_delay=np.array([[0.5, 0.0], [1.5, 0.25]]),
+        num_clouds=3,
+    )
+
+
+class TestDictRoundTrip:
+    def test_with_positions(self, taxi_trace):
+        restored = trace_from_dict(trace_to_dict(taxi_trace))
+        assert np.array_equal(restored.attachment, taxi_trace.attachment)
+        assert np.allclose(restored.access_delay, taxi_trace.access_delay)
+        assert np.allclose(restored.positions, taxi_trace.positions)
+
+    def test_without_positions(self, plain_trace):
+        restored = trace_from_dict(trace_to_dict(plain_trace))
+        assert restored.positions is None
+        assert np.array_equal(restored.attachment, plain_trace.attachment)
+
+
+class TestJsonRoundTrip:
+    def test_round_trip(self, taxi_trace, tmp_path):
+        path = tmp_path / "trace.json"
+        save_trace_json(taxi_trace, path)
+        restored = load_trace_json(path)
+        assert np.array_equal(restored.attachment, taxi_trace.attachment)
+        assert restored.num_clouds == taxi_trace.num_clouds
+
+
+class TestCsvRoundTrip:
+    def test_round_trip_with_positions(self, taxi_trace, tmp_path):
+        path = tmp_path / "trace.csv"
+        save_trace_csv(taxi_trace, path)
+        restored = load_trace_csv(path, num_clouds=taxi_trace.num_clouds)
+        assert np.array_equal(restored.attachment, taxi_trace.attachment)
+        assert np.allclose(restored.access_delay, taxi_trace.access_delay)
+        assert np.allclose(restored.positions, taxi_trace.positions)
+
+    def test_round_trip_without_positions(self, plain_trace, tmp_path):
+        path = tmp_path / "trace.csv"
+        save_trace_csv(plain_trace, path)
+        restored = load_trace_csv(path, num_clouds=3)
+        assert restored.positions is None
+        assert np.array_equal(restored.attachment, plain_trace.attachment)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("slot,user,cloud,access_delay\n")
+        with pytest.raises(ValueError, match="empty"):
+            load_trace_csv(path, num_clouds=2)
+
+    def test_missing_entries_rejected(self, tmp_path):
+        path = tmp_path / "partial.csv"
+        path.write_text(
+            "slot,user,cloud,access_delay\n0,0,1,0.0\n1,1,0,0.0\n"
+        )
+        with pytest.raises(ValueError, match="missing"):
+            load_trace_csv(path, num_clouds=2)

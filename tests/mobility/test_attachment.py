@@ -1,0 +1,65 @@
+"""Tests for GPS -> nearest-cloud attachment (Voronoi coverage)."""
+
+import numpy as np
+import pytest
+
+from repro.mobility.attachment import nearest_cloud_attachment
+from repro.topology.geo import GeoPoint
+from repro.topology.metro import rome_metro_topology
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return rome_metro_topology()
+
+
+class TestNearestAttachment:
+    def test_exact_station_position(self, topo):
+        positions = np.array([[p.lat, p.lon] for p in topo.points])
+        attachment, delay = nearest_cloud_attachment(positions, topo)
+        assert np.array_equal(attachment, np.arange(topo.num_sites))
+        assert np.allclose(delay, 0.0)
+
+    def test_matches_brute_force(self, topo):
+        rng = np.random.default_rng(0)
+        lat_min, lat_max, lon_min, lon_max = topo.bounding_box()
+        positions = np.stack(
+            [
+                rng.uniform(lat_min, lat_max, size=50),
+                rng.uniform(lon_min, lon_max, size=50),
+            ],
+            axis=1,
+        )
+        attachment, delay = nearest_cloud_attachment(positions, topo)
+        for k in range(50):
+            point = GeoPoint(positions[k, 0], positions[k, 1])
+            dists = [point.distance_km(p) for p in topo.points]
+            assert attachment[k] == int(np.argmin(dists))
+            assert delay[k] == pytest.approx(min(dists), rel=1e-9)
+
+    def test_multidimensional_batch(self, topo):
+        rng = np.random.default_rng(1)
+        positions = np.stack(
+            [
+                rng.uniform(41.88, 41.91, size=(4, 3)),
+                rng.uniform(12.45, 12.50, size=(4, 3)),
+            ],
+            axis=-1,
+        )
+        attachment, delay = nearest_cloud_attachment(positions, topo)
+        assert attachment.shape == (4, 3)
+        assert delay.shape == (4, 3)
+
+    def test_price_scaling(self, topo):
+        positions = np.array([[41.895, 12.49]])
+        _, d1 = nearest_cloud_attachment(positions, topo, price_per_km=1.0)
+        _, d3 = nearest_cloud_attachment(positions, topo, price_per_km=3.0)
+        assert d3[0] == pytest.approx(3.0 * d1[0])
+
+    def test_invalid_last_axis(self, topo):
+        with pytest.raises(ValueError):
+            nearest_cloud_attachment(np.zeros((3, 3)), topo)
+
+    def test_negative_price(self, topo):
+        with pytest.raises(ValueError):
+            nearest_cloud_attachment(np.zeros((1, 2)), topo, price_per_km=-1.0)

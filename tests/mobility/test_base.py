@@ -1,0 +1,117 @@
+"""Tests for the MobilityTrace container."""
+
+import numpy as np
+import pytest
+
+from repro.mobility.base import MobilityTrace
+
+
+def make_trace(num_slots=4, num_users=3, num_clouds=5):
+    rng = np.random.default_rng(0)
+    attachment = rng.integers(0, num_clouds, size=(num_slots, num_users))
+    access = rng.uniform(0, 1, size=(num_slots, num_users))
+    return MobilityTrace(attachment=attachment, access_delay=access, num_clouds=num_clouds)
+
+
+class TestValidation:
+    def test_valid(self):
+        trace = make_trace()
+        assert trace.num_slots == 4
+        assert trace.num_users == 3
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            MobilityTrace(
+                attachment=np.zeros((2, 3), dtype=int),
+                access_delay=np.zeros((3, 2)),
+                num_clouds=1,
+            )
+
+    def test_non_integer_attachment(self):
+        with pytest.raises(ValueError, match="integer"):
+            MobilityTrace(
+                attachment=np.zeros((2, 2)),
+                access_delay=np.zeros((2, 2)),
+                num_clouds=1,
+            )
+
+    def test_out_of_range_attachment(self):
+        with pytest.raises(ValueError):
+            MobilityTrace(
+                attachment=np.full((2, 2), 7, dtype=int),
+                access_delay=np.zeros((2, 2)),
+                num_clouds=3,
+            )
+
+    def test_negative_delay(self):
+        with pytest.raises(ValueError):
+            MobilityTrace(
+                attachment=np.zeros((2, 2), dtype=int),
+                access_delay=np.full((2, 2), -1.0),
+                num_clouds=1,
+            )
+
+    def test_nonpositive_num_clouds(self):
+        with pytest.raises(ValueError):
+            MobilityTrace(
+                attachment=np.zeros((1, 1), dtype=int),
+                access_delay=np.zeros((1, 1)),
+                num_clouds=0,
+            )
+
+    def test_positions_shape_checked(self):
+        with pytest.raises(ValueError, match="positions"):
+            MobilityTrace(
+                attachment=np.zeros((2, 2), dtype=int),
+                access_delay=np.zeros((2, 2)),
+                num_clouds=1,
+                positions=np.zeros((2, 2, 3)),
+            )
+
+    def test_1d_attachment_rejected(self):
+        with pytest.raises(ValueError):
+            MobilityTrace(
+                attachment=np.zeros(3, dtype=int),
+                access_delay=np.zeros(3),
+                num_clouds=1,
+            )
+
+
+class TestOperations:
+    def test_slice_slots(self):
+        trace = make_trace(num_slots=6)
+        sub = trace.slice_slots(2, 5)
+        assert sub.num_slots == 3
+        assert np.array_equal(sub.attachment, trace.attachment[2:5])
+        assert sub.num_clouds == trace.num_clouds
+
+    def test_slice_invalid_range(self):
+        trace = make_trace(num_slots=4)
+        with pytest.raises(ValueError):
+            trace.slice_slots(3, 2)
+        with pytest.raises(ValueError):
+            trace.slice_slots(0, 9)
+
+    def test_slice_preserves_positions(self):
+        trace = MobilityTrace(
+            attachment=np.zeros((3, 2), dtype=int),
+            access_delay=np.zeros((3, 2)),
+            num_clouds=1,
+            positions=np.arange(12, dtype=float).reshape(3, 2, 2),
+        )
+        sub = trace.slice_slots(1, 3)
+        assert sub.positions.shape == (2, 2, 2)
+        assert np.array_equal(sub.positions, trace.positions[1:3])
+
+    def test_switch_count(self):
+        attachment = np.array([[0, 1], [0, 2], [1, 2]])
+        trace = MobilityTrace(
+            attachment=attachment,
+            access_delay=np.zeros((3, 2)),
+            num_clouds=3,
+        )
+        # User 0 switches once (slot 2), user 1 switches once (slot 1).
+        assert trace.switch_count() == 2
+
+    def test_switch_count_single_slot(self):
+        assert make_trace(num_slots=1).switch_count() == 0

@@ -1,0 +1,109 @@
+"""Tests for Levy-flight mobility."""
+
+import numpy as np
+import pytest
+
+from repro.mobility.attachment import nearest_cloud_attachment
+from repro.mobility.levy import LevyFlightMobility, _reflect
+from repro.mobility.stats import trace_stats
+from repro.topology.metro import rome_metro_topology
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return rome_metro_topology()
+
+
+class TestLevyFlight:
+    def test_shapes(self, topo):
+        trace = LevyFlightMobility(topo).generate(5, 8, rng())
+        assert trace.attachment.shape == (8, 5)
+        assert trace.positions.shape == (8, 5, 2)
+
+    def test_positions_inside_bounding_box(self, topo):
+        trace = LevyFlightMobility(topo).generate(20, 40, rng(1))
+        lat_min, lat_max, lon_min, lon_max = topo.bounding_box()
+        assert trace.positions[..., 0].min() >= lat_min - 1e-9
+        assert trace.positions[..., 0].max() <= lat_max + 1e-9
+        assert trace.positions[..., 1].min() >= lon_min - 1e-9
+        assert trace.positions[..., 1].max() <= lon_max + 1e-9
+
+    def test_attachment_is_nearest(self, topo):
+        trace = LevyFlightMobility(topo).generate(6, 10, rng(2))
+        attachment, delay = nearest_cloud_attachment(trace.positions, topo)
+        assert np.array_equal(trace.attachment, attachment)
+        assert np.allclose(trace.access_delay, delay)
+
+    def test_heavy_tail_jump_lengths(self, topo):
+        model = LevyFlightMobility(topo, min_jump_km=0.1, max_jump_km=10.0)
+        lengths = model._jump_lengths(rng(3), 20_000)
+        assert lengths.min() >= 0.1 - 1e-12
+        assert lengths.max() <= 10.0 + 1e-12
+        # Heavy tail: the mean far exceeds the median.
+        assert lengths.mean() > 1.5 * np.median(lengths)
+
+    def test_pause_probability_reduces_switching(self, topo):
+        mobile = LevyFlightMobility(topo, pause_probability=0.0).generate(
+            50, 20, rng(4)
+        )
+        paused = LevyFlightMobility(topo, pause_probability=0.9).generate(
+            50, 20, rng(4)
+        )
+        assert trace_stats(paused).switch_rate < trace_stats(mobile).switch_rate
+
+    def test_deterministic_per_seed(self, topo):
+        model = LevyFlightMobility(topo)
+        a = model.generate(4, 6, rng(9))
+        b = model.generate(4, 6, rng(9))
+        assert np.array_equal(a.attachment, b.attachment)
+
+    def test_empty(self, topo):
+        model = LevyFlightMobility(topo)
+        assert model.generate(0, 3, rng()).attachment.shape == (3, 0)
+        assert model.generate(3, 0, rng()).attachment.shape == (0, 3)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"alpha": 1.0},
+            {"min_jump_km": 0.0},
+            {"min_jump_km": 5.0, "max_jump_km": 1.0},
+            {"pause_probability": 1.0},
+        ],
+    )
+    def test_invalid_parameters(self, topo, kwargs):
+        with pytest.raises(ValueError):
+            LevyFlightMobility(topo, **kwargs)
+
+    def test_works_as_scenario_mobility(self, topo):
+        from repro.simulation.scenario import Scenario
+
+        scenario = Scenario(
+            topology=topo,
+            mobility=LevyFlightMobility(topo),
+            num_users=4,
+            num_slots=3,
+        )
+        instance = scenario.build(seed=1)
+        assert instance.num_users == 4
+
+
+class TestReflect:
+    def test_inside_unchanged(self):
+        values = np.array([0.3, 0.7])
+        assert np.allclose(_reflect(values, 0.0, 1.0), values)
+
+    def test_reflects_over(self):
+        assert _reflect(np.array([1.3]), 0.0, 1.0)[0] == pytest.approx(0.7)
+
+    def test_reflects_under(self):
+        assert _reflect(np.array([-0.2]), 0.0, 1.0)[0] == pytest.approx(0.2)
+
+    def test_clips_extremes(self):
+        out = _reflect(np.array([5.0, -5.0]), 0.0, 1.0)
+        assert out.min() >= 0.0
+        assert out.max() <= 1.0

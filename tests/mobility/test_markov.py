@@ -1,0 +1,94 @@
+"""Tests for Markov-chain mobility."""
+
+import numpy as np
+import pytest
+
+from repro.mobility.markov import MarkovMobility, lazy_random_walk_matrix
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestMarkovValidation:
+    def test_valid(self):
+        m = MarkovMobility(np.array([[0.5, 0.5], [0.2, 0.8]]))
+        assert m.num_clouds == 2
+
+    def test_rows_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            MarkovMobility(np.array([[0.5, 0.6], [0.2, 0.8]]))
+
+    def test_negative_probability(self):
+        with pytest.raises(ValueError):
+            MarkovMobility(np.array([[1.2, -0.2], [0.5, 0.5]]))
+
+    def test_non_square(self):
+        with pytest.raises(ValueError):
+            MarkovMobility(np.ones((2, 3)) / 3.0)
+
+    def test_initial_distribution_validated(self):
+        t = np.array([[0.5, 0.5], [0.5, 0.5]])
+        with pytest.raises(ValueError):
+            MarkovMobility(t, initial=np.array([0.9, 0.3]))
+        with pytest.raises(ValueError):
+            MarkovMobility(t, initial=np.array([0.5, 0.5, 0.0]))
+
+
+class TestMarkovGeneration:
+    def test_respects_transition_support(self):
+        # A deterministic cycle 0 -> 1 -> 2 -> 0.
+        t = np.array([[0, 1.0, 0], [0, 0, 1.0], [1.0, 0, 0]])
+        trace = MarkovMobility(t).generate(4, 9, rng())
+        for step in range(1, 9):
+            assert np.all(
+                trace.attachment[step] == (trace.attachment[step - 1] + 1) % 3
+            )
+
+    def test_absorbing_state(self):
+        t = np.array([[1.0, 0.0], [1.0, 0.0]])
+        trace = MarkovMobility(t).generate(6, 5, rng())
+        assert np.all(trace.attachment[1:] == 0)
+
+    def test_initial_distribution_used(self):
+        t = np.eye(3)
+        initial = np.array([0.0, 1.0, 0.0])
+        trace = MarkovMobility(t, initial=initial).generate(10, 3, rng())
+        assert np.all(trace.attachment == 1)
+
+    def test_zero_access_delay(self):
+        t = np.full((2, 2), 0.5)
+        trace = MarkovMobility(t).generate(3, 4, rng())
+        assert np.all(trace.access_delay == 0.0)
+
+    def test_empty(self):
+        t = np.full((2, 2), 0.5)
+        assert MarkovMobility(t).generate(0, 3, rng()).attachment.shape == (3, 0)
+
+
+class TestLazyWalkMatrix:
+    def test_rows_stochastic(self):
+        adjacency = np.array(
+            [[0, 1, 1], [1, 0, 0], [1, 0, 0]], dtype=float
+        )
+        t = lazy_random_walk_matrix(adjacency, stay_probability=0.4)
+        assert np.allclose(t.sum(axis=1), 1.0)
+        assert t[0, 0] == pytest.approx(0.4)
+        assert t[0, 1] == pytest.approx(0.3)
+
+    def test_isolated_node_stays(self):
+        adjacency = np.zeros((2, 2))
+        t = lazy_random_walk_matrix(adjacency)
+        assert np.allclose(t, np.eye(2))
+
+    def test_feeds_markov_mobility(self):
+        adjacency = np.array([[0, 1], [1, 0]], dtype=float)
+        t = lazy_random_walk_matrix(adjacency, stay_probability=0.5)
+        trace = MarkovMobility(t).generate(5, 10, rng())
+        assert trace.attachment.shape == (10, 5)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            lazy_random_walk_matrix(np.zeros((2, 3)))
+        with pytest.raises(ValueError):
+            lazy_random_walk_matrix(np.zeros((2, 2)), stay_probability=1.5)

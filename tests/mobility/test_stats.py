@@ -1,0 +1,88 @@
+"""Tests for mobility-trace statistics."""
+
+import numpy as np
+import pytest
+
+from repro.mobility.base import MobilityTrace
+from repro.mobility.random_walk import RandomWalkMobility
+from repro.mobility.stats import (
+    dwell_lengths,
+    mean_dwell,
+    occupancy_distribution,
+    occupancy_entropy,
+    switch_rate,
+    trace_stats,
+)
+from repro.mobility.taxi import TaxiMobility
+from repro.topology.metro import rome_metro_topology
+
+
+def trace_from(attachment):
+    attachment = np.asarray(attachment, dtype=np.int64)
+    return MobilityTrace(
+        attachment=attachment,
+        access_delay=np.zeros_like(attachment, dtype=float),
+        num_clouds=int(attachment.max()) + 1,
+    )
+
+
+class TestSwitchRate:
+    def test_no_movement(self):
+        assert switch_rate(trace_from([[0, 1], [0, 1], [0, 1]])) == 0.0
+
+    def test_constant_movement(self):
+        assert switch_rate(trace_from([[0], [1], [0], [1]])) == 1.0
+
+    def test_half_movement(self):
+        # One user moves every transition, one never: rate 0.5.
+        assert switch_rate(trace_from([[0, 0], [1, 0], [0, 0]])) == 0.5
+
+    def test_single_slot(self):
+        assert switch_rate(trace_from([[0, 1]])) == 0.0
+
+
+class TestDwell:
+    def test_lengths(self):
+        lengths = dwell_lengths(trace_from([[0], [0], [1], [1], [1]]))
+        assert sorted(lengths) == [2, 3]
+
+    def test_mean(self):
+        assert mean_dwell(trace_from([[0], [0], [1], [1], [1]])) == pytest.approx(2.5)
+
+    def test_never_moves(self):
+        assert mean_dwell(trace_from([[2], [2], [2]])) == 3.0
+
+
+class TestOccupancy:
+    def test_distribution(self):
+        dist = occupancy_distribution(trace_from([[0, 0], [0, 1]]))
+        assert dist == pytest.approx([0.75, 0.25])
+
+    def test_entropy_uniform(self):
+        dist_trace = trace_from([[0, 1]])
+        assert occupancy_entropy(dist_trace) == pytest.approx(np.log(2))
+
+    def test_entropy_concentrated(self):
+        assert occupancy_entropy(trace_from([[0, 0], [0, 0]])) == 0.0
+
+
+class TestTraceStats:
+    def test_bundle(self):
+        stats = trace_stats(trace_from([[0, 1], [1, 1]]))
+        assert stats.num_slots == 2
+        assert stats.num_users == 2
+        assert stats.switch_rate == 0.5
+        assert 0 < stats.max_occupancy_share <= 1.0
+        assert set(stats.as_dict()) >= {"switch_rate", "mean_dwell"}
+
+    def test_taxi_is_moderate_vs_uniform_walk(self):
+        """The substitution claim in DESIGN.md: synthetic taxi traces show
+        'moderate mobility' — fewer switches, longer dwells than the
+        paper's uniform random walk."""
+        topo = rome_metro_topology()
+        rng = np.random.default_rng(5)
+        taxi = trace_stats(TaxiMobility(topo).generate(20, 30, rng))
+        rng = np.random.default_rng(5)
+        walk = trace_stats(RandomWalkMobility(topo).generate(20, 30, rng))
+        assert taxi.switch_rate < walk.switch_rate
+        assert taxi.mean_dwell > walk.mean_dwell

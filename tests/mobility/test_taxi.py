@@ -1,0 +1,96 @@
+"""Tests for the synthetic Rome-taxi mobility model."""
+
+import numpy as np
+import pytest
+
+from repro.mobility.attachment import nearest_cloud_attachment
+from repro.mobility.taxi import TaxiMobility
+from repro.topology.metro import rome_metro_topology
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return rome_metro_topology()
+
+
+class TestTaxiMobility:
+    def test_shapes(self, topo):
+        trace = TaxiMobility(topo).generate(6, 10, rng())
+        assert trace.attachment.shape == (10, 6)
+        assert trace.access_delay.shape == (10, 6)
+        assert trace.positions.shape == (10, 6, 2)
+
+    def test_attachment_is_nearest_station(self, topo):
+        trace = TaxiMobility(topo).generate(5, 8, rng())
+        attachment, delay = nearest_cloud_attachment(trace.positions, topo)
+        assert np.array_equal(trace.attachment, attachment)
+        assert np.allclose(trace.access_delay, delay)
+
+    def test_positions_near_rome(self, topo):
+        trace = TaxiMobility(topo).generate(10, 20, rng())
+        lat_min, lat_max, lon_min, lon_max = topo.bounding_box()
+        # Taxis drive between stations (+ jitter), so stay near the bbox.
+        assert trace.positions[..., 0].min() > lat_min - 0.05
+        assert trace.positions[..., 0].max() < lat_max + 0.05
+        assert trace.positions[..., 1].min() > lon_min - 0.05
+        assert trace.positions[..., 1].max() < lon_max + 0.05
+
+    def test_moderate_mobility(self, topo):
+        # The paper notes "moderate mobility": users switch attachment
+        # sometimes, but far from every slot.
+        trace = TaxiMobility(topo).generate(30, 40, rng(1))
+        switches = trace.switch_count()
+        transitions = (trace.num_slots - 1) * trace.num_users
+        assert 0 < switches < 0.5 * transitions
+
+    def test_continuity(self, topo):
+        # A taxi moves at most speed*(1+jitter) + noise per slot.
+        model = TaxiMobility(topo, speed_km_per_slot=0.5, position_noise_km=0.0)
+        trace = model.generate(8, 25, rng(2))
+        step_deg = np.abs(np.diff(trace.positions, axis=0))
+        step_km = step_deg[..., 0] * 111.32 + step_deg[..., 1] * 83.0
+        assert step_km.max() < 2.0  # generous bound for 0.65 km/slot max speed
+
+    def test_price_per_km_scales_access_delay(self, topo):
+        cheap = TaxiMobility(topo, price_per_km=1.0).generate(5, 10, rng(3))
+        dear = TaxiMobility(topo, price_per_km=4.0).generate(5, 10, rng(3))
+        assert np.allclose(dear.access_delay, 4.0 * cheap.access_delay)
+        assert np.array_equal(dear.attachment, cheap.attachment)
+
+    def test_station_popularity_favors_interchanges(self, topo):
+        model = TaxiMobility(topo)
+        popularity = model.station_popularity()
+        termini = topo.index_of("Termini")
+        battistini = topo.index_of("Battistini")  # line terminus, degree 1
+        assert popularity[termini] > popularity[battistini]
+        assert popularity.sum() == pytest.approx(1.0)
+
+    def test_deterministic_per_seed(self, topo):
+        model = TaxiMobility(topo)
+        a = model.generate(4, 6, rng(5))
+        b = model.generate(4, 6, rng(5))
+        assert np.array_equal(a.attachment, b.attachment)
+        assert np.allclose(a.positions, b.positions)
+
+    def test_empty_cases(self, topo):
+        model = TaxiMobility(topo)
+        assert model.generate(0, 4, rng()).attachment.shape == (4, 0)
+        assert model.generate(4, 0, rng()).attachment.shape == (0, 4)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"speed_km_per_slot": 0.0},
+            {"speed_jitter": 1.5},
+            {"dwell_slots": (3, 1)},
+            {"position_noise_km": -0.1},
+            {"hotspot_zipf": -1.0},
+        ],
+    )
+    def test_invalid_parameters(self, topo, kwargs):
+        with pytest.raises(ValueError):
+            TaxiMobility(topo, **kwargs)

@@ -1,0 +1,82 @@
+"""Tests for migration (bandwidth) pricing: the three-ISP clusters."""
+
+import numpy as np
+import pytest
+
+from repro.pricing.bandwidth import (
+    ISP_RATES,
+    MigrationPrices,
+    isp_cluster_assignment,
+    isp_migration_prices,
+)
+
+
+class TestMigrationPrices:
+    def test_combined(self):
+        prices = MigrationPrices(out=np.array([1.0, 2.0]), into=np.array([0.5, 0.5]))
+        assert np.allclose(prices.combined, [1.5, 2.5])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            MigrationPrices(out=np.array([1.0]), into=np.array([1.0, 2.0]))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            MigrationPrices(out=np.array([-1.0]), into=np.array([1.0]))
+
+
+class TestClusterAssignment:
+    def test_round_robin_without_rng(self):
+        clusters = isp_cluster_assignment(7)
+        assert list(clusters) == [0, 1, 2, 0, 1, 2, 0]
+
+    def test_shuffled_with_rng_is_permutation(self):
+        base = isp_cluster_assignment(9)
+        shuffled = isp_cluster_assignment(9, np.random.default_rng(0))
+        assert sorted(base) == sorted(shuffled)
+
+    def test_negative_count(self):
+        with pytest.raises(ValueError):
+            isp_cluster_assignment(-1)
+
+
+class TestIspPrices:
+    def test_paper_rates(self):
+        # Tiscali 2.49, Vodafone 4.86, Infostrada-Wind 1.25 EUR/Mbps-month.
+        assert [rate for _, rate in ISP_RATES] == [2.49, 4.86, 1.25]
+
+    def test_relative_ratios_preserved(self):
+        prices = isp_migration_prices(3)  # round-robin: one cloud per ISP
+        combined = prices.combined
+        assert combined[1] / combined[0] == pytest.approx(4.86 / 2.49)
+        assert combined[2] / combined[0] == pytest.approx(1.25 / 2.49)
+
+    def test_reference_price_is_mean(self):
+        prices = isp_migration_prices(6, reference_price=3.0)
+        assert prices.combined.mean() == pytest.approx(3.0)
+
+    def test_symmetric_split_default(self):
+        prices = isp_migration_prices(5)
+        assert np.allclose(prices.out, prices.into)
+
+    def test_asymmetric_split(self):
+        prices = isp_migration_prices(5, outbound_fraction=0.25)
+        assert np.allclose(prices.out, prices.combined * 0.25)
+        assert np.allclose(prices.into, prices.combined * 0.75)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            isp_migration_prices(3, outbound_fraction=1.5)
+
+    def test_negative_reference(self):
+        with pytest.raises(ValueError):
+            isp_migration_prices(3, reference_price=-1.0)
+
+    def test_empty(self):
+        prices = isp_migration_prices(0)
+        assert prices.out.shape == (0,)
+
+    def test_rng_shuffles_clusters(self):
+        a = isp_migration_prices(9, rng=np.random.default_rng(1))
+        b = isp_migration_prices(9)
+        assert sorted(a.combined) == pytest.approx(sorted(b.combined))

@@ -1,0 +1,87 @@
+"""Tests for capacity provisioning (Section V-A)."""
+
+import numpy as np
+import pytest
+
+from repro.pricing.capacity import (
+    DEFAULT_OVERPROVISION,
+    attachment_frequency,
+    provision_capacities,
+)
+
+
+class TestAttachmentFrequency:
+    def test_counts(self):
+        attachment = np.array([[0, 1, 1], [2, 1, 0]])
+        freq = attachment_frequency(attachment, num_clouds=4)
+        assert list(freq) == [2, 3, 1, 0]
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            attachment_frequency(np.array([[0, 5]]), num_clouds=3)
+
+    def test_wrong_shape(self):
+        with pytest.raises(ValueError):
+            attachment_frequency(np.array([0, 1, 2]), num_clouds=3)
+
+
+class TestProvisionCapacities:
+    def test_total_is_125_percent(self):
+        workloads = np.array([4.0, 6.0])
+        attachment = np.zeros((3, 2), dtype=int)
+        caps = provision_capacities(workloads, attachment, num_clouds=3)
+        assert caps.sum() == pytest.approx(DEFAULT_OVERPROVISION * 10.0)
+
+    def test_proportional_to_frequency(self):
+        workloads = np.array([10.0])
+        # Cloud 0 visited 3x, cloud 1 once; smoothing=0 keeps exact ratios.
+        attachment = np.array([[0], [0], [0], [1]])
+        caps = provision_capacities(
+            workloads, attachment, num_clouds=2, smoothing=0.0
+        )
+        assert caps[0] / caps[1] == pytest.approx(3.0)
+
+    def test_smoothing_gives_unvisited_clouds_capacity(self):
+        workloads = np.array([10.0])
+        attachment = np.zeros((4, 1), dtype=int)
+        caps = provision_capacities(workloads, attachment, num_clouds=3)
+        assert np.all(caps > 0)
+
+    def test_custom_overprovision(self):
+        workloads = np.array([2.0, 2.0])
+        attachment = np.zeros((1, 2), dtype=int)
+        caps = provision_capacities(
+            workloads, attachment, num_clouds=2, overprovision=2.0
+        )
+        assert caps.sum() == pytest.approx(8.0)
+
+    def test_invalid_overprovision(self):
+        with pytest.raises(ValueError):
+            provision_capacities(
+                np.array([1.0]), np.zeros((1, 1), dtype=int), 1, overprovision=0.0
+            )
+
+    def test_negative_smoothing(self):
+        with pytest.raises(ValueError):
+            provision_capacities(
+                np.array([1.0]), np.zeros((1, 1), dtype=int), 1, smoothing=-1.0
+            )
+
+    def test_zero_workload_rejected(self):
+        with pytest.raises(ValueError):
+            provision_capacities(
+                np.array([0.0]), np.zeros((1, 1), dtype=int), 1
+            )
+
+    def test_feasibility_invariant(self):
+        # Provisioned capacity always covers total workload (P0 feasible).
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            j = int(rng.integers(1, 30))
+            i = int(rng.integers(1, 10))
+            t = int(rng.integers(1, 15))
+            workloads = rng.integers(1, 20, size=j).astype(float)
+            attachment = rng.integers(0, i, size=(t, j))
+            caps = provision_capacities(workloads, attachment, num_clouds=i)
+            assert caps.sum() >= workloads.sum()
+            assert np.all(caps > 0)

@@ -1,0 +1,87 @@
+"""Tests for operation-price generation (Section V-A)."""
+
+import numpy as np
+import pytest
+
+from repro.pricing.operation import (
+    PRICE_FLOOR_FRACTION,
+    base_operation_prices,
+    gaussian_operation_prices,
+)
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestBasePrices:
+    def test_inverse_to_capacity(self):
+        capacities = np.array([10.0, 20.0, 40.0])
+        base = base_operation_prices(capacities)
+        # Price ratios are the inverse capacity ratios.
+        assert base[0] / base[1] == pytest.approx(2.0)
+        assert base[1] / base[2] == pytest.approx(2.0)
+
+    def test_capacity_weighted_mean_is_reference(self):
+        capacities = np.array([5.0, 15.0, 30.0])
+        base = base_operation_prices(capacities, reference_price=2.0)
+        weighted = float(np.sum(base * capacities) / capacities.sum())
+        assert weighted == pytest.approx(2.0)
+
+    def test_positive(self):
+        base = base_operation_prices(np.array([1.0, 100.0, 10000.0]))
+        assert np.all(base > 0)
+
+    @pytest.mark.parametrize("bad", [np.array([]), np.array([1.0, 0.0]), np.array([-1.0])])
+    def test_invalid_capacities(self, bad):
+        with pytest.raises(ValueError):
+            base_operation_prices(bad)
+
+
+class TestGaussianPrices:
+    def test_shape(self):
+        prices = gaussian_operation_prices(np.array([10.0, 20.0]), 7, rng())
+        assert prices.shape == (7, 2)
+
+    def test_strictly_positive(self):
+        # Huge std would drive many samples negative without the floor.
+        prices = gaussian_operation_prices(
+            np.array([10.0, 20.0]), 500, rng(), std_fraction=5.0
+        )
+        assert np.all(prices > 0)
+
+    def test_floor_value(self):
+        capacities = np.array([10.0])
+        base = base_operation_prices(capacities)
+        prices = gaussian_operation_prices(capacities, 2000, rng(), std_fraction=10.0)
+        assert prices.min() >= PRICE_FLOOR_FRACTION * base[0] - 1e-12
+
+    def test_mean_tracks_base(self):
+        capacities = np.array([10.0, 40.0])
+        base = base_operation_prices(capacities)
+        prices = gaussian_operation_prices(capacities, 20000, rng(), std_fraction=0.1)
+        assert np.allclose(prices.mean(axis=0), base, rtol=0.05)
+
+    def test_paper_volatility_default(self):
+        # Paper: std is half of the base price.
+        capacities = np.array([10.0])
+        base = base_operation_prices(capacities)[0]
+        prices = gaussian_operation_prices(capacities, 50000, rng())
+        # Floor-clipping biases the std slightly low; stay loose.
+        assert prices.std() == pytest.approx(0.5 * base, rel=0.15)
+
+    def test_zero_slots(self):
+        prices = gaussian_operation_prices(np.array([5.0]), 0, rng())
+        assert prices.shape == (0, 1)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            gaussian_operation_prices(np.array([5.0]), -1, rng())
+        with pytest.raises(ValueError):
+            gaussian_operation_prices(np.array([5.0]), 3, rng(), std_fraction=-0.1)
+
+    def test_deterministic_per_seed(self):
+        capacities = np.array([3.0, 6.0])
+        a = gaussian_operation_prices(capacities, 5, rng(9))
+        b = gaussian_operation_prices(capacities, 5, rng(9))
+        assert np.array_equal(a, b)

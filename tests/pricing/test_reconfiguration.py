@@ -1,0 +1,49 @@
+"""Tests for reconfiguration-price generation (Section V-A)."""
+
+import numpy as np
+import pytest
+
+from repro.pricing.reconfiguration import gaussian_reconfiguration_prices
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestReconfigurationPrices:
+    def test_shape(self):
+        prices = gaussian_reconfiguration_prices(8, rng())
+        assert prices.shape == (8,)
+
+    def test_strictly_positive_despite_heavy_tail(self):
+        # mean 0.1, std 5: nearly half the raw draws are negative.
+        prices = gaussian_reconfiguration_prices(2000, rng(), mean=0.1, std=5.0)
+        assert np.all(prices > 0)
+
+    def test_mean_roughly_respected(self):
+        prices = gaussian_reconfiguration_prices(20000, rng(), mean=2.0, std=0.2)
+        assert prices.mean() == pytest.approx(2.0, rel=0.05)
+
+    def test_zero_std_gives_constant(self):
+        prices = gaussian_reconfiguration_prices(10, rng(), mean=1.5, std=0.0)
+        assert np.allclose(prices, 1.5)
+
+    def test_varies_across_clouds(self):
+        prices = gaussian_reconfiguration_prices(50, rng(), mean=1.0, std=0.5)
+        assert np.unique(prices).size > 1
+
+    def test_empty(self):
+        assert gaussian_reconfiguration_prices(0, rng()).shape == (0,)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            gaussian_reconfiguration_prices(-1, rng())
+        with pytest.raises(ValueError):
+            gaussian_reconfiguration_prices(5, rng(), mean=0.0)
+        with pytest.raises(ValueError):
+            gaussian_reconfiguration_prices(5, rng(), std=-1.0)
+
+    def test_deterministic_per_seed(self):
+        a = gaussian_reconfiguration_prices(10, rng(4))
+        b = gaussian_reconfiguration_prices(10, rng(4))
+        assert np.array_equal(a, b)

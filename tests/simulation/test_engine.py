@@ -1,0 +1,62 @@
+"""Tests for the simulation engine."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import OfflineOptimal, OnlineGreedy, StatOpt
+from repro.core.allocation import AllocationSchedule
+from repro.core.regularization import OnlineRegularizedAllocator
+from repro.simulation.engine import compare_algorithms, run_algorithm
+
+
+class BrokenAlgorithm:
+    """Returns an all-zero (infeasible) schedule."""
+
+    name = "broken"
+
+    def run(self, instance):
+        return AllocationSchedule.zeros(
+            instance.num_slots, instance.num_clouds, instance.num_users
+        )
+
+
+class TestRunAlgorithm:
+    def test_result_fields(self, tiny_instance):
+        result = run_algorithm(OnlineGreedy(), tiny_instance)
+        assert result.algorithm == "online-greedy"
+        assert result.total_cost > 0
+        assert result.wall_time_s >= 0
+        assert result.feasibility.worst() <= 1e-5
+        assert result.summary()["total"] == pytest.approx(result.total_cost)
+
+    def test_infeasible_schedule_rejected(self, tiny_instance):
+        with pytest.raises(ValueError, match="infeasible"):
+            run_algorithm(BrokenAlgorithm(), tiny_instance)
+
+    def test_infeasible_allowed_when_disabled(self, tiny_instance):
+        result = run_algorithm(
+            BrokenAlgorithm(), tiny_instance, require_feasible=False
+        )
+        assert result.feasibility.worst() > 0
+
+
+class TestCompareAlgorithms:
+    def test_offline_is_best(self, small_instance):
+        comparison = compare_algorithms(
+            [OfflineOptimal(), OnlineGreedy(), OnlineRegularizedAllocator(), StatOpt()],
+            small_instance,
+        )
+        ratios = comparison.ratios()
+        assert ratios["offline-opt"] == pytest.approx(1.0)
+        for name, ratio in ratios.items():
+            assert ratio >= 1.0 - 1e-6, name
+
+    def test_missing_baseline_rejected(self, tiny_instance):
+        with pytest.raises(ValueError, match="baseline"):
+            compare_algorithms([OnlineGreedy()], tiny_instance)
+
+    def test_custom_baseline(self, tiny_instance):
+        comparison = compare_algorithms(
+            [OnlineGreedy(), StatOpt()], tiny_instance, baseline="online-greedy"
+        )
+        assert comparison.ratio("online-greedy") == pytest.approx(1.0)

@@ -1,0 +1,99 @@
+"""Tests for result containers and aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.core.allocation import AllocationSchedule, FeasibilityReport
+from repro.core.costs import CostBreakdown
+from repro.core.problem import CostWeights
+from repro.simulation.results import Comparison, RunResult, aggregate_ratios
+
+
+def make_run(name: str, cost: float, num_slots: int = 2) -> RunResult:
+    per_slot = np.full(num_slots, cost / num_slots)
+    zeros = np.zeros(num_slots)
+    breakdown = CostBreakdown(
+        operation=per_slot,
+        service_quality=zeros,
+        reconfiguration=zeros,
+        migration=zeros,
+        weights=CostWeights(),
+    )
+    return RunResult(
+        algorithm=name,
+        schedule=AllocationSchedule.zeros(num_slots, 1, 1),
+        breakdown=breakdown,
+        feasibility=FeasibilityReport(0.0, 0.0, 0.0),
+        wall_time_s=0.1,
+    )
+
+
+def make_comparison(costs: dict[str, float]) -> Comparison:
+    return Comparison(
+        results={name: make_run(name, cost) for name, cost in costs.items()},
+        baseline="offline-opt",
+    )
+
+
+class TestComparison:
+    def test_ratios(self):
+        comparison = make_comparison(
+            {"offline-opt": 10.0, "greedy": 15.0, "approx": 11.0}
+        )
+        assert comparison.ratio("greedy") == pytest.approx(1.5)
+        assert comparison.ratio("approx") == pytest.approx(1.1)
+
+    def test_ratios_sorted_ascending(self):
+        comparison = make_comparison(
+            {"offline-opt": 10.0, "b": 30.0, "a": 20.0}
+        )
+        assert list(comparison.ratios()) == ["offline-opt", "a", "b"]
+
+    def test_improvement_over(self):
+        comparison = make_comparison(
+            {"offline-opt": 10.0, "greedy": 20.0, "approx": 12.0}
+        )
+        assert comparison.improvement_over("approx", "greedy") == pytest.approx(0.4)
+
+    def test_missing_baseline(self):
+        with pytest.raises(ValueError):
+            make_comparison({"greedy": 5.0})
+
+    def test_baseline_cost(self):
+        comparison = make_comparison({"offline-opt": 7.0, "x": 9.0})
+        assert comparison.baseline_cost == pytest.approx(7.0)
+
+
+class TestRunResult:
+    def test_total_cost(self):
+        run = make_run("x", 12.0)
+        assert run.total_cost == pytest.approx(12.0)
+
+    def test_summary_keys(self):
+        summary = make_run("x", 5.0).summary()
+        for key in (
+            "operation",
+            "service_quality",
+            "reconfiguration",
+            "migration",
+            "static",
+            "dynamic",
+            "total",
+            "wall_time_s",
+        ):
+            assert key in summary
+
+
+class TestAggregate:
+    def test_mean_and_std(self):
+        comparisons = [
+            make_comparison({"offline-opt": 10.0, "greedy": 12.0}),
+            make_comparison({"offline-opt": 10.0, "greedy": 18.0}),
+        ]
+        stats = aggregate_ratios(comparisons)
+        mean, std = stats["greedy"]
+        assert mean == pytest.approx(1.5)
+        assert std == pytest.approx(0.3)
+
+    def test_empty(self):
+        assert aggregate_ratios([]) == {}

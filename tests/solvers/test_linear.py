@@ -1,0 +1,121 @@
+"""Tests for the sparse LP builder and the HiGHS wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.solvers.base import SolverError
+from repro.solvers.linear import LinearProgramBuilder
+
+
+class TestBlocks:
+    def test_block_layout(self):
+        builder = LinearProgramBuilder()
+        a = builder.add_block("a", 2, 3)
+        b = builder.add_block("b", 4)
+        assert a.offset == 0
+        assert a.size == 6
+        assert b.offset == 6
+        assert b.size == 4
+        assert builder.num_variables == 10
+
+    def test_indices_shape(self):
+        builder = LinearProgramBuilder()
+        block = builder.add_block("x", 2, 3)
+        idx = block.indices()
+        assert idx.shape == (2, 3)
+        assert idx[1, 2] == 5
+
+    def test_duplicate_name(self):
+        builder = LinearProgramBuilder()
+        builder.add_block("x", 1)
+        with pytest.raises(ValueError):
+            builder.add_block("x", 2)
+
+    def test_lookup(self):
+        builder = LinearProgramBuilder()
+        builder.add_block("x", 3)
+        assert builder.block("x").size == 3
+        with pytest.raises(KeyError):
+            builder.block("missing")
+
+
+class TestSolve:
+    def test_simple_minimization(self):
+        # min x + 2y  s.t. x + y >= 4, x <= 3  ->  x=3, y=1, objective 5.
+        builder = LinearProgramBuilder()
+        x = builder.add_block("x", 1)
+        y = builder.add_block("y", 1)
+        builder.set_cost(x.indices(), 1.0)
+        builder.set_cost(y.indices(), 2.0)
+        builder.add_ge(np.array([0, 1]), np.array([1.0, 1.0]), 4.0)
+        builder.set_upper_bound(x.indices(), 3.0)
+        result = builder.solve()
+        assert result.objective == pytest.approx(5.0)
+        assert result.x[0] == pytest.approx(3.0)
+        assert result.x[1] == pytest.approx(1.0)
+
+    def test_transportation_problem(self):
+        # 2 sources (capacity 5, 5), 2 sinks (demand 4, 4), unit costs.
+        costs = np.array([[1.0, 3.0], [2.0, 1.0]])
+        builder = LinearProgramBuilder()
+        x = builder.add_block("x", 2, 2)
+        idx = x.indices()
+        builder.set_cost(idx, costs)
+        for sink in range(2):
+            builder.add_ge(idx[:, sink], 1.0, 4.0)
+        for source in range(2):
+            builder.add_le(idx[source, :], 1.0, 5.0)
+        result = builder.solve()
+        # Optimal: send 4 on (0,0) and 4 on (1,1): cost 8.
+        assert result.objective == pytest.approx(8.0)
+
+    def test_infeasible_raises(self):
+        builder = LinearProgramBuilder()
+        x = builder.add_block("x", 1)
+        builder.set_cost(x.indices(), 1.0)
+        builder.add_ge(x.indices(), 1.0, 10.0)
+        builder.set_upper_bound(x.indices(), 1.0)
+        with pytest.raises(SolverError):
+            builder.solve()
+
+    def test_unbounded_raises(self):
+        builder = LinearProgramBuilder()
+        x = builder.add_block("x", 1)
+        builder.set_cost(x.indices(), -1.0)  # minimize -x with x >= 0
+        with pytest.raises(SolverError):
+            builder.solve()
+
+    def test_no_constraints(self):
+        builder = LinearProgramBuilder()
+        x = builder.add_block("x", 3)
+        builder.set_cost(x.indices(), 1.0)
+        result = builder.solve()
+        assert np.allclose(result.x, 0.0)
+        assert result.objective == pytest.approx(0.0)
+
+    def test_cost_accumulates(self):
+        builder = LinearProgramBuilder()
+        x = builder.add_block("x", 1)
+        builder.set_cost(x.indices(), 1.0)
+        builder.set_cost(x.indices(), 2.0)  # same variable: 3x total
+        builder.add_ge(x.indices(), 1.0, 2.0)
+        result = builder.solve()
+        assert result.objective == pytest.approx(6.0)
+
+    def test_size_mismatch_rejected(self):
+        builder = LinearProgramBuilder()
+        x = builder.add_block("x", 3)
+        with pytest.raises(ValueError):
+            builder.set_cost(x.indices(), np.array([1.0, 2.0]))
+        with pytest.raises(ValueError):
+            builder.add_ge(x.indices(), np.array([1.0, 2.0]), 1.0)
+        with pytest.raises(ValueError):
+            builder.set_upper_bound(x.indices(), np.array([1.0, 2.0]))
+
+    def test_result_metadata(self):
+        builder = LinearProgramBuilder()
+        x = builder.add_block("x", 1)
+        builder.set_cost(x.indices(), 1.0)
+        builder.add_ge(x.indices(), 1.0, 1.0)
+        result = builder.solve()
+        assert result.backend.startswith("linprog")

@@ -1,0 +1,93 @@
+"""Tests for the vectorized bulk-row API of the LP builder."""
+
+import numpy as np
+import pytest
+
+from repro.solvers.linear import LinearProgramBuilder
+
+
+def build_transportation(use_bulk: bool):
+    """The same 2x2 transportation LP via scalar or bulk constraint APIs."""
+    costs = np.array([[1.0, 3.0], [2.0, 1.0]])
+    builder = LinearProgramBuilder()
+    x = builder.add_block("x", 2, 2)
+    idx = x.indices()
+    builder.set_cost(idx, costs)
+    if use_bulk:
+        builder.add_ge_rows(idx.T, 1.0, np.array([4.0, 4.0]))
+        builder.add_le_rows(idx, 1.0, np.array([5.0, 5.0]))
+    else:
+        for sink in range(2):
+            builder.add_ge(idx[:, sink], 1.0, 4.0)
+        for source in range(2):
+            builder.add_le(idx[source, :], 1.0, 5.0)
+    return builder
+
+
+class TestBulkRows:
+    def test_bulk_equals_scalar(self):
+        bulk = build_transportation(use_bulk=True).solve()
+        scalar = build_transportation(use_bulk=False).solve()
+        assert bulk.objective == pytest.approx(scalar.objective)
+        assert np.allclose(bulk.x, scalar.x, atol=1e-9)
+
+    def test_coefficient_broadcast(self):
+        # Scalar coefficient broadcasts over all columns.
+        builder = LinearProgramBuilder()
+        x = builder.add_block("x", 3)
+        builder.set_cost(x.indices(), 1.0)
+        builder.add_ge_rows(x.indices()[None, :], 1.0, np.array([6.0]))
+        result = builder.solve()
+        assert result.objective == pytest.approx(6.0)
+
+    def test_per_entry_coefficients(self):
+        # min x0 + x1 s.t. 2 x0 + x1 >= 4  ->  x0 = 2 (coef 2 is cheaper).
+        builder = LinearProgramBuilder()
+        x = builder.add_block("x", 2)
+        builder.set_cost(x.indices(), 1.0)
+        builder.add_ge_rows(
+            x.indices()[None, :], np.array([[2.0, 1.0]]), np.array([4.0])
+        )
+        result = builder.solve()
+        assert result.objective == pytest.approx(2.0)
+        assert result.x[0] == pytest.approx(2.0)
+
+    def test_rhs_size_mismatch(self):
+        builder = LinearProgramBuilder()
+        x = builder.add_block("x", 2)
+        with pytest.raises(ValueError, match="rhs size"):
+            builder.add_le_rows(x.indices()[None, :], 1.0, np.array([1.0, 2.0]))
+
+    def test_columns_rank_checked(self):
+        builder = LinearProgramBuilder()
+        x = builder.add_block("x", 2)
+        with pytest.raises(ValueError, match="matrix"):
+            builder.add_le_rows(x.indices(), 1.0, np.array([1.0]))
+
+    def test_free_variables(self):
+        # min u s.t. u >= x - 2, x >= 3  -> at x = 3, u = 1; but if u were
+        # nonnegative-only and x could be 0, u = 0. Make u free and force
+        # x >= 3 to check the negative range is actually reachable.
+        builder = LinearProgramBuilder()
+        x = builder.add_block("x", 1)
+        u = builder.add_block("u", 1)
+        builder.set_free(u.indices())
+        builder.set_cost(u.indices(), 1.0)
+        builder.add_ge(x.indices(), 1.0, 3.0)
+        builder.set_upper_bound(x.indices(), 3.0)
+        # u >= x - 5  ->  u can go to -2.
+        builder.add_ge(
+            np.concatenate([u.indices(), x.indices()]),
+            np.array([1.0, -1.0]),
+            -5.0,
+        )
+        result = builder.solve()
+        assert result.x[u.indices()[0]] == pytest.approx(-2.0)
+
+    def test_row_count_advances(self):
+        builder = LinearProgramBuilder()
+        x = builder.add_block("x", 4)
+        builder.add_le_rows(x.indices().reshape(2, 2), 1.0, np.zeros(2))
+        assert builder.num_constraints == 2
+        builder.add_le(x.indices()[:1], 1.0, 1.0)
+        assert builder.num_constraints == 3

@@ -1,0 +1,82 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_fig1_no_arguments(self):
+        args = build_parser().parse_args(["fig1"])
+        assert args.command == "fig1"
+
+    def test_scale_arguments(self):
+        args = build_parser().parse_args(
+            ["fig2", "--users", "9", "--slots", "7", "--repetitions", "2", "--seed", "5"]
+        )
+        assert args.users == 9
+        assert args.slots == 7
+        assert args.repetitions == 2
+        assert args.seed == 5
+
+    def test_fig5_user_counts(self):
+        args = build_parser().parse_args(
+            ["fig5", "--user-counts", "5", "10", "--stay-bias", "2.5"]
+        )
+        assert args.user_counts == [5, 10]
+        assert args.stay_bias == 2.5
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig9"])
+
+
+class TestExecution:
+    def test_fig1_output(self, capsys):
+        assert main(["fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "11.5" in out
+        assert "9.6" in out
+        assert "11.3" in out
+        assert "9.5" in out
+
+    def test_quickstart_tiny(self, capsys):
+        assert main(["quickstart", "--users", "4", "--slots", "2", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "offline-opt" in out
+        assert "online-approx" in out
+
+    def test_lookahead_tiny(self, capsys):
+        assert main(["lookahead", "--users", "3", "--slots", "3", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "lookahead-1" in out
+        assert "online-approx" in out
+
+    def test_threshold_tiny(self, capsys):
+        assert main(["threshold", "--slots", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "online-greedy" in out
+        assert "A=1" in out
+
+    def test_certify_tiny(self, capsys):
+        assert main(["certify", "--users", "3", "--slots", "2", "--seed", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "chain holds       : True" in out
+        assert "certified ratio" in out
+
+    def test_fig5_tiny(self, capsys):
+        code = main(
+            [
+                "fig5",
+                "--users", "3",
+                "--slots", "2",
+                "--repetitions", "1",
+                "--user-counts", "3",
+            ]
+        )
+        assert code == 0
+        assert "Figure 5" in capsys.readouterr().out

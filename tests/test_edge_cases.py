@@ -1,0 +1,175 @@
+"""Edge-case and failure-injection tests across the stack.
+
+Degenerate weights, minimal systems, zero prices, and solver-failure
+fallbacks — configurations a production deployment will eventually hit.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro import (
+    CostWeights,
+    OfflineOptimal,
+    OnlineGreedy,
+    OnlineRegularizedAllocator,
+    ProblemInstance,
+    total_cost,
+)
+from repro.pricing.bandwidth import MigrationPrices
+from repro.solvers.base import SolverError
+from tests.conftest import make_tiny_instance
+
+
+def override(instance: ProblemInstance, **kwargs) -> ProblemInstance:
+    fields = {f.name: getattr(instance, f.name) for f in dataclasses.fields(instance)}
+    fields.update(kwargs)
+    return ProblemInstance(**fields)
+
+
+class TestDegenerateWeights:
+    def test_zero_dynamic_weight(self):
+        """mu = 0: the regularizer terms vanish entirely from P2."""
+        instance = make_tiny_instance(weights=CostWeights(static=1.0, dynamic=0.0))
+        schedule = OnlineRegularizedAllocator().run(instance)
+        schedule.require_feasible(instance, tol=1e-5)
+        # With no dynamic cost, per-slot static optimization is optimal:
+        # greedy, approx, and offline all coincide in objective.
+        offline = total_cost(OfflineOptimal().run(instance), instance)
+        approx = total_cost(schedule, instance)
+        assert approx == pytest.approx(offline, rel=1e-3)
+
+    def test_zero_static_weight(self):
+        """Static weight 0: only dynamic costs matter; never moving wins."""
+        instance = make_tiny_instance(weights=CostWeights(static=0.0, dynamic=1.0))
+        schedule = OnlineRegularizedAllocator().run(instance)
+        schedule.require_feasible(instance, tol=1e-5)
+        offline = total_cost(OfflineOptimal().run(instance), instance)
+        approx = total_cost(schedule, instance)
+        # Everyone pays at least the initial provisioning; the online
+        # algorithm should not pay much more than that.
+        assert approx <= 2.0 * offline + 1e-6
+
+
+class TestMinimalSystems:
+    def single_cloud_instance(self, num_slots=3):
+        return ProblemInstance(
+            workloads=np.array([2.0, 3.0]),
+            capacities=np.array([8.0]),
+            op_prices=np.linspace(1.0, 2.0, num_slots)[:, None],
+            reconfig_prices=np.array([1.0]),
+            migration_prices=MigrationPrices(out=np.array([0.5]), into=np.array([0.5])),
+            inter_cloud_delay=np.zeros((1, 1)),
+            attachment=np.zeros((num_slots, 2), dtype=int),
+            access_delay=np.zeros((num_slots, 2)),
+        )
+
+    def test_single_cloud(self):
+        """One cloud: every algorithm is forced to the same allocation."""
+        instance = self.single_cloud_instance()
+        offline = total_cost(OfflineOptimal().run(instance), instance)
+        greedy = total_cost(OnlineGreedy().run(instance), instance)
+        approx = total_cost(OnlineRegularizedAllocator().run(instance), instance)
+        assert greedy == pytest.approx(offline, rel=1e-6)
+        assert approx == pytest.approx(offline, rel=1e-3)
+
+    def test_single_user_single_slot(self):
+        instance = ProblemInstance(
+            workloads=np.array([1.0]),
+            capacities=np.array([1.0, 1.0]),
+            op_prices=np.array([[1.0, 2.0]]),
+            reconfig_prices=np.array([1.0, 1.0]),
+            migration_prices=MigrationPrices(
+                out=np.array([0.5, 0.5]), into=np.array([0.5, 0.5])
+            ),
+            inter_cloud_delay=np.array([[0.0, 1.0], [1.0, 0.0]]),
+            attachment=np.array([[0]]),
+            access_delay=np.zeros((1, 1)),
+        )
+        schedule = OnlineRegularizedAllocator().run(instance)
+        schedule.require_feasible(instance, tol=1e-5)
+        # Cheap cloud 0 (op 1 < 2, zero delay) takes (almost) everything.
+        assert schedule.x[0, 0, 0] > 0.9
+
+    def test_exact_capacity_no_overprovisioning(self):
+        """Total capacity == total workload: P2's strict interior is empty;
+        the auto backend falls back and the LP baselines still work."""
+        instance = ProblemInstance(
+            workloads=np.array([2.0, 2.0]),
+            capacities=np.array([2.0, 2.0]),
+            op_prices=np.ones((2, 2)),
+            reconfig_prices=np.array([1.0, 1.0]),
+            migration_prices=MigrationPrices(
+                out=np.array([0.5, 0.5]), into=np.array([0.5, 0.5])
+            ),
+            inter_cloud_delay=np.array([[0.0, 1.0], [1.0, 0.0]]),
+            attachment=np.zeros((2, 2), dtype=int),
+            access_delay=np.zeros((2, 2)),
+        )
+        offline = OfflineOptimal().run(instance)
+        offline.require_feasible(instance, tol=1e-6)
+        greedy = OnlineGreedy().run(instance)
+        greedy.require_feasible(instance, tol=1e-6)
+
+
+class TestZeroPrices:
+    def test_free_migration(self):
+        base = make_tiny_instance()
+        instance = override(
+            base,
+            migration_prices=MigrationPrices(out=np.zeros(3), into=np.zeros(3)),
+        )
+        schedule = OnlineRegularizedAllocator().run(instance)
+        schedule.require_feasible(instance, tol=1e-5)
+
+    def test_free_reconfiguration(self):
+        base = make_tiny_instance()
+        instance = override(base, reconfig_prices=np.zeros(3))
+        schedule = OnlineRegularizedAllocator().run(instance)
+        schedule.require_feasible(instance, tol=1e-5)
+
+    def test_all_dynamic_prices_zero(self):
+        base = make_tiny_instance()
+        instance = override(
+            base,
+            reconfig_prices=np.zeros(3),
+            migration_prices=MigrationPrices(out=np.zeros(3), into=np.zeros(3)),
+        )
+        schedule = OnlineRegularizedAllocator().run(instance)
+        schedule.require_feasible(instance, tol=1e-5)
+        # No dynamic prices: the online optimum matches offline slot-wise.
+        offline = total_cost(OfflineOptimal().run(instance), instance)
+        assert total_cost(schedule, instance) == pytest.approx(offline, rel=1e-3)
+
+
+class TestSolverFailureInjection:
+    def test_allocator_surfaces_solver_error(self, tiny_instance):
+        class AlwaysFails:
+            name = "always-fails"
+
+            def solve(self, program, *, tol=1e-8):
+                raise SolverError("injected failure")
+
+        algorithm = OnlineRegularizedAllocator(backend=AlwaysFails())
+        with pytest.raises(SolverError, match="injected"):
+            algorithm.run(tiny_instance)
+
+    def test_fallback_recovers_from_flaky_primary(self, tiny_instance):
+        from repro.solvers.registry import FallbackBackend, get_backend
+
+        calls = {"n": 0}
+
+        class Flaky:
+            name = "flaky"
+
+            def solve(self, program, *, tol=1e-8):
+                calls["n"] += 1
+                if calls["n"] % 2 == 1:
+                    raise SolverError("flaky failure")
+                return get_backend("ipm").solve(program, tol=tol)
+
+        backend = FallbackBackend(Flaky(), get_backend("scipy"))
+        schedule = OnlineRegularizedAllocator(backend=backend).run(tiny_instance)
+        schedule.require_feasible(tiny_instance, tol=1e-5)
+        assert calls["n"] == tiny_instance.num_slots

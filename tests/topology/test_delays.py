@@ -1,0 +1,51 @@
+"""Tests for delay-matrix construction and validation."""
+
+import numpy as np
+import pytest
+
+from repro.topology.delays import inter_cloud_delay_matrix, validate_delay_matrix
+from repro.topology.metro import rome_metro_topology
+
+
+class TestInterCloudDelay:
+    def test_price_scaling(self):
+        topo = rome_metro_topology()
+        base = inter_cloud_delay_matrix(topo, price_per_km=1.0)
+        scaled = inter_cloud_delay_matrix(topo, price_per_km=2.5)
+        assert np.allclose(scaled, 2.5 * base)
+
+    def test_zero_price_gives_zero_matrix(self):
+        topo = rome_metro_topology()
+        assert np.all(inter_cloud_delay_matrix(topo, price_per_km=0.0) == 0.0)
+
+    def test_negative_price_rejected(self):
+        with pytest.raises(ValueError):
+            inter_cloud_delay_matrix(rome_metro_topology(), price_per_km=-1.0)
+
+    def test_result_is_valid(self):
+        validate_delay_matrix(inter_cloud_delay_matrix(rome_metro_topology()))
+
+
+class TestValidateDelayMatrix:
+    def test_valid(self):
+        validate_delay_matrix(np.array([[0.0, 1.0], [1.0, 0.0]]))
+
+    def test_not_square(self):
+        with pytest.raises(ValueError, match="square"):
+            validate_delay_matrix(np.zeros((2, 3)))
+
+    def test_negative_entry(self):
+        with pytest.raises(ValueError, match="negative"):
+            validate_delay_matrix(np.array([[0.0, -1.0], [-1.0, 0.0]]))
+
+    def test_nonzero_diagonal(self):
+        with pytest.raises(ValueError, match="diagonal"):
+            validate_delay_matrix(np.array([[1.0, 2.0], [2.0, 0.0]]))
+
+    def test_asymmetric(self):
+        with pytest.raises(ValueError, match="symmetric"):
+            validate_delay_matrix(np.array([[0.0, 1.0], [2.0, 0.0]]))
+
+    def test_non_finite(self):
+        with pytest.raises(ValueError, match="finite"):
+            validate_delay_matrix(np.array([[0.0, np.inf], [np.inf, 0.0]]))

@@ -1,0 +1,132 @@
+"""Tests for geographic primitives (haversine, GeoPoint)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology.geo import (
+    EARTH_RADIUS_KM,
+    GeoPoint,
+    haversine_km,
+    haversine_km_vec,
+    pairwise_distance_km,
+)
+
+coords = st.tuples(
+    st.floats(min_value=-89.0, max_value=89.0),
+    st.floats(min_value=-179.0, max_value=179.0),
+)
+
+
+class TestGeoPoint:
+    def test_valid_point(self):
+        p = GeoPoint(41.9, 12.5)
+        assert p.lat == 41.9
+        assert p.lon == 12.5
+
+    @pytest.mark.parametrize("lat", [-90.1, 91.0, 180.0])
+    def test_invalid_latitude(self, lat):
+        with pytest.raises(ValueError):
+            GeoPoint(lat, 0.0)
+
+    @pytest.mark.parametrize("lon", [-180.5, 181.0, 360.0])
+    def test_invalid_longitude(self, lon):
+        with pytest.raises(ValueError):
+            GeoPoint(0.0, lon)
+
+    def test_boundary_values_allowed(self):
+        GeoPoint(90.0, 180.0)
+        GeoPoint(-90.0, -180.0)
+
+    def test_distance_method_matches_function(self):
+        a, b = GeoPoint(41.9, 12.5), GeoPoint(41.8, 12.4)
+        assert a.distance_km(b) == pytest.approx(haversine_km(41.9, 12.5, 41.8, 12.4))
+
+    def test_frozen(self):
+        p = GeoPoint(0.0, 0.0)
+        with pytest.raises(AttributeError):
+            p.lat = 1.0
+
+
+class TestHaversine:
+    def test_zero_distance(self):
+        assert haversine_km(41.9, 12.5, 41.9, 12.5) == 0.0
+
+    def test_symmetry(self):
+        d1 = haversine_km(41.9, 12.5, 48.8, 2.3)
+        d2 = haversine_km(48.8, 2.3, 41.9, 12.5)
+        assert d1 == pytest.approx(d2)
+
+    def test_known_distance_rome_paris(self):
+        # Rome (41.9, 12.5) to Paris (48.86, 2.35): ~1105 km.
+        d = haversine_km(41.9, 12.5, 48.86, 2.35)
+        assert 1050 < d < 1160
+
+    def test_one_degree_latitude(self):
+        # One degree of latitude is ~111.2 km anywhere.
+        d = haversine_km(10.0, 30.0, 11.0, 30.0)
+        assert d == pytest.approx(math.pi * EARTH_RADIUS_KM / 180.0, rel=1e-6)
+
+    def test_antipodal_is_half_circumference(self):
+        d = haversine_km(0.0, 0.0, 0.0, 180.0)
+        assert d == pytest.approx(math.pi * EARTH_RADIUS_KM, rel=1e-9)
+
+    @given(coords, coords)
+    @settings(max_examples=60)
+    def test_nonnegative_and_symmetric(self, p1, p2):
+        d12 = haversine_km(*p1, *p2)
+        d21 = haversine_km(*p2, *p1)
+        assert d12 >= 0.0
+        assert d12 == pytest.approx(d21, abs=1e-9)
+
+    @given(coords, coords, coords)
+    @settings(max_examples=40)
+    def test_triangle_inequality(self, p1, p2, p3):
+        d12 = haversine_km(*p1, *p2)
+        d23 = haversine_km(*p2, *p3)
+        d13 = haversine_km(*p1, *p3)
+        assert d13 <= d12 + d23 + 1e-6
+
+
+class TestVectorized:
+    def test_matches_scalar(self):
+        lats1 = np.array([41.9, 40.0])
+        lons1 = np.array([12.5, 11.0])
+        lats2 = np.array([48.86, 41.0])
+        lons2 = np.array([2.35, 12.0])
+        vec = haversine_km_vec(lats1, lons1, lats2, lons2)
+        for k in range(2):
+            assert vec[k] == pytest.approx(
+                haversine_km(lats1[k], lons1[k], lats2[k], lons2[k])
+            )
+
+    def test_broadcasting(self):
+        lats = np.array([41.0, 42.0, 43.0])
+        lons = np.array([12.0, 12.5, 13.0])
+        matrix = haversine_km_vec(lats[:, None], lons[:, None], lats[None, :], lons[None, :])
+        assert matrix.shape == (3, 3)
+        assert np.allclose(np.diag(matrix), 0.0)
+        assert np.allclose(matrix, matrix.T)
+
+
+class TestPairwise:
+    def test_shape_diag_symmetry(self):
+        points = [GeoPoint(41.9, 12.5), GeoPoint(41.8, 12.4), GeoPoint(41.7, 12.6)]
+        d = pairwise_distance_km(points)
+        assert d.shape == (3, 3)
+        assert np.all(np.diag(d) == 0.0)
+        assert np.allclose(d, d.T)
+        assert np.all(d >= 0)
+
+    def test_single_point(self):
+        d = pairwise_distance_km([GeoPoint(0.0, 0.0)])
+        assert d.shape == (1, 1)
+        assert d[0, 0] == 0.0
+
+    def test_matches_scalar_function(self):
+        points = [GeoPoint(41.9, 12.5), GeoPoint(41.85, 12.45)]
+        d = pairwise_distance_km(points)
+        assert d[0, 1] == pytest.approx(points[0].distance_km(points[1]))

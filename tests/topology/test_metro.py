@@ -1,0 +1,100 @@
+"""Tests for the Rome metro topology."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.topology.geo import GeoPoint
+from repro.topology.metro import (
+    ROME_METRO_LINE_A,
+    ROME_METRO_LINE_B,
+    ROME_METRO_STATIONS,
+    Topology,
+    rome_metro_topology,
+)
+
+
+@pytest.fixture(scope="module")
+def topo() -> Topology:
+    return rome_metro_topology()
+
+
+class TestRomeMetro:
+    def test_fifteen_stations(self, topo):
+        # The paper deploys exactly 15 edge clouds at 15 metro stations.
+        assert topo.num_sites == 15
+        assert len(ROME_METRO_STATIONS) == 15
+
+    def test_graph_connected(self, topo):
+        assert nx.is_connected(topo.graph)
+
+    def test_line_a_adjacency(self, topo):
+        for a, b in zip(ROME_METRO_LINE_A, ROME_METRO_LINE_A[1:]):
+            assert topo.graph.has_edge(topo.index_of(a), topo.index_of(b))
+
+    def test_line_b_adjacency(self, topo):
+        for a, b in zip(ROME_METRO_LINE_B, ROME_METRO_LINE_B[1:]):
+            assert topo.graph.has_edge(topo.index_of(a), topo.index_of(b))
+
+    def test_termini_is_interchange(self, topo):
+        # Termini connects line A (Repubblica, Vittorio Emanuele) and B (Colosseo).
+        termini = topo.index_of("Termini")
+        neighbors = {topo.names[n] for n in topo.neighbors(termini)}
+        assert {"Repubblica", "Vittorio Emanuele", "Colosseo"} <= neighbors
+
+    def test_coordinates_in_central_rome(self, topo):
+        lat_min, lat_max, lon_min, lon_max = topo.bounding_box()
+        assert 41.8 < lat_min <= lat_max < 42.0
+        assert 12.3 < lon_min <= lon_max < 12.6
+
+    def test_distance_matrix_sane(self, topo):
+        d = topo.distance_matrix_km()
+        assert d.shape == (15, 15)
+        assert np.all(np.diag(d) == 0.0)
+        off_diag = d[~np.eye(15, dtype=bool)]
+        # Central-Rome station spacing: hundreds of meters to ~10 km.
+        assert off_diag.min() > 0.1
+        assert off_diag.max() < 12.0
+
+    def test_nearest_site(self, topo):
+        termini = topo.index_of("Termini")
+        near_termini = GeoPoint(41.9012, 12.5015)
+        assert topo.nearest_site(near_termini) == termini
+
+    def test_index_of_unknown_raises(self, topo):
+        with pytest.raises(KeyError):
+            topo.index_of("Atlantis Central")
+
+
+class TestTopologyValidation:
+    def test_mismatched_names_points(self):
+        g = nx.Graph()
+        g.add_node(0)
+        with pytest.raises(ValueError):
+            Topology(names=["a", "b"], points=[GeoPoint(0, 0)], graph=g)
+
+    def test_duplicate_names(self):
+        g = nx.Graph()
+        g.add_nodes_from([0, 1])
+        with pytest.raises(ValueError):
+            Topology(
+                names=["a", "a"],
+                points=[GeoPoint(0, 0), GeoPoint(1, 1)],
+                graph=g,
+            )
+
+    def test_graph_nodes_must_match_indices(self):
+        g = nx.Graph()
+        g.add_nodes_from([0, 5])
+        with pytest.raises(ValueError):
+            Topology(
+                names=["a", "b"],
+                points=[GeoPoint(0, 0), GeoPoint(1, 1)],
+                graph=g,
+            )
+
+    def test_neighbors_sorted(self):
+        topo = rome_metro_topology()
+        termini = topo.index_of("Termini")
+        neighbors = topo.neighbors(termini)
+        assert neighbors == sorted(neighbors)

@@ -1,0 +1,119 @@
+"""Tests for the workload distributions of Section V-A."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workload.distributions import (
+    WORKLOAD_DISTRIBUTIONS,
+    make_workloads,
+    normal_workloads,
+    power_workloads,
+    uniform_workloads,
+)
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestPower:
+    def test_integer_and_at_least_one(self):
+        w = power_workloads(500, rng())
+        assert w.dtype == np.int64
+        assert w.min() >= 1
+
+    def test_cap_respected(self):
+        w = power_workloads(2000, rng(), max_workload=20)
+        assert w.max() <= 20
+
+    def test_skewed(self):
+        # Power-law workloads are right-skewed: mean > median.
+        w = power_workloads(5000, rng())
+        assert w.mean() > np.median(w)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            power_workloads(10, rng(), exponent=0.0)
+        with pytest.raises(ValueError):
+            power_workloads(10, rng(), scale=-1.0)
+        with pytest.raises(ValueError):
+            power_workloads(-1, rng())
+
+    def test_empty(self):
+        assert power_workloads(0, rng()).shape == (0,)
+
+
+class TestUniform:
+    def test_range(self):
+        w = uniform_workloads(1000, rng(), low=2, high=7)
+        assert w.min() >= 2
+        assert w.max() <= 7
+
+    def test_all_values_hit(self):
+        w = uniform_workloads(3000, rng(), low=1, high=5)
+        assert set(np.unique(w)) == {1, 2, 3, 4, 5}
+
+    def test_degenerate_range(self):
+        w = uniform_workloads(10, rng(), low=3, high=3)
+        assert np.all(w == 3)
+
+    @pytest.mark.parametrize("low,high", [(0, 5), (5, 4), (-2, 3)])
+    def test_invalid_range(self, low, high):
+        with pytest.raises(ValueError):
+            uniform_workloads(10, rng(), low=low, high=high)
+
+
+class TestNormal:
+    def test_truncated_at_one(self):
+        w = normal_workloads(2000, rng(), mean=1.0, std=3.0)
+        assert w.min() >= 1
+
+    def test_mean_roughly_respected(self):
+        w = normal_workloads(5000, rng(), mean=10.0, std=2.0)
+        assert 9.0 < w.mean() < 11.0
+
+    def test_zero_std(self):
+        w = normal_workloads(10, rng(), mean=4.0, std=0.0)
+        assert np.all(w == 4)
+
+    def test_negative_std_rejected(self):
+        with pytest.raises(ValueError):
+            normal_workloads(10, rng(), std=-1.0)
+
+
+class TestDispatch:
+    @pytest.mark.parametrize("name", sorted(WORKLOAD_DISTRIBUTIONS))
+    def test_known_names(self, name):
+        w = make_workloads(name, 20, rng())
+        assert w.shape == (20,)
+        assert w.min() >= 1
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown workload distribution"):
+            make_workloads("cauchy", 10, rng())
+
+    def test_kwargs_forwarded(self):
+        w = make_workloads("uniform", 100, rng(), low=4, high=4)
+        assert np.all(w == 4)
+
+    def test_deterministic_given_generator_state(self):
+        a = make_workloads("power", 50, rng(123))
+        b = make_workloads("power", 50, rng(123))
+        assert np.array_equal(a, b)
+
+
+@given(
+    name=st.sampled_from(sorted(WORKLOAD_DISTRIBUTIONS)),
+    n=st.integers(min_value=0, max_value=200),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=50, deadline=None)
+def test_property_always_valid_workloads(name, n, seed):
+    """Every distribution yields integer workloads >= 1 (Lemma 6 assumption)."""
+    w = make_workloads(name, n, np.random.default_rng(seed))
+    assert w.shape == (n,)
+    assert np.issubdtype(w.dtype, np.integer)
+    if n:
+        assert w.min() >= 1
