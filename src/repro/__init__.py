@@ -31,6 +31,7 @@ from .core import (
     cost_breakdown,
     total_cost,
 )
+from .parallel import SweepCell, SweepExecutor
 from .simulation import (
     Comparison,
     RunResult,
@@ -58,6 +59,8 @@ __all__ = [
     "Scenario",
     "StatOpt",
     "StaticAllocation",
+    "SweepCell",
+    "SweepExecutor",
     "aggregate_ratios",
     "compare_algorithms",
     "competitive_ratio_bound",

@@ -47,6 +47,13 @@ def _add_scale_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=None, help="base random seed")
     parser.add_argument("--eps", type=float, default=None, help="eps1 = eps2 value")
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="processes for the sweep grid (default 1 = serial, 0 = all CPUs; "
+        "results are identical at any worker count)",
+    )
+    parser.add_argument(
         "--paper-scale",
         action="store_true",
         help="run at the paper's full scale (300 users, 60 slots, 5 repetitions)",
@@ -66,6 +73,9 @@ def _scale_from_args(args: argparse.Namespace) -> ExperimentScale:
         overrides["seed"] = args.seed
     if args.eps is not None:
         overrides["eps"] = args.eps
+    if args.workers is not None:
+        # 0 = all CPUs, which ExperimentScale spells as None.
+        overrides["workers"] = args.workers if args.workers > 0 else None
     if overrides:
         scale = ExperimentScale(**{**scale.__dict__, **overrides})
     return scale

@@ -98,6 +98,11 @@ class OnlineRegularizedAllocator:
         x_opt = _repair_feasibility(x_opt, instance)
         return x_opt, result
 
+    @property
+    def total_solver_iterations(self) -> int:
+        """Summed backend iterations of the most recent run (diagnostics)."""
+        return sum(result.iterations for result in self.last_solves)
+
     def run(self, instance: ProblemInstance) -> AllocationSchedule:
         """Run the online algorithm over the whole horizon of the instance."""
         num_clouds, num_users = instance.num_clouds, instance.num_users

@@ -13,7 +13,7 @@ from .fig4 import fig4_report, run_eps_sweep, run_mu_sweep, theoretical_bounds
 from .fig5 import fig5_report, run_fig5
 from .report import format_mean_std, format_table
 from .robustness import mobility_suite, robustness_spread, run_mobility_robustness
-from .runner import RatioPoint, ratio_table, run_ratio_point
+from .runner import RatioPoint, ratio_table, run_ratio_point, run_ratio_sweep
 from .settings import (
     ExperimentScale,
     all_paper_algorithms,
@@ -56,5 +56,6 @@ __all__ = [
     "run_fig5",
     "run_mu_sweep",
     "run_ratio_point",
+    "run_ratio_sweep",
     "theoretical_bounds",
 ]

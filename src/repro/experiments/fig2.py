@@ -16,7 +16,7 @@ static approaches" claim.
 from __future__ import annotations
 
 from ..simulation.scenario import Scenario
-from .runner import RatioPoint, ratio_table, run_ratio_point
+from .runner import RatioPoint, ratio_table, run_ratio_sweep
 from .settings import ExperimentScale, all_paper_algorithms
 
 #: The six hourly test cases of the paper.
@@ -39,18 +39,13 @@ def run_fig2(
     scale = scale or ExperimentScale()
     scenario = fig2_scenario(scale)
     algorithms = all_paper_algorithms(scale.eps)
-    points = []
-    for case, hour in enumerate(hours):
-        points.append(
-            run_ratio_point(
-                hour,
-                scenario,
-                algorithms,
-                repetitions=scale.repetitions,
-                seed=scale.seed + 1000 * case,
-            )
-        )
-    return points
+    cases = [
+        (hour, scenario, algorithms, scale.seed + 1000 * case)
+        for case, hour in enumerate(hours)
+    ]
+    return run_ratio_sweep(
+        cases, repetitions=scale.repetitions, workers=scale.workers
+    )
 
 
 def run_fig2_continuous_day(

@@ -9,7 +9,7 @@ online-greedy) "and performs even slightly better under uniform workloads".
 from __future__ import annotations
 
 from ..simulation.scenario import Scenario
-from .runner import RatioPoint, ratio_table, run_ratio_point
+from .runner import RatioPoint, ratio_table, run_ratio_sweep
 from .settings import ExperimentScale, all_paper_algorithms
 
 #: The distributions of Figure 3 (Figure 2 covers "power").
@@ -24,23 +24,22 @@ def run_fig3(
     """One RatioPoint per workload distribution."""
     scale = scale or ExperimentScale()
     algorithms = all_paper_algorithms(scale.eps)
-    points = []
-    for k, distribution in enumerate(distributions):
-        scenario = Scenario(
-            num_users=scale.num_users,
-            num_slots=scale.num_slots,
-            workload_distribution=distribution,
+    cases = [
+        (
+            distribution,
+            Scenario(
+                num_users=scale.num_users,
+                num_slots=scale.num_slots,
+                workload_distribution=distribution,
+            ),
+            algorithms,
+            scale.seed + 1000 * k,
         )
-        points.append(
-            run_ratio_point(
-                distribution,
-                scenario,
-                algorithms,
-                repetitions=scale.repetitions,
-                seed=scale.seed + 1000 * k,
-            )
-        )
-    return points
+        for k, distribution in enumerate(distributions)
+    ]
+    return run_ratio_sweep(
+        cases, repetitions=scale.repetitions, workers=scale.workers
+    )
 
 
 def fig3_report(points: list[RatioPoint]) -> str:

@@ -21,7 +21,7 @@ from ..baselines import OfflineOptimal, OnlineGreedy
 from ..core.bounds import competitive_ratio_bound
 from ..core.regularization import OnlineRegularizedAllocator
 from ..simulation.scenario import Scenario
-from .runner import RatioPoint, ratio_table, run_ratio_point
+from .runner import RatioPoint, ratio_table, run_ratio_sweep
 from .settings import ExperimentScale
 
 #: Paper sweep: 1e-3 .. 1e3 in decades.
@@ -41,23 +41,22 @@ def run_eps_sweep(
         num_slots=scale.num_slots,
         workload_distribution="power",
     )
-    points = []
-    for eps in eps_values:
-        algorithms = [
-            OfflineOptimal(),
-            OnlineGreedy(),
-            OnlineRegularizedAllocator(eps1=eps, eps2=eps),
-        ]
-        points.append(
-            run_ratio_point(
-                f"eps={eps:g}",
-                scenario,
-                algorithms,
-                repetitions=scale.repetitions,
-                seed=scale.seed,
-            )
+    cases = [
+        (
+            f"eps={eps:g}",
+            scenario,
+            [
+                OfflineOptimal(),
+                OnlineGreedy(),
+                OnlineRegularizedAllocator(eps1=eps, eps2=eps),
+            ],
+            scale.seed,
         )
-    return points
+        for eps in eps_values
+    ]
+    return run_ratio_sweep(
+        cases, repetitions=scale.repetitions, workers=scale.workers
+    )
 
 
 def run_mu_sweep(
@@ -67,28 +66,26 @@ def run_mu_sweep(
 ) -> list[RatioPoint]:
     """Empirical ratio per dynamic/static weight ratio mu."""
     scale = scale or ExperimentScale()
-    points = []
-    for mu in mu_values:
-        scenario = Scenario(
-            num_users=scale.num_users,
-            num_slots=scale.num_slots,
-            workload_distribution="power",
-        ).with_mu(mu)
-        algorithms = [
-            OfflineOptimal(),
-            OnlineGreedy(),
-            OnlineRegularizedAllocator(eps1=scale.eps, eps2=scale.eps),
-        ]
-        points.append(
-            run_ratio_point(
-                f"mu={mu:g}",
-                scenario,
-                algorithms,
-                repetitions=scale.repetitions,
-                seed=scale.seed,
-            )
+    cases = [
+        (
+            f"mu={mu:g}",
+            Scenario(
+                num_users=scale.num_users,
+                num_slots=scale.num_slots,
+                workload_distribution="power",
+            ).with_mu(mu),
+            [
+                OfflineOptimal(),
+                OnlineGreedy(),
+                OnlineRegularizedAllocator(eps1=scale.eps, eps2=scale.eps),
+            ],
+            scale.seed,
         )
-    return points
+        for mu in mu_values
+    ]
+    return run_ratio_sweep(
+        cases, repetitions=scale.repetitions, workers=scale.workers
+    )
 
 
 def theoretical_bounds(

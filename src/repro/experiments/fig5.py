@@ -14,7 +14,7 @@ from ..core.regularization import OnlineRegularizedAllocator
 from ..mobility.random_walk import RandomWalkMobility
 from ..simulation.scenario import Scenario
 from ..topology.metro import rome_metro_topology
-from .runner import RatioPoint, ratio_table, run_ratio_point
+from .runner import RatioPoint, ratio_table, run_ratio_sweep
 from .settings import ExperimentScale
 
 #: The paper sweeps 40..1000 users; the default laptop scale trims the tail.
@@ -39,30 +39,28 @@ def run_fig5(
     scale = scale or ExperimentScale()
     topology = rome_metro_topology()
     mobility = RandomWalkMobility(topology, stay_bias=stay_bias)
-    points = []
-    for k, num_users in enumerate(user_counts):
-        scenario = Scenario(
-            topology=topology,
-            mobility=mobility,
-            num_users=num_users,
-            num_slots=scale.num_slots,
-            workload_distribution="power",
+    cases = [
+        (
+            f"users={num_users}",
+            Scenario(
+                topology=topology,
+                mobility=mobility,
+                num_users=num_users,
+                num_slots=scale.num_slots,
+                workload_distribution="power",
+            ),
+            [
+                OfflineOptimal(),
+                OnlineGreedy(),
+                OnlineRegularizedAllocator(eps1=scale.eps, eps2=scale.eps),
+            ],
+            scale.seed + 1000 * k,
         )
-        algorithms = [
-            OfflineOptimal(),
-            OnlineGreedy(),
-            OnlineRegularizedAllocator(eps1=scale.eps, eps2=scale.eps),
-        ]
-        points.append(
-            run_ratio_point(
-                f"users={num_users}",
-                scenario,
-                algorithms,
-                repetitions=scale.repetitions,
-                seed=scale.seed + 1000 * k,
-            )
-        )
-    return points
+        for k, num_users in enumerate(user_counts)
+    ]
+    return run_ratio_sweep(
+        cases, repetitions=scale.repetitions, workers=scale.workers
+    )
 
 
 def fig5_report(points: list[RatioPoint]) -> str:

@@ -4,14 +4,21 @@ Each figure is a sweep over some axis (test case, workload distribution,
 epsilon, mu, user count); every point runs the algorithm roster on several
 seeded repetitions of a scenario and aggregates the empirical competitive
 ratios (mean +/- std over repetitions, as the paper plots them).
+
+The (point x repetition) grid cells are independent, so the whole sweep
+fans out through :class:`repro.parallel.SweepExecutor`; ``workers=1`` (the
+default) preserves the original strictly serial execution and, by the
+executor's determinism contract, any worker count produces identical
+numbers.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 from ..baselines.base import AllocationAlgorithm
-from ..simulation.engine import compare_algorithms
+from ..parallel import SweepCell, SweepExecutor, comparisons_or_raise
 from ..simulation.results import Comparison, aggregate_ratios
 from ..simulation.scenario import Scenario
 from .report import format_mean_std, format_table
@@ -36,6 +43,54 @@ class RatioPoint:
         return self.stats[algorithm][0]
 
 
+#: One sweep point's specification: (label, scenario, algorithm roster,
+#: base seed). Repetition ``rep`` of a point runs on ``seed + rep``.
+SweepCase = tuple[str, Scenario, Sequence[AllocationAlgorithm], int]
+
+
+def run_ratio_sweep(
+    cases: Sequence[SweepCase],
+    *,
+    repetitions: int,
+    workers: int | None = 1,
+) -> list[RatioPoint]:
+    """Run a whole sweep grid, optionally in parallel.
+
+    Every (case, repetition) pair becomes one executor cell with its own
+    deterministic seed, so the grid parallelizes across points *and*
+    repetitions while staying bit-for-bit reproducible at any worker count.
+
+    Args:
+        cases: the sweep points (label, scenario, algorithms, base seed).
+        repetitions: seeded repetitions per point.
+        workers: executor processes (1 = serial, None = all CPUs).
+
+    Returns:
+        One aggregated :class:`RatioPoint` per case, in case order.
+    """
+    cells = [
+        SweepCell(
+            key=(index, rep),
+            scenario=scenario,
+            algorithms=tuple(algorithms),
+            seed=seed + rep,
+        )
+        for index, (_, scenario, algorithms, seed) in enumerate(cases)
+        for rep in range(repetitions)
+    ]
+    results = SweepExecutor(max_workers=workers).run_cells(cells)
+    comparisons = comparisons_or_raise(results)
+    points = []
+    for index, (label, _, _, _) in enumerate(cases):
+        # Cells were emitted case-major, so each case's repetitions are a
+        # contiguous, ordered block.
+        block = comparisons[index * repetitions : (index + 1) * repetitions]
+        points.append(
+            RatioPoint(label=label, stats=aggregate_ratios(block), comparisons=block)
+        )
+    return points
+
+
 def run_ratio_point(
     label: str,
     scenario: Scenario,
@@ -43,15 +98,15 @@ def run_ratio_point(
     *,
     repetitions: int,
     seed: int,
+    workers: int | None = 1,
 ) -> RatioPoint:
     """Run ``repetitions`` seeded instances of a scenario and aggregate."""
-    comparisons = [
-        compare_algorithms(algorithms, scenario.build(seed=seed + rep))
-        for rep in range(repetitions)
-    ]
-    return RatioPoint(
-        label=label, stats=aggregate_ratios(comparisons), comparisons=comparisons
+    (point,) = run_ratio_sweep(
+        [(label, scenario, algorithms, seed)],
+        repetitions=repetitions,
+        workers=workers,
     )
+    return point
 
 
 def ratio_table(points: list[RatioPoint], *, axis_name: str = "case") -> str:

@@ -33,13 +33,19 @@ DEFAULT_EPS = 1.0
 
 @dataclass(frozen=True)
 class ExperimentScale:
-    """How big to run an experiment driver."""
+    """How big to run an experiment driver.
+
+    ``workers`` controls how many processes the sweep fans its
+    (point x repetition) grid cells across (1 = the original serial path,
+    0/None = every visible CPU); the numbers are identical at any setting.
+    """
 
     num_users: int = DEFAULT_NUM_USERS
     num_slots: int = DEFAULT_NUM_SLOTS
     repetitions: int = DEFAULT_REPETITIONS
     seed: int = 2017
     eps: float = DEFAULT_EPS
+    workers: int | None = 1
 
     @classmethod
     def paper(cls) -> "ExperimentScale":

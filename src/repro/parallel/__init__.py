@@ -1,0 +1,25 @@
+"""Parallel sweep execution for the experiment grid.
+
+Every figure of the paper is a sweep of independent (algorithm roster x
+instance) cells; this package fans those cells across a process pool with
+deterministic per-cell seeds, so parallel runs are bit-for-bit identical
+to serial ones. See docs/PARALLEL.md.
+"""
+
+from .executor import (
+    CellResult,
+    SweepCell,
+    SweepError,
+    SweepExecutor,
+    comparisons_or_raise,
+    resolve_workers,
+)
+
+__all__ = [
+    "CellResult",
+    "SweepCell",
+    "SweepError",
+    "SweepExecutor",
+    "comparisons_or_raise",
+    "resolve_workers",
+]

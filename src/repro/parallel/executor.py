@@ -1,0 +1,226 @@
+"""The sweep executor: fan independent experiment cells across processes.
+
+Design goals (docs/PARALLEL.md):
+
+* **Determinism** — a cell is a pure function of (scenario, algorithms,
+  seed); the executor never shares mutable state between cells, so serial
+  and parallel execution produce bit-for-bit identical results and the
+  output order always matches the input order.
+* **Graceful degradation** — ``max_workers=1`` runs inline with no pool;
+  platforms where a process pool cannot be created (or where the work does
+  not pickle) silently fall back to the same inline path.
+* **Structured failure** — a cell that raises is captured as a
+  :class:`CellResult` carrying the error string and traceback instead of
+  poisoning the whole sweep or hanging the pool.
+
+Cells must be picklable on the pool path: scenarios, problem instances and
+the bundled algorithms are all plain dataclasses of arrays, so everything
+in this project qualifies.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Sequence
+
+from ..baselines.base import AllocationAlgorithm
+from ..simulation.results import Comparison
+from ..simulation.scenario import Scenario
+
+
+class SweepError(RuntimeError):
+    """Raised when a sweep is asked to deliver results but some cells failed."""
+
+
+def resolve_workers(workers: int | None) -> int:
+    """Normalize a worker-count request (``None``/``0`` = all visible CPUs)."""
+    if workers is None or workers == 0:
+        return os.cpu_count() or 1
+    if workers < 0:
+        raise ValueError(f"workers must be positive or None, got {workers}")
+    return int(workers)
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One grid cell: run an algorithm roster on one seeded instance.
+
+    Attributes:
+        key: caller-chosen identifier (e.g. ``(case_index, repetition)``);
+            round-trips unchanged into the :class:`CellResult`.
+        scenario: the experiment configuration to instantiate.
+        algorithms: roster to compare (must include the baseline).
+        seed: the seed for :meth:`Scenario.build` — the *only* source of
+            randomness, which is what makes parallel runs deterministic.
+        baseline: normalizer passed through to ``compare_algorithms``.
+    """
+
+    key: Any
+    scenario: Scenario
+    algorithms: tuple[AllocationAlgorithm, ...]
+    seed: int
+    baseline: str = "offline-opt"
+
+    def execute(self) -> Comparison:
+        """Build the seeded instance and run the roster on it."""
+        # Deferred import: simulation.engine's parallel path imports this
+        # module, so importing it at module scope would be circular.
+        from ..simulation.engine import compare_algorithms
+
+        return compare_algorithms(
+            list(self.algorithms),
+            self.scenario.build(seed=self.seed),
+            baseline=self.baseline,
+        )
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """Outcome of one cell: a payload or a structured failure, plus timing.
+
+    Attributes:
+        key: the cell's identifier (input order is also preserved).
+        value: whatever the cell returned (a :class:`Comparison` for
+            :class:`SweepCell` work), or ``None`` on failure.
+        error: ``"ExcType: message"`` when the cell raised, else ``None``.
+        traceback: full formatted traceback of the failure, else ``None``.
+        wall_time_s: wall-clock seconds spent inside the cell.
+        pid: OS process id that executed the cell (the parent's pid on the
+            serial path — useful when checking work really fanned out).
+    """
+
+    key: Any
+    value: Any
+    error: str | None
+    traceback: str | None
+    wall_time_s: float
+    pid: int
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    @property
+    def comparison(self) -> Comparison | None:
+        """The payload, typed for the common SweepCell case."""
+        return self.value
+
+
+def _execute_one(work: Callable[[Any], Any], key: Any, item: Any) -> CellResult:
+    """Run one unit of work, capturing failures and timing.
+
+    Module-level so the pool can pickle it; shared by the serial path so
+    both paths have identical failure semantics.
+    """
+    start = time.perf_counter()
+    try:
+        value = work(item)
+    except Exception as exc:  # noqa: BLE001 - structured capture is the point
+        return CellResult(
+            key=key,
+            value=None,
+            error=f"{type(exc).__name__}: {exc}",
+            traceback=traceback.format_exc(),
+            wall_time_s=time.perf_counter() - start,
+            pid=os.getpid(),
+        )
+    return CellResult(
+        key=key,
+        value=value,
+        error=None,
+        traceback=None,
+        wall_time_s=time.perf_counter() - start,
+        pid=os.getpid(),
+    )
+
+
+def _execute_cell(cell: SweepCell) -> Comparison:
+    return cell.execute()
+
+
+@dataclass(frozen=True)
+class SweepExecutor:
+    """Run independent work items, optionally across a process pool.
+
+    ``max_workers=1`` (the default) is strictly serial — no pool, no
+    pickling, no subprocesses — and is the reference semantics the pool
+    path must reproduce exactly. ``max_workers=None`` uses every visible
+    CPU.
+
+    Attributes:
+        max_workers: worker processes (1 = inline serial execution).
+    """
+
+    max_workers: int | None = 1
+
+    @property
+    def workers(self) -> int:
+        return resolve_workers(self.max_workers)
+
+    def map(
+        self, work: Callable[[Any], Any], items: Sequence[Any], *, keys: Sequence[Any] | None = None
+    ) -> list[CellResult]:
+        """Apply ``work`` to every item; results come back in input order.
+
+        Args:
+            work: picklable callable (module-level function) applied per item.
+            items: the work items.
+            keys: optional per-item identifiers (defaults to the indices).
+
+        Returns:
+            One :class:`CellResult` per item, failures captured in place.
+        """
+        if keys is None:
+            keys = list(range(len(items)))
+        if len(keys) != len(items):
+            raise ValueError("keys and items must have the same length")
+        if self.workers <= 1 or len(items) <= 1:
+            return [_execute_one(work, key, item) for key, item in zip(keys, items)]
+        return self._map_pool(work, items, keys)
+
+    def run_cells(self, cells: Iterable[SweepCell]) -> list[CellResult]:
+        """Execute :class:`SweepCell` grid cells (keys taken from the cells)."""
+        cells = list(cells)
+        return self.map(_execute_cell, cells, keys=[cell.key for cell in cells])
+
+    # ----- pool path ----------------------------------------------------------
+
+    def _map_pool(
+        self, work: Callable[[Any], Any], items: Sequence[Any], keys: Sequence[Any]
+    ) -> list[CellResult]:
+        try:
+            with ProcessPoolExecutor(max_workers=min(self.workers, len(items))) as pool:
+                futures = [
+                    pool.submit(_execute_one, work, key, item)
+                    for key, item in zip(keys, items)
+                ]
+                return [future.result() for future in futures]
+        except Exception:  # noqa: BLE001
+            # Pool creation or transport failed (no fork/spawn support,
+            # unpicklable work, broken pool, ...). The cells themselves never
+            # raise out of _execute_one, so anything surfacing here is an
+            # infrastructure problem: fall back to the serial reference path,
+            # which needs none of that machinery.
+            return [_execute_one(work, key, item) for key, item in zip(keys, items)]
+
+
+def comparisons_or_raise(results: Sequence[CellResult]) -> list[Comparison]:
+    """Unwrap cell payloads, raising :class:`SweepError` if any cell failed.
+
+    The error message lists every failed cell's key and error (first
+    traceback included) so a single bad cell in a big sweep is diagnosable.
+    """
+    failed = [result for result in results if not result.ok]
+    if failed:
+        summary = "; ".join(f"{r.key!r}: {r.error}" for r in failed[:5])
+        if len(failed) > 5:
+            summary += f"; ... ({len(failed) - 5} more)"
+        raise SweepError(
+            f"{len(failed)}/{len(results)} sweep cells failed: {summary}\n"
+            f"first failure traceback:\n{failed[0].traceback}"
+        )
+    return [result.value for result in results]

@@ -50,22 +50,51 @@ def run_algorithm(
     )
 
 
+def _run_algorithm_cell(
+    work: tuple[AllocationAlgorithm, ProblemInstance, bool]
+) -> RunResult:
+    """Module-level cell body so the process pool can pickle it."""
+    algorithm, instance, require_feasible = work
+    return run_algorithm(algorithm, instance, require_feasible=require_feasible)
+
+
 def compare_algorithms(
     algorithms: list[AllocationAlgorithm],
     instance: ProblemInstance,
     *,
     baseline: str = "offline-opt",
     require_feasible: bool = True,
+    workers: int | None = 1,
 ) -> Comparison:
     """Run every algorithm on the same instance; normalize by ``baseline``.
 
     The baseline must be among the algorithms (the paper normalizes
-    everything by offline-opt).
+    everything by offline-opt). ``workers > 1`` fans the per-algorithm runs
+    across a process pool — useful for a one-off comparison on a large
+    instance; whole sweeps parallelize better per (instance, repetition)
+    cell via :class:`repro.parallel.SweepExecutor`.
     """
-    results = {
-        algorithm.name: run_algorithm(
-            algorithm, instance, require_feasible=require_feasible
+    if workers is None or workers > 1:
+        # Deferred import: repro.parallel imports this module.
+        from ..parallel import SweepExecutor
+
+        cell_results = SweepExecutor(max_workers=workers).map(
+            _run_algorithm_cell,
+            [(algorithm, instance, require_feasible) for algorithm in algorithms],
+            keys=[algorithm.name for algorithm in algorithms],
         )
-        for algorithm in algorithms
-    }
+        failed = [r for r in cell_results if not r.ok]
+        if failed:
+            raise ValueError(
+                f"{len(failed)} algorithm(s) failed: "
+                + "; ".join(f"{r.key}: {r.error}" for r in failed)
+            )
+        results = {r.key: r.value for r in cell_results}
+    else:
+        results = {
+            algorithm.name: run_algorithm(
+                algorithm, instance, require_feasible=require_feasible
+            )
+            for algorithm in algorithms
+        }
     return Comparison(results=results, baseline=baseline)

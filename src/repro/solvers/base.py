@@ -30,6 +30,9 @@ class SolverResult:
         iterations: iterations the backend reports (0 when unavailable).
         backend: name of the backend that produced the result.
         duals: optional mapping of constraint-family name -> multipliers.
+        primary_error: when a fallback wrapper produced this result, the
+            error message of the primary backend that failed first (kept
+            inspectable instead of silently discarded); ``None`` otherwise.
     """
 
     x: np.ndarray
@@ -37,6 +40,7 @@ class SolverResult:
     iterations: int = 0
     backend: str = ""
     duals: dict[str, np.ndarray] = field(default_factory=dict)
+    primary_error: str | None = None
 
 
 @dataclass
@@ -53,7 +57,14 @@ class ConvexProgram:
         constraint_matrix: (M, n) sparse matrix A.
         constraint_lower: (M,) lower bounds for A x.
         x_lower: (n,) variable lower bounds (typically zeros).
-        x0: strictly feasible starting point.
+        x0: optional starting point. ``None`` lets the backend derive one
+            (see :func:`starting_point`); a warm start is passed here and
+            need not be strictly feasible — backends must recover, not
+            crash, when it is not.
+        warm_start: hint that ``x0`` is believed close to the optimum
+            (e.g. the previous slot's solution); backends may exploit it
+            (the structured IPM starts its barrier schedule lower) but the
+            returned optimum must be the same either way.
     """
 
     objective: Callable[[np.ndarray], float]
@@ -61,15 +72,18 @@ class ConvexProgram:
     constraint_matrix: sparse.spmatrix
     constraint_lower: np.ndarray
     x_lower: np.ndarray
-    x0: np.ndarray
+    x0: np.ndarray | None = None
     hessian: Callable[[np.ndarray], object] | None = None
     #: Optional problem-specific structure (e.g. the P2 subproblem) that
     #: specialized backends can exploit; generic backends ignore it.
     structure: object | None = None
+    warm_start: bool = False
 
     @property
     def num_variables(self) -> int:
-        return int(np.asarray(self.x0).size)
+        if self.x0 is not None:
+            return int(np.asarray(self.x0).size)
+        return int(np.asarray(self.x_lower).size)
 
     @property
     def num_constraints(self) -> int:
@@ -89,6 +103,21 @@ class ConvexProgram:
         if bound.size:
             worst = max(worst, float(bound.max()))
         return max(worst, 0.0)
+
+
+def starting_point(program: ConvexProgram) -> np.ndarray:
+    """A usable starting point for a program whose ``x0`` may be ``None``.
+
+    Preference order: the program's own ``x0``; the structure's canonical
+    strictly interior point (P2 programs); the variable lower bounds (a
+    feasible-for-bounds default that generic methods can work from).
+    """
+    if program.x0 is not None:
+        return np.asarray(program.x0, dtype=float)
+    structure = program.structure
+    if structure is not None and hasattr(structure, "interior_point"):
+        return np.asarray(structure.interior_point(), dtype=float)
+    return np.asarray(program.x_lower, dtype=float).copy()
 
 
 class ConvexBackend(Protocol):

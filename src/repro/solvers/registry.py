@@ -2,9 +2,14 @@
 
 from __future__ import annotations
 
+import dataclasses
+import logging
+
 from .base import ConvexBackend, ConvexProgram, SolverError, SolverResult
 from .interior_point import InteriorPointBackend
 from .scipy_backend import ScipyTrustConstrBackend
+
+logger = logging.getLogger(__name__)
 
 _BACKENDS: dict[str, ConvexBackend] = {}
 
@@ -43,11 +48,23 @@ class FallbackBackend:
         self.name = f"{primary.name}+{secondary.name}"
 
     def solve(self, program: ConvexProgram, *, tol: float = 1e-8) -> SolverResult:
-        """Try the primary backend; on SolverError, retry with the secondary."""
+        """Try the primary backend; on SolverError, retry with the secondary.
+
+        The primary's error is not discarded: it is logged and attached to
+        the returned result as ``SolverResult.primary_error`` so callers
+        can see *why* the slow path ran.
+        """
         try:
             return self.primary.solve(program, tol=tol)
-        except SolverError:
-            return self.secondary.solve(program, tol=tol)
+        except SolverError as exc:
+            message = f"{self.primary.name}: {exc}"
+            logger.warning(
+                "primary backend failed, falling back to %s (%s)",
+                self.secondary.name,
+                message,
+            )
+            result = self.secondary.solve(program, tol=tol)
+            return dataclasses.replace(result, primary_error=message)
 
 
 register_backend("scipy", ScipyTrustConstrBackend())

@@ -12,7 +12,7 @@ from dataclasses import dataclass
 import numpy as np
 from scipy.optimize import Bounds, LinearConstraint, minimize
 
-from .base import ConvexProgram, SolverError, SolverResult
+from .base import ConvexProgram, SolverError, SolverResult, starting_point
 
 
 @dataclass(frozen=True)
@@ -46,9 +46,11 @@ class ScipyTrustConstrBackend:
         kwargs: dict[str, object] = {}
         if program.hessian is not None:
             kwargs["hess"] = program.hessian
+        # trust-constr tolerates infeasible starts (it restores feasibility
+        # itself), so a warm start needs no projection here.
         result = minimize(
             program.objective,
-            np.asarray(program.x0, dtype=float),
+            starting_point(program),
             jac=program.gradient,
             bounds=bounds,
             constraints=constraints,

@@ -1,0 +1,103 @@
+"""Golden-file tests pinning the paper numbers against committed fixtures.
+
+Perf work (parallel execution, warm starts, solver tuning) must never
+silently change what the figures report. These tests run the seed fig2 and
+fig4 settings at a small fixed scale and compare every algorithm's full
+``cost_breakdown`` against JSON fixtures committed under
+``tests/experiments/golden/``.
+
+Regenerating (only when a *deliberate* numeric change lands)::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/experiments/test_golden.py
+
+then commit the updated fixtures together with the change that explains
+them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.baselines import OfflineOptimal, OnlineGreedy
+from repro.core.regularization import OnlineRegularizedAllocator
+from repro.experiments.fig2 import fig2_scenario
+from repro.experiments.settings import ExperimentScale, all_paper_algorithms
+from repro.simulation.engine import compare_algorithms
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: Small but representative scale: every algorithm (including the LP-based
+#: offline optimum) runs in well under a second, yet all cost components
+#: are exercised.
+SCALE = ExperimentScale(num_users=6, num_slots=4, repetitions=1, seed=2017)
+
+#: Relative tolerance for the pinned numbers. Tight enough that any real
+#: behavioral change trips it; loose enough to absorb solver noise across
+#: BLAS/SciPy builds.
+RTOL = 1e-6
+
+
+def _breakdowns(comparison) -> dict[str, dict[str, float]]:
+    return {
+        name: result.breakdown.totals()
+        for name, result in sorted(comparison.results.items())
+    }
+
+
+def _fig2_breakdowns() -> dict[str, dict[str, float]]:
+    """The seed fig2 setting: taxi mobility, power workloads, full roster."""
+    instance = fig2_scenario(SCALE).build(seed=SCALE.seed)
+    return _breakdowns(compare_algorithms(all_paper_algorithms(SCALE.eps), instance))
+
+
+def _fig4_breakdowns() -> dict[str, dict[str, float]]:
+    """The seed fig4 endpoints: eps sweep extremes and a large-mu scenario."""
+    out: dict[str, dict[str, float]] = {}
+    scenario = fig2_scenario(SCALE)
+    instance = scenario.build(seed=SCALE.seed)
+    for eps in (1e-3, 1e3):
+        roster = [
+            OfflineOptimal(),
+            OnlineGreedy(),
+            OnlineRegularizedAllocator(eps1=eps, eps2=eps),
+        ]
+        for name, totals in _breakdowns(
+            compare_algorithms(roster, instance)
+        ).items():
+            out[f"eps={eps:g}/{name}"] = totals
+    mu_instance = scenario.with_mu(1e3).build(seed=SCALE.seed)
+    roster = [
+        OfflineOptimal(),
+        OnlineGreedy(),
+        OnlineRegularizedAllocator(eps1=SCALE.eps, eps2=SCALE.eps),
+    ]
+    for name, totals in _breakdowns(compare_algorithms(roster, mu_instance)).items():
+        out[f"mu=1000/{name}"] = totals
+    return out
+
+
+CASES = {
+    "fig2_seed": _fig2_breakdowns,
+    "fig4_seed": _fig4_breakdowns,
+}
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_golden_cost_breakdowns(name):
+    actual = CASES[name]()
+    path = GOLDEN_DIR / f"{name}.json"
+    if os.environ.get("REPRO_REGEN_GOLDEN"):
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(json.dumps(actual, indent=2, sort_keys=True) + "\n")
+        pytest.skip(f"regenerated {path}")
+    expected = json.loads(path.read_text())
+    assert sorted(actual) == sorted(expected), "algorithm set changed"
+    for algorithm, totals in expected.items():
+        for component, value in totals.items():
+            assert actual[algorithm][component] == pytest.approx(
+                value, rel=RTOL, abs=1e-9
+            ), f"{name}: {algorithm}.{component} drifted from the committed value"

@@ -91,6 +91,60 @@ class TestFallback:
         result = fallback.solve(self._simple_program())
         assert result.backend == "secondary"
 
+    def test_primary_error_retained_on_fallback(self):
+        """Regression: the primary's SolverError used to be silently
+        discarded; it must be attached to the returned SolverResult."""
+
+        class Primary:
+            name = "primary"
+
+            def solve(self, program, *, tol=1e-8):
+                raise SolverError("barrier loop did not converge")
+
+        class Secondary:
+            name = "secondary"
+
+            def solve(self, program, *, tol=1e-8):
+                return SolverResult(x=program.x0, objective=2.0, backend=self.name)
+
+        fallback = FallbackBackend(Primary(), Secondary())
+        result = fallback.solve(self._simple_program())
+        assert result.backend == "secondary"
+        assert result.primary_error == "primary: barrier loop did not converge"
+
+    def test_primary_error_logged_on_fallback(self, caplog):
+        class Primary:
+            name = "primary"
+
+            def solve(self, program, *, tol=1e-8):
+                raise SolverError("woodbury singular")
+
+        class Secondary:
+            name = "secondary"
+
+            def solve(self, program, *, tol=1e-8):
+                return SolverResult(x=program.x0, objective=2.0, backend=self.name)
+
+        with caplog.at_level("WARNING", logger="repro.solvers.registry"):
+            FallbackBackend(Primary(), Secondary()).solve(self._simple_program())
+        assert "woodbury singular" in caplog.text
+
+    def test_no_primary_error_when_primary_succeeds(self):
+        class Primary:
+            name = "primary"
+
+            def solve(self, program, *, tol=1e-8):
+                return SolverResult(x=program.x0, objective=1.0, backend=self.name)
+
+        class Secondary:
+            name = "secondary"
+
+            def solve(self, program, *, tol=1e-8):
+                raise AssertionError("should not be called")
+
+        result = FallbackBackend(Primary(), Secondary()).solve(self._simple_program())
+        assert result.primary_error is None
+
     def test_name_combines(self):
         class A:
             name = "a"
