@@ -1,0 +1,82 @@
+"""PERF-HESSIAN — sparse Hessian assembly at paper scale and beyond.
+
+``RegularizedSubproblem.hessian()`` used to densify the per-cloud rank-one
+blocks through a Python loop over LIL fancy indexing; it is now a single
+``sparse.kron`` expression. This benchmark times the assembly at J >= 200
+users (where the old loop dominated subproblem setup) and cross-checks the
+result against the reference ``hessian_factors`` structure.
+"""
+
+import os
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.core.subproblem import RegularizedSubproblem
+from repro.experiments.report import format_table
+from repro.simulation.scenario import Scenario
+
+from ._util import publish_report
+
+#: At least 200 users per the optimization's acceptance bar; scale up via env.
+HESSIAN_USERS = max(200, int(os.environ.get("REPRO_BENCH_HESSIAN_USERS", "200")))
+
+
+def _subproblem(num_users: int) -> tuple[RegularizedSubproblem, np.ndarray]:
+    instance = Scenario(num_users=num_users, num_slots=2).build(seed=2017)
+    rng = np.random.default_rng(2017)
+    x_prev = rng.uniform(0.0, 1.0, size=(instance.num_clouds, num_users))
+    x_prev *= np.asarray(instance.workloads)[None, :] / instance.num_clouds
+    sub = RegularizedSubproblem.from_instance(
+        instance, slot=1, x_prev=x_prev, eps1=1.0, eps2=1.0
+    )
+    flat = x_prev.ravel() + 0.1
+    return sub, flat
+
+
+def _reference_hessian(sub: RegularizedSubproblem, flat: np.ndarray) -> np.ndarray:
+    """Dense reconstruction from the (diag, cloud_scale) factor form."""
+    diag, cloud_scale = sub.hessian_factors(flat)
+    num_users = sub.num_users
+    dense = np.diag(diag)
+    for i, scale in enumerate(cloud_scale):
+        sl = slice(i * num_users, (i + 1) * num_users)
+        dense[sl, sl] += scale
+    return dense
+
+
+def test_hessian_assembly(benchmark):
+    """Time the sparse assembly; verify it equals the factor-form Hessian."""
+    sub, flat = _subproblem(HESSIAN_USERS)
+    hess = benchmark(lambda: sub.hessian(flat))
+
+    assert sparse.issparse(hess)
+    dense = _reference_hessian(sub, flat)
+    assert np.allclose(hess.toarray(), dense, rtol=1e-12, atol=1e-12)
+
+    n = hess.shape[0]
+    report = "\n".join(
+        [
+            "PERF-HESSIAN - sparse kron assembly "
+            f"(J={HESSIAN_USERS}, n={n} variables; timings in pytest-benchmark table)",
+            format_table(
+                ["quantity", "value"],
+                [
+                    ["users J", HESSIAN_USERS],
+                    ["variables n", n],
+                    ["stored nonzeros", hess.nnz],
+                ],
+            ),
+        ]
+    )
+    publish_report("hessian_assembly", report)
+
+
+@pytest.mark.parametrize("num_users", [8])
+def test_hessian_matches_factors_small(num_users):
+    """Smoke-scale agreement between hessian() and hessian_factors()."""
+    sub, flat = _subproblem(num_users)
+    assert np.allclose(
+        sub.hessian(flat).toarray(), _reference_hessian(sub, flat), atol=1e-12
+    )

@@ -2,7 +2,7 @@
 
 from .atomistic import OperOpt, PerfOpt, StatOpt, solve_static_slot
 from .base import AllocationAlgorithm, run_per_slot, weighted_static_prices
-from .greedy import OnlineGreedy
+from .greedy import GreedyController, OnlineGreedy
 from .lookahead import RecedingHorizon
 from .offline import OfflineOptimal
 from .periodic import PeriodicRebalance
@@ -10,6 +10,7 @@ from .static import StaticAllocation
 
 __all__ = [
     "AllocationAlgorithm",
+    "GreedyController",
     "OfflineOptimal",
     "OnlineGreedy",
     "OperOpt",

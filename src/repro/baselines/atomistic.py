@@ -20,8 +20,13 @@ import numpy as np
 
 from ..core.allocation import AllocationSchedule
 from ..core.problem import ProblemInstance
+from ..simulation.observations import (
+    SlotObservation,
+    SystemDescription,
+    single_slot_instance,
+)
+from ..simulation.spine import PerSlotController, run_on_spine
 from ..solvers.linear import LinearProgramBuilder
-from .base import run_per_slot
 
 
 def solve_static_slot(
@@ -51,9 +56,20 @@ class _StaticPriceBaseline:
     price_fn: Callable[[ProblemInstance, int], np.ndarray]
 
     def run(self, instance: ProblemInstance) -> AllocationSchedule:
-        return run_per_slot(
-            instance,
-            lambda t, _x_prev: solve_static_slot(instance, self.price_fn(instance, t)),
+        """Solve every slot's static LP in sequence (via the streaming spine)."""
+        result = run_on_spine(self, instance)
+        assert result.schedule is not None
+        return result.schedule
+
+    def as_controller(self, system: SystemDescription) -> PerSlotController:
+        """The causal (streaming) form: one static LP per observation."""
+
+        def solve(observation: SlotObservation, _x_prev: np.ndarray) -> np.ndarray:
+            instance = single_slot_instance(system, observation)
+            return solve_static_slot(instance, self.price_fn(instance, 0))
+
+        return PerSlotController(
+            system=system, solve=solve, name=f"{self.name} (streaming)"
         )
 
 

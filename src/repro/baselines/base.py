@@ -11,7 +11,11 @@ The evaluation compares two groups:
 Every algorithm consumes a :class:`ProblemInstance` and produces an
 :class:`AllocationSchedule`; all cost accounting happens downstream in
 :mod:`repro.core.costs`, so every algorithm is scored by exactly the same
-P0 objective.
+P0 objective. Execution itself is unified on the streaming spine
+(:mod:`repro.simulation.spine`): each algorithm exposes a controller form
+(``as_controller`` / ``as_instance_controller``) and the batch ``run()``
+protocol survives as a thin adapter that drives that controller over the
+instance's observation stream.
 """
 
 from __future__ import annotations
@@ -22,6 +26,8 @@ import numpy as np
 
 from ..core.allocation import AllocationSchedule
 from ..core.problem import ProblemInstance
+from ..simulation.observations import SystemDescription, iter_observations
+from ..simulation.spine import PerSlotController, simulate
 
 
 @runtime_checkable
@@ -43,21 +49,30 @@ def weighted_static_prices(instance: ProblemInstance, slot: int) -> np.ndarray:
 def run_per_slot(
     instance: ProblemInstance,
     solve_slot,
+    name: str = "per-slot",
 ) -> AllocationSchedule:
     """Drive a per-slot decision function over the horizon.
+
+    A compatibility adapter over the streaming spine: the decision function
+    is wrapped as a :class:`PerSlotController` and driven by
+    :func:`repro.simulation.spine.simulate` — the same loop every
+    controller runs on.
 
     Args:
         instance: the problem instance.
         solve_slot: callable (slot, x_prev) -> (I, J) allocation, where
             ``x_prev`` is the previous slot's decision (zeros for slot 0).
+        name: display name for the wrapping controller.
 
     Returns:
         The stacked schedule.
     """
-    x_prev = np.zeros((instance.num_clouds, instance.num_users))
-    slots: list[np.ndarray] = []
-    for t in range(instance.num_slots):
-        x_t = solve_slot(t, x_prev)
-        slots.append(x_t)
-        x_prev = x_t
-    return AllocationSchedule.from_slots(slots)
+    system = SystemDescription.from_instance(instance)
+    controller = PerSlotController(
+        system=system,
+        solve=lambda observation, x_prev: solve_slot(observation.slot, x_prev),
+        name=name,
+    )
+    result = simulate(controller, iter_observations(instance), system)
+    assert result.schedule is not None
+    return result.schedule

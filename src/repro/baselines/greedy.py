@@ -21,8 +21,14 @@ import numpy as np
 
 from ..core.allocation import AllocationSchedule
 from ..core.problem import ProblemInstance
+from ..simulation.observations import (
+    SlotObservation,
+    SystemDescription,
+    single_slot_instance,
+)
+from ..simulation.spine import run_on_spine
 from ..solvers.linear import LinearProgramBuilder
-from .base import run_per_slot, weighted_static_prices
+from .base import weighted_static_prices
 
 
 @dataclass(frozen=True)
@@ -32,8 +38,14 @@ class OnlineGreedy:
     name: str = "online-greedy"
 
     def run(self, instance: ProblemInstance) -> AllocationSchedule:
-        """Greedily optimize each slot in sequence."""
-        return run_per_slot(instance, lambda t, x_prev: self.solve_slot(instance, t, x_prev))
+        """Greedily optimize each slot in sequence (via the streaming spine)."""
+        result = run_on_spine(self, instance)
+        assert result.schedule is not None
+        return result.schedule
+
+    def as_controller(self, system: SystemDescription) -> "GreedyController":
+        """The causal (streaming) form of this algorithm."""
+        return GreedyController(system=system)
 
     @staticmethod
     def solve_slot(
@@ -88,3 +100,39 @@ class OnlineGreedy:
         )
         result = builder.solve()
         return result.x[x_idx].reshape(num_clouds, num_users)
+
+
+@dataclass
+class GreedyController:
+    """Streaming form of :class:`OnlineGreedy`.
+
+    Carries x*_{t-1} as internal state; each observation triggers one slot
+    LP. Decisions are identical to the batch algorithm by construction —
+    the batch ``run()`` *is* this controller driven over the instance's
+    observation stream.
+    """
+
+    system: SystemDescription
+    name: str = "online-greedy (streaming)"
+
+    def __post_init__(self) -> None:
+        self._x_prev = self.system.zero_allocation()
+
+    def observe(self, observation: SlotObservation) -> np.ndarray:
+        """Solve the greedy slot LP and advance the internal state."""
+        instance = single_slot_instance(self.system, observation)
+        x_opt = OnlineGreedy.solve_slot(instance, 0, self._x_prev)
+        self._x_prev = x_opt
+        return x_opt
+
+    def reset(self) -> None:
+        """Drop state: the next observation starts a fresh horizon."""
+        self._x_prev = self.system.zero_allocation()
+
+    def get_state(self) -> np.ndarray:
+        """Snapshot x*_{t-1}."""
+        return self._x_prev.copy()
+
+    def set_state(self, state: object) -> None:
+        """Restore a snapshot produced by :meth:`get_state`."""
+        self._x_prev = np.asarray(state, dtype=float).copy()

@@ -25,8 +25,10 @@ import numpy as np
 
 from ..core.allocation import AllocationSchedule
 from ..core.problem import ProblemInstance
+from ..simulation.observations import SystemDescription
+from ..simulation.spine import PerSlotController, run_on_spine
 from ..solvers.linear import LinearProgramBuilder
-from .base import run_per_slot, weighted_static_prices
+from .base import weighted_static_prices
 
 
 @dataclass(frozen=True)
@@ -41,13 +43,29 @@ class RecedingHorizon:
 
     @property
     def name(self) -> str:
+        """Display name including the lookahead window."""
         return f"lookahead-{self.window}"
 
     def run(self, instance: ProblemInstance) -> AllocationSchedule:
         """Roll the horizon across every slot of the instance."""
-        return run_per_slot(
-            instance,
-            lambda t, x_prev: self.solve_window(instance, t, x_prev)[0],
+        result = run_on_spine(self, instance)
+        assert result.schedule is not None
+        return result.schedule
+
+    def as_instance_controller(self, instance: ProblemInstance) -> PerSlotController:
+        """The *privileged* controller form: needs the next ``window`` slots.
+
+        A perfect predictor is not causal, so this baseline has no
+        ``as_controller`` — it keeps the full instance and peeks at the
+        window starting at each observed slot, exactly as the batch loop
+        did.
+        """
+        return PerSlotController(
+            system=SystemDescription.from_instance(instance),
+            solve=lambda observation, x_prev: self.solve_window(
+                instance, observation.slot, x_prev
+            )[0],
+            name=f"{self.name} (streaming)",
         )
 
     def solve_window(

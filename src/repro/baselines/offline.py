@@ -20,6 +20,7 @@ import numpy as np
 
 from ..core.allocation import AllocationSchedule
 from ..core.problem import ProblemInstance
+from ..simulation.spine import ScheduleController, run_on_spine
 from ..solvers.linear import LinearProgramBuilder
 from .base import weighted_static_prices
 
@@ -31,12 +32,24 @@ class OfflineOptimal:
     name: str = "offline-opt"
 
     def run(self, instance: ProblemInstance) -> AllocationSchedule:
-        """Solve the full-horizon LP and extract the x block."""
+        """Solve the full-horizon LP and replay it through the spine."""
+        result = run_on_spine(self, instance)
+        assert result.schedule is not None
+        return result.schedule
+
+    def as_instance_controller(self, instance: ProblemInstance) -> ScheduleController:
+        """The *privileged* controller form: plan offline, replay per slot.
+
+        offline-opt is by definition non-causal, so it has no
+        ``as_controller``; the full-horizon LP is solved once and its plan
+        emitted slot by slot (which unifies execution and accounting, not
+        causality).
+        """
         builder = self.build_lp(instance)
         result = builder.solve()
         x_block = builder.block("x")
         x = result.x[x_block.indices()].reshape(x_block.shape)
-        return AllocationSchedule(x)
+        return ScheduleController(plan=x, name=f"{self.name} (streaming)")
 
     def optimal_cost(self, instance: ProblemInstance) -> float:
         """The P0 optimum including the constant access-delay term."""

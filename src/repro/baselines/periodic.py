@@ -16,6 +16,12 @@ import numpy as np
 
 from ..core.allocation import AllocationSchedule
 from ..core.problem import ProblemInstance
+from ..simulation.observations import (
+    SlotObservation,
+    SystemDescription,
+    single_slot_instance,
+)
+from ..simulation.spine import RecomputeController, run_on_spine
 from .atomistic import solve_static_slot
 from .base import weighted_static_prices
 
@@ -32,16 +38,25 @@ class PeriodicRebalance:
 
     @property
     def name(self) -> str:
+        """Display name including the rebalance period."""
         return f"periodic-{self.period}"
 
     def run(self, instance: ProblemInstance) -> AllocationSchedule:
         """Rebalance on schedule boundaries, hold the allocation in between."""
-        slots: list[np.ndarray] = []
-        current: np.ndarray | None = None
-        for t in range(instance.num_slots):
-            if current is None or t % self.period == 0:
-                current = solve_static_slot(
-                    instance, weighted_static_prices(instance, t)
-                )
-            slots.append(current.copy())
-        return AllocationSchedule.from_slots(slots)
+        result = run_on_spine(self, instance)
+        assert result.schedule is not None
+        return result.schedule
+
+    def as_controller(self, system: SystemDescription) -> RecomputeController:
+        """The causal (streaming) form: recompute every ``period`` observations."""
+
+        def solve(observation: SlotObservation) -> np.ndarray:
+            instance = single_slot_instance(system, observation)
+            return solve_static_slot(instance, weighted_static_prices(instance, 0))
+
+        return RecomputeController(
+            system=system,
+            solve=solve,
+            period=self.period,
+            name=f"{self.name} (streaming)",
+        )

@@ -18,6 +18,12 @@ import numpy as np
 
 from ..core.allocation import AllocationSchedule
 from ..core.problem import ProblemInstance
+from ..simulation.observations import (
+    SlotObservation,
+    SystemDescription,
+    single_slot_instance,
+)
+from ..simulation.spine import RecomputeController, run_on_spine
 from .atomistic import solve_static_slot
 from .base import weighted_static_prices
 
@@ -30,9 +36,17 @@ class StaticAllocation:
 
     def run(self, instance: ProblemInstance) -> AllocationSchedule:
         """Optimize slot 0, then repeat that allocation for the horizon."""
-        first = solve_static_slot(instance, weighted_static_prices(instance, 0))
-        x = np.broadcast_to(
-            first[None, :, :],
-            (instance.num_slots, instance.num_clouds, instance.num_users),
-        ).copy()
-        return AllocationSchedule(x)
+        result = run_on_spine(self, instance)
+        assert result.schedule is not None
+        return result.schedule
+
+    def as_controller(self, system: SystemDescription) -> RecomputeController:
+        """The causal (streaming) form: decide on the first observation, hold."""
+
+        def solve(observation: SlotObservation) -> np.ndarray:
+            instance = single_slot_instance(system, observation)
+            return solve_static_slot(instance, weighted_static_prices(instance, 0))
+
+        return RecomputeController(
+            system=system, solve=solve, period=None, name="static (streaming)"
+        )

@@ -58,6 +58,12 @@ def _add_scale_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="run at the paper's full scale (300 users, 60 slots, 5 repetitions)",
     )
+    parser.add_argument(
+        "--drop-schedules",
+        action="store_true",
+        help="free each slot's allocation right after cost accounting "
+        "(ratios are unchanged; bounds memory on long horizons)",
+    )
 
 
 def _scale_from_args(args: argparse.Namespace) -> ExperimentScale:
@@ -76,6 +82,8 @@ def _scale_from_args(args: argparse.Namespace) -> ExperimentScale:
     if args.workers is not None:
         # 0 = all CPUs, which ExperimentScale spells as None.
         overrides["workers"] = args.workers if args.workers > 0 else None
+    if args.drop_schedules:
+        overrides["keep_schedules"] = False
     if overrides:
         scale = ExperimentScale(**{**scale.__dict__, **overrides})
     return scale

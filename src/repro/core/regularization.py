@@ -10,8 +10,13 @@ P0/P1; Theorem 2 bounds its competitive ratio by 1 + gamma |I|.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:  # import cycle: simulation builds on core
+    from ..simulation.controllers import RegularizedController
+    from ..simulation.observations import SystemDescription
 
 from ..solvers.base import ConvexBackend, SolverResult
 from ..solvers.registry import default_backend
@@ -23,7 +28,9 @@ from .subproblem import RegularizedSubproblem
 DEFAULT_EPSILON = 1.0
 
 
-def _repair_feasibility(x: np.ndarray, instance: ProblemInstance) -> np.ndarray:
+def _repair_feasibility(
+    x: np.ndarray, instance: ProblemInstance, slot: int = 0
+) -> np.ndarray:
     """Project a numerically-converged P2 solution onto exact feasibility.
 
     Iterative solvers satisfy the binding demand constraints only up to
@@ -45,8 +52,9 @@ def _repair_feasibility(x: np.ndarray, instance: ProblemInstance) -> np.ndarray:
         x = x * scale[None, :]
         # A user with an all-zero column (cannot happen at a P2 optimum, but
         # guard anyway) gets its workload at its attached cloud's column.
+        attachment = np.asarray(instance.attachment)[slot]
         for j in np.nonzero(deficient & ~positive)[0]:
-            x[:, j] = workloads[j] / x.shape[0]
+            x[int(attachment[j]), j] = workloads[j]
     return x
 
 
@@ -83,19 +91,35 @@ class OnlineRegularizedAllocator:
         return self.backend if self.backend is not None else default_backend()
 
     def step(
-        self, instance: ProblemInstance, slot: int, x_prev: np.ndarray
+        self,
+        instance: ProblemInstance,
+        slot: int,
+        x_prev: np.ndarray,
+        *,
+        warm: bool | None = None,
     ) -> tuple[np.ndarray, SolverResult]:
-        """Solve P2 for one slot; returns (x*_t as (I, J), solver result)."""
+        """Solve P2 for one slot; returns (x*_t as (I, J), solver result).
+
+        Args:
+            instance: the problem instance (or a one-slot wrapper of an
+                observation).
+            slot: which slot of ``instance`` to solve.
+            x_prev: the previous slot's decision x*_{t-1}.
+            warm: override for warm starting. By default slot 0 starts cold
+                and later slots warm-start (when ``self.warm_start``); a
+                streaming controller always solves slot 0 of a one-slot
+                instance, so it passes the trajectory position explicitly.
+        """
         subproblem = RegularizedSubproblem.from_instance(
             instance, slot, x_prev, eps1=self.eps1, eps2=self.eps2
         )
-        x0 = None
-        if self.warm_start and slot > 0:
-            x0 = self._warm_start_point(subproblem, x_prev)
+        if warm is None:
+            warm = self.warm_start and slot > 0
+        x0 = self._warm_start_point(subproblem, x_prev) if warm else None
         program = subproblem.build_program(x0=x0)
         result = self._resolve_backend().solve(program, tol=self.tol)
         x_opt = result.x.reshape(instance.num_clouds, instance.num_users)
-        x_opt = _repair_feasibility(x_opt, instance)
+        x_opt = _repair_feasibility(x_opt, instance, slot)
         return x_opt, result
 
     @property
@@ -104,17 +128,23 @@ class OnlineRegularizedAllocator:
         return sum(result.iterations for result in self.last_solves)
 
     def run(self, instance: ProblemInstance) -> AllocationSchedule:
-        """Run the online algorithm over the whole horizon of the instance."""
-        num_clouds, num_users = instance.num_clouds, instance.num_users
-        x_prev = np.zeros((num_clouds, num_users))
-        slots: list[np.ndarray] = []
-        self.last_solves = []
-        for t in range(instance.num_slots):
-            x_opt, result = self.step(instance, t, x_prev)
-            slots.append(x_opt)
-            self.last_solves.append(result)
-            x_prev = x_opt
-        return AllocationSchedule.from_slots(slots)
+        """Run the online algorithm over the whole horizon of the instance.
+
+        A thin adapter over the streaming spine: the batch schedule is the
+        controller form driven over the instance's observation stream, so
+        both execution modes are the same code path.
+        """
+        from ..simulation.spine import run_on_spine
+
+        result = run_on_spine(self, instance)
+        assert result.schedule is not None
+        return result.schedule
+
+    def as_controller(self, system: "SystemDescription") -> "RegularizedController":
+        """The causal (streaming) form of this algorithm."""
+        from ..simulation.controllers import RegularizedController
+
+        return RegularizedController(system=system, algorithm=self)
 
     @staticmethod
     def _warm_start_point(

@@ -182,22 +182,30 @@ class RegularizedSubproblem:
         return grad.ravel()
 
     def hessian(self, flat: np.ndarray) -> sparse.spmatrix:
-        """Sparse Hessian: diagonal + per-cloud rank-one blocks of ones."""
+        """Sparse Hessian: diagonal + per-cloud rank-one blocks of ones.
+
+        The block-diagonal part is assembled as
+        ``kron(diag(block_scale), ones(J, J))`` — one sparse expression per
+        call instead of a per-cloud Python loop through LIL fancy indexing,
+        which dominated runtime at J >= 200 (see
+        ``benchmarks/bench_hessian.py``).
+        """
         x = self._reshape(flat)
-        num_clouds, num_users = x.shape
+        num_users = x.shape[1]
         diag = (
             np.asarray(self.migration_prices)[:, None]
             / self.tau[None, :]
             / _safe(x + self.eps2)
         ).ravel()
-        hess = sparse.diags(diag).tolil()
         cloud_totals = x.sum(axis=1)
         creg = np.asarray(self.reconfig_prices) / self.eta
         block_scale = creg / _safe(cloud_totals + self.eps1)
-        for i in range(num_clouds):
-            sl = slice(i * num_users, (i + 1) * num_users)
-            hess[sl, sl] = hess[sl, sl] + block_scale[i] * np.ones((num_users, num_users))
-        return hess.tocsr()
+        blocks = sparse.kron(
+            sparse.diags(block_scale),
+            np.ones((num_users, num_users)),
+            format="csr",
+        )
+        return (blocks + sparse.diags(diag)).tocsr()
 
     def hessian_factors(self, flat: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Structured Hessian: (diag, cloud_scale) with

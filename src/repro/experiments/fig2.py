@@ -44,7 +44,10 @@ def run_fig2(
         for case, hour in enumerate(hours)
     ]
     return run_ratio_sweep(
-        cases, repetitions=scale.repetitions, workers=scale.workers
+        cases,
+        repetitions=scale.repetitions,
+        workers=scale.workers,
+        keep_schedules=scale.keep_schedules,
     )
 
 

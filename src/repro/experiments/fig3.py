@@ -38,7 +38,10 @@ def run_fig3(
         for k, distribution in enumerate(distributions)
     ]
     return run_ratio_sweep(
-        cases, repetitions=scale.repetitions, workers=scale.workers
+        cases,
+        repetitions=scale.repetitions,
+        workers=scale.workers,
+        keep_schedules=scale.keep_schedules,
     )
 
 

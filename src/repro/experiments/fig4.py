@@ -55,7 +55,10 @@ def run_eps_sweep(
         for eps in eps_values
     ]
     return run_ratio_sweep(
-        cases, repetitions=scale.repetitions, workers=scale.workers
+        cases,
+        repetitions=scale.repetitions,
+        workers=scale.workers,
+        keep_schedules=scale.keep_schedules,
     )
 
 
@@ -84,7 +87,10 @@ def run_mu_sweep(
         for mu in mu_values
     ]
     return run_ratio_sweep(
-        cases, repetitions=scale.repetitions, workers=scale.workers
+        cases,
+        repetitions=scale.repetitions,
+        workers=scale.workers,
+        keep_schedules=scale.keep_schedules,
     )
 
 

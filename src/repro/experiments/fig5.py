@@ -59,7 +59,10 @@ def run_fig5(
         for k, num_users in enumerate(user_counts)
     ]
     return run_ratio_sweep(
-        cases, repetitions=scale.repetitions, workers=scale.workers
+        cases,
+        repetitions=scale.repetitions,
+        workers=scale.workers,
+        keep_schedules=scale.keep_schedules,
     )
 
 

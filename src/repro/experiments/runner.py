@@ -53,6 +53,7 @@ def run_ratio_sweep(
     *,
     repetitions: int,
     workers: int | None = 1,
+    keep_schedules: bool = True,
 ) -> list[RatioPoint]:
     """Run a whole sweep grid, optionally in parallel.
 
@@ -64,6 +65,9 @@ def run_ratio_sweep(
         cases: the sweep points (label, scenario, algorithms, base seed).
         repetitions: seeded repetitions per point.
         workers: executor processes (1 = serial, None = all CPUs).
+        keep_schedules: ``False`` drops each run's per-slot allocations
+            after cost accounting (ratios only need the totals), bounding
+            memory on long horizons.
 
     Returns:
         One aggregated :class:`RatioPoint` per case, in case order.
@@ -74,6 +78,7 @@ def run_ratio_sweep(
             scenario=scenario,
             algorithms=tuple(algorithms),
             seed=seed + rep,
+            keep_schedule=keep_schedules,
         )
         for index, (_, scenario, algorithms, seed) in enumerate(cases)
         for rep in range(repetitions)
@@ -99,12 +104,14 @@ def run_ratio_point(
     repetitions: int,
     seed: int,
     workers: int | None = 1,
+    keep_schedules: bool = True,
 ) -> RatioPoint:
     """Run ``repetitions`` seeded instances of a scenario and aggregate."""
     (point,) = run_ratio_sweep(
         [(label, scenario, algorithms, seed)],
         repetitions=repetitions,
         workers=workers,
+        keep_schedules=keep_schedules,
     )
     return point
 

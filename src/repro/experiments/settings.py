@@ -38,6 +38,9 @@ class ExperimentScale:
     ``workers`` controls how many processes the sweep fans its
     (point x repetition) grid cells across (1 = the original serial path,
     0/None = every visible CPU); the numbers are identical at any setting.
+    ``keep_schedules=False`` drops per-slot allocations right after cost
+    accounting — competitive ratios only need cost totals, so long-horizon
+    sweeps can run with bounded memory.
     """
 
     num_users: int = DEFAULT_NUM_USERS
@@ -46,6 +49,7 @@ class ExperimentScale:
     seed: int = 2017
     eps: float = DEFAULT_EPS
     workers: int | None = 1
+    keep_schedules: bool = True
 
     @classmethod
     def paper(cls) -> "ExperimentScale":

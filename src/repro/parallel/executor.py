@@ -16,6 +16,11 @@ Design goals (docs/PARALLEL.md):
 Cells must be picklable on the pool path: scenarios, problem instances and
 the bundled algorithms are all plain dataclasses of arrays, so everything
 in this project qualifies.
+
+This module is a generic dependency leaf — it knows nothing about
+scenarios or simulations. The simulation-specific cell type lives in
+:mod:`repro.simulation.cells` (re-exported here for compatibility); any
+object with ``key`` and ``execute()`` works with :meth:`SweepExecutor.run_cells`.
 """
 
 from __future__ import annotations
@@ -25,11 +30,10 @@ import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Any, Callable, Iterable, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Sequence
 
-from ..baselines.base import AllocationAlgorithm
-from ..simulation.results import Comparison
-from ..simulation.scenario import Scenario
+if TYPE_CHECKING:  # type-only: the simulation layer builds on this leaf
+    from ..simulation.results import Comparison
 
 
 class SweepError(RuntimeError):
@@ -43,39 +47,6 @@ def resolve_workers(workers: int | None) -> int:
     if workers < 0:
         raise ValueError(f"workers must be positive or None, got {workers}")
     return int(workers)
-
-
-@dataclass(frozen=True)
-class SweepCell:
-    """One grid cell: run an algorithm roster on one seeded instance.
-
-    Attributes:
-        key: caller-chosen identifier (e.g. ``(case_index, repetition)``);
-            round-trips unchanged into the :class:`CellResult`.
-        scenario: the experiment configuration to instantiate.
-        algorithms: roster to compare (must include the baseline).
-        seed: the seed for :meth:`Scenario.build` — the *only* source of
-            randomness, which is what makes parallel runs deterministic.
-        baseline: normalizer passed through to ``compare_algorithms``.
-    """
-
-    key: Any
-    scenario: Scenario
-    algorithms: tuple[AllocationAlgorithm, ...]
-    seed: int
-    baseline: str = "offline-opt"
-
-    def execute(self) -> Comparison:
-        """Build the seeded instance and run the roster on it."""
-        # Deferred import: simulation.engine's parallel path imports this
-        # module, so importing it at module scope would be circular.
-        from ..simulation.engine import compare_algorithms
-
-        return compare_algorithms(
-            list(self.algorithms),
-            self.scenario.build(seed=self.seed),
-            baseline=self.baseline,
-        )
 
 
 @dataclass(frozen=True)
@@ -102,10 +73,11 @@ class CellResult:
 
     @property
     def ok(self) -> bool:
+        """Whether the cell completed without raising."""
         return self.error is None
 
     @property
-    def comparison(self) -> Comparison | None:
+    def comparison(self) -> "Comparison | None":
         """The payload, typed for the common SweepCell case."""
         return self.value
 
@@ -138,7 +110,8 @@ def _execute_one(work: Callable[[Any], Any], key: Any, item: Any) -> CellResult:
     )
 
 
-def _execute_cell(cell: SweepCell) -> Comparison:
+def _execute_cell(cell: Any) -> Any:
+    """Run one cell object (anything with ``execute()``); pool-picklable."""
     return cell.execute()
 
 
@@ -159,6 +132,7 @@ class SweepExecutor:
 
     @property
     def workers(self) -> int:
+        """The resolved worker count (``None``/``0`` = all visible CPUs)."""
         return resolve_workers(self.max_workers)
 
     def map(
@@ -182,8 +156,13 @@ class SweepExecutor:
             return [_execute_one(work, key, item) for key, item in zip(keys, items)]
         return self._map_pool(work, items, keys)
 
-    def run_cells(self, cells: Iterable[SweepCell]) -> list[CellResult]:
-        """Execute :class:`SweepCell` grid cells (keys taken from the cells)."""
+    def run_cells(self, cells: Iterable[Any]) -> list[CellResult]:
+        """Execute grid cells (anything with ``key`` and ``execute()``).
+
+        The standard cell type is
+        :class:`repro.simulation.cells.SweepCell`; keys are taken from the
+        cells.
+        """
         cells = list(cells)
         return self.map(_execute_cell, cells, keys=[cell.key for cell in cells])
 
@@ -208,7 +187,7 @@ class SweepExecutor:
             return [_execute_one(work, key, item) for key, item in zip(keys, items)]
 
 
-def comparisons_or_raise(results: Sequence[CellResult]) -> list[Comparison]:
+def comparisons_or_raise(results: Sequence[CellResult]) -> "list[Comparison]":
     """Unwrap cell payloads, raising :class:`SweepError` if any cell failed.
 
     The error message lists every failed cell's key and error (first

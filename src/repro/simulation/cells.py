@@ -1,0 +1,56 @@
+"""Sweep cells: the self-contained unit of experiment-grid work.
+
+A :class:`SweepCell` bundles everything one grid cell needs — scenario,
+seed, algorithm roster — so a process pool can pickle it, execute it
+anywhere, and return a :class:`Comparison`. It lives here (above the
+engine, below the experiments layer) so that :mod:`repro.parallel` stays a
+generic executor with no knowledge of simulations, and
+:mod:`repro.simulation.engine` can use that executor without the deferred
+import cycle the two modules used to need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from .engine import compare_algorithms
+from .results import Comparison
+from .scenario import Scenario
+
+if TYPE_CHECKING:  # the baselines build on this package; type-only import
+    from ..baselines.base import AllocationAlgorithm
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One grid cell: run an algorithm roster on one seeded instance.
+
+    Attributes:
+        key: caller-chosen identifier (e.g. ``(case_index, repetition)``);
+            round-trips unchanged into the executor's ``CellResult``.
+        scenario: the experiment configuration to instantiate.
+        algorithms: roster to compare (must include the baseline).
+        seed: the seed for :meth:`Scenario.build` — the *only* source of
+            randomness, which is what makes parallel runs deterministic.
+        baseline: normalizer passed through to ``compare_algorithms``.
+        keep_schedule: keep per-slot allocations in the results; ``False``
+            accounts costs incrementally and drops them (ratio sweeps only
+            need the totals, so big grids can run memory-bounded).
+    """
+
+    key: Any
+    scenario: Scenario
+    algorithms: "tuple[AllocationAlgorithm, ...]"
+    seed: int
+    baseline: str = "offline-opt"
+    keep_schedule: bool = True
+
+    def execute(self) -> Comparison:
+        """Build the seeded instance and run the roster on it."""
+        return compare_algorithms(
+            list(self.algorithms),
+            self.scenario.build(seed=self.seed),
+            baseline=self.baseline,
+            keep_schedule=self.keep_schedule,
+        )

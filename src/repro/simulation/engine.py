@@ -2,38 +2,63 @@
 
 "We built a discrete-time simulator in Python to validate the performance
 of the proposed online resource allocation algorithm" (Section V). The
-engine runs any :class:`AllocationAlgorithm` on a :class:`ProblemInstance`,
-verifies feasibility of what came back, accounts costs with the shared cost
-model, and assembles paper-style comparisons normalized by offline-opt.
+engine resolves any :class:`AllocationAlgorithm` to its controller form
+(:func:`repro.simulation.spine.controller_for`), drives it over the
+instance's observation stream with :func:`repro.simulation.spine.simulate`
+— the single per-slot loop shared by batch and streamed execution —
+accounts costs incrementally, verifies feasibility of what came back, and
+assembles paper-style comparisons normalized by offline-opt.
 """
 
 from __future__ import annotations
 
 import time
+from typing import TYPE_CHECKING, Iterable
 
-from ..baselines.base import AllocationAlgorithm
-from ..core.costs import cost_breakdown
 from ..core.problem import ProblemInstance
+from ..parallel.executor import SweepExecutor
+from .hooks import SlotHook
+from .observations import SystemDescription, iter_observations
 from .results import Comparison, RunResult
+from .spine import controller_for, simulate
+
+if TYPE_CHECKING:  # the baselines build on this package; type-only import
+    from ..baselines.base import AllocationAlgorithm
 
 
 def run_algorithm(
-    algorithm: AllocationAlgorithm,
+    algorithm: "AllocationAlgorithm",
     instance: ProblemInstance,
     *,
     require_feasible: bool = True,
     feasibility_tol: float = 1e-5,
+    hooks: Iterable[SlotHook] = (),
+    keep_schedule: bool = True,
 ) -> RunResult:
     """Run one algorithm on one instance and account its costs.
+
+    The algorithm is resolved to its controller form and driven through the
+    streaming spine; ``hooks`` observe every slot, and
+    ``keep_schedule=False`` drops each slot's allocation after accounting
+    (``result.schedule`` is then ``None``) so memory stays bounded on long
+    horizons.
 
     Raises ValueError when the algorithm returns an infeasible schedule and
     ``require_feasible`` is set (all algorithms in this project are supposed
     to be feasible by construction; this is the engine's safety net).
     """
     start = time.perf_counter()
-    schedule = algorithm.run(instance)
+    system = SystemDescription.from_instance(instance)
+    controller = controller_for(algorithm, instance, system)
+    sim = simulate(
+        controller,
+        iter_observations(instance),
+        system,
+        hooks=hooks,
+        keep_schedule=keep_schedule,
+    )
     elapsed = time.perf_counter() - start
-    report = schedule.feasibility_report(instance)
+    report = sim.feasibility
     if require_feasible and report.worst() > feasibility_tol:
         raise ValueError(
             f"{algorithm.name} returned an infeasible schedule: "
@@ -43,28 +68,34 @@ def run_algorithm(
         )
     return RunResult(
         algorithm=algorithm.name,
-        schedule=schedule,
-        breakdown=cost_breakdown(schedule, instance),
+        schedule=sim.schedule,
+        breakdown=sim.breakdown,
         feasibility=report,
         wall_time_s=elapsed,
     )
 
 
 def _run_algorithm_cell(
-    work: tuple[AllocationAlgorithm, ProblemInstance, bool]
+    work: "tuple[AllocationAlgorithm, ProblemInstance, bool, bool]",
 ) -> RunResult:
     """Module-level cell body so the process pool can pickle it."""
-    algorithm, instance, require_feasible = work
-    return run_algorithm(algorithm, instance, require_feasible=require_feasible)
+    algorithm, instance, require_feasible, keep_schedule = work
+    return run_algorithm(
+        algorithm,
+        instance,
+        require_feasible=require_feasible,
+        keep_schedule=keep_schedule,
+    )
 
 
 def compare_algorithms(
-    algorithms: list[AllocationAlgorithm],
+    algorithms: "list[AllocationAlgorithm]",
     instance: ProblemInstance,
     *,
     baseline: str = "offline-opt",
     require_feasible: bool = True,
     workers: int | None = 1,
+    keep_schedule: bool = True,
 ) -> Comparison:
     """Run every algorithm on the same instance; normalize by ``baseline``.
 
@@ -72,15 +103,17 @@ def compare_algorithms(
     everything by offline-opt). ``workers > 1`` fans the per-algorithm runs
     across a process pool — useful for a one-off comparison on a large
     instance; whole sweeps parallelize better per (instance, repetition)
-    cell via :class:`repro.parallel.SweepExecutor`.
+    cell via :class:`repro.parallel.SweepExecutor`. ``keep_schedule=False``
+    drops per-slot allocations after cost accounting (ratios only need the
+    cost totals).
     """
     if workers is None or workers > 1:
-        # Deferred import: repro.parallel imports this module.
-        from ..parallel import SweepExecutor
-
         cell_results = SweepExecutor(max_workers=workers).map(
             _run_algorithm_cell,
-            [(algorithm, instance, require_feasible) for algorithm in algorithms],
+            [
+                (algorithm, instance, require_feasible, keep_schedule)
+                for algorithm in algorithms
+            ],
             keys=[algorithm.name for algorithm in algorithms],
         )
         failed = [r for r in cell_results if not r.ok]
@@ -93,7 +126,10 @@ def compare_algorithms(
     else:
         results = {
             algorithm.name: run_algorithm(
-                algorithm, instance, require_feasible=require_feasible
+                algorithm,
+                instance,
+                require_feasible=require_feasible,
+                keep_schedule=keep_schedule,
             )
             for algorithm in algorithms
         }

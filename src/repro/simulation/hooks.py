@@ -1,0 +1,160 @@
+"""Per-slot hooks: pluggable observers of a streaming simulation.
+
+The spine (:func:`repro.simulation.spine.simulate`) calls every hook around
+each slot, so cross-cutting concerns — solver diagnostics, per-slot wall
+time, feasibility residuals, progress reporting — plug in without touching
+any controller or the spine itself. Subclass :class:`SlotHook` and override
+only the phases you care about; all base methods are no-ops.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+import numpy as np
+
+from .accounting import SlotCosts
+from .observations import OnlineController, SlotObservation, SystemDescription
+
+
+class SlotHook:
+    """Base class for per-slot observers; every method is an optional no-op."""
+
+    def on_run_start(
+        self, system: SystemDescription, controller: OnlineController
+    ) -> None:
+        """Called once before the first slot of a (possibly resumed) run."""
+
+    def on_slot_start(self, observation: SlotObservation) -> None:
+        """Called right before the controller observes a slot."""
+
+    def on_slot_end(
+        self, observation: SlotObservation, x_t: np.ndarray, costs: SlotCosts
+    ) -> None:
+        """Called after a slot's decision has been made and accounted."""
+
+    def on_run_end(self, slots: int) -> None:
+        """Called once after the last processed slot with the slot count."""
+
+
+class WallTimeHook(SlotHook):
+    """Record wall-clock seconds spent inside each slot's decision."""
+
+    def __init__(self) -> None:
+        """Start with an empty per-slot timing record."""
+        self.per_slot_s: list[float] = []
+        self._start = 0.0
+
+    def on_slot_start(self, observation: SlotObservation) -> None:
+        """Stamp the slot's start time."""
+        self._start = time.perf_counter()
+
+    def on_slot_end(
+        self, observation: SlotObservation, x_t: np.ndarray, costs: SlotCosts
+    ) -> None:
+        """Append the elapsed wall time of the finished slot."""
+        self.per_slot_s.append(time.perf_counter() - self._start)
+
+    @property
+    def total_s(self) -> float:
+        """Summed per-slot wall time."""
+        return float(sum(self.per_slot_s))
+
+
+class SolverStatsHook(SlotHook):
+    """Collect per-slot solver iteration counts from the controller.
+
+    Works with any controller exposing a ``last_result`` attribute carrying
+    a :class:`repro.solvers.base.SolverResult` (the regularized controller
+    does); slots without one are recorded as 0 iterations.
+    """
+
+    def __init__(self) -> None:
+        """Start with an empty iteration record."""
+        self.iterations: list[int] = []
+        self._controller: OnlineController | None = None
+
+    def on_run_start(
+        self, system: SystemDescription, controller: OnlineController
+    ) -> None:
+        """Remember which controller to poll for solver results."""
+        self._controller = controller
+
+    def on_slot_end(
+        self, observation: SlotObservation, x_t: np.ndarray, costs: SlotCosts
+    ) -> None:
+        """Record the iterations of the solve that produced this slot."""
+        result = getattr(self._controller, "last_result", None)
+        self.iterations.append(int(getattr(result, "iterations", 0) or 0))
+
+    @property
+    def total_iterations(self) -> int:
+        """Summed solver iterations across the recorded slots."""
+        return int(sum(self.iterations))
+
+
+class FeasibilityHook(SlotHook):
+    """Track per-slot constraint residuals of the emitted decisions.
+
+    Residuals follow the P0 constraint families: demand shortfall
+    ``max_j (lambda_j - X_j)``, capacity excess ``max_i (X_i - C_i)`` and
+    negativity ``max_ij (-x_ij)`` — each clipped at zero, one triple per
+    slot.
+    """
+
+    def __init__(self) -> None:
+        """Start with empty residual records."""
+        self.demand: list[float] = []
+        self.capacity: list[float] = []
+        self.negativity: list[float] = []
+        self._system: SystemDescription | None = None
+
+    def on_run_start(
+        self, system: SystemDescription, controller: OnlineController
+    ) -> None:
+        """Remember the constraint data (workloads, capacities)."""
+        self._system = system
+
+    def on_slot_end(
+        self, observation: SlotObservation, x_t: np.ndarray, costs: SlotCosts
+    ) -> None:
+        """Record this slot's worst violation per constraint family."""
+        assert self._system is not None
+        x = np.asarray(x_t, dtype=float)
+        workloads = np.asarray(self._system.workloads, dtype=float)
+        capacities = np.asarray(self._system.capacities, dtype=float)
+        self.demand.append(max(0.0, float((workloads - x.sum(axis=0)).max())))
+        self.capacity.append(max(0.0, float((x.sum(axis=1) - capacities).max())))
+        self.negativity.append(max(0.0, float((-x).max())))
+
+    def worst(self) -> float:
+        """The largest recorded violation across all families and slots."""
+        candidates = self.demand + self.capacity + self.negativity
+        return max(candidates) if candidates else 0.0
+
+
+class ProgressHook(SlotHook):
+    """Invoke ``callback(slots_done, slot_costs)`` every ``every`` slots.
+
+    The intended use is progress bars and live dashboards on long runs;
+    the callback must not mutate ``costs``.
+    """
+
+    def __init__(
+        self, callback: Callable[[int, SlotCosts], None], *, every: int = 1
+    ) -> None:
+        """Wire the callback; ``every`` throttles how often it fires."""
+        if every < 1:
+            raise ValueError("every must be at least 1")
+        self.callback = callback
+        self.every = every
+        self._done = 0
+
+    def on_slot_end(
+        self, observation: SlotObservation, x_t: np.ndarray, costs: SlotCosts
+    ) -> None:
+        """Count the slot and fire the callback on schedule."""
+        self._done += 1
+        if self._done % self.every == 0:
+            self.callback(self._done, costs)

@@ -20,14 +20,16 @@ class RunResult:
 
     Attributes:
         algorithm: the algorithm's name (e.g. "online-approx").
-        schedule: the produced allocation trajectory.
+        schedule: the produced allocation trajectory, or ``None`` for
+            memory-bounded runs (``keep_schedule=False``) where costs were
+            accounted incrementally and the trajectory was dropped.
         breakdown: per-slot cost breakdown (includes access-delay constant).
         feasibility: worst constraint violations of the schedule.
         wall_time_s: wall-clock seconds the run took.
     """
 
     algorithm: str
-    schedule: AllocationSchedule = field(repr=False)
+    schedule: AllocationSchedule | None = field(repr=False)
     breakdown: CostBreakdown = field(repr=False)
     feasibility: FeasibilityReport
     wall_time_s: float

@@ -1,0 +1,396 @@
+"""The streaming execution spine: one loop for every algorithm.
+
+The paper's setting is inherently causal — observe slot t, decide x*_t,
+pay the costs, move on. :func:`simulate` is the single implementation of
+that loop: it drives any :class:`OnlineController` over an observation
+stream, accounts all four paper costs incrementally
+(:class:`repro.simulation.accounting.CostAccumulator`), tracks feasibility
+residuals, calls pluggable per-slot hooks, and supports checkpoint/resume
+plus a memory-bounded mode that never materializes the (T, I, J) schedule.
+
+Every batch ``run()`` in the project (the paper's algorithm and all
+baselines) is a thin adapter over this spine, so "batch" and "streamed"
+execution are the same code path by construction. Generic controller
+adapters (:class:`PerSlotController`, :class:`RecomputeController`,
+:class:`ScheduleController`) live here so algorithm modules can build
+their controller forms without import cycles; see docs/ENGINE.md.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+import numpy as np
+
+from ..core.allocation import AllocationSchedule, FeasibilityReport
+from ..core.costs import CostBreakdown
+from ..core.problem import ProblemInstance
+from .accounting import AccumulatorState, CostAccumulator
+from .hooks import SlotHook
+from .observations import (
+    OnlineController,
+    SlotObservation,
+    SystemDescription,
+    iter_observations,
+)
+
+
+@dataclass(frozen=True)
+class SimulationCheckpoint:
+    """Everything needed to continue an interrupted run.
+
+    Attributes:
+        next_slot: how many slots have been processed (the resume point).
+        controller_state: the controller's :meth:`get_state` snapshot, or
+            ``None`` when the controller does not support checkpointing.
+        accumulator_state: the cost accumulator snapshot.
+        residuals: running (demand, capacity, negativity) maxima.
+    """
+
+    next_slot: int
+    controller_state: object | None
+    accumulator_state: AccumulatorState
+    residuals: tuple[float, float, float]
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Outcome of one :func:`simulate` call.
+
+    Attributes:
+        schedule: the stacked (T, I, J) trajectory of the slots processed
+            *by this call*, or ``None`` in memory-bounded mode
+            (``keep_schedule=False``).
+        breakdown: per-slot cost breakdown of the *whole* trajectory so far
+            (including slots accounted before a resume).
+        feasibility: worst constraint violations across the whole trajectory.
+        slots: slots processed by this call.
+        total_slots: slots accounted in total (resume-aware).
+        wall_time_s: wall-clock seconds spent in this call's loop.
+        checkpoint: state snapshot for resuming after the last slot.
+    """
+
+    schedule: AllocationSchedule | None
+    breakdown: CostBreakdown
+    feasibility: FeasibilityReport
+    slots: int
+    total_slots: int
+    wall_time_s: float
+    checkpoint: SimulationCheckpoint
+
+    @property
+    def total_cost(self) -> float:
+        """The weighted P0 objective accumulated so far."""
+        return self.breakdown.total
+
+
+def simulate(
+    controller: OnlineController,
+    observations: Iterable[SlotObservation],
+    system: SystemDescription,
+    *,
+    hooks: Iterable[SlotHook] = (),
+    keep_schedule: bool = True,
+    resume_from: SimulationCheckpoint | None = None,
+    max_slots: int | None = None,
+) -> SimulationResult:
+    """Drive a controller over an observation stream, one slot at a time.
+
+    The controller never sees more than one slot; costs are accounted
+    incrementally from ``(x_t, x_{t-1})`` so the run works on arbitrarily
+    long streams.
+
+    Args:
+        controller: the decision maker (``reset()`` is called unless
+            resuming).
+        observations: the slot stream — a list, or a lazy generator such as
+            :func:`repro.simulation.observations.iter_observations` for
+            memory-bounded runs.
+        system: the time-invariant system description (cost prices,
+            capacities, weights).
+        hooks: per-slot observers (:class:`SlotHook` instances).
+        keep_schedule: when ``False``, each slot's allocation is dropped
+            after accounting — memory stays O(I·J) regardless of horizon,
+            and ``result.schedule`` is ``None``.
+        resume_from: a previous result's ``checkpoint`` to continue from;
+            the supplied ``observations`` must start at the checkpoint's
+            ``next_slot``.
+        max_slots: stop (checkpointably) after this many slots of the
+            stream, leaving the rest unconsumed.
+
+    Returns:
+        The :class:`SimulationResult`, whose ``checkpoint`` can seed a
+        later ``resume_from``.
+    """
+    hooks = tuple(hooks)
+    accumulator = CostAccumulator(system)
+    if resume_from is None:
+        controller.reset()
+        residual_demand = residual_capacity = residual_negativity = 0.0
+    else:
+        set_state = getattr(controller, "set_state", None)
+        if set_state is None:
+            raise ValueError(
+                f"{type(controller).__name__} cannot resume: it has no set_state()"
+            )
+        set_state(resume_from.controller_state)
+        accumulator.set_state(resume_from.accumulator_state)
+        residual_demand, residual_capacity, residual_negativity = resume_from.residuals
+
+    workloads = np.asarray(system.workloads, dtype=float)
+    capacities = np.asarray(system.capacities, dtype=float)
+    slots: list[np.ndarray] = []
+    processed = 0
+
+    for hook in hooks:
+        hook.on_run_start(system, controller)
+
+    start = time.perf_counter()
+    stream = iter(observations)
+    while max_slots is None or processed < max_slots:
+        observation = next(stream, None)
+        if observation is None:
+            break
+        for hook in hooks:
+            hook.on_slot_start(observation)
+        x_t = np.asarray(controller.observe(observation), dtype=float)
+        costs = accumulator.update(observation, x_t)
+        residual_demand = max(
+            residual_demand, float((workloads - x_t.sum(axis=0)).max())
+        )
+        residual_capacity = max(
+            residual_capacity, float((x_t.sum(axis=1) - capacities).max())
+        )
+        residual_negativity = max(residual_negativity, float((-x_t).max()))
+        if keep_schedule:
+            slots.append(np.array(x_t, dtype=float))
+        for hook in hooks:
+            hook.on_slot_end(observation, x_t, costs)
+        processed += 1
+    elapsed = time.perf_counter() - start
+
+    if accumulator.num_slots == 0:
+        raise ValueError("simulate() needs at least one observation")
+    for hook in hooks:
+        hook.on_run_end(processed)
+
+    get_state = getattr(controller, "get_state", None)
+    residuals = (residual_demand, residual_capacity, residual_negativity)
+    checkpoint = SimulationCheckpoint(
+        next_slot=accumulator.num_slots,
+        controller_state=get_state() if get_state is not None else None,
+        accumulator_state=accumulator.get_state(),
+        residuals=residuals,
+    )
+    return SimulationResult(
+        schedule=AllocationSchedule.from_slots(slots) if slots else None,
+        breakdown=accumulator.breakdown(),
+        feasibility=FeasibilityReport(
+            demand_violation=max(0.0, residual_demand),
+            capacity_violation=max(0.0, residual_capacity),
+            negativity_violation=max(0.0, residual_negativity),
+        ),
+        slots=processed,
+        total_slots=accumulator.num_slots,
+        wall_time_s=elapsed,
+        checkpoint=checkpoint,
+    )
+
+
+# ----- generic controller adapters -------------------------------------------
+
+
+@dataclass
+class PerSlotController:
+    """Adapter: a per-slot decision function becomes a controller.
+
+    ``solve(observation, x_prev)`` returns the (I, J) decision; the adapter
+    carries x*_{t-1} (zeros before the first slot) — the exact contract of
+    the old ``run_per_slot`` batch loop, now expressed on the spine.
+    """
+
+    system: SystemDescription
+    solve: Callable[[SlotObservation, np.ndarray], np.ndarray]
+    name: str = "per-slot"
+
+    def __post_init__(self) -> None:
+        self._x_prev = self.system.zero_allocation()
+
+    def observe(self, observation: SlotObservation) -> np.ndarray:
+        """Delegate to the wrapped solver and advance the carried state."""
+        x_t = np.asarray(self.solve(observation, self._x_prev), dtype=float)
+        self._x_prev = x_t
+        return x_t
+
+    def reset(self) -> None:
+        """Drop state: the next observation starts a fresh horizon."""
+        self._x_prev = self.system.zero_allocation()
+
+    def get_state(self) -> np.ndarray:
+        """Snapshot x*_{t-1}."""
+        return self._x_prev.copy()
+
+    def set_state(self, state: object) -> None:
+        """Restore a snapshot produced by :meth:`get_state`."""
+        self._x_prev = np.asarray(state, dtype=float).copy()
+
+
+@dataclass
+class RecomputeController:
+    """Adapter for hold-style policies: recompute sometimes, hold otherwise.
+
+    ``solve(observation)`` produces a fresh allocation whenever due —
+    every ``period`` slots, or only on the very first slot when ``period``
+    is ``None`` (the decide-once static policy).
+    """
+
+    system: SystemDescription
+    solve: Callable[[SlotObservation], np.ndarray]
+    period: int | None = None
+    name: str = "recompute"
+
+    def __post_init__(self) -> None:
+        if self.period is not None and self.period < 1:
+            raise ValueError("period must be at least 1")
+        self._current: np.ndarray | None = None
+        self._seen = 0
+
+    def observe(self, observation: SlotObservation) -> np.ndarray:
+        """Recompute when due, otherwise hold the previous allocation."""
+        due = self._current is None or (
+            self.period is not None and self._seen % self.period == 0
+        )
+        if due:
+            self._current = np.asarray(self.solve(observation), dtype=float)
+        self._seen += 1
+        return self._current
+
+    def reset(self) -> None:
+        """Drop state: the next observation recomputes from scratch."""
+        self._current = None
+        self._seen = 0
+
+    def get_state(self) -> tuple[np.ndarray | None, int]:
+        """Snapshot the held allocation and the slot counter."""
+        current = None if self._current is None else self._current.copy()
+        return (current, self._seen)
+
+    def set_state(self, state: object) -> None:
+        """Restore a snapshot produced by :meth:`get_state`."""
+        current, seen = state  # type: ignore[misc]
+        self._current = None if current is None else np.asarray(current, dtype=float)
+        self._seen = int(seen)
+
+
+@dataclass
+class ScheduleController:
+    """Replay a precomputed (T, I, J) plan one slot at a time.
+
+    This is the *privileged* adapter: the plan may have been computed with
+    full-horizon knowledge (offline-opt), so feeding it through the spine
+    does not certify causality — it unifies execution and accounting only.
+    """
+
+    plan: np.ndarray
+    name: str = "schedule"
+
+    def __post_init__(self) -> None:
+        self.plan = np.asarray(self.plan, dtype=float)
+        if self.plan.ndim != 3:
+            raise ValueError("plan must have shape (T, I, J)")
+        self._cursor = 0
+
+    def observe(self, observation: SlotObservation) -> np.ndarray:
+        """Emit the next planned slot."""
+        if self._cursor >= self.plan.shape[0]:
+            raise ValueError("plan exhausted: more observations than planned slots")
+        x_t = self.plan[self._cursor]
+        self._cursor += 1
+        return x_t
+
+    def reset(self) -> None:
+        """Rewind to the first planned slot."""
+        self._cursor = 0
+
+    def get_state(self) -> int:
+        """Snapshot the replay cursor."""
+        return self._cursor
+
+    def set_state(self, state: object) -> None:
+        """Restore a snapshot produced by :meth:`get_state`."""
+        self._cursor = int(state)
+
+
+# ----- algorithm <-> controller bridging -------------------------------------
+
+
+def controller_for(
+    algorithm: object,
+    instance: ProblemInstance | None = None,
+    system: SystemDescription | None = None,
+) -> OnlineController:
+    """The controller form of an algorithm.
+
+    Resolution order:
+
+    1. ``algorithm.as_controller(system)`` — the causal form (sees only
+       the observation stream);
+    2. ``algorithm.as_instance_controller(instance)`` — the privileged
+       form for algorithms that legitimately need (some of) the future,
+       e.g. lookahead windows or the offline optimum;
+    3. fallback: run the batch ``algorithm.run(instance)`` once and replay
+       its schedule through a :class:`ScheduleController`.
+
+    Algorithms whose ``run()`` delegates to the spine MUST implement one of
+    the first two forms, otherwise the fallback would recurse.
+    """
+    if system is None:
+        if instance is None:
+            raise ValueError("need an instance or a system description")
+        system = SystemDescription.from_instance(instance)
+    as_controller = getattr(algorithm, "as_controller", None)
+    if as_controller is not None:
+        return as_controller(system)
+    as_instance_controller = getattr(algorithm, "as_instance_controller", None)
+    if as_instance_controller is not None:
+        if instance is None:
+            raise ValueError(
+                f"{getattr(algorithm, 'name', type(algorithm).__name__)} needs the "
+                "full instance for its controller form"
+            )
+        return as_instance_controller(instance)
+    if instance is None:
+        raise ValueError(
+            f"{getattr(algorithm, 'name', type(algorithm).__name__)} has no "
+            "controller form and no instance was supplied for the batch fallback"
+        )
+    schedule = algorithm.run(instance)  # type: ignore[attr-defined]
+    return ScheduleController(
+        plan=np.asarray(schedule.x),
+        name=getattr(algorithm, "name", type(algorithm).__name__),
+    )
+
+
+def run_on_spine(
+    algorithm: object,
+    instance: ProblemInstance,
+    *,
+    hooks: Iterable[SlotHook] = (),
+    keep_schedule: bool = True,
+) -> SimulationResult:
+    """Run an algorithm's controller form over a whole instance.
+
+    This is the batch-compatibility adapter: every ``run()`` method in the
+    project reduces to ``run_on_spine(self, instance).schedule``.
+    """
+    system = SystemDescription.from_instance(instance)
+    controller = controller_for(algorithm, instance, system)
+    return simulate(
+        controller,
+        iter_observations(instance),
+        system,
+        hooks=hooks,
+        keep_schedule=keep_schedule,
+    )

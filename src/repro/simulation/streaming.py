@@ -1,189 +1,65 @@
-"""Streaming (slot-by-slot) interface for online algorithms.
+"""Compatibility facade for the streaming (slot-by-slot) interface.
 
-The batch engine hands algorithms the whole :class:`ProblemInstance`, which
-is convenient but lets a buggy "online" algorithm peek at the future. This
-module enforces online-ness structurally: a :class:`SlotObservation` carries
-exactly what the operator observes at the *start* of slot t — the current
-operation prices, user attachments and access delays — plus the
-time-invariant system description. A controller maps observations to
-allocations; :func:`replay` feeds a full instance through a controller one
-slot at a time and rebuilds the schedule.
+The streaming layer grew into a package of focused modules — this module
+re-exports the original names so existing imports keep working:
 
-Controllers for the paper's algorithm and the greedy baseline are provided;
-``replay`` of either provably matches the corresponding batch run (tested).
+* observation model → :mod:`repro.simulation.observations`
+* the execution loop → :mod:`repro.simulation.spine` (:func:`simulate`)
+* the paper algorithm's controller → :mod:`repro.simulation.controllers`
+* the greedy controller → :mod:`repro.baselines.greedy` (lazily re-exported
+  here, because the baselines build on the simulation package)
+
+:func:`replay` remains the one-call way to feed a full instance through a
+controller; it now simply drives the shared spine.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Protocol
-
-import numpy as np
-
-from ..baselines.greedy import OnlineGreedy
 from ..core.allocation import AllocationSchedule
-from ..core.problem import CostWeights, ProblemInstance
-from ..core.regularization import OnlineRegularizedAllocator
-from ..pricing.bandwidth import MigrationPrices
+from ..core.problem import ProblemInstance
+from .controllers import RegularizedController
+from .observations import (
+    OnlineController,
+    SlotObservation,
+    SystemDescription,
+    observations_from_instance,
+    single_slot_instance,
+)
+from .spine import simulate
+
+__all__ = [
+    "GreedyController",
+    "OnlineController",
+    "RegularizedController",
+    "SlotObservation",
+    "SystemDescription",
+    "observations_from_instance",
+    "replay",
+    "single_slot_instance",
+]
 
 
-@dataclass(frozen=True)
-class SystemDescription:
-    """The time-invariant part of the system, known to the operator upfront."""
-
-    workloads: np.ndarray
-    capacities: np.ndarray
-    reconfig_prices: np.ndarray
-    migration_prices: MigrationPrices
-    inter_cloud_delay: np.ndarray
-    weights: CostWeights = field(default_factory=CostWeights)
-
-    @classmethod
-    def from_instance(cls, instance: ProblemInstance) -> "SystemDescription":
-        return cls(
-            workloads=np.asarray(instance.workloads, dtype=float),
-            capacities=np.asarray(instance.capacities, dtype=float),
-            reconfig_prices=np.asarray(instance.reconfig_prices, dtype=float),
-            migration_prices=instance.migration_prices,
-            inter_cloud_delay=np.asarray(instance.inter_cloud_delay, dtype=float),
-            weights=instance.weights,
-        )
-
-    @property
-    def num_clouds(self) -> int:
-        return int(np.asarray(self.capacities).size)
-
-    @property
-    def num_users(self) -> int:
-        return int(np.asarray(self.workloads).size)
-
-
-@dataclass(frozen=True)
-class SlotObservation:
-    """What the operator sees at the start of one time slot.
-
-    Attributes:
-        slot: the slot index t (informational).
-        op_prices: (I,) operation prices a_{i,t} for this slot.
-        attachment: (J,) current user attachments l_{j,t}.
-        access_delay: (J,) current access delays d(j, l_{j,t}).
-    """
-
-    slot: int
-    op_prices: np.ndarray
-    attachment: np.ndarray
-    access_delay: np.ndarray
-
-    def __post_init__(self) -> None:
-        if np.asarray(self.op_prices).ndim != 1:
-            raise ValueError("op_prices must be a (I,) vector")
-        if np.asarray(self.attachment).shape != np.asarray(self.access_delay).shape:
-            raise ValueError("attachment and access_delay must be index-aligned")
-
-
-class OnlineController(Protocol):
-    """A causal controller: observation in, allocation out, state inside."""
-
-    def observe(self, observation: SlotObservation) -> np.ndarray:
-        """Decide the (I, J) allocation for the observed slot."""
-        ...
-
-    def reset(self) -> None:
-        """Forget all state (start a new run)."""
-        ...
-
-
-def _single_slot_instance(
-    system: SystemDescription, observation: SlotObservation
-) -> ProblemInstance:
-    """Wrap one observation as a one-slot ProblemInstance."""
-    return ProblemInstance(
-        workloads=system.workloads,
-        capacities=system.capacities,
-        op_prices=np.asarray(observation.op_prices, dtype=float)[None, :],
-        reconfig_prices=system.reconfig_prices,
-        migration_prices=system.migration_prices,
-        inter_cloud_delay=system.inter_cloud_delay,
-        attachment=np.asarray(observation.attachment)[None, :],
-        access_delay=np.asarray(observation.access_delay, dtype=float)[None, :],
-        weights=system.weights,
-    )
-
-
-@dataclass
-class RegularizedController:
-    """Streaming form of :class:`OnlineRegularizedAllocator`.
-
-    Carries x*_{t-1} as internal state; each observation triggers one P2
-    solve. Identical decisions to the batch algorithm by construction (P2
-    for slot t depends only on slot-t observations and x*_{t-1}).
-    """
-
-    system: SystemDescription
-    algorithm: OnlineRegularizedAllocator = field(
-        default_factory=OnlineRegularizedAllocator
-    )
-    name: str = "online-approx (streaming)"
-
-    def __post_init__(self) -> None:
-        self._x_prev = np.zeros((self.system.num_clouds, self.system.num_users))
-
-    def observe(self, observation: SlotObservation) -> np.ndarray:
-        """Solve P2 for the observed slot and advance the internal state."""
-        instance = _single_slot_instance(self.system, observation)
-        x_opt, _result = self.algorithm.step(instance, 0, self._x_prev)
-        self._x_prev = x_opt
-        return x_opt
-
-    def reset(self) -> None:
-        """Drop state: the next observation starts a fresh horizon."""
-        self._x_prev = np.zeros((self.system.num_clouds, self.system.num_users))
-
-
-@dataclass
-class GreedyController:
-    """Streaming form of :class:`OnlineGreedy`."""
-
-    system: SystemDescription
-    name: str = "online-greedy (streaming)"
-
-    def __post_init__(self) -> None:
-        self._x_prev = np.zeros((self.system.num_clouds, self.system.num_users))
-
-    def observe(self, observation: SlotObservation) -> np.ndarray:
-        """Solve the greedy slot LP and advance the internal state."""
-        instance = _single_slot_instance(self.system, observation)
-        x_opt = OnlineGreedy.solve_slot(instance, 0, self._x_prev)
-        self._x_prev = x_opt
-        return x_opt
-
-    def reset(self) -> None:
-        """Drop state: the next observation starts a fresh horizon."""
-        self._x_prev = np.zeros((self.system.num_clouds, self.system.num_users))
-
-
-def observations_from_instance(instance: ProblemInstance) -> list[SlotObservation]:
-    """Decompose an instance into its per-slot observation stream."""
-    return [
-        SlotObservation(
-            slot=t,
-            op_prices=np.asarray(instance.op_prices, dtype=float)[t],
-            attachment=np.asarray(instance.attachment)[t],
-            access_delay=np.asarray(instance.access_delay, dtype=float)[t],
-        )
-        for t in range(instance.num_slots)
-    ]
-
-
-def replay(controller: OnlineController, instance: ProblemInstance) -> AllocationSchedule:
+def replay(
+    controller: OnlineController, instance: ProblemInstance
+) -> AllocationSchedule:
     """Feed an instance through a controller slot by slot.
 
     The controller never sees more than one slot at a time; the returned
-    schedule can be scored by the usual cost model.
+    schedule can be scored by the usual cost model. This is a thin wrapper
+    over :func:`repro.simulation.spine.simulate`, which also exposes
+    incremental cost accounting, hooks, and checkpoint/resume.
     """
-    controller.reset()
-    slots = [
-        controller.observe(observation)
-        for observation in observations_from_instance(instance)
-    ]
-    return AllocationSchedule.from_slots(slots)
+    system = SystemDescription.from_instance(instance)
+    result = simulate(controller, observations_from_instance(instance), system)
+    assert result.schedule is not None
+    return result.schedule
+
+
+def __getattr__(name: str):
+    """Lazily re-export :class:`GreedyController` from the baselines layer
+    (which builds on this package, so an eager import would be circular)."""
+    if name == "GreedyController":
+        from ..baselines.greedy import GreedyController
+
+        return GreedyController
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

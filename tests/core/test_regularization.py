@@ -5,7 +5,6 @@ import pytest
 
 from repro.core.regularization import OnlineRegularizedAllocator, _repair_feasibility
 from repro.solvers.registry import get_backend
-from tests.conftest import make_tiny_instance
 
 
 class TestConfiguration:
@@ -110,3 +109,30 @@ class TestRepair:
         assert np.all(
             repaired.sum(axis=0) >= np.asarray(tiny_instance.workloads) - 1e-12
         )
+
+    def test_all_zero_column_lands_at_attached_cloud(self, tiny_instance):
+        """Regression: the fallback places a zero-column user's workload at
+        its attached cloud (not spread uniformly), per the documented
+        behavior."""
+        workloads = np.asarray(tiny_instance.workloads)
+        for slot in range(tiny_instance.num_slots):
+            attachment = np.asarray(tiny_instance.attachment)[slot]
+            x = np.zeros((tiny_instance.num_clouds, tiny_instance.num_users))
+            repaired = _repair_feasibility(x, tiny_instance, slot)
+            for j in range(tiny_instance.num_users):
+                expected = np.zeros(tiny_instance.num_clouds)
+                expected[attachment[j]] = workloads[j]
+                np.testing.assert_array_equal(repaired[:, j], expected)
+
+    def test_mixed_zero_and_deficient_columns(self, tiny_instance):
+        """A zero column is repaired without disturbing scaled neighbors."""
+        workloads = np.asarray(tiny_instance.workloads)
+        x = np.full(
+            (tiny_instance.num_clouds, tiny_instance.num_users),
+            workloads[None, :] / tiny_instance.num_clouds,
+        ) * (1.0 - 1e-7)
+        x[:, 1] = 0.0  # user 1 lost its whole allocation
+        repaired = _repair_feasibility(x, tiny_instance)
+        assert np.all(repaired.sum(axis=0) >= workloads - 1e-12)
+        attached = int(np.asarray(tiny_instance.attachment)[0, 1])
+        assert repaired[attached, 1] == workloads[1]

@@ -5,7 +5,6 @@ import pytest
 
 from repro.baselines import OfflineOptimal, OnlineGreedy
 from repro.core.costs import total_cost
-from repro.core.regularization import OnlineRegularizedAllocator
 from repro.experiments.adversarial import (
     oscillating_price_instance,
     ping_pong_mobility_instance,

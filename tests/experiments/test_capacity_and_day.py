@@ -56,7 +56,6 @@ class TestContinuousDay:
     def test_hours_share_the_day(self, points):
         # Consecutive hours come from one instance: same capacities (the
         # day-level provisioning) in the underlying comparisons.
-        import numpy as np
 
         first = points[0].comparisons[0].results["offline-opt"].schedule
         second = points[1].comparisons[0].results["offline-opt"].schedule

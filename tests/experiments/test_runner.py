@@ -35,6 +35,22 @@ class TestRunRatioPoint:
     def test_mean_ratio_accessor(self, point):
         assert point.mean_ratio("online-approx") == point.stats["online-approx"][0]
 
+    def test_dropping_schedules_leaves_ratios_identical(self, point):
+        """keep_schedules only affects memory: the accounting is incremental
+        either way, so every aggregated number is bit-identical."""
+        scenario = Scenario(num_users=4, num_slots=3)
+        dropped = run_ratio_point(
+            "case-a",
+            scenario,
+            holistic_algorithms(),
+            repetitions=2,
+            seed=77,
+            keep_schedules=False,
+        )
+        assert dropped.stats == point.stats
+        for comparison in dropped.comparisons:
+            assert all(r.schedule is None for r in comparison.results.values())
+
 
 class TestRatioTable:
     def test_renders_all_points(self, point):

@@ -1,0 +1,110 @@
+"""CostAccumulator vs the batch cost model: exact agreement, slot by slot."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import OnlineGreedy
+from repro.core.allocation import AllocationSchedule
+from repro.core.costs import cost_breakdown
+from repro.experiments.fig2 import fig2_scenario
+from repro.experiments.settings import ExperimentScale
+from repro.simulation.accounting import CostAccumulator
+from repro.simulation.observations import SystemDescription, iter_observations
+from tests.conftest import make_tiny_instance, random_schedule
+
+seeds = st.integers(min_value=0, max_value=100_000)
+
+#: The scale the golden-file tests pin (tests/experiments/test_golden.py).
+GOLDEN_SCALE = ExperimentScale(num_users=6, num_slots=4, repetitions=1, seed=2017)
+
+
+def accumulate(instance, x):
+    """Feed a (T, I, J) trajectory through a fresh accumulator."""
+    system = SystemDescription.from_instance(instance)
+    accumulator = CostAccumulator(system)
+    slot_costs = [
+        accumulator.update(observation, x[observation.slot])
+        for observation in iter_observations(instance)
+    ]
+    return accumulator, slot_costs
+
+
+def assert_matches_batch(instance, x, *, tol=1e-9):
+    """Incremental accounting must equal ``cost_breakdown`` to ``tol``."""
+    accumulator, slot_costs = accumulate(instance, x)
+    incremental = accumulator.breakdown()
+    batch = cost_breakdown(AllocationSchedule(x), instance)
+    for component in ("operation", "service_quality", "reconfiguration", "migration"):
+        np.testing.assert_allclose(
+            getattr(incremental, component),
+            getattr(batch, component),
+            rtol=tol,
+            atol=tol,
+            err_msg=component,
+        )
+    assert incremental.total == pytest.approx(batch.total, rel=tol)
+    # The streamed per-slot records agree with the assembled breakdown too.
+    np.testing.assert_allclose(
+        [c.total for c in slot_costs], batch.total_per_slot, rtol=tol, atol=tol
+    )
+
+
+class TestMatchesBatchCostModel:
+    @given(seed=seeds, num_slots=st.integers(min_value=1, max_value=7))
+    @settings(max_examples=30, deadline=None)
+    def test_random_instances(self, seed, num_slots):
+        instance = make_tiny_instance(seed=seed % 9, num_slots=num_slots)
+        x = random_schedule(instance, seed=seed)
+        assert_matches_batch(instance, x)
+
+    def test_fig2_golden_instance(self):
+        instance = fig2_scenario(GOLDEN_SCALE).build(seed=GOLDEN_SCALE.seed)
+        assert_matches_batch(instance, random_schedule(instance, seed=1))
+        assert_matches_batch(instance, OnlineGreedy().run(instance).x)
+
+    def test_fig4_golden_instance(self):
+        instance = (
+            fig2_scenario(GOLDEN_SCALE).with_mu(1e3).build(seed=GOLDEN_SCALE.seed)
+        )
+        assert_matches_batch(instance, random_schedule(instance, seed=2))
+        assert_matches_batch(instance, OnlineGreedy().run(instance).x)
+
+
+class TestAccumulatorBehavior:
+    def test_empty_breakdown_raises(self, tiny_instance):
+        accumulator = CostAccumulator(SystemDescription.from_instance(tiny_instance))
+        with pytest.raises(ValueError):
+            accumulator.breakdown()
+
+    def test_totals_match_breakdown(self, tiny_instance):
+        x = random_schedule(tiny_instance, seed=3)
+        accumulator, _ = accumulate(tiny_instance, x)
+        assert accumulator.totals() == accumulator.breakdown().totals()
+        assert accumulator.total == accumulator.breakdown().total
+        assert accumulator.num_slots == tiny_instance.num_slots
+
+    def test_state_roundtrip_resumes_exactly(self, tiny_instance):
+        x = random_schedule(tiny_instance, seed=4)
+        system = SystemDescription.from_instance(tiny_instance)
+        observations = list(iter_observations(tiny_instance))
+
+        reference, _ = accumulate(tiny_instance, x)
+
+        first = CostAccumulator(system)
+        for observation in observations[:2]:
+            first.update(observation, x[observation.slot])
+        state = first.get_state()
+        # Mutating the donor after the snapshot must not leak into the clone.
+        first.update(observations[2], x[2])
+
+        second = CostAccumulator(system)
+        second.set_state(state)
+        for observation in observations[2:]:
+            second.update(observation, x[observation.slot])
+
+        np.testing.assert_array_equal(
+            second.breakdown().operation, reference.breakdown().operation
+        )
+        assert second.total == reference.total

@@ -1,6 +1,5 @@
 """Tests for the simulation engine."""
 
-import numpy as np
 import pytest
 
 from repro.baselines import OfflineOptimal, OnlineGreedy, StatOpt

@@ -11,7 +11,6 @@ import pytest
 from repro.core.subproblem import RegularizedSubproblem
 from repro.solvers.base import ConvexProgram, SolverError
 from repro.solvers.interior_point import InteriorPointBackend
-from repro.solvers.registry import get_backend
 from repro.solvers.scipy_backend import ScipyTrustConstrBackend
 from tests.conftest import make_tiny_instance
 

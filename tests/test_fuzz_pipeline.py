@@ -7,7 +7,6 @@ produce a feasible trajectory and never beat the offline optimum.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -30,7 +30,7 @@ from repro import (
 )
 from repro.baselines import PeriodicRebalance, RecedingHorizon
 from repro.core.transformation import lemma1_gap
-from repro.mobility import RandomWalkMobility, TaxiMobility
+from repro.mobility import RandomWalkMobility
 from repro.topology import rome_metro_topology
 
 
