@@ -1,0 +1,160 @@
+"""Verify that docs reference only files and symbols that actually exist.
+
+Scans README.md and docs/*.md (or an explicit list of files) for
+
+* **file paths** — backtick spans, fenced-block tokens, and markdown
+  link targets whose first segment is a known repo root (``src``,
+  ``docs``, ``tests``, ``benchmarks``, ``examples``, ``scripts``,
+  ``.github``, or ``repro`` which maps to ``src/repro``) must point at an
+  existing file or directory;
+* **``repro.*`` symbols** — dotted names such as
+  ``repro.simulation.spine.simulate`` must import (module prefix) and
+  resolve (attribute chain).
+
+Every stale reference is reported as ``file:line: problem``; the exit
+code is non-zero when anything is stale, which is how CI uses it
+(.github/workflows/ci.yml, next to the ruff job). Run locally with::
+
+    python scripts/check_docs.py
+    python scripts/check_docs.py docs/SOLVER.md README.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: First path segments accepted as repo-rooted references.
+KNOWN_ROOTS = {
+    "src",
+    "repro",
+    "docs",
+    "tests",
+    "benchmarks",
+    "examples",
+    "scripts",
+    ".github",
+}
+
+_BACKTICK = re.compile(r"`([^`]+)`")
+_MD_LINK = re.compile(r"\[[^\]]*\]\(([^)#\s]+)\)")
+_PATH_TOKEN = re.compile(r"[A-Za-z0-9_.-]+(?:/[A-Za-z0-9_.-]+)+/?")
+_SYMBOL = re.compile(r"repro(?:\.[A-Za-z_][A-Za-z0-9_]*)+")
+
+
+def _strip_decorations(token: str) -> str:
+    """Drop call parentheses and pytest ``::`` selectors from a token."""
+    token = token.split("(", 1)[0]
+    token = token.split("::", 1)[0]
+    return token.strip().rstrip(".,;:")
+
+
+def _path_candidates(line: str) -> list[str]:
+    """Repo-rooted path tokens mentioned on one line of markdown."""
+    candidates = []
+    for token in _PATH_TOKEN.findall(line):
+        token = _strip_decorations(token)
+        if token.startswith("-") or "//" in token:
+            continue
+        first = token.split("/", 1)[0]
+        if first in KNOWN_ROOTS:
+            candidates.append(token)
+    return candidates
+
+
+def _resolve_path(token: str) -> Path:
+    """Map a doc path token onto the repo tree (``repro/`` lives in src)."""
+    if token.split("/", 1)[0] == "repro":
+        token = f"src/{token}"
+    return REPO_ROOT / token
+
+
+def _check_symbol(symbol: str) -> str | None:
+    """Import a dotted ``repro.*`` name; return an error string or None."""
+    parts = symbol.split(".")
+    for split in range(len(parts), 0, -1):
+        module_name = ".".join(parts[:split])
+        try:
+            obj = importlib.import_module(module_name)
+        except ImportError:
+            continue
+        for attribute in parts[split:]:
+            try:
+                obj = getattr(obj, attribute)
+            except AttributeError:
+                return f"symbol {symbol!r}: {module_name} has no {attribute!r}"
+        return None
+    return f"symbol {symbol!r}: module does not import"
+
+
+def check_file(doc: Path) -> list[str]:
+    """Check one markdown file; return ``file:line: problem`` strings."""
+    problems: list[str] = []
+    try:
+        relative = doc.relative_to(REPO_ROOT)
+    except ValueError:  # explicit file argument outside the repo
+        relative = doc
+    symbols_checked: dict[str, str | None] = {}
+    for line_number, line in enumerate(
+        doc.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        for token in _path_candidates(line):
+            if not _resolve_path(token).exists():
+                problems.append(
+                    f"{relative}:{line_number}: missing path {token!r}"
+                )
+        for target in _MD_LINK.findall(line):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            if not (doc.parent / target).resolve().exists():
+                problems.append(
+                    f"{relative}:{line_number}: broken link target {target!r}"
+                )
+        for raw in _SYMBOL.findall(line):
+            symbol = _strip_decorations(raw)
+            if symbol not in symbols_checked:
+                symbols_checked[symbol] = _check_symbol(symbol)
+            error = symbols_checked[symbol]
+            if error is not None:
+                problems.append(f"{relative}:{line_number}: {error}")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code (0 = all references ok)."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "files",
+        nargs="*",
+        type=Path,
+        help="markdown files to check (default: README.md and docs/*.md)",
+    )
+    args = parser.parse_args(argv)
+    files = [path.resolve() for path in args.files] or [
+        REPO_ROOT / "README.md",
+        *sorted((REPO_ROOT / "docs").glob("*.md")),
+    ]
+
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    problems: list[str] = []
+    for doc in files:
+        if not doc.exists():
+            problems.append(f"{doc}: file not found")
+            continue
+        problems.extend(check_file(doc))
+    for problem in problems:
+        print(problem)
+    print(
+        f"check_docs: {len(files)} file(s), "
+        f"{len(problems)} stale reference(s)"
+    )
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -40,6 +40,13 @@ from .simulation import (
     compare_algorithms,
     run_algorithm,
 )
+from .telemetry import (
+    MetricsRegistry,
+    RunRecord,
+    read_manifest,
+    telemetry_session,
+    write_manifest,
+)
 
 __version__ = "1.0.0"
 
@@ -48,6 +55,7 @@ __all__ = [
     "Comparison",
     "CostBreakdown",
     "CostWeights",
+    "MetricsRegistry",
     "OfflineOptimal",
     "OnlineGreedy",
     "OnlineRegularizedAllocator",
@@ -55,6 +63,7 @@ __all__ = [
     "PerfOpt",
     "ProblemInstance",
     "RegularizedSubproblem",
+    "RunRecord",
     "RunResult",
     "Scenario",
     "StatOpt",
@@ -65,7 +74,10 @@ __all__ = [
     "compare_algorithms",
     "competitive_ratio_bound",
     "cost_breakdown",
+    "read_manifest",
     "run_algorithm",
+    "telemetry_session",
     "total_cost",
+    "write_manifest",
     "__version__",
 ]

@@ -1,0 +1,132 @@
+"""Read telemetry run manifests back and check their cost accounting.
+
+A manifest (``repro.telemetry.manifest``) records one ``slot`` event per
+accounted slot and one ``run_end`` event per algorithm run. Because both
+come from the same :class:`repro.simulation.accounting.CostAccumulator`,
+the per-slot costs of a run must sum to its final breakdown — this module
+makes that invariant checkable after the fact, which doubles as a
+truncation/corruption test for archived manifests.
+
+Runs are keyed by the ``(cell, run)`` context tags the engine and the
+sweep cells attach: ``run`` ids are unique within one registry, and every
+parallel sweep cell records into its own registry, so the pair is unique
+across a whole merged sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..telemetry.manifest import RunRecord, read_manifest
+
+
+def load_manifest(path: str | Path) -> RunRecord:
+    """Load a JSON-lines run manifest (thin alias of ``read_manifest``)."""
+    return read_manifest(path)
+
+
+def _run_key(event: dict) -> tuple:
+    """The identity of the run an event belongs to."""
+    cell = event.get("cell")
+    if isinstance(cell, list):  # JSON round-trips tuples as lists
+        cell = tuple(cell)
+    return (cell, event.get("run"))
+
+
+@dataclass(frozen=True)
+class RunCostCheck:
+    """Per-slot costs of one run, against its reported final breakdown.
+
+    Attributes:
+        key: the run's ``(cell, run)`` identity.
+        algorithm: the algorithm name tagged on the run.
+        slots: number of slot events found for the run.
+        summed: per-slot costs summed — keys ``operation``,
+            ``service_quality``, ``reconfiguration``, ``migration``,
+            ``total`` (the weighted P0 objective).
+        reported: the ``run_end`` event's ``totals`` (same keys).
+    """
+
+    key: tuple
+    algorithm: str
+    slots: int
+    summed: dict[str, float]
+    reported: dict[str, float]
+
+    @property
+    def deviation(self) -> float:
+        """Largest |summed - reported| across the five cost entries."""
+        return max(
+            abs(self.summed[name] - self.reported[name]) for name in self.summed
+        )
+
+    def ok(self, tol: float = 1e-9) -> bool:
+        """Whether the sums match the report to ``tol`` (relative to scale)."""
+        scale = max(1.0, abs(self.reported.get("total", 0.0)))
+        return self.deviation <= tol * scale
+
+
+def verify_manifest_costs(record: RunRecord) -> list[RunCostCheck]:
+    """Cross-check every run's slot events against its ``run_end`` totals.
+
+    Returns one :class:`RunCostCheck` per ``run_end`` event in file order.
+    Raises ``ValueError`` when a run has no slot events at all or a slot
+    event points at a run without a ``run_end`` (a truncated manifest).
+    """
+    sums: dict[tuple, dict[str, float]] = {}
+    counts: dict[tuple, int] = {}
+    for event in record.slot_events:
+        key = _run_key(event)
+        entry = sums.setdefault(
+            key,
+            {
+                "operation": 0.0,
+                "service_quality": 0.0,
+                "reconfiguration": 0.0,
+                "migration": 0.0,
+                "total": 0.0,
+            },
+        )
+        entry["operation"] += float(event["op"])
+        entry["service_quality"] += float(event["sq"])
+        entry["reconfiguration"] += float(event["rc"])
+        entry["migration"] += float(event["mg"])
+        entry["total"] += float(event["total"])
+        counts[key] = counts.get(key, 0) + 1
+
+    checks: list[RunCostCheck] = []
+    seen: set[tuple] = set()
+    for event in record.run_ends:
+        key = _run_key(event)
+        seen.add(key)
+        if key not in sums:
+            raise ValueError(f"run {key} has a run_end but no slot events")
+        reported = {name: float(value) for name, value in event["totals"].items()}
+        checks.append(
+            RunCostCheck(
+                key=key,
+                algorithm=str(event.get("algorithm", "?")),
+                slots=counts[key],
+                summed=sums[key],
+                reported=reported,
+            )
+        )
+    orphans = set(sums) - seen
+    if orphans:
+        raise ValueError(
+            f"{len(orphans)} run(s) have slot events but no run_end record "
+            f"(truncated manifest?): {sorted(orphans)[:5]}"
+        )
+    return checks
+
+
+def assert_manifest_costs(record: RunRecord, *, tol: float = 1e-9) -> None:
+    """Raise ``AssertionError`` unless every run's costs are consistent."""
+    bad = [check for check in verify_manifest_costs(record) if not check.ok(tol)]
+    if bad:
+        worst = max(bad, key=lambda check: check.deviation)
+        raise AssertionError(
+            f"{len(bad)} run(s) exceed tol={tol}: worst is {worst.algorithm} "
+            f"{worst.key} with deviation {worst.deviation:.3e}"
+        )

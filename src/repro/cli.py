@@ -7,6 +7,7 @@ Examples::
     repro-edge fig4 --users 12 --slots 10
     repro-edge fig5 --user-counts 10 20 40 --stay-bias 3.0
     repro-edge quickstart
+    repro-edge fig2 --telemetry run.jsonl --metrics-summary
     repro-edge threshold            # adversarial oscillating-price sweep
     repro-edge lookahead            # perfect-prediction ablation
     repro-edge certify              # dual certificate of eq. 12
@@ -63,6 +64,20 @@ def _add_scale_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="free each slot's allocation right after cost accounting "
         "(ratios are unchanged; bounds memory on long horizons)",
+    )
+    parser.add_argument(
+        "--telemetry",
+        metavar="PATH",
+        default=None,
+        help="record metrics, spans, and per-slot cost events and write them "
+        "as a JSON-lines run manifest to PATH (docs/OBSERVABILITY.md); "
+        "results are bit-identical with or without",
+    )
+    parser.add_argument(
+        "--metrics-summary",
+        action="store_true",
+        help="print a metrics summary table (solver iterations, fallbacks, "
+        "per-slot wall time, cost totals) after the report",
     )
 
 
@@ -256,9 +271,37 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    ``--telemetry PATH`` runs the command inside a telemetry session and
+    writes the session's JSON-lines run manifest to ``PATH``;
+    ``--metrics-summary`` appends the metrics table to the report. Both
+    observe only — the reported numbers are identical either way.
+    """
     args = build_parser().parse_args(argv)
-    print(args.func(args))
+    manifest_path = getattr(args, "telemetry", None)
+    want_summary = getattr(args, "metrics_summary", False)
+    if manifest_path is None and not want_summary:
+        print(args.func(args))
+        return 0
+
+    from .telemetry import telemetry_session, write_manifest
+
+    config = {
+        "command": args.command,
+        **{
+            key: value
+            for key, value in vars(args).items()
+            if key not in ("func", "command") and not callable(value)
+        },
+    }
+    with telemetry_session() as registry:
+        output = args.func(args)
+    if manifest_path is not None:
+        write_manifest(manifest_path, registry, config=config)
+    if want_summary:
+        output = f"{output}\n\n{registry.summary_table()}"
+    print(output)
     return 0
 
 

@@ -32,6 +32,13 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Sequence
 
+from ..telemetry import (
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+    telemetry_enabled,
+)
+
 if TYPE_CHECKING:  # type-only: the simulation layer builds on this leaf
     from ..simulation.results import Comparison
 
@@ -62,6 +69,9 @@ class CellResult:
         wall_time_s: wall-clock seconds spent inside the cell.
         pid: OS process id that executed the cell (the parent's pid on the
             serial path — useful when checking work really fanned out).
+        telemetry: when telemetry was active at dispatch, the picklable
+            snapshot of everything the cell recorded (the caller merges
+            these deterministically in input order); ``None`` otherwise.
     """
 
     key: Any
@@ -70,6 +80,7 @@ class CellResult:
     traceback: str | None
     wall_time_s: float
     pid: int
+    telemetry: dict | None = None
 
     @property
     def ok(self) -> bool:
@@ -82,12 +93,21 @@ class CellResult:
         return self.value
 
 
-def _execute_one(work: Callable[[Any], Any], key: Any, item: Any) -> CellResult:
-    """Run one unit of work, capturing failures and timing.
+def _execute_one(
+    work: Callable[[Any], Any], key: Any, item: Any, telemetry: bool = False
+) -> CellResult:
+    """Run one unit of work, capturing failures, timing, and telemetry.
 
     Module-level so the pool can pickle it; shared by the serial path so
-    both paths have identical failure semantics.
+    both paths have identical failure semantics. When ``telemetry`` is
+    set, the cell runs under a *fresh* registry (on the serial path too,
+    so serial and pooled execution aggregate identically) whose snapshot
+    rides home on the :class:`CellResult`.
     """
+    registry = previous = None
+    if telemetry:
+        registry = MetricsRegistry()
+        previous = set_registry(registry)
     start = time.perf_counter()
     try:
         value = work(item)
@@ -99,7 +119,11 @@ def _execute_one(work: Callable[[Any], Any], key: Any, item: Any) -> CellResult:
             traceback=traceback.format_exc(),
             wall_time_s=time.perf_counter() - start,
             pid=os.getpid(),
+            telemetry=registry.snapshot() if registry is not None else None,
         )
+    finally:
+        if registry is not None:
+            set_registry(previous)
     return CellResult(
         key=key,
         value=value,
@@ -107,6 +131,7 @@ def _execute_one(work: Callable[[Any], Any], key: Any, item: Any) -> CellResult:
         traceback=None,
         wall_time_s=time.perf_counter() - start,
         pid=os.getpid(),
+        telemetry=registry.snapshot() if registry is not None else None,
     )
 
 
@@ -152,9 +177,26 @@ class SweepExecutor:
             keys = list(range(len(items)))
         if len(keys) != len(items):
             raise ValueError("keys and items must have the same length")
+        telemetry = telemetry_enabled()
         if self.workers <= 1 or len(items) <= 1:
-            return [_execute_one(work, key, item) for key, item in zip(keys, items)]
-        return self._map_pool(work, items, keys)
+            results = [
+                _execute_one(work, key, item, telemetry)
+                for key, item in zip(keys, items)
+            ]
+        else:
+            results = self._map_pool(work, items, keys, telemetry)
+        if telemetry:
+            # Fold per-cell snapshots into the caller's registry in input
+            # order — the one fixed order both execution paths share — so
+            # aggregates are identical at any worker count.
+            registry = get_registry()
+            registry.counter("sweep.cells").inc(len(items))
+            registry.gauge("sweep.workers").set(self.workers)
+            for result in results:
+                if result.telemetry is not None:
+                    registry.merge_snapshot(result.telemetry)
+                registry.histogram("sweep.cell_wall_s").observe(result.wall_time_s)
+        return results
 
     def run_cells(self, cells: Iterable[Any]) -> list[CellResult]:
         """Execute grid cells (anything with ``key`` and ``execute()``).
@@ -169,12 +211,16 @@ class SweepExecutor:
     # ----- pool path ----------------------------------------------------------
 
     def _map_pool(
-        self, work: Callable[[Any], Any], items: Sequence[Any], keys: Sequence[Any]
+        self,
+        work: Callable[[Any], Any],
+        items: Sequence[Any],
+        keys: Sequence[Any],
+        telemetry: bool = False,
     ) -> list[CellResult]:
         try:
             with ProcessPoolExecutor(max_workers=min(self.workers, len(items))) as pool:
                 futures = [
-                    pool.submit(_execute_one, work, key, item)
+                    pool.submit(_execute_one, work, key, item, telemetry)
                     for key, item in zip(keys, items)
                 ]
                 return [future.result() for future in futures]
@@ -184,7 +230,10 @@ class SweepExecutor:
             # raise out of _execute_one, so anything surfacing here is an
             # infrastructure problem: fall back to the serial reference path,
             # which needs none of that machinery.
-            return [_execute_one(work, key, item) for key, item in zip(keys, items)]
+            return [
+                _execute_one(work, key, item, telemetry)
+                for key, item in zip(keys, items)
+            ]
 
 
 def comparisons_or_raise(results: Sequence[CellResult]) -> "list[Comparison]":

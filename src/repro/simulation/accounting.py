@@ -16,6 +16,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.costs import CostBreakdown, positive_part
+from ..telemetry import get_registry
 from .observations import SlotObservation, SystemDescription
 
 
@@ -119,6 +120,14 @@ class CostAccumulator:
         total = weights.static * (operation + service_quality) + weights.dynamic * (
             reconfiguration + migration
         )
+        telemetry = get_registry()
+        if telemetry.enabled:
+            telemetry.counter("accounting.slots").inc()
+            telemetry.counter("accounting.cost.op").inc(operation)
+            telemetry.counter("accounting.cost.sq").inc(service_quality)
+            telemetry.counter("accounting.cost.rc").inc(reconfiguration)
+            telemetry.counter("accounting.cost.mg").inc(migration)
+            telemetry.counter("accounting.cost.total").inc(total)
         return SlotCosts(
             slot=observation.slot,
             operation=operation,

@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
 
+from ..telemetry import get_registry
 from .engine import compare_algorithms
 from .results import Comparison
 from .scenario import Scenario
@@ -47,10 +48,17 @@ class SweepCell:
     keep_schedule: bool = True
 
     def execute(self) -> Comparison:
-        """Build the seeded instance and run the roster on it."""
-        return compare_algorithms(
-            list(self.algorithms),
-            self.scenario.build(seed=self.seed),
-            baseline=self.baseline,
-            keep_schedule=self.keep_schedule,
-        )
+        """Build the seeded instance and run the roster on it.
+
+        Telemetry recorded inside the cell (slot events, solver counters)
+        is tagged with the cell's ``key`` and ``seed`` so merged sweep
+        manifests stay attributable per grid cell.
+        """
+        telemetry = get_registry()
+        with telemetry.context(cell=self.key, seed=self.seed):
+            return compare_algorithms(
+                list(self.algorithms),
+                self.scenario.build(seed=self.seed),
+                baseline=self.baseline,
+                keep_schedule=self.keep_schedule,
+            )

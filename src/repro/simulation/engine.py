@@ -17,6 +17,7 @@ from typing import TYPE_CHECKING, Iterable
 
 from ..core.problem import ProblemInstance
 from ..parallel.executor import SweepExecutor
+from ..telemetry import get_registry
 from .hooks import SlotHook
 from .observations import SystemDescription, iter_observations
 from .results import Comparison, RunResult
@@ -47,17 +48,31 @@ def run_algorithm(
     ``require_feasible`` is set (all algorithms in this project are supposed
     to be feasible by construction; this is the engine's safety net).
     """
-    start = time.perf_counter()
-    system = SystemDescription.from_instance(instance)
-    controller = controller_for(algorithm, instance, system)
-    sim = simulate(
-        controller,
-        iter_observations(instance),
-        system,
-        hooks=hooks,
-        keep_schedule=keep_schedule,
+    telemetry = get_registry()
+    run_tags = (
+        {"run": telemetry.next_run_id(), "algorithm": algorithm.name}
+        if telemetry.enabled
+        else {}
     )
-    elapsed = time.perf_counter() - start
+    with telemetry.context(**run_tags), telemetry.span("run"):
+        start = time.perf_counter()
+        system = SystemDescription.from_instance(instance)
+        controller = controller_for(algorithm, instance, system)
+        sim = simulate(
+            controller,
+            iter_observations(instance),
+            system,
+            hooks=hooks,
+            keep_schedule=keep_schedule,
+        )
+        elapsed = time.perf_counter() - start
+        if telemetry.enabled:
+            telemetry.event(
+                "run_end",
+                slots=sim.total_slots,
+                wall_s=elapsed,
+                totals=sim.breakdown.totals(),
+            )
     report = sim.feasibility
     if require_feasible and report.worst() > feasibility_tol:
         raise ValueError(

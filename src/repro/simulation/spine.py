@@ -27,6 +27,7 @@ import numpy as np
 from ..core.allocation import AllocationSchedule, FeasibilityReport
 from ..core.costs import CostBreakdown
 from ..core.problem import ProblemInstance
+from ..telemetry import get_registry
 from .accounting import AccumulatorState, CostAccumulator
 from .hooks import SlotHook
 from .observations import (
@@ -147,28 +148,47 @@ def simulate(
     for hook in hooks:
         hook.on_run_start(system, controller)
 
+    telemetry = get_registry()
+    observing = telemetry.enabled
+
     start = time.perf_counter()
-    stream = iter(observations)
-    while max_slots is None or processed < max_slots:
-        observation = next(stream, None)
-        if observation is None:
-            break
-        for hook in hooks:
-            hook.on_slot_start(observation)
-        x_t = np.asarray(controller.observe(observation), dtype=float)
-        costs = accumulator.update(observation, x_t)
-        residual_demand = max(
-            residual_demand, float((workloads - x_t.sum(axis=0)).max())
-        )
-        residual_capacity = max(
-            residual_capacity, float((x_t.sum(axis=1) - capacities).max())
-        )
-        residual_negativity = max(residual_negativity, float((-x_t).max()))
-        if keep_schedule:
-            slots.append(np.array(x_t, dtype=float))
-        for hook in hooks:
-            hook.on_slot_end(observation, x_t, costs)
-        processed += 1
+    with telemetry.span("simulate", controller=getattr(controller, "name", "?")):
+        stream = iter(observations)
+        while max_slots is None or processed < max_slots:
+            observation = next(stream, None)
+            if observation is None:
+                break
+            for hook in hooks:
+                hook.on_slot_start(observation)
+            if observing:
+                slot_start = time.perf_counter()
+            x_t = np.asarray(controller.observe(observation), dtype=float)
+            costs = accumulator.update(observation, x_t)
+            if observing:
+                slot_ms = (time.perf_counter() - slot_start) * 1000.0
+                telemetry.histogram("slot.wall_ms").observe(slot_ms)
+                telemetry.event(
+                    "slot",
+                    slot=observation.slot,
+                    wall_ms=slot_ms,
+                    op=costs.operation,
+                    sq=costs.service_quality,
+                    rc=costs.reconfiguration,
+                    mg=costs.migration,
+                    total=costs.total,
+                )
+            residual_demand = max(
+                residual_demand, float((workloads - x_t.sum(axis=0)).max())
+            )
+            residual_capacity = max(
+                residual_capacity, float((x_t.sum(axis=1) - capacities).max())
+            )
+            residual_negativity = max(residual_negativity, float((-x_t).max()))
+            if keep_schedule:
+                slots.append(np.array(x_t, dtype=float))
+            for hook in hooks:
+                hook.on_slot_end(observation, x_t, costs)
+            processed += 1
     elapsed = time.perf_counter() - start
 
     if accumulator.num_slots == 0:

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..telemetry import get_registry
 from .base import ConvexProgram, SolverError, SolverResult
 
 #: Fraction-to-boundary rule: never step further than this share of the
@@ -172,6 +173,8 @@ class _BarrierSolve:
     # ----- main loop -----------------------------------------------------------
 
     def run(self) -> SolverResult:
+        telemetry = get_registry()
+        warm_requested = bool(self.program.warm_start) and self.program.x0 is not None
         warm = bool(self.program.warm_start)
         if self.program.x0 is None:
             x = None
@@ -197,6 +200,13 @@ class _BarrierSolve:
         if warm:
             mu = max(mu * _WARM_MU_DISCOUNT, 10.0 * gap_target / self.num_constraints)
 
+        if warm_requested and not warm:
+            # The warm start was rejected (not strictly feasible) and the
+            # barrier schedule restarted cold from the canonical interior
+            # point — worth counting: frequent restarts mean the blending
+            # upstream is not doing its job.
+            telemetry.counter("solver.ipm.barrier_restarts").inc()
+
         for _ in range(self.config.max_outer):
             x = self._newton_loop(x, mu)
             if mu * self.num_constraints <= gap_target:
@@ -204,6 +214,12 @@ class _BarrierSolve:
             mu *= _MU_DECAY
         else:
             raise SolverError(f"{self.config.name}: barrier loop did not converge")
+
+        telemetry.counter("solver.ipm.solves").inc()
+        telemetry.counter("solver.iterations").inc(self.iterations)
+        telemetry.histogram("solver.ipm.iterations").observe(self.iterations)
+        if warm:
+            telemetry.counter("solver.ipm.warm_start_hits").inc()
 
         demand, capacity = self.slacks(x)
         duals = {"demand": mu / demand, "capacity": mu / capacity}

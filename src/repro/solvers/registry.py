@@ -5,6 +5,7 @@ from __future__ import annotations
 import dataclasses
 import logging
 
+from ..telemetry import get_registry
 from .base import ConvexBackend, ConvexProgram, SolverError, SolverResult
 from .interior_point import InteriorPointBackend
 from .scipy_backend import ScipyTrustConstrBackend
@@ -40,22 +41,78 @@ class FallbackBackend:
     structure and can (rarely) hit numerically hard barrier subproblems; the
     SciPy backend is slower but general. This wrapper gives the best of
     both and is the project default.
+
+    A **circuit breaker** guards against a persistently broken primary:
+    after ``failure_threshold`` *consecutive* primary failures the wrapper
+    stops trying the primary (solving on the secondary directly, without
+    paying the doomed attempt) for the next ``cooldown`` solves, then
+    half-opens and gives the primary another chance. Any primary success
+    closes the circuit and resets the failure count. Circuit transitions
+    are logged and counted (``solver.circuit_breaker.*``); every fallback
+    still attaches the primary's error to the result.
+
+    Attributes:
+        primary: the fast backend tried first.
+        secondary: the robust backend used on failure (and while open).
+        failure_threshold: consecutive primary failures that open the
+            circuit.
+        cooldown: solves routed straight to the secondary while open.
     """
 
-    def __init__(self, primary: ConvexBackend, secondary: ConvexBackend) -> None:
+    def __init__(
+        self,
+        primary: ConvexBackend,
+        secondary: ConvexBackend,
+        *,
+        failure_threshold: int = 3,
+        cooldown: int = 25,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be at least 1")
+        if cooldown < 1:
+            raise ValueError("cooldown must be at least 1")
         self.primary = primary
         self.secondary = secondary
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
         self.name = f"{primary.name}+{secondary.name}"
+        self._consecutive_failures = 0
+        self._skips_remaining = 0
+
+    @property
+    def circuit_open(self) -> bool:
+        """Whether the primary is currently being skipped."""
+        return self._skips_remaining > 0
+
+    def reset_circuit(self) -> None:
+        """Close the circuit and forget past failures (e.g. between runs)."""
+        self._consecutive_failures = 0
+        self._skips_remaining = 0
 
     def solve(self, program: ConvexProgram, *, tol: float = 1e-8) -> SolverResult:
         """Try the primary backend; on SolverError, retry with the secondary.
 
         The primary's error is not discarded: it is logged and attached to
         the returned result as ``SolverResult.primary_error`` so callers
-        can see *why* the slow path ran.
+        can see *why* the slow path ran. While the circuit is open the
+        primary is skipped entirely (``primary_error`` then records the
+        skip, not a fresh attempt).
         """
+        telemetry = get_registry()
+        if self._skips_remaining > 0:
+            self._skips_remaining -= 1
+            if self._skips_remaining == 0:
+                # Half-open: the next solve gives the primary a new chance
+                # with a clean failure count.
+                self._consecutive_failures = 0
+            telemetry.counter("solver.circuit_breaker.skips").inc()
+            result = self.secondary.solve(program, tol=tol)
+            return dataclasses.replace(
+                result,
+                primary_error=f"{self.primary.name}: skipped (circuit open)",
+            )
         try:
-            return self.primary.solve(program, tol=tol)
+            result = self.primary.solve(program, tol=tol)
         except SolverError as exc:
             message = f"{self.primary.name}: {exc}"
             logger.warning(
@@ -63,8 +120,34 @@ class FallbackBackend:
                 self.secondary.name,
                 message,
             )
+            self._consecutive_failures += 1
+            telemetry.counter("solver.fallbacks").inc()
+            if telemetry.enabled:
+                telemetry.event(
+                    "solver.fallback", primary=self.primary.name, error=str(exc)
+                )
+            if self._consecutive_failures >= self.failure_threshold:
+                self._skips_remaining = self.cooldown
+                telemetry.counter("solver.circuit_breaker.opened").inc()
+                if telemetry.enabled:
+                    telemetry.event(
+                        "solver.circuit_open",
+                        primary=self.primary.name,
+                        failures=self._consecutive_failures,
+                        cooldown=self.cooldown,
+                    )
+                logger.warning(
+                    "primary backend %s failed %d times in a row; skipping it "
+                    "for the next %d solves",
+                    self.primary.name,
+                    self._consecutive_failures,
+                    self.cooldown,
+                )
             result = self.secondary.solve(program, tol=tol)
             return dataclasses.replace(result, primary_error=message)
+        else:
+            self._consecutive_failures = 0
+            return result
 
 
 register_backend("scipy", ScipyTrustConstrBackend())

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 import numpy as np
 from scipy.optimize import Bounds, LinearConstraint, minimize
 
+from ..telemetry import get_registry
 from .base import ConvexProgram, SolverError, SolverResult, starting_point
 
 
@@ -77,10 +78,15 @@ class ScipyTrustConstrBackend:
         v = getattr(result, "v", None)
         if v:
             duals["linear"] = np.asarray(v[0], dtype=float)
+        iterations = int(getattr(result, "nit", 0) or 0)
+        telemetry = get_registry()
+        telemetry.counter("solver.scipy.solves").inc()
+        telemetry.counter("solver.iterations").inc(iterations)
+        telemetry.histogram("solver.scipy.iterations").observe(iterations)
         return SolverResult(
             x=x,
             objective=float(program.objective(x)),
-            iterations=int(getattr(result, "nit", 0) or 0),
+            iterations=iterations,
             backend=self.name,
             duals=duals,
         )

@@ -1,0 +1,62 @@
+"""Lightweight, dependency-free observability for the whole system.
+
+Three pieces (docs/OBSERVABILITY.md):
+
+* :class:`MetricsRegistry` — counters, gauges, and histograms keyed by
+  dotted names (``solver.ipm.iterations``, ``slot.wall_ms``, ...), plus
+  structured events and nestable timing :meth:`~MetricsRegistry.span`
+  contexts that record a trace tree per session;
+* a global **active registry** (:func:`get_registry`), a
+  :class:`NullRegistry` by default so instrumentation is near-free when
+  telemetry is off, switched on with :func:`telemetry_session`;
+* JSON-lines **run manifests** (:func:`write_manifest` /
+  :func:`read_manifest` / :class:`RunRecord`) capturing config, per-slot
+  cost events, and final cost breakdowns for later analysis
+  (:mod:`repro.analysis.manifests`).
+
+Enabling telemetry never changes results: instrumented code only *reads*
+the quantities it reports, and the bit-identity is pinned by
+``tests/telemetry/test_integration.py``. The parallel executor gives each
+sweep cell a fresh registry and merges the per-worker snapshots
+deterministically on join, so metric aggregates are identical at any
+worker count.
+"""
+
+from .manifest import MANIFEST_FORMAT, RunRecord, read_manifest, write_manifest
+from .metrics import (
+    MAX_SPAN_CHILDREN,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    get_registry,
+    set_registry,
+    span,
+    telemetry_enabled,
+    telemetry_session,
+)
+from .spans import render_spans, span_durations, walk_spans
+
+__all__ = [
+    "MANIFEST_FORMAT",
+    "MAX_SPAN_CHILDREN",
+    "NULL_REGISTRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "RunRecord",
+    "get_registry",
+    "read_manifest",
+    "render_spans",
+    "set_registry",
+    "span",
+    "span_durations",
+    "telemetry_enabled",
+    "telemetry_session",
+    "walk_spans",
+    "write_manifest",
+]

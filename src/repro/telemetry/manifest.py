@@ -1,0 +1,180 @@
+"""JSON-lines run manifests: persist one session's telemetry to a file.
+
+A manifest is an append-friendly ``.jsonl`` file: one JSON object per
+line, each carrying a ``"type"`` field. The layout (see
+docs/OBSERVABILITY.md for the full schema):
+
+1. ``manifest_start`` — format tag, creation time, and the run config;
+2. the session's events in recorded order — ``slot`` lines (one per
+   accounted slot, with the four unweighted cost components and the
+   weighted total), ``run_end`` lines (one per algorithm run, with the
+   final cost breakdown totals), plus any ad-hoc events (e.g.
+   ``solver.fallback``);
+3. ``metrics`` — the registry's counters/gauges/histograms snapshot;
+4. ``spans`` — the session's trace trees;
+5. ``manifest_end`` — an event count, as a truncation check.
+
+:func:`read_manifest` loads a manifest back into a :class:`RunRecord`;
+:mod:`repro.analysis.manifests` builds cost-consistency checks on top.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .metrics import MetricsRegistry
+
+#: Format tag written into every manifest (bump on breaking change).
+MANIFEST_FORMAT = "repro.telemetry/1"
+
+
+def _jsonify(value):
+    """JSON fallback for numpy scalars/arrays and other non-native values."""
+    if hasattr(value, "tolist"):  # numpy scalar or array, any shape
+        return value.tolist()
+    return str(value)
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """An in-memory manifest: config, events, metrics, and spans.
+
+    Attributes:
+        config: the run configuration written at ``manifest_start``.
+        events: every event line in file order (each a dict with ``type``).
+        counters: metric name -> accumulated value.
+        gauges: metric name -> last value.
+        histograms: metric name -> ``{count, total, min, max, mean}``.
+        spans: root nodes of the session's trace trees.
+        created_unix: manifest creation time (seconds since the epoch).
+    """
+
+    config: dict = field(default_factory=dict)
+    events: list = field(default_factory=list)
+    counters: dict = field(default_factory=dict)
+    gauges: dict = field(default_factory=dict)
+    histograms: dict = field(default_factory=dict)
+    spans: list = field(default_factory=list)
+    created_unix: float = 0.0
+
+    def events_of_type(self, kind: str) -> list[dict]:
+        """Every event whose ``"type"`` equals ``kind``, in file order."""
+        return [event for event in self.events if event.get("type") == kind]
+
+    @property
+    def slot_events(self) -> list[dict]:
+        """The per-slot cost events (``type == "slot"``)."""
+        return self.events_of_type("slot")
+
+    @property
+    def run_ends(self) -> list[dict]:
+        """The per-run summary events (``type == "run_end"``)."""
+        return self.events_of_type("run_end")
+
+
+def write_manifest(
+    path: str | Path,
+    registry: MetricsRegistry,
+    *,
+    config: dict | None = None,
+) -> Path:
+    """Write one session's telemetry as a JSON-lines manifest.
+
+    Args:
+        path: destination file (created or truncated).
+        registry: the session registry to persist (typically the one a
+            :func:`repro.telemetry.telemetry_session` yielded).
+        config: arbitrary JSON-able run configuration stored in the
+            ``manifest_start`` line (CLI args, scenario parameters, ...).
+
+    Returns:
+        The path written.
+    """
+    path = Path(path)
+    snap = registry.snapshot()
+    with path.open("w", encoding="utf-8") as handle:
+
+        def emit(record: dict) -> None:
+            handle.write(json.dumps(record, default=_jsonify) + "\n")
+
+        emit(
+            {
+                "type": "manifest_start",
+                "format": MANIFEST_FORMAT,
+                "created_unix": time.time(),
+                "config": config or {},
+            }
+        )
+        for event in snap["events"]:
+            emit(event)
+        emit(
+            {
+                "type": "metrics",
+                "counters": snap["counters"],
+                "gauges": snap["gauges"],
+                "histograms": snap["histograms"],
+            }
+        )
+        emit({"type": "spans", "spans": snap["spans"]})
+        emit({"type": "manifest_end", "events": len(snap["events"])})
+    return path
+
+
+def read_manifest(path: str | Path) -> RunRecord:
+    """Load a manifest written by :func:`write_manifest`.
+
+    Raises ``ValueError`` on an unknown format tag or a truncated file
+    (missing or inconsistent ``manifest_end``).
+    """
+    path = Path(path)
+    config: dict = {}
+    created = 0.0
+    events: list[dict] = []
+    counters: dict = {}
+    gauges: dict = {}
+    histograms: dict = {}
+    spans: list = []
+    ended = False
+    with path.open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            kind = record.get("type")
+            if kind == "manifest_start":
+                if record.get("format") != MANIFEST_FORMAT:
+                    raise ValueError(
+                        f"{path}: unknown manifest format {record.get('format')!r}"
+                    )
+                config = record.get("config", {})
+                created = float(record.get("created_unix", 0.0))
+            elif kind == "metrics":
+                counters = record.get("counters", {})
+                gauges = record.get("gauges", {})
+                histograms = record.get("histograms", {})
+            elif kind == "spans":
+                spans = record.get("spans", [])
+            elif kind == "manifest_end":
+                ended = True
+                if int(record.get("events", -1)) != len(events):
+                    raise ValueError(
+                        f"{path}: manifest_end reports {record.get('events')} "
+                        f"events, file holds {len(events)} (line {line_number})"
+                    )
+            else:
+                events.append(record)
+    if not ended:
+        raise ValueError(f"{path}: truncated manifest (no manifest_end record)")
+    return RunRecord(
+        config=config,
+        events=events,
+        counters=counters,
+        gauges=gauges,
+        histograms=histograms,
+        spans=spans,
+        created_unix=created,
+    )

@@ -1,0 +1,428 @@
+"""Metrics primitives: counters, gauges, histograms, and their registry.
+
+The registry is the heart of :mod:`repro.telemetry`: every instrumented
+site asks :func:`get_registry` for the active registry and records into it.
+By default the active registry is a shared :class:`NullRegistry` whose
+every operation is a no-op on a cached singleton, so instrumentation costs
+one global read plus an attribute check when telemetry is off — and the
+recorded numbers never feed back into any computation, so results are
+bit-identical either way (pinned by ``tests/telemetry/test_integration.py``).
+
+Design constraints (docs/OBSERVABILITY.md):
+
+* **dependency-free** — stdlib only, importable from every layer
+  (including :mod:`repro.parallel`, a dependency leaf);
+* **picklable aggregation** — :meth:`MetricsRegistry.snapshot` returns a
+  plain-dict snapshot a process-pool worker can ship home, and
+  :meth:`MetricsRegistry.merge_snapshot` folds snapshots in a
+  deterministic (caller-chosen) order so parallel and serial sweeps
+  aggregate to the same numbers;
+* **associative merges** — counters add, histograms merge by
+  (count, total, min, max), so regrouping worker snapshots cannot change
+  the result (property-tested in ``tests/telemetry/test_metrics.py``).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+#: Children recorded under one span before further siblings are dropped
+#: (long memory-bounded runs would otherwise grow an unbounded trace tree;
+#: drops are counted in the ``telemetry.spans.dropped`` counter).
+MAX_SPAN_CHILDREN = 4096
+
+
+class Counter:
+    """A monotonically accumulating value (e.g. ``solver.fallbacks``)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        """Create the counter at zero."""
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (default 1) to the counter."""
+        self.value += amount
+
+
+class Gauge:
+    """A last-write-wins value (e.g. ``sweep.workers``)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        """Create the gauge at zero."""
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current value."""
+        self.value = float(value)
+
+
+class Histogram:
+    """A streaming summary of observations: count, total, min, max.
+
+    Deliberately bucket-free: the experiment grids are small enough that
+    per-event records (the manifest) cover distribution questions, while
+    the four moments merge exactly and associatively across workers.
+    """
+
+    __slots__ = ("name", "count", "total", "minimum", "maximum")
+
+    def __init__(self, name: str) -> None:
+        """Create an empty histogram."""
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.minimum = float("inf")
+        self.maximum = float("-inf")
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        """Mean of the recorded observations (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram (or snapshot-equivalent) into this one."""
+        self.count += other.count
+        self.total += other.total
+        if other.minimum < self.minimum:
+            self.minimum = other.minimum
+        if other.maximum > self.maximum:
+            self.maximum = other.maximum
+
+    def as_dict(self) -> dict:
+        """Plain-dict form used by snapshots and the manifest."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.minimum if self.count else None,
+            "max": self.maximum if self.count else None,
+            "mean": self.mean,
+        }
+
+
+class MetricsRegistry:
+    """A live collection of metrics, events, and spans for one session.
+
+    Instrumented code records through :meth:`counter` / :meth:`gauge` /
+    :meth:`histogram` / :meth:`event` / :meth:`span`; orchestration code
+    reads the aggregate out via :meth:`snapshot` or renders it with
+    :meth:`summary_table`. Registries are cheap; the parallel executor
+    creates one per sweep cell and merges the snapshots deterministically
+    on join.
+    """
+
+    #: Class-level flag instrumentation checks before doing optional work.
+    enabled = True
+
+    def __init__(self) -> None:
+        """Create an empty registry."""
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self.events: list[dict] = []
+        self.spans: list[dict] = []
+        self._span_stack: list[dict] = []
+        self._context: dict = {}
+        self._run_counter = 0
+
+    # ----- metric accessors ---------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter registered under ``name``."""
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter(name)
+        return counter
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the gauge registered under ``name``."""
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            gauge = self._gauges[name] = Gauge(name)
+        return gauge
+
+    def histogram(self, name: str) -> Histogram:
+        """Get or create the histogram registered under ``name``."""
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = Histogram(name)
+        return histogram
+
+    # ----- events and context -------------------------------------------------
+
+    def event(self, kind: str, **payload) -> None:
+        """Append one structured event (a manifest line) tagged with the
+        active context; ``kind`` becomes the record's ``"type"`` field."""
+        self.events.append({"type": kind, **self._context, **payload})
+
+    @contextmanager
+    def context(self, **tags) -> Iterator[None]:
+        """Tag every event/span recorded inside the block with ``tags``.
+
+        Contexts nest: inner tags shadow outer ones for the duration of
+        the inner block and are restored on exit.
+        """
+        if not tags:
+            yield
+            return
+        previous = self._context
+        self._context = {**previous, **tags}
+        try:
+            yield
+        finally:
+            self._context = previous
+
+    def next_run_id(self) -> int:
+        """A registry-unique id for one algorithm run (tags its events)."""
+        self._run_counter += 1
+        return self._run_counter
+
+    # ----- spans ----------------------------------------------------------------
+
+    @contextmanager
+    def span(self, name: str, **meta) -> Iterator[dict]:
+        """Time a block and record it as a node of the session's trace tree.
+
+        Spans nest: a span opened inside another becomes its child. The
+        yielded dict is the live node — callers may add keys to its
+        ``"meta"`` entry before the block exits. Each parent keeps at most
+        :data:`MAX_SPAN_CHILDREN` children; overflow is dropped and counted
+        under ``telemetry.spans.dropped``.
+        """
+        node: dict = {"name": name, "duration_ms": 0.0, "children": []}
+        if meta or self._context:
+            node["meta"] = {**self._context, **meta}
+        siblings = self._span_stack[-1]["children"] if self._span_stack else self.spans
+        if len(siblings) < MAX_SPAN_CHILDREN:
+            siblings.append(node)
+        else:
+            self.counter("telemetry.spans.dropped").inc()
+        self._span_stack.append(node)
+        start = time.perf_counter()
+        try:
+            yield node
+        finally:
+            node["duration_ms"] = (time.perf_counter() - start) * 1000.0
+            self._span_stack.pop()
+
+    # ----- aggregation ----------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """A plain-dict, picklable copy of everything recorded so far.
+
+        The shape is the one the manifest stores: ``counters`` and
+        ``gauges`` map name -> value, ``histograms`` map name ->
+        :meth:`Histogram.as_dict`, ``events`` and ``spans`` are lists.
+        """
+        return {
+            "counters": {n: c.value for n, c in self._counters.items()},
+            "gauges": {n: g.value for n, g in self._gauges.items()},
+            "histograms": {n: h.as_dict() for n, h in self._histograms.items()},
+            "events": list(self.events),
+            "spans": list(self.spans),
+        }
+
+    def merge_snapshot(self, snap: dict) -> None:
+        """Fold a :meth:`snapshot` into this registry.
+
+        Counters add, gauges take the snapshot's value (last write in merge
+        order wins), histograms merge their four moments, events and spans
+        are appended in order. Merging is associative, so any grouping of
+        worker snapshots — as long as the caller fixes the merge *order* —
+        produces identical aggregates.
+        """
+        for name, value in snap.get("counters", {}).items():
+            self.counter(name).value += value
+        for name, value in snap.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, data in snap.get("histograms", {}).items():
+            histogram = self.histogram(name)
+            histogram.count += int(data["count"])
+            histogram.total += float(data["total"])
+            if data["min"] is not None and data["min"] < histogram.minimum:
+                histogram.minimum = data["min"]
+            if data["max"] is not None and data["max"] > histogram.maximum:
+                histogram.maximum = data["max"]
+        self.events.extend(snap.get("events", ()))
+        self.spans.extend(snap.get("spans", ()))
+
+    def summary_table(self) -> str:
+        """Render every metric as an aligned plain-text table, sorted by name."""
+        rows: list[tuple[str, str, str]] = []
+        for name in sorted(self._counters):
+            rows.append((name, "counter", f"{self._counters[name].value:g}"))
+        for name in sorted(self._gauges):
+            rows.append((name, "gauge", f"{self._gauges[name].value:g}"))
+        for name in sorted(self._histograms):
+            h = self._histograms[name]
+            rows.append(
+                (
+                    name,
+                    "histogram",
+                    f"count={h.count} mean={h.mean:.3f} "
+                    f"min={h.minimum if h.count else 0:.3f} "
+                    f"max={h.maximum if h.count else 0:.3f}",
+                )
+            )
+        if not rows:
+            return "metrics: (none recorded)"
+        width_name = max(len(r[0]) for r in rows)
+        width_type = max(len(r[1]) for r in rows)
+        lines = ["metrics summary", "-" * len("metrics summary")]
+        lines += [
+            f"{name:<{width_name}}  {kind:<{width_type}}  {value}"
+            for name, kind, value in rows
+        ]
+        return "\n".join(lines)
+
+
+class _NullCounter(Counter):
+    """Counter that discards increments (the disabled-telemetry path)."""
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Discard the increment."""
+
+
+class _NullGauge(Gauge):
+    """Gauge that discards writes (the disabled-telemetry path)."""
+
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        """Discard the value."""
+
+
+class _NullHistogram(Histogram):
+    """Histogram that discards observations (the disabled-telemetry path)."""
+
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        """Discard the observation."""
+
+
+class _NullSpan:
+    """A reusable, reentrant no-op context manager for disabled spans."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+
+class NullRegistry(MetricsRegistry):
+    """The disabled registry: every operation is a no-op on a cached singleton.
+
+    This is the default active registry, so instrumented hot paths pay one
+    global read plus (at most) a no-op method call per recording site when
+    telemetry is off.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        """Create the shared no-op instruments."""
+        super().__init__()
+        self._null_counter = _NullCounter("null")
+        self._null_gauge = _NullGauge("null")
+        self._null_histogram = _NullHistogram("null")
+        self._null_span = _NullSpan()
+
+    def counter(self, name: str) -> Counter:
+        """The shared no-op counter."""
+        return self._null_counter
+
+    def gauge(self, name: str) -> Gauge:
+        """The shared no-op gauge."""
+        return self._null_gauge
+
+    def histogram(self, name: str) -> Histogram:
+        """The shared no-op histogram."""
+        return self._null_histogram
+
+    def event(self, kind: str, **payload) -> None:
+        """Discard the event."""
+
+    def context(self, **tags) -> "_NullSpan":  # type: ignore[override]
+        """A no-op context block."""
+        return self._null_span
+
+    def span(self, name: str, **meta) -> "_NullSpan":  # type: ignore[override]
+        """A no-op span block."""
+        return self._null_span
+
+    def next_run_id(self) -> int:
+        """Run ids are meaningless when disabled; always 0."""
+        return 0
+
+
+#: The process-wide disabled registry (the default active registry).
+NULL_REGISTRY = NullRegistry()
+
+_active: MetricsRegistry = NULL_REGISTRY
+
+
+def get_registry() -> MetricsRegistry:
+    """The currently active registry (the shared null registry by default)."""
+    return _active
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Install ``registry`` as the active one; returns the previous registry."""
+    global _active
+    previous = _active
+    _active = registry
+    return previous
+
+
+def telemetry_enabled() -> bool:
+    """Whether the active registry records anything."""
+    return _active.enabled
+
+
+@contextmanager
+def telemetry_session(
+    registry: MetricsRegistry | None = None,
+) -> Iterator[MetricsRegistry]:
+    """Activate a (fresh or supplied) registry for the duration of a block.
+
+    The previously active registry is restored on exit, so sessions nest
+    and test isolation is automatic::
+
+        with telemetry_session() as registry:
+            run_fig2(scale)
+        print(registry.summary_table())
+    """
+    registry = registry if registry is not None else MetricsRegistry()
+    previous = set_registry(registry)
+    try:
+        yield registry
+    finally:
+        set_registry(previous)
+
+
+def span(name: str, **meta):
+    """Open a span on the active registry (module-level convenience)."""
+    return get_registry().span(name, **meta)

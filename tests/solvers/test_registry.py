@@ -169,3 +169,163 @@ class TestFallback:
         # near-optimal answer instead of raising.
         assert result.backend == "scipy-trust-constr"
         assert np.allclose(result.x, 0.0, atol=1e-2)
+
+
+class _CountingPrimary:
+    """A primary that fails its first ``fail_first`` solves, then succeeds."""
+
+    name = "primary"
+
+    def __init__(self, fail_first=10**9):
+        self.fail_first = fail_first
+        self.calls = 0
+
+    def solve(self, program, *, tol=1e-8):
+        self.calls += 1
+        if self.calls <= self.fail_first:
+            raise SolverError("broken")
+        return SolverResult(x=program.x0, objective=1.0, backend=self.name)
+
+
+class _CountingSecondary:
+    """A secondary that always succeeds and counts its calls."""
+
+    name = "secondary"
+
+    def __init__(self):
+        self.calls = 0
+
+    def solve(self, program, *, tol=1e-8):
+        self.calls += 1
+        return SolverResult(x=program.x0, objective=2.0, backend=self.name)
+
+
+class TestCircuitBreaker:
+    """Regression: a systematically broken primary used to be retried on
+    every solve; the breaker must skip it after N consecutive failures."""
+
+    @staticmethod
+    def _program():
+        return TestFallback._simple_program()
+
+    def test_opens_after_threshold_consecutive_failures(self):
+        primary, secondary = _CountingPrimary(), _CountingSecondary()
+        fallback = FallbackBackend(
+            primary, secondary, failure_threshold=3, cooldown=5
+        )
+        program = self._program()
+        for _ in range(3):
+            assert not fallback.circuit_open
+            fallback.solve(program)
+        assert fallback.circuit_open
+        assert primary.calls == 3
+
+    def test_open_circuit_skips_primary_entirely(self):
+        primary, secondary = _CountingPrimary(), _CountingSecondary()
+        fallback = FallbackBackend(
+            primary, secondary, failure_threshold=2, cooldown=4
+        )
+        program = self._program()
+        for _ in range(2):
+            fallback.solve(program)
+        for _ in range(4):
+            result = fallback.solve(program)
+            assert result.backend == "secondary"
+            assert result.primary_error == "primary: skipped (circuit open)"
+        assert primary.calls == 2  # never touched while open
+        assert secondary.calls == 6
+
+    def test_half_open_retries_primary_after_cooldown(self):
+        primary = _CountingPrimary(fail_first=2)  # heals after 2 failures
+        secondary = _CountingSecondary()
+        fallback = FallbackBackend(
+            primary, secondary, failure_threshold=2, cooldown=3
+        )
+        program = self._program()
+        for _ in range(2):  # open the circuit
+            fallback.solve(program)
+        for _ in range(3):  # burn the cooldown
+            fallback.solve(program)
+        result = fallback.solve(program)  # half-open: primary healed
+        assert result.backend == "primary"
+        assert result.primary_error is None
+        assert not fallback.circuit_open
+        assert primary.calls == 3
+
+    def test_success_resets_consecutive_failures(self):
+        primary = _CountingPrimary(fail_first=2)
+        secondary = _CountingSecondary()
+        fallback = FallbackBackend(
+            primary, secondary, failure_threshold=3, cooldown=5
+        )
+        program = self._program()
+        fallback.solve(program)  # failure 1
+        fallback.solve(program)  # failure 2
+        fallback.solve(program)  # success: streak resets
+        primary.fail_first = 10**9
+        primary.calls = 0
+        fallback.solve(program)  # fresh failure 1 — not the third in a row
+        assert not fallback.circuit_open
+
+    def test_reset_circuit_closes_and_forgets(self):
+        primary, secondary = _CountingPrimary(), _CountingSecondary()
+        fallback = FallbackBackend(
+            primary, secondary, failure_threshold=1, cooldown=9
+        )
+        fallback.solve(self._program())
+        assert fallback.circuit_open
+        fallback.reset_circuit()
+        assert not fallback.circuit_open
+        fallback.solve(self._program())
+        assert primary.calls == 2  # primary gets tried again immediately
+
+    def test_controller_reset_scopes_breaker_per_run(self):
+        # RegularizedController.reset() must close the shared auto
+        # backend's breaker at run start, so one pathological run cannot
+        # leak an open circuit into the next (and serial sweeps behave
+        # like fresh worker processes).
+        from repro.core.regularization import OnlineRegularizedAllocator
+        from repro.simulation.controllers import RegularizedController
+        from repro.simulation.observations import SystemDescription
+        from tests.conftest import make_tiny_instance
+
+        instance = make_tiny_instance()
+        backend = FallbackBackend(
+            _CountingPrimary(), _CountingSecondary(), failure_threshold=1, cooldown=9
+        )
+        backend.solve(self._program())
+        assert backend.circuit_open
+        controller = RegularizedController(
+            system=SystemDescription.from_instance(instance),
+            algorithm=OnlineRegularizedAllocator(backend=backend),
+        )
+        controller.reset()
+        assert not backend.circuit_open
+
+    def test_breaker_telemetry(self):
+        from repro.telemetry import telemetry_session
+
+        primary, secondary = _CountingPrimary(), _CountingSecondary()
+        fallback = FallbackBackend(
+            primary, secondary, failure_threshold=2, cooldown=2
+        )
+        program = self._program()
+        with telemetry_session() as registry:
+            for _ in range(4):  # 2 failures open it, 2 skips
+                fallback.solve(program)
+        assert registry.counter("solver.fallbacks").value == 2.0
+        assert registry.counter("solver.circuit_breaker.opened").value == 1.0
+        assert registry.counter("solver.circuit_breaker.skips").value == 2.0
+        kinds = [event["type"] for event in registry.events]
+        assert kinds.count("solver.fallback") == 2
+        assert kinds.count("solver.circuit_open") == 1
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            FallbackBackend(
+                _CountingPrimary(), _CountingSecondary(), failure_threshold=0
+            )
+        with pytest.raises(ValueError):
+            FallbackBackend(
+                _CountingPrimary(), _CountingSecondary(), cooldown=0
+            )

@@ -1,0 +1,108 @@
+"""Round-trip and corruption tests for the JSON-lines run manifest."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.telemetry import (
+    MANIFEST_FORMAT,
+    MetricsRegistry,
+    read_manifest,
+    write_manifest,
+)
+
+
+def _recorded_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("solver.iterations").inc(42)
+    registry.gauge("sweep.workers").set(4)
+    registry.histogram("slot.wall_ms").observe(1.5)
+    registry.histogram("slot.wall_ms").observe(2.5)
+    with registry.context(run=1, algorithm="online-approx"):
+        registry.event("slot", slot=0, op=1.0, sq=2.0, rc=0.0, mg=0.0, total=3.0)
+        registry.event("run_end", slots=1, totals={"total": 3.0})
+    with registry.span("run"):
+        with registry.span("simulate"):
+            pass
+    return registry
+
+
+class TestRoundTrip:
+    def test_everything_survives(self, tmp_path):
+        registry = _recorded_registry()
+        path = tmp_path / "run.jsonl"
+        config = {"command": "fig2", "users": 6}
+        written = write_manifest(path, registry, config=config)
+        assert written == path
+
+        record = read_manifest(path)
+        assert record.config == config
+        assert record.counters == {"solver.iterations": 42.0}
+        assert record.gauges == {"sweep.workers": 4.0}
+        assert record.histograms["slot.wall_ms"]["count"] == 2
+        assert record.histograms["slot.wall_ms"]["total"] == 4.0
+        assert record.events == registry.events
+        assert record.spans[0]["name"] == "run"
+        assert record.spans[0]["children"][0]["name"] == "simulate"
+        assert record.created_unix > 0
+
+    def test_event_helpers(self, tmp_path):
+        path = write_manifest(tmp_path / "run.jsonl", _recorded_registry())
+        record = read_manifest(path)
+        assert len(record.slot_events) == 1
+        assert record.slot_events[0]["algorithm"] == "online-approx"
+        assert len(record.run_ends) == 1
+        assert record.events_of_type("nope") == []
+
+    def test_empty_registry_round_trips(self, tmp_path):
+        path = write_manifest(tmp_path / "empty.jsonl", MetricsRegistry())
+        record = read_manifest(path)
+        assert record.events == []
+        assert record.counters == {}
+
+    def test_numpy_values_serialize(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.event(
+            "slot", slot=np.int64(3), total=np.float64(1.5), vec=np.arange(2)
+        )
+        record = read_manifest(write_manifest(tmp_path / "np.jsonl", registry))
+        event = record.slot_events[0]
+        assert event["slot"] == 3
+        assert event["total"] == 1.5
+        assert event["vec"] == [0, 1]
+
+    def test_file_is_one_json_object_per_line(self, tmp_path):
+        path = write_manifest(tmp_path / "run.jsonl", _recorded_registry())
+        lines = path.read_text().strip().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert records[0]["type"] == "manifest_start"
+        assert records[0]["format"] == MANIFEST_FORMAT
+        assert records[-1]["type"] == "manifest_end"
+        assert {"metrics", "spans"} <= {r["type"] for r in records}
+
+
+class TestCorruption:
+    def test_truncated_file_is_rejected(self, tmp_path):
+        path = write_manifest(tmp_path / "run.jsonl", _recorded_registry())
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-1]) + "\n")  # drop manifest_end
+        with pytest.raises(ValueError, match="truncated"):
+            read_manifest(path)
+
+    def test_event_count_mismatch_is_rejected(self, tmp_path):
+        path = write_manifest(tmp_path / "run.jsonl", _recorded_registry())
+        lines = path.read_text().splitlines()
+        del lines[1]  # drop one event line but keep manifest_end's count
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match="events"):
+            read_manifest(path)
+
+    def test_unknown_format_is_rejected(self, tmp_path):
+        path = write_manifest(tmp_path / "run.jsonl", MetricsRegistry())
+        text = path.read_text().replace(MANIFEST_FORMAT, "someone.else/9")
+        path.write_text(text)
+        with pytest.raises(ValueError, match="format"):
+            read_manifest(path)
