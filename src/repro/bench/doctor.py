@@ -1,0 +1,186 @@
+"""``repro-edge doctor``: a post-mortem report from a run manifest.
+
+Renders what went wrong (or right) in a recorded run, without re-running
+anything: the slowest slots, solver fallback and circuit-breaker firings,
+optimality-certificate violations and the worst duality gaps, competitive-
+ratio bound violations, and the interior-point convergence summary.
+
+Works on torn manifests too — a crashed or killed run leaves no
+``manifest_end`` line, so the doctor loads with
+``read_manifest(path, strict=False)`` and flags the truncation instead of
+refusing the patient.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..diagnostics import summarize_convergence
+from ..diagnostics.certificates import DEFAULT_GAP_TOL
+from ..telemetry import RunRecord, read_manifest
+
+#: How many worst offenders each section lists.
+TOP_N = 5
+
+
+def load_for_doctor(path: str | Path) -> RunRecord:
+    """Load a manifest for post-mortem, tolerating truncation."""
+    return read_manifest(path, strict=False)
+
+
+def _fmt_config(config: dict) -> str:
+    interesting = {
+        key: value
+        for key, value in config.items()
+        if value is not None and key not in ("func",)
+    }
+    if not interesting:
+        return "(none recorded)"
+    return ", ".join(f"{key}={value}" for key, value in sorted(interesting.items()))
+
+
+def _slowest_slots(record: RunRecord) -> list[str]:
+    slots = [e for e in record.slot_events if "wall_ms" in e]
+    if not slots:
+        return ["  no per-slot timings recorded"]
+    ranked = sorted(slots, key=lambda e: float(e["wall_ms"]), reverse=True)
+    lines = []
+    for event in ranked[:TOP_N]:
+        lines.append(
+            f"  slot {int(event.get('slot', -1)):4d}: "
+            f"{float(event['wall_ms']):8.2f} ms  "
+            f"(total cost {float(event.get('total', 0.0)):.3f})"
+        )
+    histogram = record.histograms.get("slot.wall_ms", {})
+    if histogram.get("count"):
+        lines.append(
+            "  slot wall time: "
+            f"p50={histogram.get('p50', 0.0) or 0.0:.2f} ms "
+            f"p95={histogram.get('p95', 0.0) or 0.0:.2f} ms "
+            f"p99={histogram.get('p99', 0.0) or 0.0:.2f} ms "
+            f"over {int(histogram['count'])} slots"
+        )
+    return lines
+
+
+def _solver_incidents(record: RunRecord) -> list[str]:
+    fallbacks = record.events_of_type("solver.fallback")
+    circuits = record.events_of_type("solver.circuit_open")
+    if not fallbacks and not circuits:
+        return ["  none - primary backend handled every solve"]
+    lines = [f"  fallbacks: {len(fallbacks)}, circuit-breaker openings: {len(circuits)}"]
+    for event in fallbacks[:TOP_N]:
+        lines.append(
+            f"  fallback from {event.get('primary', '?')}: "
+            f"{event.get('error', '?')}"
+        )
+    for event in circuits[:TOP_N]:
+        lines.append(
+            f"  circuit opened on {event.get('primary', '?')} after "
+            f"{event.get('failures', '?')} failures "
+            f"(cooldown {event.get('cooldown', '?')})"
+        )
+    return lines
+
+
+def _certificates(record: RunRecord, tol: float) -> list[str]:
+    certificates = record.events_of_type("diag.certificate")
+    if not certificates:
+        return ["  no certificates recorded (run without certify)"]
+    violations = [
+        e for e in certificates if float(e.get("relative_gap", 0.0)) > tol
+    ]
+    worst = sorted(
+        certificates,
+        key=lambda e: float(e.get("relative_gap", 0.0)),
+        reverse=True,
+    )
+    lines = [
+        f"  {len(certificates)} certificates, "
+        f"{len(violations)} above tol {tol:g}"
+    ]
+    for event in worst[:TOP_N]:
+        gap = float(event.get("relative_gap", 0.0))
+        marker = "VIOLATION" if gap > tol else "ok"
+        lines.append(
+            f"  slot {int(event.get('slot', -1)):4d}: rel gap {gap:.3e} "
+            f"(kkt {float(event.get('kkt_residual', 0.0)):.3e}, "
+            f"{event.get('source', '?')})  {marker}"
+        )
+    return lines
+
+
+def _ratio(record: RunRecord) -> list[str]:
+    traces = record.events_of_type("diag.ratio.trace")
+    violations = record.events_of_type("diag.ratio.violation")
+    if not traces and not violations:
+        return ["  no ratio trace recorded"]
+    lines = []
+    for event in traces:
+        lines.append(
+            f"  bound {float(event.get('bound', 0.0)):.3f}, "
+            f"final ratio {float(event.get('final_ratio', 0.0)):.3f}, "
+            f"worst prefix {float(event.get('worst_ratio', 0.0)):.3f}, "
+            f"certified: {event.get('certified')}"
+        )
+    for event in violations[:TOP_N]:
+        lines.append(
+            f"  VIOLATION at slot {int(event.get('slot', -1))}: "
+            f"ratio {float(event.get('ratio', 0.0)):.3f} "
+            f"> bound {float(event.get('bound', 0.0)):.3f}"
+        )
+    return lines
+
+
+def _convergence(record: RunRecord) -> list[str]:
+    summary = summarize_convergence(record)
+    if not summary.solves:
+        return ["  no interior-point traces recorded"]
+    lines = [
+        f"  {summary.solves} solves, "
+        f"{summary.total_iterations} Newton iterations "
+        f"(max {summary.max_iterations}, mean {summary.mean_iterations:.1f})",
+        f"  terminal barrier mu <= {summary.max_final_mu:.3e}, "
+        f"terminal decrement <= {summary.max_final_decrement:.3e}",
+    ]
+    if summary.non_decreasing_mu:
+        lines.append(
+            f"  WARNING: {summary.non_decreasing_mu} solve(s) with a "
+            "non-decreasing barrier schedule"
+        )
+    return lines
+
+
+def doctor_report(
+    source: str | Path | RunRecord, *, gap_tol: float = DEFAULT_GAP_TOL
+) -> str:
+    """Render the post-mortem report for a manifest (path or loaded record)."""
+    if isinstance(source, RunRecord):
+        record = source
+        origin = "(in-memory record)"
+    else:
+        record = load_for_doctor(source)
+        origin = str(source)
+    lines = [f"Run post-mortem - {origin}"]
+    if record.truncated:
+        lines.append(
+            "  ** TRUNCATED MANIFEST: the run died before flushing "
+            "manifest_end; metrics/spans sections may be missing **"
+        )
+    lines.append(f"  config: {_fmt_config(record.config)}")
+    lines.append(
+        f"  events: {len(record.events)} "
+        f"({len(record.slot_events)} slots, {len(record.run_ends)} runs)"
+    )
+    sections = (
+        ("Slowest slots", _slowest_slots(record)),
+        ("Solver incidents", _solver_incidents(record)),
+        ("Optimality certificates", _certificates(record, gap_tol)),
+        ("Competitive ratio vs Theorem 2", _ratio(record)),
+        ("Interior-point convergence", _convergence(record)),
+    )
+    for title, body in sections:
+        lines.append("")
+        lines.append(title)
+        lines.extend(body)
+    return "\n".join(lines)

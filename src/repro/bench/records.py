@@ -1,0 +1,146 @@
+"""Benchmark records: the JSON schema the regression harness speaks.
+
+A benchmark run produces one :class:`BenchRecord` — a named suite, the
+commit it ran at, the scale it ran with, and a flat set of metrics. Every
+metric is **lower-is-better** and carries a ``kind`` that tells the
+comparator how to gate it:
+
+* ``"time"`` — wall-clock seconds; noisy, gated by a relative threshold
+  (default 10%, looser in CI);
+* ``"count"`` — deterministic work measures (solver iterations, solves);
+  gated tightly, a regression here is behavioural, not noise;
+* ``"cost"`` — objective values, ratios, certificate gaps; gated at
+  solver-tolerance rtol, a regression here is a numerical bug.
+
+Records serialize to a single JSON object (``BENCH_<suite>.json`` by
+convention) so baselines can be committed and diffed; the ``format`` tag
+is bumped on breaking schema changes.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: Format tag written into every record (bump on breaking change).
+BENCH_FORMAT = "repro.bench/1"
+
+#: Metric kinds, in gating order (see module docstring).
+METRIC_KINDS = ("time", "count", "cost")
+
+
+@dataclass(frozen=True)
+class BenchMetric:
+    """One lower-is-better measurement.
+
+    Attributes:
+        value: the measurement.
+        unit: display unit (``"s"``, ``"iterations"``, ``"ratio"``, ...).
+        kind: gating class — ``"time"``, ``"count"``, or ``"cost"``.
+    """
+
+    value: float
+    unit: str
+    kind: str
+
+    def __post_init__(self) -> None:
+        if self.kind not in METRIC_KINDS:
+            raise ValueError(f"unknown metric kind {self.kind!r}")
+
+
+@dataclass(frozen=True)
+class BenchRecord:
+    """One benchmark suite run, ready to serialize or compare.
+
+    Attributes:
+        suite: suite name (``"smoke"``, ``"solver"``, ...).
+        metrics: metric name -> :class:`BenchMetric`.
+        config: the scale/settings the suite ran with.
+        diagnostics: suite-specific quality evidence (worst certificate
+            gap, ratio-bound status, convergence summary, ...) — recorded
+            for the post-mortem trail, not gated by the comparator.
+        git_commit: the commit the run was taken at (empty outside git).
+        created_unix: record creation time (0 when unknown).
+        format: schema tag, :data:`BENCH_FORMAT`.
+    """
+
+    suite: str
+    metrics: dict[str, BenchMetric] = field(default_factory=dict)
+    config: dict = field(default_factory=dict)
+    diagnostics: dict = field(default_factory=dict)
+    git_commit: str = ""
+    created_unix: float = 0.0
+    format: str = BENCH_FORMAT
+
+    def as_dict(self) -> dict:
+        """Plain-dict (JSON-ready) form."""
+        return {
+            "format": self.format,
+            "suite": self.suite,
+            "created_unix": self.created_unix,
+            "git_commit": self.git_commit,
+            "config": self.config,
+            "metrics": {
+                name: {
+                    "value": metric.value,
+                    "unit": metric.unit,
+                    "kind": metric.kind,
+                }
+                for name, metric in self.metrics.items()
+            },
+            "diagnostics": self.diagnostics,
+        }
+
+
+def current_git_commit(cwd: str | Path | None = None) -> str:
+    """The checked-out commit hash, or ``""`` when not in a git repo."""
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        return ""
+
+
+def write_record(path: str | Path, record: BenchRecord) -> Path:
+    """Serialize a record to ``path`` (pretty-printed, trailing newline)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(record.as_dict(), indent=2) + "\n")
+    return path
+
+
+def read_record(path: str | Path) -> BenchRecord:
+    """Load a record written by :func:`write_record`.
+
+    Raises ``ValueError`` on an unknown format tag or malformed metrics.
+    """
+    path = Path(path)
+    data = json.loads(path.read_text())
+    if data.get("format") != BENCH_FORMAT:
+        raise ValueError(
+            f"{path}: unknown bench record format {data.get('format')!r}"
+        )
+    metrics = {
+        name: BenchMetric(
+            value=float(entry["value"]),
+            unit=str(entry.get("unit", "")),
+            kind=str(entry.get("kind", "cost")),
+        )
+        for name, entry in data.get("metrics", {}).items()
+    }
+    return BenchRecord(
+        suite=str(data.get("suite", "")),
+        metrics=metrics,
+        config=data.get("config", {}),
+        diagnostics=data.get("diagnostics", {}),
+        git_commit=str(data.get("git_commit", "")),
+        created_unix=float(data.get("created_unix", 0.0)),
+    )

@@ -1,0 +1,294 @@
+"""Named benchmark suites over the repo's experiment drivers.
+
+Each suite wraps existing benchmark workloads (the ``benchmarks/`` pytest
+suite's fig2/fig5/hessian/parallel measurements) into a plain function
+that runs at an :class:`~repro.experiments.settings.ExperimentScale` and
+returns a :class:`~repro.bench.records.BenchRecord`. Suites run inside
+their own telemetry session, so solver traces and fallback counters land
+in the record's ``diagnostics`` block without touching any caller state.
+
+Wall-clock metrics (``kind="time"``) vary with hardware; the iteration
+and cost metrics (``kind="count"``/``"cost"``) are deterministic at a
+fixed scale, which is what lets CI gate on them with tight tolerances
+while treating time as advisory (see :mod:`repro.bench.compare`).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from ..core.costs import total_cost
+from ..core.regularization import OnlineRegularizedAllocator
+from ..diagnostics import (
+    competitive_ratio_trace,
+    record_ratio_trace,
+    summarize_convergence,
+    worst_certificate,
+)
+from ..experiments.fig2 import fig2_scenario, run_fig2
+from ..experiments.fig5 import run_fig5
+from ..experiments.runner import run_ratio_sweep
+from ..experiments.settings import ExperimentScale, all_paper_algorithms
+from ..solvers.registry import get_backend
+from ..telemetry import MetricsRegistry, telemetry_session
+from .records import BenchMetric, BenchRecord, current_git_commit
+
+#: Hour cases used by the sweep-based suites (a subset keeps them fast).
+SUITE_HOURS = ("3pm", "4pm")
+
+
+def _time_metric(seconds: float) -> BenchMetric:
+    return BenchMetric(value=seconds, unit="s", kind="time")
+
+
+def _count_metric(value: float, unit: str = "iterations") -> BenchMetric:
+    return BenchMetric(value=float(value), unit=unit, kind="count")
+
+
+def _cost_metric(value: float, unit: str = "cost") -> BenchMetric:
+    return BenchMetric(value=float(value), unit=unit, kind="cost")
+
+
+def _registry_diagnostics(registry: MetricsRegistry) -> dict:
+    """Solver-health summary harvested from a suite's telemetry session."""
+    convergence = summarize_convergence(registry)
+    return {
+        "convergence": convergence.as_dict(),
+        "fallbacks": registry.counter("solver.fallbacks").value,
+        "circuit_breaker_opened": registry.counter(
+            "solver.circuit_breaker.opened"
+        ).value,
+    }
+
+
+def _suite_smoke(scale: ExperimentScale, registry: MetricsRegistry) -> dict:
+    """One certified online run on the fig2 scenario.
+
+    The fastest end-to-end measurement that still exercises the whole
+    spine: scenario build, streaming controller, IPM solves, certificate
+    and ratio diagnostics, cost accounting.
+    """
+    instance = fig2_scenario(scale).build(seed=scale.seed)
+    algorithm = OnlineRegularizedAllocator(
+        eps1=scale.eps, eps2=scale.eps, certify=True
+    )
+    start = time.perf_counter()
+    schedule = algorithm.run(instance)
+    wall_s = time.perf_counter() - start
+    cost = total_cost(schedule, instance)
+    trace = competitive_ratio_trace(
+        instance,
+        schedule,
+        eps1=scale.eps,
+        eps2=scale.eps,
+        every=max(1, scale.num_slots // 4),
+    )
+    record_ratio_trace(trace, registry)
+    worst = worst_certificate(algorithm.last_certificates)
+    metrics = {
+        "online_run_wall_s": _time_metric(wall_s),
+        "solver_iterations": _count_metric(algorithm.total_solver_iterations),
+        "solves": _count_metric(len(algorithm.last_solves), unit="solves"),
+        "online_cost": _cost_metric(cost),
+        "final_ratio": _cost_metric(trace.final_ratio, unit="ratio"),
+        "worst_relative_gap": _cost_metric(
+            worst.relative_gap if worst else 0.0, unit="gap"
+        ),
+    }
+    diagnostics = {
+        "ratio_bound": trace.bound,
+        "ratio_certified": trace.certified,
+        "worst_prefix_ratio": trace.worst_ratio,
+        "certificates_ok": all(c.ok() for c in algorithm.last_certificates),
+        "worst_kkt_residual": max(
+            (c.kkt_residual for c in algorithm.last_certificates), default=0.0
+        ),
+    }
+    return {"metrics": metrics, "diagnostics": diagnostics}
+
+
+def _suite_solver(scale: ExperimentScale, registry: MetricsRegistry) -> dict:
+    """Solver-focused measurements: Hessian assembly + warm-start value.
+
+    Wraps ``benchmarks/bench_hessian.py`` (sparse assembly wall time at a
+    fixed operating point) and the warm-vs-cold leg of
+    ``benchmarks/bench_parallel.py`` (iteration reduction on the fig2
+    instance, identical trajectory cost).
+    """
+    import numpy as np
+
+    from ..core.subproblem import RegularizedSubproblem
+    from ..simulation.scenario import Scenario
+
+    # Hessian assembly at (at least) double the suite's user count.
+    num_users = max(2 * scale.num_users, 48)
+    instance = Scenario(num_users=num_users, num_slots=2).build(seed=scale.seed)
+    rng = np.random.default_rng(scale.seed)
+    x_prev = rng.uniform(0.0, 1.0, size=(instance.num_clouds, num_users))
+    x_prev *= np.asarray(instance.workloads)[None, :] / instance.num_clouds
+    subproblem = RegularizedSubproblem.from_instance(
+        instance, slot=1, x_prev=x_prev, eps1=scale.eps, eps2=scale.eps
+    )
+    flat = x_prev.ravel() + 0.1
+    start = time.perf_counter()
+    hessian = subproblem.hessian(flat)
+    hessian_s = time.perf_counter() - start
+
+    # Warm vs cold interior-point solves on the fig2 instance.
+    fig2_instance = fig2_scenario(scale).build(seed=scale.seed)
+    backend = get_backend("ipm")
+    runs = {}
+    for label, warm in (("cold", False), ("warm", True)):
+        algorithm = OnlineRegularizedAllocator(
+            eps1=scale.eps, eps2=scale.eps, backend=backend, warm_start=warm
+        )
+        start = time.perf_counter()
+        schedule = algorithm.run(fig2_instance)
+        elapsed = time.perf_counter() - start
+        runs[label] = {
+            "cost": total_cost(schedule, fig2_instance),
+            "iterations": algorithm.total_solver_iterations,
+            "wall_s": elapsed,
+        }
+    metrics = {
+        "hessian_assembly_s": _time_metric(hessian_s),
+        "hessian_nnz": _count_metric(hessian.nnz, unit="nonzeros"),
+        "cold_iterations": _count_metric(runs["cold"]["iterations"]),
+        "warm_iterations": _count_metric(runs["warm"]["iterations"]),
+        "warm_run_wall_s": _time_metric(runs["warm"]["wall_s"]),
+        "online_cost": _cost_metric(runs["warm"]["cost"]),
+    }
+    diagnostics = {
+        "hessian_users": num_users,
+        "warm_cost_matches_cold": bool(
+            abs(runs["warm"]["cost"] - runs["cold"]["cost"])
+            <= 1e-6 * max(1.0, abs(runs["cold"]["cost"]))
+        ),
+        "iteration_reduction_pct": 100.0
+        * (1.0 - runs["warm"]["iterations"] / max(1, runs["cold"]["iterations"])),
+    }
+    return {"metrics": metrics, "diagnostics": diagnostics}
+
+
+def _suite_fig2(scale: ExperimentScale, registry: MetricsRegistry) -> dict:
+    """The Figure 2 ratio sweep (subset of hours) as a benchmark."""
+    start = time.perf_counter()
+    points = run_fig2(scale, hours=SUITE_HOURS)
+    wall_s = time.perf_counter() - start
+    approx = [p.mean_ratio("online-approx") for p in points]
+    greedy = [p.mean_ratio("online-greedy") for p in points]
+    metrics = {
+        "sweep_wall_s": _time_metric(wall_s),
+        "mean_ratio_online_approx": _cost_metric(
+            sum(approx) / len(approx), unit="ratio"
+        ),
+        "mean_ratio_online_greedy": _cost_metric(
+            sum(greedy) / len(greedy), unit="ratio"
+        ),
+        "worst_ratio_online_approx": _cost_metric(max(approx), unit="ratio"),
+    }
+    return {"metrics": metrics, "diagnostics": {"hours": list(SUITE_HOURS)}}
+
+
+def _suite_fig5(scale: ExperimentScale, registry: MetricsRegistry) -> dict:
+    """The Figure 5 random-walk sweep (two user counts) as a benchmark."""
+    user_counts = (max(scale.num_users // 2, 4), scale.num_users)
+    start = time.perf_counter()
+    points = run_fig5(scale, user_counts=user_counts)
+    wall_s = time.perf_counter() - start
+    approx = [p.mean_ratio("online-approx") for p in points]
+    metrics = {
+        "sweep_wall_s": _time_metric(wall_s),
+        "mean_ratio_online_approx": _cost_metric(
+            sum(approx) / len(approx), unit="ratio"
+        ),
+        "worst_ratio_online_approx": _cost_metric(max(approx), unit="ratio"),
+    }
+    return {
+        "metrics": metrics,
+        "diagnostics": {"user_counts": list(user_counts)},
+    }
+
+
+def _suite_parallel(scale: ExperimentScale, registry: MetricsRegistry) -> dict:
+    """Serial vs process-pool sweep execution (fig2-style grid).
+
+    The determinism invariant (identical ratios at any worker count) is
+    recorded in ``diagnostics`` — a ``False`` there is a correctness bug,
+    not a performance regression.
+    """
+    scenario = fig2_scenario(scale)
+    algorithms = all_paper_algorithms(scale.eps)
+    cases = [
+        (hour, scenario, algorithms, scale.seed + 1000 * case)
+        for case, hour in enumerate(SUITE_HOURS)
+    ]
+    start = time.perf_counter()
+    serial = run_ratio_sweep(cases, repetitions=scale.repetitions, workers=1)
+    serial_s = time.perf_counter() - start
+    start = time.perf_counter()
+    pooled = run_ratio_sweep(cases, repetitions=scale.repetitions, workers=4)
+    pooled_s = time.perf_counter() - start
+    deterministic = all(
+        ser.label == par.label and ser.stats == par.stats
+        for ser, par in zip(serial, pooled)
+    )
+    metrics = {
+        "serial_wall_s": _time_metric(serial_s),
+        "pooled_wall_s": _time_metric(pooled_s),
+        "grid_cells": _count_metric(
+            len(cases) * scale.repetitions, unit="cells"
+        ),
+    }
+    diagnostics = {
+        "speedup": serial_s / pooled_s if pooled_s > 0 else 0.0,
+        "pool_matches_serial": deterministic,
+    }
+    return {"metrics": metrics, "diagnostics": diagnostics}
+
+
+#: The suite registry: name -> implementation.
+SUITES: dict[str, Callable[[ExperimentScale, MetricsRegistry], dict]] = {
+    "smoke": _suite_smoke,
+    "solver": _suite_solver,
+    "fig2": _suite_fig2,
+    "fig5": _suite_fig5,
+    "parallel": _suite_parallel,
+}
+
+
+def run_suite(
+    name: str,
+    scale: ExperimentScale | None = None,
+    *,
+    timestamp: float | None = None,
+) -> BenchRecord:
+    """Run one named suite and return its :class:`BenchRecord`.
+
+    The suite executes inside a fresh telemetry session (nested sessions
+    restore the caller's registry on exit), and the session's solver-health
+    summary — convergence statistics, fallback and circuit-breaker counts —
+    is folded into the record's diagnostics.
+    """
+    if name not in SUITES:
+        known = ", ".join(sorted(SUITES))
+        raise ValueError(f"unknown bench suite {name!r} (known: {known})")
+    scale = scale or ExperimentScale()
+    with telemetry_session() as registry:
+        outcome = SUITES[name](scale, registry)
+        solver_health = _registry_diagnostics(registry)
+    return BenchRecord(
+        suite=name,
+        metrics=outcome["metrics"],
+        config={
+            "num_users": scale.num_users,
+            "num_slots": scale.num_slots,
+            "repetitions": scale.repetitions,
+            "seed": scale.seed,
+            "eps": scale.eps,
+        },
+        diagnostics={**outcome["diagnostics"], **solver_health},
+        git_commit=current_git_commit(),
+        created_unix=timestamp if timestamp is not None else time.time(),
+    )

@@ -10,10 +10,13 @@ Examples::
     repro-edge fig2 --telemetry run.jsonl --metrics-summary
     repro-edge threshold            # adversarial oscillating-price sweep
     repro-edge lookahead            # perfect-prediction ablation
-    repro-edge certify              # dual certificate of eq. 12
+    repro-edge certify              # eq. 12 chain + per-slot certificates
+    repro-edge bench --suite smoke --compare BENCH_smoke.json
+    repro-edge doctor run.jsonl     # post-mortem of a recorded run
 
 Every command prints a paper-style ASCII table to stdout; see
-EXPERIMENTS.md for how the output maps onto the paper's figures.
+EXPERIMENTS.md for how the output maps onto the paper's figures and
+docs/DIAGNOSTICS.md for the bench/doctor workflow.
 """
 
 from __future__ import annotations
@@ -187,13 +190,20 @@ def _cmd_certify(args: argparse.Namespace) -> str:
     # Deferred import: pulls in the LP machinery.
     from .core.duality import duality_certificate
     from .core.regularization import OnlineRegularizedAllocator
+    from .diagnostics import (
+        competitive_ratio_trace,
+        record_ratio_trace,
+        worst_certificate,
+    )
     from .simulation.scenario import Scenario
 
     scale = _scale_from_args(args)
     instance = Scenario(
         num_users=scale.num_users, num_slots=scale.num_slots
     ).build(seed=scale.seed)
-    algorithm = OnlineRegularizedAllocator(eps1=scale.eps, eps2=scale.eps)
+    algorithm = OnlineRegularizedAllocator(
+        eps1=scale.eps, eps2=scale.eps, certify=True
+    )
     schedule = algorithm.run(instance)
     certificate = duality_certificate(instance, schedule)
     lines = [
@@ -206,7 +216,70 @@ def _cmd_certify(args: argparse.Namespace) -> str:
         "  (upper bound on the empirical competitive ratio,"
         " no offline solve needed)",
     ]
+    certificates = algorithm.last_certificates
+    worst = worst_certificate(certificates)
+    if worst is not None:
+        lines += [
+            "",
+            "Per-slot P2 optimality certificates (KKT + duality-gap bound)",
+            f"  slots certified   : {len(certificates)}",
+            "  worst KKT residual: "
+            f"{max(c.kkt_residual for c in certificates):.3e}",
+            f"  worst relative gap: {worst.relative_gap:.3e}"
+            f"  (slot {worst.slot}, multipliers: {worst.source})",
+            f"  all within 1e-6   : {all(c.ok() for c in certificates)}",
+        ]
+    trace = competitive_ratio_trace(
+        instance, schedule, eps1=scale.eps, eps2=scale.eps
+    )
+    record_ratio_trace(trace)
+    lines += [
+        "",
+        "Empirical competitive ratio vs Theorem 2 (per-prefix)",
+        f"  bound 1+gamma|I|  : {trace.bound:12.3f}",
+        f"  final ratio       : {trace.final_ratio:12.3f}",
+        f"  worst prefix ratio: {trace.worst_ratio:12.3f}",
+        f"  violating prefixes: {len(trace.violations()):12d}",
+        f"  certified         : {trace.certified}",
+    ]
     return "\n".join(lines)
+
+
+def _cmd_bench(args: argparse.Namespace) -> str:
+    # Deferred import: pulls in the whole experiment stack.
+    from .bench import compare_records, read_record, run_suite, write_record
+
+    scale = _scale_from_args(args)
+    record = run_suite(args.suite, scale)
+    out = args.out or f"BENCH_{args.suite}.json"
+    write_record(out, record)
+    lines = [
+        f"Benchmark suite '{args.suite}' "
+        f"(users={scale.num_users}, slots={scale.num_slots}, "
+        f"repetitions={scale.repetitions}) -> {out}",
+    ]
+    for name, metric in record.metrics.items():
+        lines.append(f"  {name:28s} {metric.value:12.6g} {metric.unit}")
+    if args.compare is not None:
+        baseline = read_record(args.compare)
+        report = compare_records(
+            baseline,
+            record,
+            time_threshold=args.threshold / 100.0,
+            gate_time=args.gate_time,
+        )
+        lines += ["", report.render()]
+        if not report.ok:
+            # Nonzero exit is the CI gate; the report still goes to stdout.
+            print("\n".join(lines))
+            raise SystemExit(1)
+    return "\n".join(lines)
+
+
+def _cmd_doctor(args: argparse.Namespace) -> str:
+    from .bench import doctor_report
+
+    return doctor_report(args.manifest)
 
 
 def _cmd_quickstart(args: argparse.Namespace) -> str:
@@ -267,6 +340,47 @@ def build_parser() -> argparse.ArgumentParser:
         help="0 = the paper's uniform walk; >0 makes users dwell several slots",
     )
     p5.set_defaults(func=_cmd_fig5)
+
+    bench = sub.add_parser(
+        "bench", help="run a named benchmark suite, write BENCH_<suite>.json"
+    )
+    _add_scale_arguments(bench)
+    bench.add_argument(
+        "--suite",
+        default="smoke",
+        help="suite name: smoke, solver, fig2, fig5, parallel (default: smoke)",
+    )
+    bench.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="output record path (default: BENCH_<suite>.json)",
+    )
+    bench.add_argument(
+        "--compare",
+        default=None,
+        metavar="BASELINE",
+        help="compare against a baseline record; exit nonzero on regression",
+    )
+    bench.add_argument(
+        "--threshold",
+        type=float,
+        default=10.0,
+        metavar="PCT",
+        help="wall-time regression threshold in percent (default: 10)",
+    )
+    bench.add_argument(
+        "--gate-time",
+        action="store_true",
+        help="also fail the gate on wall-time regressions (default: advisory)",
+    )
+    bench.set_defaults(func=_cmd_bench)
+
+    doctor = sub.add_parser(
+        "doctor", help="post-mortem report from a telemetry run manifest"
+    )
+    doctor.add_argument("manifest", help="path to a .jsonl run manifest")
+    doctor.set_defaults(func=_cmd_doctor)
     return parser
 
 

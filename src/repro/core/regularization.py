@@ -70,6 +70,12 @@ class OnlineRegularizedAllocator:
         warm_start: start each solve from the previous slot's solution
             (projected into the interior) instead of the canonical interior
             point; identical optima, usually fewer iterations.
+        certify: compute a per-slot optimality certificate (KKT residual +
+            duality-gap bound, see :mod:`repro.diagnostics.certificates`)
+            after every solve, record it into the active telemetry
+            registry, and keep it on ``last_certificates``. Pure
+            observation — decisions and costs are bit-identical either
+            way.
     """
 
     eps1: float = DEFAULT_EPSILON
@@ -77,9 +83,13 @@ class OnlineRegularizedAllocator:
     backend: ConvexBackend | None = None
     tol: float = 1e-8
     warm_start: bool = True
+    certify: bool = False
     name: str = "online-approx"
     #: Per-slot solver results from the most recent run (diagnostics).
     last_solves: list[SolverResult] = field(default_factory=list, repr=False)
+    #: Per-slot optimality certificates of the most recent run (populated
+    #: only when ``certify`` is set).
+    last_certificates: list = field(default_factory=list, repr=False)
 
     def __post_init__(self) -> None:
         if self.eps1 <= 0 or self.eps2 <= 0:
@@ -118,6 +128,20 @@ class OnlineRegularizedAllocator:
         x0 = self._warm_start_point(subproblem, x_prev) if warm else None
         program = subproblem.build_program(x0=x0)
         result = self._resolve_backend().solve(program, tol=self.tol)
+        if self.certify:
+            # Certify at the solver's own point (pre-repair) with its own
+            # multipliers. Deferred import: core must not depend on the
+            # diagnostics layer at module scope.
+            from ..diagnostics.certificates import (
+                certify_solution,
+                record_certificate,
+            )
+
+            certificate = certify_solution(
+                subproblem, result, slot=len(self.last_certificates)
+            )
+            self.last_certificates.append(certificate)
+            record_certificate(certificate)
         x_opt = result.x.reshape(instance.num_clouds, instance.num_users)
         x_opt = _repair_feasibility(x_opt, instance, slot)
         return x_opt, result

@@ -1,0 +1,67 @@
+"""Algorithm-quality observability: optimality certificates, competitive-
+ratio tracking, and solver convergence summaries.
+
+Where :mod:`repro.telemetry` observes *how the code ran* (wall time,
+counters, traces), this package observes *how good the answers were*:
+
+* :mod:`repro.diagnostics.certificates` — per-slot KKT residuals and a
+  rigorous duality-gap bound for every P2 solve, from the backends' own
+  multipliers (with a finite-difference cross-check for the SciPy path);
+* :mod:`repro.diagnostics.ratio` — the running empirical competitive
+  ratio against Theorem 2's certified ``1 + gamma |I|`` bound, flagging
+  any prefix that violates it;
+* :mod:`repro.diagnostics.convergence` — summaries of the interior-point
+  solver's per-iteration residual series (recorded into manifests as
+  ``solver.ipm.trace`` events).
+
+Everything observes; nothing feeds back. Runs are bit-identical with
+diagnostics on or off, pinned by ``tests/diagnostics/``.
+"""
+
+from .certificates import (
+    DEFAULT_GAP_TOL,
+    CertificateHook,
+    SlotCertificate,
+    certify_schedule,
+    certify_solution,
+    duality_gap_bound,
+    finite_difference_residual,
+    lp_multipliers,
+    record_certificate,
+    recover_multipliers,
+    worst_certificate,
+)
+from .convergence import (
+    ConvergenceSummary,
+    iteration_series,
+    summarize_convergence,
+    trace_events,
+)
+from .ratio import (
+    RatioPoint,
+    RatioTrace,
+    competitive_ratio_trace,
+    record_ratio_trace,
+)
+
+__all__ = [
+    "DEFAULT_GAP_TOL",
+    "CertificateHook",
+    "SlotCertificate",
+    "certify_schedule",
+    "certify_solution",
+    "duality_gap_bound",
+    "finite_difference_residual",
+    "lp_multipliers",
+    "record_certificate",
+    "recover_multipliers",
+    "worst_certificate",
+    "ConvergenceSummary",
+    "iteration_series",
+    "summarize_convergence",
+    "trace_events",
+    "RatioPoint",
+    "RatioTrace",
+    "competitive_ratio_trace",
+    "record_ratio_trace",
+]

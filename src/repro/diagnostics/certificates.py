@@ -1,0 +1,462 @@
+"""Per-slot optimality certificates for the P2 subproblem.
+
+The online algorithm's guarantee (Theorem 2) assumes every per-slot
+subproblem P2 is solved *optimally*. This module measures how true that is
+at runtime, turning each solve into a :class:`SlotCertificate` carrying
+
+* the **KKT stationarity residual** (paper eq. 15a) — how far the reduced
+  gradient ``g = grad f - theta + rho`` is from satisfying dual
+  feasibility and complementarity (see
+  :meth:`repro.core.subproblem.RegularizedSubproblem.kkt_stationarity_residual`);
+* a **rigorous duality-gap bound**: for any multipliers ``theta, rho >= 0``
+  and any feasible ``x``, convexity of f gives, for every feasible ``y``
+  (which satisfies ``0 <= y_ij`` and ``sum_j y_ij <= C_i``),
+
+      f(y) >= f(x) + grad(x)·(y - x)
+           >= f(x) - [ g·x + theta·s_demand + rho·s_capacity
+                       + sum_i C_i max_j (-g_ij)+ ]
+
+  where ``s_demand = sum_i x_ij - lambda_j`` and ``s_capacity = C_i -
+  sum_j x_ij`` are the constraint slacks at ``x`` (the last term bounds
+  ``sum_j (-g_ij) y_ij`` per cloud, since cloud i's row of y sums to at
+  most ``C_i``). The bracket is therefore a certified upper bound on
+  ``f(x) - min P2``. At an interior-point optimum every term is of order
+  mu, so the bound collapses to ``~ mu * m`` — the solver's own
+  termination target.
+
+Multipliers come from three sources, cheapest first, and the certificate
+keeps whichever bound is tightest:
+
+1. ``"solver"`` — the backend's own duals (the structured IPM and the
+   SciPy backend both report the demand/capacity families, see
+   ``SolverResult.duals``); barrier duals at near-zero slacks carry
+   elementwise noise that the bound amplifies by the capacities;
+2. ``"recovered"`` — a least-squares fit of the stationarity system over
+   the support, the same construction Lemma 2's dual argument uses;
+3. ``"lp"`` — the exact duals of the *linearized* subproblem
+   ``min grad(x)·y`` over the feasible set (one small HiGHS solve, only
+   run when the cheap sources stay above the target tolerance). With
+   these multipliers the closed-form bound equals the Frank-Wolfe gap
+   ``grad·x - min_y grad·y``, the tightest certificate one gradient can
+   buy.
+
+Solutions produced without trustworthy analytic gradients (the SciPy
+path) can additionally be checked against a finite-difference gradient
+(:func:`finite_difference_residual`).
+
+Everything here *observes* — no certificate feeds back into any
+computation, so runs are bit-identical with certification on or off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..core.allocation import AllocationSchedule
+from ..core.problem import ProblemInstance
+from ..core.subproblem import RegularizedSubproblem
+from ..simulation.hooks import SlotHook
+from ..solvers.base import SolverResult
+from ..telemetry import get_registry
+
+#: Default acceptance threshold on the *relative* duality gap; the IPM
+#: terminates at gap ~ tol * scale with tol = 1e-8, so 1e-6 gives two
+#: orders of headroom while still catching genuinely unconverged solves.
+DEFAULT_GAP_TOL = 1e-6
+
+
+@dataclass(frozen=True)
+class SlotCertificate:
+    """Optimality evidence for one P2 solve.
+
+    Attributes:
+        slot: trajectory position of the solve (0-based).
+        objective: P2 objective value at the certified point.
+        kkt_residual: stationarity/complementarity residual (eq. 15a form).
+        duality_gap: certified upper bound on ``f(x) - min P2`` (absolute).
+        relative_gap: ``duality_gap / max(1, |objective|)``.
+        fd_residual: stationarity residual recomputed with a central
+            finite-difference gradient (``None`` when not requested) — an
+            analytic-gradient-independent cross-check.
+        backend: solver backend that produced the point.
+        source: where the multipliers came from — ``"solver"`` (backend
+            duals), ``"recovered"`` (least-squares fit from the primal),
+            or ``"lp"`` (exact duals of the linearized subproblem).
+    """
+
+    slot: int
+    objective: float
+    kkt_residual: float
+    duality_gap: float
+    relative_gap: float
+    fd_residual: float | None = None
+    backend: str = ""
+    source: str = "solver"
+
+    def ok(self, tol: float = DEFAULT_GAP_TOL) -> bool:
+        """Whether the relative duality gap is within ``tol``."""
+        return self.relative_gap <= tol
+
+
+def recover_multipliers(
+    subproblem: RegularizedSubproblem,
+    flat: np.ndarray,
+    *,
+    support_tol: float = 1e-6,
+    binding_tol: float = 1e-5,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Least-squares KKT multipliers (theta, rho) for one solved subproblem.
+
+    Fits the stationarity system ``grad_ij = theta_j - rho_i`` over the
+    support ``x_ij > support_tol``, pinning ``rho_i = 0`` at clouds whose
+    capacity is slack — the single-slot form of
+    :func:`repro.core.duality.recover_slot_duals`. Results are clipped to
+    the dual cone (``>= 0``).
+    """
+    num_clouds, num_users = subproblem.num_clouds, subproblem.num_users
+    x = np.asarray(flat, dtype=float).reshape(num_clouds, num_users)
+    grad = subproblem.gradient(flat).reshape(num_clouds, num_users)
+    capacities = np.asarray(subproblem.capacities, dtype=float)
+    binding = capacities - x.sum(axis=1) <= binding_tol
+    rows, rhs = [], []
+    for i, j in zip(*np.nonzero(x > support_tol)):
+        row = np.zeros(num_users + num_clouds)
+        row[j] = 1.0
+        if binding[i]:
+            row[num_users + i] = -1.0
+        rows.append(row)
+        rhs.append(grad[i, j])
+    theta = np.zeros(num_users)
+    rho = np.zeros(num_clouds)
+    if rows:
+        solution, *_ = np.linalg.lstsq(np.array(rows), np.array(rhs), rcond=None)
+        theta = np.maximum(solution[:num_users], 0.0)
+        rho = np.maximum(np.where(binding, solution[num_users:], 0.0), 0.0)
+    return theta, rho
+
+
+def lp_multipliers(
+    subproblem: RegularizedSubproblem, flat: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Exact duals of the linearized subproblem ``min grad(x)·y``.
+
+    Solves the transportation-style LP over the feasible set (one HiGHS
+    call at I x J size) and reads the constraint marginals back as
+    ``(theta, rho)``. Plugged into :func:`duality_gap_bound`, these
+    multipliers realize the Frank-Wolfe gap ``grad·x - min_y grad·y`` —
+    the tightest bound obtainable from one gradient evaluation — at the
+    price of the LP solve, so :func:`certify_solution` only escalates to
+    them when the cheaper multiplier sources stay loose.
+    """
+    from ..solvers.linear import LinearProgramBuilder
+
+    num_clouds, num_users = subproblem.num_clouds, subproblem.num_users
+    grad = subproblem.gradient(np.asarray(flat, dtype=float))
+    builder = LinearProgramBuilder()
+    indices = builder.add_block("y", num_clouds, num_users).indices()
+    builder.set_cost(indices, grad)
+    builder.add_le_rows(
+        indices, 1.0, np.asarray(subproblem.capacities, dtype=float)
+    )
+    builder.add_ge_rows(
+        indices.T, 1.0, np.asarray(subproblem.workloads, dtype=float)
+    )
+    result = builder.solve()
+    marginals = result.duals.get("inequality")
+    if marginals is None:  # ancient scipy without marginals: no candidate
+        return np.zeros(num_users), np.zeros(num_clouds)
+    # Row order: capacity (<=) rows first, then the negated demand rows;
+    # HiGHS marginals are <= 0 for both, so negate into the dual cone.
+    rho = np.maximum(-marginals[:num_clouds], 0.0)
+    theta = np.maximum(-marginals[num_clouds:], 0.0)
+    return theta, rho
+
+
+def duality_gap_bound(
+    subproblem: RegularizedSubproblem,
+    flat: np.ndarray,
+    theta: np.ndarray,
+    rho: np.ndarray,
+) -> float:
+    """Certified upper bound on ``f(x) - min P2`` (see module docstring).
+
+    Valid for any ``theta, rho >= 0`` and any (near-)feasible ``x``; tiny
+    constraint violations at solver tolerance only perturb the bound at
+    the same order. Never negative.
+    """
+    num_clouds, num_users = subproblem.num_clouds, subproblem.num_users
+    x = np.asarray(flat, dtype=float).reshape(num_clouds, num_users)
+    grad = subproblem.gradient(flat).reshape(num_clouds, num_users)
+    theta = np.asarray(theta, dtype=float)
+    rho = np.asarray(rho, dtype=float)
+    g = grad - theta[None, :] + rho[:, None]
+    workloads = np.asarray(subproblem.workloads, dtype=float)
+    capacities = np.asarray(subproblem.capacities, dtype=float)
+    slack_demand = np.maximum(x.sum(axis=0) - workloads, 0.0)
+    slack_capacity = np.maximum(capacities - x.sum(axis=1), 0.0)
+    gap = float((g * x).sum())
+    gap += float(theta @ slack_demand) + float(rho @ slack_capacity)
+    # Per cloud, any feasible y spends at most C_i across its row, so the
+    # worst negative reduced gradient of the row bounds the whole row.
+    gap += float(capacities @ np.maximum(-g, 0.0).max(axis=1))
+    return max(gap, 0.0)
+
+
+def finite_difference_residual(
+    subproblem: RegularizedSubproblem,
+    flat: np.ndarray,
+    theta: np.ndarray,
+    rho: np.ndarray,
+    *,
+    step: float = 1e-7,
+) -> float:
+    """The stationarity residual with a central finite-difference gradient.
+
+    Cross-checks the analytic gradient the other certificates rely on:
+    useful for the SciPy backend, whose solution quality depends on that
+    gradient being right. O(n) objective evaluations of O(n) each.
+    """
+    flat = np.asarray(flat, dtype=float)
+    fd_grad = np.empty_like(flat)
+    for index in range(flat.size):
+        bump = np.zeros_like(flat)
+        bump[index] = step
+        fd_grad[index] = (
+            subproblem.objective(flat + bump) - subproblem.objective(flat - bump)
+        ) / (2.0 * step)
+    num_clouds, num_users = subproblem.num_clouds, subproblem.num_users
+    x = flat.reshape(num_clouds, num_users)
+    g = (
+        fd_grad.reshape(num_clouds, num_users)
+        - np.asarray(theta, dtype=float)[None, :]
+        + np.asarray(rho, dtype=float)[:, None]
+    )
+    dual_infeasibility = np.maximum(0.0, -g)
+    complementarity = np.minimum(np.abs(x), np.abs(g))
+    return float(np.maximum(dual_infeasibility, complementarity).max())
+
+
+def certify_solution(
+    subproblem: RegularizedSubproblem,
+    solution: SolverResult | np.ndarray,
+    *,
+    slot: int = 0,
+    finite_difference: bool | None = None,
+) -> SlotCertificate:
+    """Build the optimality certificate for one solved subproblem.
+
+    Args:
+        subproblem: the P2 instance that was solved.
+        solution: the backend's :class:`SolverResult` or a bare flattened
+            primal point. Backend duals (when the result names the
+            demand/capacity families) and least-squares recovered
+            multipliers are both tried; the certificate keeps whichever
+            bound is tighter (``source`` records the winner).
+        slot: trajectory position recorded on the certificate.
+        finite_difference: also run the finite-difference stationarity
+            cross-check. ``None`` (default) enables it exactly when the
+            solving backend was not the structured IPM — the SciPy path is
+            the one whose analytic gradients deserve independent scrutiny.
+    """
+    if isinstance(solution, SolverResult):
+        flat = np.asarray(solution.x, dtype=float)
+        duals = solution.duals
+        backend = solution.backend
+    else:
+        flat = np.asarray(solution, dtype=float)
+        duals = {}
+        backend = ""
+    # Candidate multipliers, cheapest first: the backend's own (when it
+    # names the demand/capacity families), then the least-squares recovery
+    # from the primal. Every candidate yields a *valid* bound, so keep
+    # whichever certifies tighter; when both stay above the target
+    # tolerance, escalate to the linearized-LP duals (Frank-Wolfe gap).
+    candidates: list[tuple[np.ndarray, np.ndarray, str]] = []
+    if "demand" in duals and "capacity" in duals:
+        candidates.append(
+            (
+                np.maximum(np.asarray(duals["demand"], dtype=float), 0.0),
+                np.maximum(np.asarray(duals["capacity"], dtype=float), 0.0),
+                "solver",
+            )
+        )
+    candidates.append((*recover_multipliers(subproblem, flat), "recovered"))
+    objective = float(subproblem.objective(flat))
+    scale = max(1.0, abs(objective))
+    scored = [
+        (duality_gap_bound(subproblem, flat, th, rh), th, rh, src)
+        for th, rh, src in candidates
+    ]
+    gap, theta, rho, source = min(scored, key=lambda entry: entry[0])
+    if gap > DEFAULT_GAP_TOL * scale:
+        theta_lp, rho_lp = lp_multipliers(subproblem, flat)
+        gap_lp = duality_gap_bound(subproblem, flat, theta_lp, rho_lp)
+        if gap_lp < gap:
+            gap, theta, rho, source = gap_lp, theta_lp, rho_lp, "lp"
+    if finite_difference is None:
+        finite_difference = bool(backend) and "ipm" not in backend
+    return SlotCertificate(
+        slot=slot,
+        objective=objective,
+        kkt_residual=subproblem.kkt_stationarity_residual(flat, theta, rho),
+        duality_gap=gap,
+        relative_gap=gap / max(1.0, abs(objective)),
+        fd_residual=(
+            finite_difference_residual(subproblem, flat, theta, rho)
+            if finite_difference
+            else None
+        ),
+        backend=backend,
+        source=source,
+    )
+
+
+def record_certificate(certificate: SlotCertificate, registry=None) -> None:
+    """Emit a certificate into the (active) telemetry registry.
+
+    Records the ``diag.kkt.residual`` and ``diag.duality_gap`` histograms
+    (the latter observes the *relative* gap, the quantity thresholds apply
+    to) and one ``diag.certificate`` manifest event. A no-op under the
+    null registry.
+    """
+    registry = registry if registry is not None else get_registry()
+    if not registry.enabled:
+        return
+    registry.histogram("diag.kkt.residual").observe(certificate.kkt_residual)
+    registry.histogram("diag.duality_gap").observe(certificate.relative_gap)
+    payload = {
+        "slot": certificate.slot,
+        "objective": certificate.objective,
+        "kkt_residual": certificate.kkt_residual,
+        "duality_gap": certificate.duality_gap,
+        "relative_gap": certificate.relative_gap,
+        "backend": certificate.backend,
+        "source": certificate.source,
+    }
+    if certificate.fd_residual is not None:
+        payload["fd_residual"] = certificate.fd_residual
+    registry.event("diag.certificate", **payload)
+
+
+def certify_schedule(
+    instance: ProblemInstance,
+    schedule: AllocationSchedule,
+    *,
+    eps1: float,
+    eps2: float,
+    solves: Sequence[SolverResult] | None = None,
+) -> list[SlotCertificate]:
+    """Certify every slot of an online trajectory post hoc.
+
+    Rebuilds each slot's P2 subproblem at the trajectory's previous
+    allocation. When ``solves`` (e.g.
+    ``OnlineRegularizedAllocator.last_solves``) is given, certificates are
+    evaluated at the *solver's* points with the solver's multipliers —
+    the raw optima before the exact-feasibility repair; otherwise at the
+    schedule's (repaired) decisions with recovered multipliers.
+    """
+    x, x_prev = schedule.with_previous()
+    num_slots = x.shape[0]
+    if solves is not None and len(solves) != num_slots:
+        raise ValueError(
+            f"got {len(solves)} solver results for {num_slots} slots"
+        )
+    certificates = []
+    for t in range(num_slots):
+        subproblem = RegularizedSubproblem.from_instance(
+            instance, t, x_prev[t], eps1=eps1, eps2=eps2
+        )
+        solution: SolverResult | np.ndarray = (
+            solves[t] if solves is not None else x[t].ravel()
+        )
+        certificates.append(certify_solution(subproblem, solution, slot=t))
+    return certificates
+
+
+class CertificateHook(SlotHook):
+    """A :class:`repro.simulation.hooks.SlotHook` that certifies every slot.
+
+    Plugs into :func:`repro.simulation.spine.simulate` (via
+    ``run_algorithm(..., hooks=[CertificateHook()])``) and works with *any*
+    controller: slots driven by the regularized controller are certified at
+    the solver's own point and multipliers (``controller.last_result``);
+    any other controller's decisions are certified against the P2 optimum
+    with recovered multipliers — which then measures how far that
+    algorithm's choice sits from the regularized one, not solver quality.
+
+    Args:
+        eps1, eps2: regularization parameters defining the P2 each slot is
+            certified against. ``None`` (default) adopts the controller's
+            own ``algorithm.eps1/eps2`` at run start, falling back to the
+            package default.
+        record: also emit each certificate into the active telemetry
+            registry (:func:`record_certificate`).
+    """
+
+    def __init__(
+        self,
+        *,
+        eps1: float | None = None,
+        eps2: float | None = None,
+        record: bool = True,
+    ) -> None:
+        self.certificates: list[SlotCertificate] = []
+        self.eps1 = eps1
+        self.eps2 = eps2
+        self._record = record
+        self._system = None
+        self._controller = None
+        self._x_prev: np.ndarray | None = None
+
+    def on_run_start(self, system, controller) -> None:
+        """Adopt the run's epsilons and reset the trajectory state."""
+        from ..core.regularization import DEFAULT_EPSILON
+
+        self._system = system
+        self._controller = controller
+        self._x_prev = system.zero_allocation()
+        self.certificates = []
+        algorithm = getattr(controller, "algorithm", None)
+        if self.eps1 is None:
+            self.eps1 = getattr(algorithm, "eps1", DEFAULT_EPSILON)
+        if self.eps2 is None:
+            self.eps2 = getattr(algorithm, "eps2", DEFAULT_EPSILON)
+
+    def on_slot_end(self, observation, x_t, costs) -> None:
+        """Certify the slot that just completed."""
+        from ..simulation.observations import single_slot_instance
+
+        instance = single_slot_instance(self._system, observation)
+        subproblem = RegularizedSubproblem.from_instance(
+            instance, 0, self._x_prev, eps1=self.eps1, eps2=self.eps2
+        )
+        result = getattr(self._controller, "last_result", None)
+        solution: SolverResult | np.ndarray = (
+            result
+            if isinstance(result, SolverResult)
+            else np.asarray(x_t, dtype=float).ravel()
+        )
+        certificate = certify_solution(
+            subproblem, solution, slot=len(self.certificates)
+        )
+        self.certificates.append(certificate)
+        if self._record:
+            record_certificate(certificate)
+        self._x_prev = np.asarray(x_t, dtype=float).copy()
+
+    @property
+    def worst(self) -> SlotCertificate | None:
+        """The run's worst certificate by relative gap."""
+        return worst_certificate(self.certificates)
+
+
+def worst_certificate(
+    certificates: Sequence[SlotCertificate],
+) -> SlotCertificate | None:
+    """The certificate with the largest relative gap (``None`` when empty)."""
+    if not certificates:
+        return None
+    return max(certificates, key=lambda certificate: certificate.relative_gap)

@@ -1,0 +1,102 @@
+"""Solver convergence trajectories, read back from telemetry.
+
+The structured IPM emits one ``solver.ipm.trace`` event per solve when
+telemetry is active (see ``repro.solvers.interior_point``): the barrier
+parameter, cumulative Newton iterations, and final Newton decrement of
+every outer iteration. Wall time alone cannot distinguish "the machine was
+busy" from "the solver started struggling"; these series can. This module
+summarizes them — from a live registry, a list of events, or a loaded
+manifest — so benchmark records and the ``doctor`` report can gate on
+*behavioural* regressions (iteration blow-ups, non-decreasing barrier
+schedules) deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+
+@dataclass(frozen=True)
+class ConvergenceSummary:
+    """Aggregate view of every recorded interior-point solve.
+
+    Attributes:
+        solves: number of ``solver.ipm.trace`` events seen.
+        total_iterations: summed Newton iterations across solves.
+        max_iterations: Newton iterations of the heaviest solve.
+        mean_iterations: mean Newton iterations per solve (0 when empty).
+        max_final_mu: largest terminal barrier parameter (how "unfinished"
+            the loosest solve was).
+        max_final_decrement: largest terminal Newton decrement — should be
+            ~0 at convergence; persistent large values flag stalls.
+        non_decreasing_mu: solves whose barrier parameter failed to
+            strictly decrease between outer iterations (0 for a healthy
+            barrier schedule).
+    """
+
+    solves: int
+    total_iterations: int
+    max_iterations: int
+    mean_iterations: float
+    max_final_mu: float
+    max_final_decrement: float
+    non_decreasing_mu: int
+
+    def as_dict(self) -> dict:
+        """Plain-dict form for bench records and manifest events."""
+        return {
+            "solves": self.solves,
+            "total_iterations": self.total_iterations,
+            "max_iterations": self.max_iterations,
+            "mean_iterations": self.mean_iterations,
+            "max_final_mu": self.max_final_mu,
+            "max_final_decrement": self.max_final_decrement,
+            "non_decreasing_mu": self.non_decreasing_mu,
+        }
+
+
+def trace_events(source) -> list[dict]:
+    """Extract ``solver.ipm.trace`` events from any telemetry source.
+
+    Accepts a loaded manifest (:class:`repro.telemetry.manifest.RunRecord`),
+    a live :class:`repro.telemetry.MetricsRegistry`, or a plain iterable
+    of event dicts.
+    """
+    if hasattr(source, "events_of_type"):  # RunRecord
+        return source.events_of_type("solver.ipm.trace")
+    events: Iterable[dict] = getattr(source, "events", source)
+    return [e for e in events if e.get("type") == "solver.ipm.trace"]
+
+
+def summarize_convergence(source) -> ConvergenceSummary:
+    """Summarize every interior-point solve recorded in ``source``."""
+    events = trace_events(source)
+    iterations = [int(e.get("iterations", 0)) for e in events]
+    final_mu = []
+    final_decrement = []
+    non_decreasing = 0
+    for event in events:
+        series = event.get("trace") or []
+        if series:
+            final_mu.append(float(series[-1].get("mu", 0.0)))
+            final_decrement.append(float(series[-1].get("decrement", 0.0)))
+            mus = [float(step.get("mu", 0.0)) for step in series]
+            if any(b >= a for a, b in zip(mus, mus[1:])):
+                non_decreasing += 1
+    return ConvergenceSummary(
+        solves=len(events),
+        total_iterations=sum(iterations),
+        max_iterations=max(iterations, default=0),
+        mean_iterations=(
+            sum(iterations) / len(iterations) if iterations else 0.0
+        ),
+        max_final_mu=max(final_mu, default=0.0),
+        max_final_decrement=max(final_decrement, default=0.0),
+        non_decreasing_mu=non_decreasing,
+    )
+
+
+def iteration_series(source) -> list[int]:
+    """Newton iterations per solve, in recorded order."""
+    return [int(e.get("iterations", 0)) for e in trace_events(source)]

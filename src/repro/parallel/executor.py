@@ -140,6 +140,25 @@ def _execute_cell(cell: Any) -> Any:
     return cell.execute()
 
 
+def _wrap_cell_spans(result: CellResult) -> dict:
+    """The cell's telemetry snapshot with its spans grouped under one root.
+
+    Worker registries are fresh per cell, so their trace trees would merge
+    as an undifferentiated flat list of roots. Wrapping them under a
+    ``"cell"`` node keyed by the cell id (and stamped with the worker pid
+    and wall time) keeps per-cell structure in merged manifests — which is
+    what lets ``repro-edge doctor`` attribute spans on parallel runs.
+    """
+    snap = result.telemetry
+    root = {
+        "name": "cell",
+        "duration_ms": result.wall_time_s * 1000.0,
+        "children": list(snap.get("spans", ())),
+        "meta": {"cell": result.key, "pid": result.pid},
+    }
+    return {**snap, "spans": [root]}
+
+
 @dataclass(frozen=True)
 class SweepExecutor:
     """Run independent work items, optionally across a process pool.
@@ -194,7 +213,7 @@ class SweepExecutor:
             registry.gauge("sweep.workers").set(self.workers)
             for result in results:
                 if result.telemetry is not None:
-                    registry.merge_snapshot(result.telemetry)
+                    registry.merge_snapshot(_wrap_cell_spans(result))
                 registry.histogram("sweep.cell_wall_s").observe(result.wall_time_s)
         return results
 

@@ -63,6 +63,7 @@ class RegularizedController:
         self._x_prev = self.system.zero_allocation()
         self._slots_seen = 0
         self.algorithm.last_solves = []
+        self.algorithm.last_certificates = []
         self.last_result = None
         # The fallback wrapper's circuit breaker is scoped "per run": a
         # primary declared broken in one run gets a fresh chance in the

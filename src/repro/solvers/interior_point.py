@@ -83,6 +83,7 @@ class _BarrierSolve:
         self.capacities = np.asarray(subproblem.capacities, dtype=float)
         self.num_constraints = self.n + self.num_users + self.num_clouds
         self.iterations = 0
+        self.last_decrement = 0.0
 
     # ----- constraint slacks (all computed from the (I, J) table) ------------
 
@@ -207,8 +208,22 @@ class _BarrierSolve:
             # upstream is not doing its job.
             telemetry.counter("solver.ipm.barrier_restarts").inc()
 
+        # Per-outer-iteration residual series (mu, cumulative Newton steps,
+        # final Newton decrement) — the solver's convergence fingerprint,
+        # persisted to the manifest so behavioural regressions are visible
+        # even when wall time is not (docs/DIAGNOSTICS.md). Only built when
+        # a real registry is active.
+        trace: list[dict] | None = [] if telemetry.enabled else None
         for _ in range(self.config.max_outer):
             x = self._newton_loop(x, mu)
+            if trace is not None:
+                trace.append(
+                    {
+                        "mu": mu,
+                        "iterations": self.iterations,
+                        "decrement": self.last_decrement,
+                    }
+                )
             if mu * self.num_constraints <= gap_target:
                 break
             mu *= _MU_DECAY
@@ -220,9 +235,28 @@ class _BarrierSolve:
         telemetry.histogram("solver.ipm.iterations").observe(self.iterations)
         if warm:
             telemetry.counter("solver.ipm.warm_start_hits").inc()
+        if trace is not None:
+            telemetry.event(
+                "solver.ipm.trace",
+                backend=self.config.name,
+                iterations=self.iterations,
+                warm=warm,
+                mu_final=mu,
+                gap_target=gap_target,
+                trace=trace,
+            )
 
         demand, capacity = self.slacks(x)
-        duals = {"demand": mu / demand, "capacity": mu / capacity}
+        # The barrier's implicit multipliers: mu over the respective slack.
+        # "nonnegativity" pairs with the x >= 0 bounds elementwise, so the
+        # diagnostics layer can evaluate KKT residuals and a duality-gap
+        # certificate without re-deriving anything.
+        duals = {
+            "demand": mu / demand,
+            "capacity": mu / capacity,
+            "nonnegativity": (mu / x).ravel(),
+            "mu": mu,
+        }
         flat = x.ravel()
         return SolverResult(
             x=flat,
@@ -238,6 +272,7 @@ class _BarrierSolve:
             grad = self.barrier_gradient(x, mu)
             dx = self.newton_direction(x, grad, mu)
             decrement = float(-(grad * dx).sum())
+            self.last_decrement = decrement
             if decrement <= 0:
                 break
             if decrement * 0.5 <= 1e-10 * max(1.0, mu):

@@ -194,9 +194,15 @@ class LinearProgramBuilder:
         result = linprog(cost, A_ub=a_ub, b_ub=b_ub, bounds=bounds, method=method)
         if not result.success:
             raise SolverError(f"linprog failed: status={result.status} {result.message}")
+        duals = {}
+        ineqlin = getattr(result, "ineqlin", None)
+        if ineqlin is not None and getattr(ineqlin, "marginals", None) is not None:
+            # HiGHS marginals are <= 0 for A_ub v <= b_ub rows, in row order.
+            duals["inequality"] = np.asarray(ineqlin.marginals, dtype=float)
         return SolverResult(
             x=np.asarray(result.x),
             objective=float(result.fun),
             iterations=int(getattr(result, "nit", 0) or 0),
             backend=f"linprog-{method}",
+            duals=duals,
         )

@@ -77,7 +77,23 @@ class ScipyTrustConstrBackend:
         duals: dict[str, np.ndarray] = {}
         v = getattr(result, "v", None)
         if v:
-            duals["linear"] = np.asarray(v[0], dtype=float)
+            packed = np.asarray(v[0], dtype=float)
+            duals["linear"] = packed
+            structure = program.structure
+            num_users = getattr(structure, "num_users", None)
+            num_clouds = getattr(structure, "num_clouds", None)
+            if (
+                num_users is not None
+                and num_clouds is not None
+                and packed.size == num_users + num_clouds
+            ):
+                # P2 stacks [J demand rows; I capacity rows] (see
+                # RegularizedSubproblem.constraint_matrices); the capacity
+                # family was written as -X >= -C, so its multipliers come
+                # back negated. Exposing the split by name lets the
+                # diagnostics/pricing layers treat both backends uniformly.
+                duals["demand"] = np.abs(packed[:num_users])
+                duals["capacity"] = np.abs(packed[num_users:])
         iterations = int(getattr(result, "nit", 0) or 0)
         telemetry = get_registry()
         telemetry.counter("solver.scipy.solves").inc()

@@ -50,6 +50,8 @@ class RunRecord:
         histograms: metric name -> ``{count, total, min, max, mean}``.
         spans: root nodes of the session's trace trees.
         created_unix: manifest creation time (seconds since the epoch).
+        truncated: the file ended before a consistent ``manifest_end``
+            (only ever ``True`` for non-strict loads).
     """
 
     config: dict = field(default_factory=dict)
@@ -59,6 +61,7 @@ class RunRecord:
     histograms: dict = field(default_factory=dict)
     spans: list = field(default_factory=list)
     created_unix: float = 0.0
+    truncated: bool = False
 
     def events_of_type(self, kind: str) -> list[dict]:
         """Every event whose ``"type"`` equals ``kind``, in file order."""
@@ -123,11 +126,15 @@ def write_manifest(
     return path
 
 
-def read_manifest(path: str | Path) -> RunRecord:
+def read_manifest(path: str | Path, *, strict: bool = True) -> RunRecord:
     """Load a manifest written by :func:`write_manifest`.
 
     Raises ``ValueError`` on an unknown format tag or a truncated file
-    (missing or inconsistent ``manifest_end``).
+    (missing or inconsistent ``manifest_end``). With ``strict=False``
+    truncation is tolerated instead: a torn trailing line is dropped, every
+    complete record before it is kept, and the returned record carries
+    ``truncated=True`` — for post-mortem tooling (``repro-edge doctor``)
+    that must read the manifests of crashed or killed runs.
     """
     path = Path(path)
     config: dict = {}
@@ -143,7 +150,14 @@ def read_manifest(path: str | Path) -> RunRecord:
             line = line.strip()
             if not line:
                 continue
-            record = json.loads(line)
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                if strict:
+                    raise ValueError(
+                        f"{path}: unparseable manifest line {line_number}"
+                    ) from None
+                break  # torn tail of an interrupted write
             kind = record.get("type")
             if kind == "manifest_start":
                 if record.get("format") != MANIFEST_FORMAT:
@@ -167,7 +181,7 @@ def read_manifest(path: str | Path) -> RunRecord:
                     )
             else:
                 events.append(record)
-    if not ended:
+    if not ended and strict:
         raise ValueError(f"{path}: truncated manifest (no manifest_end record)")
     return RunRecord(
         config=config,
@@ -177,4 +191,5 @@ def read_manifest(path: str | Path) -> RunRecord:
         histograms=histograms,
         spans=spans,
         created_unix=created,
+        truncated=not ended,
     )

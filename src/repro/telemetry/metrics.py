@@ -18,12 +18,14 @@ Design constraints (docs/OBSERVABILITY.md):
   deterministic (caller-chosen) order so parallel and serial sweeps
   aggregate to the same numbers;
 * **associative merges** — counters add, histograms merge by
-  (count, total, min, max), so regrouping worker snapshots cannot change
-  the result (property-tested in ``tests/telemetry/test_metrics.py``).
+  (count, total, min, max) plus integer sketch-bucket counts, so
+  regrouping worker snapshots cannot change the result (property-tested
+  in ``tests/telemetry/test_metrics.py``).
 """
 
 from __future__ import annotations
 
+import math
 import time
 from contextlib import contextmanager
 from typing import Iterator
@@ -32,6 +34,37 @@ from typing import Iterator
 #: (long memory-bounded runs would otherwise grow an unbounded trace tree;
 #: drops are counted in the ``telemetry.spans.dropped`` counter).
 MAX_SPAN_CHILDREN = 4096
+
+#: Lower edge of the histogram percentile sketch: observations at or below
+#: this value land in bucket 0 (which also absorbs zeros and negatives).
+SKETCH_MIN = 1e-6
+
+#: Upper edge of the sketch; larger observations clamp into the top bucket.
+SKETCH_MAX = 1e9
+
+#: Geometric resolution: buckets per decade. 16/decade keeps the relative
+#: quantile error under ~7.5% (half a bucket) across the full range while
+#: the whole sketch stays under ~250 possible buckets.
+SKETCH_BUCKETS_PER_DECADE = 16
+
+#: Log-space width of one sketch bucket.
+_BUCKET_WIDTH = math.log(10.0) / SKETCH_BUCKETS_PER_DECADE
+
+#: Index of the last (clamping) bucket.
+_MAX_BUCKET = 1 + int(math.ceil(math.log(SKETCH_MAX / SKETCH_MIN) / _BUCKET_WIDTH))
+
+
+def sketch_bucket(value: float) -> int:
+    """The sketch bucket index for one observation.
+
+    Pure function of the value, so bucketing is deterministic across
+    processes and merging bucket counts (integer addition) is exactly
+    associative — the property the parallel executor relies on.
+    """
+    if value <= SKETCH_MIN:
+        return 0
+    index = 1 + int(math.log(value / SKETCH_MIN) / _BUCKET_WIDTH)
+    return index if index < _MAX_BUCKET else _MAX_BUCKET
 
 
 class Counter:
@@ -65,14 +98,17 @@ class Gauge:
 
 
 class Histogram:
-    """A streaming summary of observations: count, total, min, max.
+    """A streaming summary of observations: moments plus a quantile sketch.
 
-    Deliberately bucket-free: the experiment grids are small enough that
-    per-event records (the manifest) cover distribution questions, while
-    the four moments merge exactly and associatively across workers.
+    Tracks the exact count/total/min/max (which merge exactly) and a
+    fixed-bucket geometric sketch (:func:`sketch_bucket`) from which
+    p50/p95/p99 are read. Bucket counts are integers and bucket placement
+    is a pure function of the value, so merging histograms stays exactly
+    associative across workers (property-tested in
+    ``tests/telemetry/test_metrics.py``).
     """
 
-    __slots__ = ("name", "count", "total", "minimum", "maximum")
+    __slots__ = ("name", "count", "total", "minimum", "maximum", "buckets")
 
     def __init__(self, name: str) -> None:
         """Create an empty histogram."""
@@ -81,6 +117,7 @@ class Histogram:
         self.total = 0.0
         self.minimum = float("inf")
         self.maximum = float("-inf")
+        self.buckets: dict[int, int] = {}
 
     def observe(self, value: float) -> None:
         """Record one observation."""
@@ -91,11 +128,34 @@ class Histogram:
             self.minimum = value
         if value > self.maximum:
             self.maximum = value
+        index = sketch_bucket(value)
+        self.buckets[index] = self.buckets.get(index, 0) + 1
 
     @property
     def mean(self) -> float:
         """Mean of the recorded observations (0.0 when empty)."""
         return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float | None:
+        """The ``q``-quantile (``0 < q <= 1``) read from the sketch.
+
+        Accurate to half a bucket (~±7.5% relative) within the sketch
+        range; the result is clamped into ``[min, max]`` so single-bucket
+        histograms report exact values. ``None`` when empty.
+        """
+        if not self.count:
+            return None
+        rank = q * self.count
+        cumulative = 0
+        for index in sorted(self.buckets):
+            cumulative += self.buckets[index]
+            if cumulative >= rank:
+                if index == 0:
+                    value = min(self.minimum, SKETCH_MIN)
+                else:
+                    value = SKETCH_MIN * math.exp((index - 0.5) * _BUCKET_WIDTH)
+                return min(max(value, self.minimum), self.maximum)
+        return self.maximum
 
     def merge(self, other: "Histogram") -> None:
         """Fold another histogram (or snapshot-equivalent) into this one."""
@@ -105,6 +165,8 @@ class Histogram:
             self.minimum = other.minimum
         if other.maximum > self.maximum:
             self.maximum = other.maximum
+        for index, bucket_count in other.buckets.items():
+            self.buckets[index] = self.buckets.get(index, 0) + bucket_count
 
     def as_dict(self) -> dict:
         """Plain-dict form used by snapshots and the manifest."""
@@ -114,6 +176,10 @@ class Histogram:
             "min": self.minimum if self.count else None,
             "max": self.maximum if self.count else None,
             "mean": self.mean,
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
+            "p99": self.percentile(0.99),
+            "buckets": dict(self.buckets),
         }
 
 
@@ -243,8 +309,8 @@ class MetricsRegistry:
         """Fold a :meth:`snapshot` into this registry.
 
         Counters add, gauges take the snapshot's value (last write in merge
-        order wins), histograms merge their four moments, events and spans
-        are appended in order. Merging is associative, so any grouping of
+        order wins), histograms merge their moments and sketch buckets,
+        events and spans are appended in order. Merging is associative, so any grouping of
         worker snapshots — as long as the caller fixes the merge *order* —
         produces identical aggregates.
         """
@@ -260,6 +326,12 @@ class MetricsRegistry:
                 histogram.minimum = data["min"]
             if data["max"] is not None and data["max"] > histogram.maximum:
                 histogram.maximum = data["max"]
+            # JSON round-trips bucket keys as strings; coerce back to int.
+            for key, bucket_count in data.get("buckets", {}).items():
+                index = int(key)
+                histogram.buckets[index] = (
+                    histogram.buckets.get(index, 0) + int(bucket_count)
+                )
         self.events.extend(snap.get("events", ()))
         self.spans.extend(snap.get("spans", ()))
 
@@ -272,13 +344,19 @@ class MetricsRegistry:
             rows.append((name, "gauge", f"{self._gauges[name].value:g}"))
         for name in sorted(self._histograms):
             h = self._histograms[name]
+            p50, p95, p99 = (
+                h.percentile(0.50) or 0.0,
+                h.percentile(0.95) or 0.0,
+                h.percentile(0.99) or 0.0,
+            )
             rows.append(
                 (
                     name,
                     "histogram",
                     f"count={h.count} mean={h.mean:.3f} "
                     f"min={h.minimum if h.count else 0:.3f} "
-                    f"max={h.maximum if h.count else 0:.3f}",
+                    f"max={h.maximum if h.count else 0:.3f} "
+                    f"p50={p50:.3f} p95={p95:.3f} p99={p99:.3f}",
                 )
             )
         if not rows:

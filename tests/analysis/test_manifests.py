@@ -1,0 +1,54 @@
+"""Manifest cost verification on parallel (multi-worker) sweeps.
+
+A ``--workers 4`` run merges four per-cell registries into one manifest;
+the ``(cell, run)`` keying must keep every run's slot events attached to
+its own ``run_end`` so the per-slot sums still reconcile to 1e-9.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import assert_manifest_costs, load_manifest, verify_manifest_costs
+from repro.cli import main
+
+TINY = ["--users", "4", "--slots", "2", "--repetitions", "2"]
+
+
+@pytest.fixture(scope="module")
+def pooled_manifest(tmp_path_factory):
+    path = tmp_path_factory.mktemp("pooled") / "run.jsonl"
+    assert main(["fig2", *TINY, "--workers", "4", "--telemetry", str(path)]) == 0
+    return load_manifest(path)
+
+
+class TestPooledManifestCosts:
+    def test_every_run_reconciles(self, pooled_manifest):
+        checks = verify_manifest_costs(pooled_manifest)
+        assert checks, "expected runs in the pooled manifest"
+        for check in checks:
+            assert check.slots == 2
+            assert check.ok(tol=1e-9), (check.key, check.deviation)
+        assert_manifest_costs(pooled_manifest, tol=1e-9)
+
+    def test_runs_come_from_distinct_cells(self, pooled_manifest):
+        keys = {check.key for check in verify_manifest_costs(pooled_manifest)}
+        cells = {cell for cell, _ in keys}
+        assert len(keys) == len(verify_manifest_costs(pooled_manifest))
+        assert len(cells) > 1  # repetitions spread over several sweep cells
+
+    def test_pooled_checks_match_serial(self, pooled_manifest, tmp_path):
+        path = tmp_path / "serial.jsonl"
+        assert main(["fig2", *TINY, "--workers", "1", "--telemetry", str(path)]) == 0
+        serial = {
+            check.key: check.summed
+            for check in verify_manifest_costs(load_manifest(path))
+        }
+        pooled = {
+            check.key: check.summed
+            for check in verify_manifest_costs(pooled_manifest)
+        }
+        assert pooled.keys() == serial.keys()
+        for key, summed in pooled.items():
+            for name, value in summed.items():
+                assert value == pytest.approx(serial[key][name], abs=1e-12)

@@ -1,0 +1,99 @@
+"""`repro-edge bench` / `repro-edge doctor` end to end.
+
+The bench round-trip invariant (a record compared against itself passes
+with zero regressions) and the doctor post-mortem (complete and torn
+manifests) are exercised through the real CLI entry point.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import doctor_report, read_record
+from repro.cli import main
+
+TINY = ["--users", "4", "--slots", "2", "--repetitions", "1"]
+
+
+@pytest.fixture(scope="module")
+def bench_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("bench") / "BENCH_smoke.json"
+    assert main(["bench", "--suite", "smoke", *TINY, "--out", str(path)]) == 0
+    return path
+
+
+@pytest.fixture(scope="module")
+def manifest_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("doctor") / "run.jsonl"
+    code = main(["fig2", *TINY, "--telemetry", str(path)])
+    assert code == 0
+    return path
+
+
+class TestBenchCli:
+    def test_writes_a_readable_record(self, bench_file):
+        record = read_record(bench_file)
+        assert record.suite == "smoke"
+        assert record.metrics["solves"].value == 2
+
+    def test_compare_round_trips_with_zero_regressions(self, bench_file, capsys):
+        code = main(
+            ["bench", "--suite", "smoke", *TINY, "--out",
+             str(bench_file.with_name("again.json")),
+             "--compare", str(bench_file)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out and "REGRESSED" not in out
+
+    def test_regression_exits_nonzero(self, bench_file, tmp_path, capsys):
+        # Shrink the baseline cost so the (identical) current run regresses.
+        data = json.loads(bench_file.read_text())
+        data["metrics"]["online_cost"]["value"] *= 0.5
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(data))
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                ["bench", "--suite", "smoke", *TINY, "--out",
+                 str(tmp_path / "current.json"), "--compare", str(baseline)]
+            )
+        assert excinfo.value.code == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_unknown_suite_is_an_error(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown bench suite"):
+            main(["bench", "--suite", "nope", *TINY,
+                  "--out", str(tmp_path / "x.json")])
+
+
+class TestDoctorReport:
+    SECTIONS = (
+        "Slowest slots",
+        "Solver incidents",
+        "Optimality certificates",
+        "Competitive ratio vs Theorem 2",
+        "Interior-point convergence",
+    )
+
+    def test_all_sections_render_on_a_complete_manifest(self, manifest_file):
+        report = doctor_report(manifest_file)
+        for section in self.SECTIONS:
+            assert section in report
+        assert "TRUNCATED" not in report
+
+    def test_cli_doctor_prints_the_report(self, manifest_file, capsys):
+        assert main(["doctor", str(manifest_file)]) == 0
+        out = capsys.readouterr().out
+        assert "Slowest slots" in out
+
+    def test_truncated_manifest_gets_a_banner(self, manifest_file, tmp_path):
+        lines = manifest_file.read_text().splitlines()
+        # Drop manifest_end and tear the new last line mid-JSON.
+        torn = tmp_path / "torn.jsonl"
+        torn.write_text("\n".join(lines[:-2] + [lines[-2][: len(lines[-2]) // 2]]))
+        report = doctor_report(torn)
+        assert "TRUNCATED" in report
+        for section in self.SECTIONS:
+            assert section in report

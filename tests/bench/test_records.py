@@ -1,0 +1,67 @@
+"""BENCH_<suite>.json schema: round-trip, validation, git stamping."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import (
+    BENCH_FORMAT,
+    BenchMetric,
+    BenchRecord,
+    current_git_commit,
+    read_record,
+    write_record,
+)
+
+
+def _sample_record() -> BenchRecord:
+    return BenchRecord(
+        suite="smoke",
+        metrics={
+            "wall_s": BenchMetric(value=1.25, unit="s", kind="time"),
+            "iterations": BenchMetric(value=379, unit="iterations", kind="count"),
+            "cost": BenchMetric(value=155.322, unit="cost", kind="cost"),
+        },
+        config={"num_users": 8, "num_slots": 4},
+        diagnostics={"certified": True},
+        git_commit="abc123",
+        created_unix=1234.5,
+    )
+
+
+class TestRoundTrip:
+    def test_write_read_identity(self, tmp_path):
+        record = _sample_record()
+        path = write_record(tmp_path / "BENCH_smoke.json", record)
+        loaded = read_record(path)
+        assert loaded == record
+
+    def test_file_is_valid_json_with_format_tag(self, tmp_path):
+        path = write_record(tmp_path / "b.json", _sample_record())
+        data = json.loads(path.read_text())
+        assert data["format"] == BENCH_FORMAT
+        assert data["metrics"]["iterations"]["kind"] == "count"
+
+
+class TestValidation:
+    def test_unknown_format_rejected(self, tmp_path):
+        path = write_record(tmp_path / "b.json", _sample_record())
+        path.write_text(path.read_text().replace(BENCH_FORMAT, "other/0"))
+        with pytest.raises(ValueError, match="format"):
+            read_record(path)
+
+    def test_unknown_metric_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            BenchMetric(value=1.0, unit="s", kind="vibes")
+
+
+class TestGitCommit:
+    def test_in_repo_returns_a_hash(self):
+        commit = current_git_commit()
+        assert len(commit) == 40
+        assert all(c in "0123456789abcdef" for c in commit)
+
+    def test_outside_repo_returns_empty(self, tmp_path):
+        assert current_git_commit(cwd=tmp_path) == ""

@@ -1,0 +1,69 @@
+"""Named suites produce well-formed, gateable records at tiny scale."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import SUITES, compare_records, run_suite
+from repro.experiments.settings import ExperimentScale
+
+TINY = ExperimentScale(num_users=4, num_slots=2, repetitions=1, seed=7)
+
+
+@pytest.fixture(scope="module")
+def smoke_record():
+    return run_suite("smoke", TINY)
+
+
+class TestSmokeSuite:
+    def test_expected_metrics_and_kinds(self, smoke_record):
+        kinds = {n: m.kind for n, m in smoke_record.metrics.items()}
+        assert kinds == {
+            "online_run_wall_s": "time",
+            "solver_iterations": "count",
+            "solves": "count",
+            "online_cost": "cost",
+            "final_ratio": "cost",
+            "worst_relative_gap": "cost",
+        }
+
+    def test_diagnostics_capture_algorithm_quality(self, smoke_record):
+        diagnostics = smoke_record.diagnostics
+        assert diagnostics["certificates_ok"] is True
+        assert diagnostics["ratio_certified"] is True
+        assert diagnostics["ratio_bound"] > 1.0
+        # The suite's own telemetry session harvested solver traces.
+        assert diagnostics["convergence"]["solves"] == TINY.num_slots
+        assert diagnostics["fallbacks"] == 0
+
+    def test_record_is_stamped(self, smoke_record):
+        assert smoke_record.suite == "smoke"
+        assert smoke_record.config["num_users"] == TINY.num_users
+        assert smoke_record.created_unix > 0
+
+    def test_rerun_is_deterministic_on_gated_metrics(self, smoke_record):
+        report = compare_records(smoke_record, run_suite("smoke", TINY))
+        assert report.ok  # counts and costs reproduce exactly
+
+    def test_suite_session_does_not_leak(self, smoke_record):
+        from repro.telemetry import get_registry
+
+        assert not get_registry().enabled
+
+
+class TestSolverSuite:
+    def test_solver_suite_runs_and_reports_warm_start(self):
+        record = run_suite("solver", TINY)
+        assert record.metrics["warm_iterations"].value <= (
+            record.metrics["cold_iterations"].value
+        )
+        assert record.diagnostics["warm_cost_matches_cold"] is True
+
+
+class TestRegistryOfSuites:
+    def test_all_declared_suites_are_callable(self):
+        assert set(SUITES) == {"smoke", "solver", "fig2", "fig5", "parallel"}
+
+    def test_unknown_suite_raises_with_known_names(self):
+        with pytest.raises(ValueError, match="smoke"):
+            run_suite("nope", TINY)

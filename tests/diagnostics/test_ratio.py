@@ -1,0 +1,115 @@
+"""Running competitive ratio vs the certified Theorem-2 bound."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bounds import competitive_ratio_bound
+from repro.core.regularization import OnlineRegularizedAllocator
+from repro.diagnostics import (
+    RatioPoint,
+    RatioTrace,
+    competitive_ratio_trace,
+    record_ratio_trace,
+)
+from repro.simulation.scenario import Scenario
+from repro.telemetry import telemetry_session
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    instance = Scenario(num_users=6, num_slots=4).build(seed=3)
+    schedule = OnlineRegularizedAllocator().run(instance)
+    trace = competitive_ratio_trace(instance, schedule, eps1=1.0, eps2=1.0)
+    return instance, trace
+
+
+class TestTrace:
+    def test_one_point_per_slot_with_every_1(self, traced_run):
+        instance, trace = traced_run
+        assert [p.slot for p in trace.points] == list(range(instance.num_slots))
+
+    def test_every_prefix_is_certified(self, traced_run):
+        _, trace = traced_run
+        assert trace.certified
+        assert trace.violations() == []
+        assert trace.worst_ratio <= trace.bound
+
+    def test_final_ratio_at_least_one(self, traced_run):
+        """The online cost can never beat the offline optimum."""
+        _, trace = traced_run
+        assert trace.final_ratio >= 1.0 - 1e-9
+
+    def test_bound_matches_theorem_2(self, traced_run):
+        instance, trace = traced_run
+        assert trace.bound == competitive_ratio_bound(instance, 1.0, 1.0)
+
+    def test_subsampling_always_keeps_the_final_slot(self):
+        instance = Scenario(num_users=4, num_slots=5).build(seed=9)
+        schedule = OnlineRegularizedAllocator().run(instance)
+        trace = competitive_ratio_trace(
+            instance, schedule, eps1=1.0, eps2=1.0, every=3
+        )
+        assert trace.points[-1].slot == instance.num_slots - 1
+        assert len(trace.points) < instance.num_slots
+
+    def test_every_must_be_positive(self, traced_run):
+        instance, _ = traced_run
+        schedule = OnlineRegularizedAllocator().run(instance)
+        with pytest.raises(ValueError, match="every"):
+            competitive_ratio_trace(
+                instance, schedule, eps1=1.0, eps2=1.0, every=0
+            )
+
+
+class TestRatioPointEdges:
+    def test_zero_offline_nonzero_online_is_infinite(self):
+        assert RatioPoint(0, 1.0, 0.0).ratio == float("inf")
+
+    def test_zero_over_zero_is_one(self):
+        assert RatioPoint(0, 0.0, 0.0).ratio == 1.0
+
+
+class TestViolationFlagging:
+    def _violating_trace(self):
+        return RatioTrace(
+            points=(
+                RatioPoint(slot=0, online_cost=5.0, offline_cost=4.0),
+                RatioPoint(slot=1, online_cost=30.0, offline_cost=10.0),
+            ),
+            bound=2.0,
+        )
+
+    def test_violations_are_flagged(self):
+        trace = self._violating_trace()
+        assert not trace.certified
+        assert [p.slot for p in trace.violations()] == [1]
+
+    def test_recording_emits_violation_events(self):
+        trace = self._violating_trace()
+        with telemetry_session() as registry:
+            record_ratio_trace(trace)
+        assert registry.counter("diag.ratio.violations").value == 1
+        violations = [
+            e for e in registry.events if e["type"] == "diag.ratio.violation"
+        ]
+        assert len(violations) == 1
+        assert violations[0]["slot"] == 1
+
+
+class TestRecording:
+    def test_trace_event_and_gauges(self, traced_run):
+        _, trace = traced_run
+        with telemetry_session() as registry:
+            record_ratio_trace(trace)
+        assert registry.gauge("diag.ratio.bound").value == trace.bound
+        assert registry.gauge("diag.ratio.final").value == trace.final_ratio
+        assert registry.histogram("diag.ratio").count == len(trace.points)
+        events = [e for e in registry.events if e["type"] == "diag.ratio.trace"]
+        assert len(events) == 1
+        assert len(events[0]["points"]) == len(trace.points)
+        assert events[0]["certified"] is True
+
+    def test_noop_when_disabled(self, traced_run):
+        _, trace = traced_run
+        record_ratio_trace(trace)  # null registry active; must not raise

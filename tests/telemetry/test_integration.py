@@ -112,6 +112,21 @@ class TestParallelAggregation:
         results = SweepExecutor(max_workers=1).run_cells(_cells([0]))
         assert results[0].telemetry is None
 
+    def test_cell_spans_grouped_under_per_cell_roots(self):
+        """Merged sweeps keep one ``cell`` span root per cell (serial and
+        pooled alike), so doctor can attribute spans on parallel runs."""
+        cells = _cells([7, 8])
+        for workers in (1, 2):
+            with telemetry_session() as registry:
+                SweepExecutor(max_workers=workers).run_cells(cells)
+            roots = registry.spans
+            assert [node["name"] for node in roots] == ["cell", "cell"]
+            assert [node["meta"]["cell"] for node in roots] == [c.key for c in cells]
+            for node in roots:
+                assert node["duration_ms"] > 0.0
+                # The cell's own trace tree survives underneath.
+                assert {child["name"] for child in node["children"]} == {"run"}
+
 
 class TestCliManifest:
     def test_fig2_manifest_costs_match_to_1e_9(self, tmp_path, capsys):

@@ -106,3 +106,32 @@ class TestCorruption:
         path.write_text(text)
         with pytest.raises(ValueError, match="format"):
             read_manifest(path)
+
+    def test_torn_json_line_is_rejected_when_strict(self, tmp_path):
+        path = write_manifest(tmp_path / "run.jsonl", _recorded_registry())
+        path.write_text(path.read_text()[: len(path.read_text()) // 2])
+        with pytest.raises(ValueError):
+            read_manifest(path)
+
+
+class TestNonStrictLoad:
+    def test_truncated_manifest_loads_with_flag(self, tmp_path):
+        path = write_manifest(tmp_path / "run.jsonl", _recorded_registry())
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-1]) + "\n")  # drop manifest_end
+        record = read_manifest(path, strict=False)
+        assert record.truncated
+        assert record.slot_events  # everything before the tear survives
+
+    def test_torn_trailing_line_is_dropped(self, tmp_path):
+        path = write_manifest(tmp_path / "run.jsonl", _recorded_registry())
+        text = path.read_text()
+        path.write_text(text[: int(len(text) * 0.6)])  # mid-record tear
+        # Parse keeps every complete record and stops at the torn line.
+        record = read_manifest(path, strict=False)
+        assert record.truncated
+
+    def test_complete_manifest_is_not_marked_truncated(self, tmp_path):
+        path = write_manifest(tmp_path / "run.jsonl", _recorded_registry())
+        record = read_manifest(path, strict=False)
+        assert not record.truncated

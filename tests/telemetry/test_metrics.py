@@ -63,7 +63,66 @@ class TestInstruments:
             "min": None,
             "max": None,
             "mean": 0.0,
+            "p50": None,
+            "p95": None,
+            "p99": None,
+            "buckets": {},
         }
+
+
+class TestPercentileSketch:
+    def test_single_observation_is_exact(self):
+        h = MetricsRegistry().histogram("h")
+        h.observe(3.25)
+        assert h.percentile(0.5) == 3.25
+        assert h.percentile(0.99) == 3.25
+
+    def test_percentiles_within_relative_error(self):
+        h = MetricsRegistry().histogram("h")
+        values = [float(v) for v in range(1, 1001)]
+        for value in values:
+            h.observe(value)
+        for q, expected in ((0.50, 500.0), (0.95, 950.0), (0.99, 990.0)):
+            got = h.percentile(q)
+            assert abs(got - expected) / expected < 0.08, (q, got)
+
+    def test_percentiles_clamped_to_observed_range(self):
+        h = MetricsRegistry().histogram("h")
+        for value in (10.0, 10.5, 11.0):
+            h.observe(value)
+        assert 10.0 <= h.percentile(0.5) <= 11.0
+        assert 10.0 <= h.percentile(0.99) <= 11.0
+
+    def test_nonpositive_values_land_in_bucket_zero(self):
+        h = MetricsRegistry().histogram("h")
+        for value in (-5.0, 0.0, -1.0):
+            h.observe(value)
+        assert set(h.buckets) == {0}
+        assert h.percentile(0.5) == -5.0  # bucket-0 representative: the min
+
+    def test_merge_matches_direct_bucketing(self):
+        a, b = MetricsRegistry().histogram("h"), MetricsRegistry().histogram("h")
+        direct = MetricsRegistry().histogram("h")
+        for value in (0.001, 1.0, 250.0):
+            a.observe(value)
+            direct.observe(value)
+        for value in (3.0, 3e6):
+            b.observe(value)
+            direct.observe(value)
+        a.merge(b)
+        assert a.buckets == direct.buckets
+        assert a.as_dict() == direct.as_dict()
+
+    def test_snapshot_merge_coerces_string_bucket_keys(self):
+        import json
+
+        source = MetricsRegistry()
+        for value in (1.0, 2.0, 400.0):
+            source.histogram("h").observe(value)
+        round_tripped = json.loads(json.dumps(source.snapshot()))
+        target = MetricsRegistry()
+        target.merge_snapshot(round_tripped)
+        assert target.histogram("h").buckets == source.histogram("h").buckets
 
 
 class TestEventsAndContext:
