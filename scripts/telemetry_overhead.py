@@ -1,0 +1,130 @@
+"""CI smoke check: streaming telemetry must not change results.
+
+Runs the same seeded comparison twice — once under the zero-overhead
+:class:`repro.telemetry.NullRegistry` default, once inside a
+:func:`repro.telemetry.streaming_manifest_session` with the watchdog
+enabled and ``max_events=0`` (the memory-bounded live mode) — and
+enforces the observe-only contract:
+
+* every algorithm's total cost is identical across the two runs to
+  1e-9 relative (telemetry never perturbs the numbers);
+* the streamed manifest passes
+  :func:`repro.analysis.verify_manifest_costs` (per-slot events sum to
+  each run's ``run_end`` totals);
+* the wall-time delta is printed as an advisory (shared CI runners are
+  too noisy to gate on), so overhead creep is visible in the job log.
+
+Exit code 0 on success, 1 with a diagnostic on any mismatch.
+
+Run:  python scripts/telemetry_overhead.py [--users N] [--slots T]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+#: Relative tolerance on cost identity between the two runs. Both runs
+#: execute the same deterministic code path, so this is a bit-identity
+#: check with float-printing headroom, not a noise allowance.
+COST_RTOL = 1e-9
+
+
+def run_once(instance, stream_path: Path | None) -> tuple[dict[str, float], float]:
+    """One seeded comparison; returns (total cost per algorithm, wall s)."""
+    from repro import (
+        OfflineOptimal,
+        OnlineGreedy,
+        OnlineRegularizedAllocator,
+        compare_algorithms,
+    )
+    from repro.telemetry import default_rules, streaming_manifest_session
+
+    algorithms = [OfflineOptimal(), OnlineGreedy(), OnlineRegularizedAllocator()]
+    start = time.perf_counter()
+    if stream_path is None:
+        comparison = compare_algorithms(algorithms, instance)
+    else:
+        with streaming_manifest_session(
+            stream_path,
+            config={"check": "telemetry_overhead"},
+            watchdog_rules=default_rules(),
+        ):
+            comparison = compare_algorithms(algorithms, instance)
+    wall = time.perf_counter() - start
+    costs = {
+        name: result.total_cost for name, result in comparison.results.items()
+    }
+    return costs, wall
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the overhead check; returns the process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--users", type=int, default=10)
+    parser.add_argument("--slots", type=int, default=8)
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args(argv)
+
+    from repro import Scenario
+    from repro.analysis import load_manifest, verify_manifest_costs
+
+    instance = Scenario(
+        num_users=args.users, num_slots=args.slots
+    ).build(seed=args.seed)
+
+    manifest = Path(tempfile.gettempdir()) / "telemetry_overhead.jsonl"
+    manifest.unlink(missing_ok=True)
+
+    bare_costs, bare_wall = run_once(instance, None)
+    streamed_costs, streamed_wall = run_once(instance, manifest)
+
+    failures = []
+    for name, bare in bare_costs.items():
+        streamed = streamed_costs.get(name)
+        if streamed is None:
+            failures.append(f"{name}: missing from the streamed run")
+            continue
+        scale = max(1.0, abs(bare))
+        if abs(streamed - bare) > COST_RTOL * scale:
+            failures.append(
+                f"{name}: bare {bare!r} != streamed {streamed!r} "
+                f"(delta {abs(streamed - bare):.3e})"
+            )
+
+    record = load_manifest(manifest)
+    try:
+        checks = verify_manifest_costs(record)
+    except ValueError as error:
+        failures.append(f"manifest verification: {error}")
+        checks = []
+    for check in checks:
+        if not check.ok(COST_RTOL):
+            failures.append(
+                f"manifest run {check.key}: slot events deviate from "
+                f"run_end totals by {check.deviation:.3e}"
+            )
+
+    overhead = streamed_wall - bare_wall
+    pct = 100.0 * overhead / bare_wall if bare_wall > 0 else float("nan")
+    print(
+        f"telemetry overhead (advisory): bare {bare_wall:.3f}s, "
+        f"streamed {streamed_wall:.3f}s, delta {overhead:+.3f}s ({pct:+.1f}%)"
+    )
+    print(
+        f"costs identical to {COST_RTOL:g} across "
+        f"{len(bare_costs)} algorithms: {not failures}"
+    )
+    print(f"manifest: {len(record.events)} events, {len(checks)} runs verified")
+    if failures:
+        for failure in failures:
+            print(f"FAIL {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

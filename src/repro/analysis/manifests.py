@@ -21,9 +21,15 @@ from pathlib import Path
 from ..telemetry.manifest import RunRecord, read_manifest
 
 
-def load_manifest(path: str | Path) -> RunRecord:
-    """Load a JSON-lines run manifest (thin alias of ``read_manifest``)."""
-    return read_manifest(path)
+def load_manifest(path: str | Path, *, strict: bool = True) -> RunRecord:
+    """Load a JSON-lines run manifest (thin alias of ``read_manifest``).
+
+    ``strict=False`` tolerates live (still-growing) or torn manifests:
+    every complete record is returned and the record is flagged
+    ``truncated=True`` — note :func:`verify_manifest_costs` will then
+    reject runs whose ``run_end`` has not been written yet.
+    """
+    return read_manifest(path, strict=strict)
 
 
 def _run_key(event: dict) -> tuple:

@@ -24,7 +24,7 @@ from .compare import (
     MetricDelta,
     compare_records,
 )
-from .doctor import doctor_report, load_for_doctor
+from .doctor import doctor_report, load_for_doctor, resolve_manifest_path
 from .records import (
     BENCH_FORMAT,
     BenchMetric,
@@ -50,6 +50,7 @@ __all__ = [
     "doctor_report",
     "load_for_doctor",
     "read_record",
+    "resolve_manifest_path",
     "run_suite",
     "write_record",
 ]

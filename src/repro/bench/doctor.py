@@ -23,9 +23,30 @@ from ..telemetry import RunRecord, read_manifest
 TOP_N = 5
 
 
+def resolve_manifest_path(path: str | Path) -> Path:
+    """Resolve a manifest argument: a file as-is, a directory to its
+    newest ``*.jsonl`` manifest (by modification time).
+
+    Raises ``FileNotFoundError`` when a directory holds no ``*.jsonl``.
+    """
+    path = Path(path)
+    if not path.is_dir():
+        return path
+    manifests = sorted(
+        path.glob("*.jsonl"), key=lambda p: p.stat().st_mtime, reverse=True
+    )
+    if not manifests:
+        raise FileNotFoundError(f"{path}: directory holds no *.jsonl manifest")
+    return manifests[0]
+
+
 def load_for_doctor(path: str | Path) -> RunRecord:
-    """Load a manifest for post-mortem, tolerating truncation."""
-    return read_manifest(path, strict=False)
+    """Load a manifest for post-mortem, tolerating truncation.
+
+    ``path`` may be a directory: the newest ``*.jsonl`` inside it is
+    picked (crashed runs rarely leave you remembering the exact file).
+    """
+    return read_manifest(resolve_manifest_path(path), strict=False)
 
 
 def _fmt_config(config: dict) -> str:
@@ -151,16 +172,44 @@ def _convergence(record: RunRecord) -> list[str]:
     return lines
 
 
+def _alerts(record: RunRecord) -> list[str]:
+    alerts = record.events_of_type("alert")
+    if not alerts:
+        return ["  none recorded"]
+    by_rule: dict[str, int] = {}
+    for event in alerts:
+        rule = str(event.get("rule", "?"))
+        by_rule[rule] = by_rule.get(rule, 0) + 1
+    lines = [
+        "  "
+        + ", ".join(f"{rule}: {count}" for rule, count in sorted(by_rule.items()))
+    ]
+    for event in alerts[:TOP_N]:
+        slot = event.get("slot")
+        where = "" if slot is None else f" (slot {int(slot)})"
+        lines.append(
+            f"  [{event.get('rule', '?')}]{where} {event.get('message', '')}"
+        )
+    if len(alerts) > TOP_N:
+        lines.append(f"  ... {len(alerts) - TOP_N} more")
+    return lines
+
+
 def doctor_report(
     source: str | Path | RunRecord, *, gap_tol: float = DEFAULT_GAP_TOL
 ) -> str:
-    """Render the post-mortem report for a manifest (path or loaded record)."""
+    """Render the post-mortem report for a manifest.
+
+    ``source`` may be a loaded :class:`RunRecord`, a manifest path, or a
+    directory (the newest ``*.jsonl`` inside is diagnosed).
+    """
     if isinstance(source, RunRecord):
         record = source
         origin = "(in-memory record)"
     else:
-        record = load_for_doctor(source)
-        origin = str(source)
+        resolved = resolve_manifest_path(source)
+        record = load_for_doctor(resolved)
+        origin = str(resolved)
     lines = [f"Run post-mortem - {origin}"]
     if record.truncated:
         lines.append(
@@ -174,6 +223,7 @@ def doctor_report(
     )
     sections = (
         ("Slowest slots", _slowest_slots(record)),
+        ("Watchdog alerts", _alerts(record)),
         ("Solver incidents", _solver_incidents(record)),
         ("Optimality certificates", _certificates(record, gap_tol)),
         ("Competitive ratio vs Theorem 2", _ratio(record)),

@@ -13,6 +13,9 @@ Examples::
     repro-edge certify              # eq. 12 chain + per-slot certificates
     repro-edge bench --suite smoke --compare BENCH_smoke.json
     repro-edge doctor run.jsonl     # post-mortem of a recorded run
+    repro-edge fig2 --telemetry run.jsonl --stream --watchdog
+    repro-edge watch run.jsonl --strict   # live dashboard (second terminal)
+    repro-edge export run.jsonl --trace trace.json --openmetrics run.prom
 
 Every command prints a paper-style ASCII table to stdout; see
 EXPERIMENTS.md for how the output maps onto the paper's figures and
@@ -75,6 +78,29 @@ def _add_scale_arguments(parser: argparse.ArgumentParser) -> None:
         help="record metrics, spans, and per-slot cost events and write them "
         "as a JSON-lines run manifest to PATH (docs/OBSERVABILITY.md); "
         "results are bit-identical with or without",
+    )
+    parser.add_argument(
+        "--stream",
+        action="store_true",
+        help="write the --telemetry manifest incrementally (live-tailable "
+        "with 'repro-edge watch'; memory-bounded: events go to disk, not "
+        "RAM); final costs are bit-identical to the buffered writer",
+    )
+    parser.add_argument(
+        "--ring-events",
+        type=int,
+        default=None,
+        metavar="N",
+        help="keep at most N telemetry events in memory (oldest evicted, "
+        "evictions counted in telemetry.events.dropped); bounds memory on "
+        "long horizons like --drop-schedules does for schedules",
+    )
+    parser.add_argument(
+        "--watchdog",
+        action="store_true",
+        help="evaluate the default watchdog rules (solver stall, fallback "
+        "storm, certificate gap, ratio over bound) live over the telemetry "
+        "stream; alerts land in the manifest as 'alert' events",
     )
     parser.add_argument(
         "--metrics-summary",
@@ -232,7 +258,9 @@ def _cmd_certify(args: argparse.Namespace) -> str:
     trace = competitive_ratio_trace(
         instance, schedule, eps1=scale.eps, eps2=scale.eps
     )
-    record_ratio_trace(trace)
+    # stream=True feeds per-prefix diag.ratio.point events to any attached
+    # sink, so `repro-edge watch` and the RatioBoundRule see the ratio live.
+    record_ratio_trace(trace, stream=True)
     lines += [
         "",
         "Empirical competitive ratio vs Theorem 2 (per-prefix)",
@@ -280,6 +308,40 @@ def _cmd_doctor(args: argparse.Namespace) -> str:
     from .bench import doctor_report
 
     return doctor_report(args.manifest)
+
+
+def _cmd_watch(args: argparse.Namespace) -> str:
+    from .telemetry import watch
+
+    code = watch(
+        args.manifest,
+        interval=args.interval,
+        follow=not args.once,
+        strict=args.strict,
+        timeout=args.timeout,
+    )
+    # watch() renders its own frames; the exit code is the whole result.
+    raise SystemExit(code)
+
+
+def _cmd_export(args: argparse.Namespace) -> str:
+    from .telemetry import read_manifest, write_chrome_trace, write_openmetrics
+
+    if args.trace is None and args.openmetrics is None:
+        raise SystemExit("export: pass --trace PATH and/or --openmetrics PATH")
+    record = read_manifest(args.manifest, strict=False)
+    lines = [f"Exported from {args.manifest}"]
+    if record.truncated:
+        lines.append("  (truncated manifest: exporting the recorded prefix)")
+    if args.trace is not None:
+        out = write_chrome_trace(args.trace, record.spans)
+        lines.append(
+            f"  chrome trace  -> {out}  (load in chrome://tracing or Perfetto)"
+        )
+    if args.openmetrics is not None:
+        out = write_openmetrics(args.openmetrics, record)
+        lines.append(f"  openmetrics   -> {out}  (Prometheus textfile format)")
+    return "\n".join(lines)
 
 
 def _cmd_quickstart(args: argparse.Namespace) -> str:
@@ -379,8 +441,66 @@ def build_parser() -> argparse.ArgumentParser:
     doctor = sub.add_parser(
         "doctor", help="post-mortem report from a telemetry run manifest"
     )
-    doctor.add_argument("manifest", help="path to a .jsonl run manifest")
+    doctor.add_argument(
+        "manifest",
+        help="path to a .jsonl run manifest, or a directory "
+        "(its newest .jsonl is diagnosed)",
+    )
     doctor.set_defaults(func=_cmd_doctor)
+
+    watch_p = sub.add_parser(
+        "watch", help="live dashboard over a streaming run manifest"
+    )
+    watch_p.add_argument(
+        "manifest",
+        help="manifest to tail (may still be growing, or not exist yet)",
+    )
+    watch_p.add_argument(
+        "--interval",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="seconds between polls (default: 0.5)",
+    )
+    watch_p.add_argument(
+        "--once",
+        action="store_true",
+        help="render the current state once and exit instead of following",
+    )
+    watch_p.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit nonzero when any watchdog alert fired (recorded in the "
+        "manifest or re-derived from the event stream)",
+    )
+    watch_p.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="stop following after this many seconds (default: follow until "
+        "manifest_end)",
+    )
+    watch_p.set_defaults(func=_cmd_watch)
+
+    export = sub.add_parser(
+        "export", help="convert a run manifest to external tooling formats"
+    )
+    export.add_argument("manifest", help="path to a .jsonl run manifest")
+    export.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="write a Chrome trace_event JSON of the span trees to PATH",
+    )
+    export.add_argument(
+        "--openmetrics",
+        default=None,
+        metavar="PATH",
+        help="write an OpenMetrics/Prometheus text snapshot of the metrics "
+        "to PATH",
+    )
+    export.set_defaults(func=_cmd_export)
     return parser
 
 
@@ -388,18 +508,29 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code.
 
     ``--telemetry PATH`` runs the command inside a telemetry session and
-    writes the session's JSON-lines run manifest to ``PATH``;
-    ``--metrics-summary`` appends the metrics table to the report. Both
-    observe only — the reported numbers are identical either way.
+    writes the session's JSON-lines run manifest to ``PATH`` — buffered
+    by default, incrementally with ``--stream`` (tail it live with
+    ``repro-edge watch PATH``). ``--ring-events N`` bounds the in-memory
+    event buffer, ``--watchdog`` evaluates the default alert rules over
+    the stream, and ``--metrics-summary`` appends the metrics table to
+    the report. All of it observes only — the reported numbers are
+    identical either way.
     """
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
     manifest_path = getattr(args, "telemetry", None)
     want_summary = getattr(args, "metrics_summary", False)
-    if manifest_path is None and not want_summary:
+    stream = getattr(args, "stream", False)
+    ring = getattr(args, "ring_events", None)
+    want_watchdog = getattr(args, "watchdog", False)
+    if stream and manifest_path is None:
+        parser.error("--stream requires --telemetry PATH (the file to stream to)")
+    wants_telemetry = (
+        manifest_path is not None or want_summary or ring is not None or want_watchdog
+    )
+    if not wants_telemetry:
         print(args.func(args))
         return 0
-
-    from .telemetry import telemetry_session, write_manifest
 
     config = {
         "command": args.command,
@@ -409,10 +540,38 @@ def main(argv: list[str] | None = None) -> int:
             if key not in ("func", "command") and not callable(value)
         },
     }
-    with telemetry_session() as registry:
-        output = args.func(args)
-    if manifest_path is not None:
-        write_manifest(manifest_path, registry, config=config)
+    if stream:
+        from .telemetry import default_rules, streaming_manifest_session
+
+        with streaming_manifest_session(
+            manifest_path,
+            config=config,
+            max_events=ring if ring is not None else 0,
+            watchdog_rules=default_rules() if want_watchdog else None,
+        ) as registry:
+            output = args.func(args)
+    else:
+        from .telemetry import (
+            MetricsRegistry,
+            NullSink,
+            default_rules,
+            telemetry_session,
+            write_manifest,
+        )
+        from .telemetry.watchdog import WatchdogSink
+
+        sink = None
+        if want_watchdog:
+            # Buffered path: alerts go into the event buffer (and thus the
+            # manifest) via the registry; the inner sink is a no-op.
+            sink = WatchdogSink(NullSink(), rules=default_rules())
+        registry = MetricsRegistry(sink=sink, max_events=ring)
+        if sink is not None:
+            sink.bind(registry)
+        with telemetry_session(registry):
+            output = args.func(args)
+        if manifest_path is not None:
+            write_manifest(manifest_path, registry, config=config)
     if want_summary:
         output = f"{output}\n\n{registry.summary_table()}"
     print(output)

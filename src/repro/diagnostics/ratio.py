@@ -135,13 +135,19 @@ def competitive_ratio_trace(
     )
 
 
-def record_ratio_trace(trace: RatioTrace, registry=None) -> None:
+def record_ratio_trace(trace: RatioTrace, registry=None, *, stream: bool = False) -> None:
     """Emit a ratio trace into the (active) telemetry registry.
 
     Each prefix ratio lands in the ``diag.ratio`` histogram; bound
     violations increment ``diag.ratio.violations`` and emit one
     ``diag.ratio.violation`` event each; the whole trace is persisted as a
     single ``diag.ratio.trace`` event. A no-op under the null registry.
+
+    With ``stream=True`` every prefix additionally emits one
+    ``diag.ratio.point`` event (``slot``/``ratio``/``bound``) — the live
+    ratio feed that ``repro-edge watch`` renders and the watchdog's
+    :class:`repro.telemetry.watchdog.RatioBoundRule` checks as the
+    manifest streams.
     """
     registry = registry if registry is not None else get_registry()
     if not registry.enabled:
@@ -150,6 +156,13 @@ def record_ratio_trace(trace: RatioTrace, registry=None) -> None:
         ratio = point.ratio
         if np.isfinite(ratio):
             registry.histogram("diag.ratio").observe(ratio)
+        if stream:
+            registry.event(
+                "diag.ratio.point",
+                slot=point.slot,
+                ratio=ratio,
+                bound=trace.bound,
+            )
     for point in trace.violations():
         registry.counter("diag.ratio.violations").inc()
         registry.event(

@@ -213,8 +213,15 @@ class SweepExecutor:
             registry.gauge("sweep.workers").set(self.workers)
             for result in results:
                 if result.telemetry is not None:
+                    # merge_snapshot routes the cell's events through the
+                    # parent registry's sink, so a streaming manifest
+                    # receives each worker's stream at merge time — still
+                    # in deterministic input order.
                     registry.merge_snapshot(_wrap_cell_spans(result))
                 registry.histogram("sweep.cell_wall_s").observe(result.wall_time_s)
+            # One flush per sweep: the merged per-worker events become
+            # visible to a live watcher as a block once the sweep lands.
+            registry.flush()
         return results
 
     def run_cells(self, cells: Iterable[Any]) -> list[CellResult]:

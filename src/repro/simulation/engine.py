@@ -73,6 +73,10 @@ def run_algorithm(
                 wall_s=elapsed,
                 totals=sim.breakdown.totals(),
             )
+            # Run boundaries are the natural checkpoints of a streaming
+            # manifest: force them to disk so a watcher never sees a run's
+            # slots without its run_end for longer than one run.
+            telemetry.flush()
     report = sim.feasibility
     if require_feasible and report.worst() > feasibility_tol:
         raise ValueError(

@@ -177,6 +177,11 @@ def simulate(
                     mg=costs.migration,
                     total=costs.total,
                 )
+                # A streaming sink flushes every N events; this per-slot
+                # nudge makes its *time* policy effective too, so a
+                # watcher's staleness is bounded by the flush interval
+                # even when slots are slow and events sparse.
+                telemetry.maybe_flush()
             residual_demand = max(
                 residual_demand, float((workloads - x_t.sum(axis=0)).max())
             )

@@ -1,6 +1,6 @@
 """Lightweight, dependency-free observability for the whole system.
 
-Three pieces (docs/OBSERVABILITY.md):
+The pieces (docs/OBSERVABILITY.md):
 
 * :class:`MetricsRegistry` — counters, gauges, and histograms keyed by
   dotted names (``solver.ipm.iterations``, ``slot.wall_ms``, ...), plus
@@ -12,7 +12,18 @@ Three pieces (docs/OBSERVABILITY.md):
 * JSON-lines **run manifests** (:func:`write_manifest` /
   :func:`read_manifest` / :class:`RunRecord`) capturing config, per-slot
   cost events, and final cost breakdowns for later analysis
-  (:mod:`repro.analysis.manifests`).
+  (:mod:`repro.analysis.manifests`);
+* **event sinks** (:mod:`repro.telemetry.sinks`) — most importantly the
+  :class:`StreamingManifestWriter`, which appends the manifest
+  incrementally so a live run is observable and memory-bounded
+  (:func:`streaming_manifest_session` wires it up in one call);
+* **exporters** (:mod:`repro.telemetry.exporters`) — span trees to
+  Chrome ``trace_event`` JSON, metric snapshots to OpenMetrics text;
+* the **watchdog** (:mod:`repro.telemetry.watchdog`) — declarative rules
+  (solver stall, fallback storm, certificate gap, ratio over bound)
+  evaluated over the live event stream, alerts emitted back into it;
+* the **watch view** (:mod:`repro.telemetry.watch`) — tail a streaming
+  manifest and render a refreshing dashboard (``repro-edge watch``).
 
 Enabling telemetry never changes results: instrumented code only *reads*
 the quantities it reports, and the bit-identity is pinned by
@@ -22,6 +33,12 @@ deterministically on join, so metric aggregates are identical at any
 worker count.
 """
 
+from .exporters import (
+    chrome_trace,
+    openmetrics,
+    write_chrome_trace,
+    write_openmetrics,
+)
 from .manifest import MANIFEST_FORMAT, RunRecord, read_manifest, write_manifest
 from .metrics import (
     MAX_SPAN_CHILDREN,
@@ -33,30 +50,72 @@ from .metrics import (
     NullRegistry,
     get_registry,
     set_registry,
+    sketch_upper_edge,
     span,
     telemetry_enabled,
     telemetry_session,
 )
+from .sinks import (
+    EventSink,
+    NullSink,
+    RingSink,
+    StreamingManifestWriter,
+    streaming_manifest_session,
+)
 from .spans import render_spans, span_durations, walk_spans
+from .watch import ManifestTail, WatchState, watch
+from .watchdog import (
+    Alert,
+    CertificateGapRule,
+    FallbackStormRule,
+    RatioBoundRule,
+    SolverStallRule,
+    Watchdog,
+    WatchdogRule,
+    WatchdogSink,
+    default_rules,
+)
 
 __all__ = [
     "MANIFEST_FORMAT",
     "MAX_SPAN_CHILDREN",
     "NULL_REGISTRY",
+    "Alert",
+    "CertificateGapRule",
     "Counter",
+    "EventSink",
+    "FallbackStormRule",
     "Gauge",
     "Histogram",
+    "ManifestTail",
     "MetricsRegistry",
     "NullRegistry",
+    "NullSink",
+    "RatioBoundRule",
+    "RingSink",
     "RunRecord",
+    "SolverStallRule",
+    "StreamingManifestWriter",
+    "Watchdog",
+    "WatchdogRule",
+    "WatchdogSink",
+    "WatchState",
+    "chrome_trace",
+    "default_rules",
     "get_registry",
+    "openmetrics",
     "read_manifest",
     "render_spans",
     "set_registry",
+    "sketch_upper_edge",
     "span",
     "span_durations",
+    "streaming_manifest_session",
     "telemetry_enabled",
     "telemetry_session",
     "walk_spans",
+    "watch",
+    "write_chrome_trace",
     "write_manifest",
+    "write_openmetrics",
 ]

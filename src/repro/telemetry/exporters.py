@@ -1,0 +1,195 @@
+"""Exporters: span trees to Chrome ``trace_event`` JSON, metrics to OpenMetrics.
+
+Two read-side bridges from the repo's own telemetry shapes to standard
+tooling, both pure functions of recorded data:
+
+* :func:`chrome_trace` / :func:`write_chrome_trace` — convert span trees
+  (``{"name", "duration_ms", "children", "meta"?}`` dicts) into the
+  Trace Event Format's JSON-object form (``{"traceEvents": [...]}``)
+  loadable in ``chrome://tracing`` or Perfetto. Spans record durations,
+  not absolute timestamps, so each tree is laid out sequentially: a
+  node's children start at its own start and follow one another
+  back-to-back. Every root tree gets its own ``tid`` lane, which renders
+  a merged parallel sweep as one thread per cell.
+* :func:`openmetrics` / :func:`write_openmetrics` — render a metrics
+  snapshot (live registry, ``RunRecord``, or plain snapshot dict) as an
+  OpenMetrics/Prometheus text exposition: counters as ``_total``
+  samples, gauges verbatim, histograms as cumulative ``le`` buckets
+  (edges from the registry's log-scale sketch,
+  :func:`repro.telemetry.metrics.sketch_upper_edge`) plus ``_sum`` and
+  ``_count``. Suitable for the Prometheus node-exporter textfile
+  collector.
+
+Both accept the shapes found in a run manifest, so `repro-edge export`
+can produce traces and metric snapshots from any archived ``.jsonl``.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+
+from .manifest import RunRecord, _jsonify
+from .metrics import MetricsRegistry, sketch_upper_edge
+
+#: Characters allowed in an OpenMetrics metric name (everything else
+#: becomes ``_``).
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: Prefix stamped on every exported metric name.
+OPENMETRICS_PREFIX = "repro_"
+
+
+# ----- Chrome trace_event ------------------------------------------------------
+
+
+def chrome_trace(spans, *, pid: int = 0) -> dict:
+    """Convert span trees to the Trace Event Format JSON-object form.
+
+    Args:
+        spans: root span nodes (``registry.spans`` or a manifest's
+            ``spans`` record).
+        pid: the ``pid`` stamped on every event.
+
+    Returns:
+        ``{"traceEvents": [...], "displayTimeUnit": "ms"}`` where each
+        event is a complete (``"ph": "X"``) event with microsecond ``ts``
+        and ``dur``. Each root tree occupies its own ``tid`` lane and
+        starts at ``ts = 0``; children are laid out sequentially from
+        their parent's start (real inter-child gaps are not recorded by
+        the span tree, so self-time shows at the tail of each parent).
+    """
+    events: list[dict] = []
+    for tid, root in enumerate(spans):
+        _layout(root, 0.0, tid, pid, events)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def _layout(
+    node: dict, start_us: float, tid: int, pid: int, out: list[dict]
+) -> None:
+    """Append one node's complete event and lay its children end to end."""
+    duration_us = float(node.get("duration_ms", 0.0)) * 1000.0
+    event = {
+        "name": str(node.get("name", "?")),
+        "cat": "repro",
+        "ph": "X",
+        "ts": round(start_us, 3),
+        "dur": round(duration_us, 3),
+        "pid": pid,
+        "tid": tid,
+    }
+    meta = node.get("meta")
+    if meta:
+        event["args"] = {str(key): value for key, value in meta.items()}
+    out.append(event)
+    cursor = start_us
+    for child in node.get("children", ()):
+        _layout(child, cursor, tid, pid, out)
+        cursor += float(child.get("duration_ms", 0.0)) * 1000.0
+
+
+def write_chrome_trace(path: str | Path, spans, *, pid: int = 0) -> Path:
+    """Serialize :func:`chrome_trace` to ``path``; returns the path."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(chrome_trace(spans, pid=pid), handle, default=_jsonify)
+        handle.write("\n")
+    return path
+
+
+# ----- OpenMetrics / Prometheus text exposition --------------------------------
+
+
+def _metric_name(name: str) -> str:
+    """Sanitize a dotted metric name into an OpenMetrics identifier."""
+    return OPENMETRICS_PREFIX + _NAME_OK.sub("_", name)
+
+
+def _coerce_snapshot(source) -> tuple[dict, dict, dict]:
+    """Counters/gauges/histograms from a registry, record, or snapshot."""
+    if isinstance(source, MetricsRegistry):
+        snap = source.snapshot()
+        return snap["counters"], snap["gauges"], snap["histograms"]
+    if isinstance(source, RunRecord):
+        return source.counters, source.gauges, source.histograms
+    if isinstance(source, dict):
+        return (
+            source.get("counters", {}),
+            source.get("gauges", {}),
+            source.get("histograms", {}),
+        )
+    raise TypeError(
+        f"cannot read metrics from {type(source).__name__}; expected a "
+        "MetricsRegistry, RunRecord, or snapshot dict"
+    )
+
+
+def _format_value(value: float) -> str:
+    """Render one sample value (OpenMetrics accepts float syntax)."""
+    return f"{float(value):g}"
+
+
+def _le_label(edge: float) -> str:
+    """Render one ``le`` bucket label (``+Inf`` for the clamping bucket)."""
+    return "+Inf" if edge == float("inf") else f"{edge:g}"
+
+
+def openmetrics(source) -> str:
+    """Render a metrics snapshot as OpenMetrics text exposition format.
+
+    Args:
+        source: a live :class:`~repro.telemetry.metrics.MetricsRegistry`,
+            a loaded :class:`~repro.telemetry.manifest.RunRecord`, or a
+            plain ``snapshot()``-shaped dict.
+
+    Returns:
+        The exposition text: ``# TYPE`` metadata per family, samples
+        sorted by name, terminated by ``# EOF``. Counter samples carry
+        the ``_total`` suffix; histograms expose cumulative ``le``
+        buckets (sketch edges) plus ``_sum``/``_count``.
+    """
+    counters, gauges, histograms = _coerce_snapshot(source)
+    lines: list[str] = []
+    for name in sorted(counters):
+        metric = _metric_name(name)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric}_total {_format_value(counters[name])}")
+    for name in sorted(gauges):
+        metric = _metric_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_format_value(gauges[name])}")
+    for name in sorted(histograms):
+        data = histograms[name]
+        metric = _metric_name(name)
+        lines.append(f"# TYPE {metric} histogram")
+        count = int(data.get("count", 0))
+        # JSON round-trips bucket keys as strings; coerce and cumulate.
+        buckets = sorted(
+            (int(index), int(n)) for index, n in (data.get("buckets") or {}).items()
+        )
+        cumulative = 0
+        for index, bucket_count in buckets:
+            edge = sketch_upper_edge(index)
+            if edge == float("inf"):
+                break  # the clamping bucket is the +Inf line below
+            cumulative += bucket_count
+            lines.append(f'{metric}_bucket{{le="{_le_label(edge)}"}} {cumulative}')
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {count}')
+        lines.append(f"{metric}_sum {_format_value(data.get('total', 0.0))}")
+        lines.append(f"{metric}_count {count}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def write_openmetrics(path: str | Path, source) -> Path:
+    """Write :func:`openmetrics` output to ``path``; returns the path.
+
+    The atomic-rename dance is deliberately omitted: the intended use is
+    the Prometheus textfile collector, which tolerates torn reads by
+    design, and single-shot snapshots from the CLI.
+    """
+    path = Path(path)
+    path.write_text(openmetrics(source), encoding="utf-8")
+    return path

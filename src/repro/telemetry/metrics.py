@@ -27,8 +27,12 @@ from __future__ import annotations
 
 import math
 import time
+from collections import deque
 from contextlib import contextmanager
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:  # type-only: sinks build on this module
+    from .sinks import EventSink
 
 #: Children recorded under one span before further siblings are dropped
 #: (long memory-bounded runs would otherwise grow an unbounded trace tree;
@@ -65,6 +69,20 @@ def sketch_bucket(value: float) -> int:
         return 0
     index = 1 + int(math.log(value / SKETCH_MIN) / _BUCKET_WIDTH)
     return index if index < _MAX_BUCKET else _MAX_BUCKET
+
+
+def sketch_upper_edge(index: int) -> float:
+    """The largest value landing in sketch bucket ``index``.
+
+    Bucket 0 tops out at :data:`SKETCH_MIN`; the final (clamping) bucket
+    absorbs everything above :data:`SKETCH_MAX`, so its edge is ``inf``.
+    The OpenMetrics exporter uses these edges as its ``le`` labels.
+    """
+    if index <= 0:
+        return SKETCH_MIN
+    if index >= _MAX_BUCKET:
+        return float("inf")
+    return SKETCH_MIN * math.exp(index * _BUCKET_WIDTH)
 
 
 class Counter:
@@ -197,12 +215,36 @@ class MetricsRegistry:
     #: Class-level flag instrumentation checks before doing optional work.
     enabled = True
 
-    def __init__(self) -> None:
-        """Create an empty registry."""
+    def __init__(
+        self,
+        *,
+        sink: "EventSink | None" = None,
+        max_events: int | None = None,
+    ) -> None:
+        """Create an empty registry.
+
+        Args:
+            sink: optional event sink (:mod:`repro.telemetry.sinks`); every
+                event is forwarded to it at emission time, *before* any
+                in-memory bounding, so a streaming manifest always holds
+                the full event stream.
+            max_events: bound on the in-memory ``events`` buffer. ``None``
+                (the default) keeps every event, preserving the historical
+                unbounded-list behavior; ``N`` keeps only the newest ``N``
+                (a ring buffer), counting evictions in the
+                ``telemetry.events.dropped`` counter; ``0`` keeps nothing
+                in memory — the memory-bounded streaming mode.
+        """
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
-        self.events: list[dict] = []
+        if max_events is not None and max_events < 0:
+            raise ValueError(f"max_events must be >= 0 or None, got {max_events}")
+        self.sink = sink
+        self.max_events = max_events
+        self.events: "list[dict] | deque[dict]" = (
+            [] if max_events is None else deque(maxlen=max_events)
+        )
         self.spans: list[dict] = []
         self._span_stack: list[dict] = []
         self._context: dict = {}
@@ -235,8 +277,43 @@ class MetricsRegistry:
 
     def event(self, kind: str, **payload) -> None:
         """Append one structured event (a manifest line) tagged with the
-        active context; ``kind`` becomes the record's ``"type"`` field."""
-        self.events.append({"type": kind, **self._context, **payload})
+        active context; ``kind`` becomes the record's ``"type"`` field.
+
+        With a bounded buffer (``max_events``) the oldest in-memory record
+        is evicted (and counted) once the ring is full; a sink attached to
+        the registry receives every record regardless of the bound. The
+        record is buffered before it is streamed, so a sink that emits
+        follow-up events re-entrantly (the watchdog's ``alert`` records)
+        keeps stream order and buffer order identical.
+        """
+        record = {"type": kind, **self._context, **payload}
+        self._append_event(record)
+        if self.sink is not None:
+            self.sink.emit(record)
+
+    def _append_event(self, record: dict) -> None:
+        """Buffer one event record, honoring the ``max_events`` bound."""
+        cap = self.max_events
+        if cap is not None and len(self.events) >= cap:
+            self.counter("telemetry.events.dropped").inc()
+            if cap == 0:
+                return
+        self.events.append(record)
+
+    def flush(self) -> None:
+        """Flush the attached sink, if any (no-op otherwise)."""
+        if self.sink is not None:
+            self.sink.flush()
+
+    def maybe_flush(self) -> None:
+        """Give the attached sink a chance to flush on its time policy.
+
+        Hot loops (the spine's slot loop) call this once per iteration so
+        a time-based flush interval takes effect even when the sink's
+        event-count threshold has not been reached.
+        """
+        if self.sink is not None:
+            self.sink.maybe_flush()
 
     @contextmanager
     def context(self, **tags) -> Iterator[None]:
@@ -332,7 +409,13 @@ class MetricsRegistry:
                 histogram.buckets[index] = (
                     histogram.buckets.get(index, 0) + int(bucket_count)
                 )
-        self.events.extend(snap.get("events", ()))
+        for record in snap.get("events", ()):
+            # Route merged events through the sink too: this is how a
+            # parallel sweep's per-worker events stream into a live
+            # manifest — in the deterministic merge order.
+            if self.sink is not None:
+                self.sink.emit(record)
+            self._append_event(record)
         self.spans.extend(snap.get("spans", ()))
 
     def summary_table(self) -> str:

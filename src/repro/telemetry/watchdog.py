@@ -1,0 +1,366 @@
+"""Watchdog rules engine: declarative alerts over the live event stream.
+
+Long-horizon online-placement runs are operated by watching a handful of
+health signals — is the solver stalling, is the fallback backend storming,
+are the optimality certificates or the Theorem-2 ratio bound violated?
+This module evaluates such rules *as the events stream by*, either
+
+* **in-process**, by wrapping any event sink in a :class:`WatchdogSink`
+  (e.g. inside :func:`repro.telemetry.sinks.streaming_manifest_session`
+  with ``watchdog_rules=default_rules()``) — fired alerts are emitted
+  back into the event stream as ``alert`` records, so they land in the
+  live manifest next to the events that triggered them; or
+* **offline/tailing**, by feeding manifest records through a bare
+  :class:`Watchdog` — this is how ``repro-edge watch --strict`` turns a
+  rule firing into a nonzero exit code.
+
+Rules are small frozen dataclasses over a shared :class:`WatchdogState`
+(rolling slot-wall histogram, recent fallback positions, ...), so the
+rule set is declarative: construct the instances you want, with the
+thresholds you want, and hand them to the engine. The engine never
+alerts on ``alert`` records themselves, so replaying a manifest that
+already contains alerts cannot cascade.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from .metrics import Histogram, MetricsRegistry
+from .sinks import EventSink
+
+#: Default relative duality-gap tolerance (mirrors
+#: ``repro.diagnostics.certificates.DEFAULT_GAP_TOL``; kept as a literal so
+#: the telemetry leaf does not import the diagnostics layer).
+DEFAULT_GAP_TOL = 1e-6
+
+#: Default relative slack on the Theorem-2 bound (mirrors
+#: ``repro.diagnostics.ratio.BOUND_RTOL``).
+DEFAULT_BOUND_RTOL = 1e-9
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One rule firing.
+
+    Attributes:
+        rule: the firing rule's name (``solver-stall``, ...).
+        message: human-readable one-liner for logs and the watch view.
+        slot: the slot the triggering event carried, when it had one.
+        value: the observed quantity that tripped the rule.
+        threshold: the limit it tripped.
+    """
+
+    rule: str
+    message: str
+    slot: int | None = None
+    value: float | None = None
+    threshold: float | None = None
+
+    def as_event(self) -> dict:
+        """The ``alert`` manifest-record form of this alert."""
+        record = {"type": "alert", "rule": self.rule, "message": self.message}
+        if self.slot is not None:
+            record["slot"] = self.slot
+        if self.value is not None:
+            record["value"] = self.value
+        if self.threshold is not None:
+            record["threshold"] = self.threshold
+        return record
+
+
+class WatchdogState:
+    """Rolling view of the event stream shared by every rule.
+
+    Attributes:
+        slots: ``slot`` events seen so far.
+        wall: histogram of their ``wall_ms`` (the stall baseline).
+        fallbacks: ``solver.fallback`` events seen so far.
+        fallback_positions: slot counts at which recent fallbacks happened
+            (pruned by :class:`FallbackStormRule`'s window).
+        circuit_opens: ``solver.circuit_open`` events seen so far.
+    """
+
+    def __init__(self) -> None:
+        """Start with an empty history."""
+        self.slots = 0
+        self.wall = Histogram("watchdog.slot_wall_ms")
+        self.fallbacks = 0
+        self.fallback_positions: deque[int] = deque()
+        self.circuit_opens = 0
+
+    def update(self, record: dict) -> None:
+        """Fold one event record into the rolling state."""
+        kind = record.get("type")
+        if kind == "slot":
+            self.slots += 1
+            wall = record.get("wall_ms")
+            if wall is not None:
+                self.wall.observe(float(wall))
+        elif kind == "solver.fallback":
+            self.fallbacks += 1
+            self.fallback_positions.append(self.slots)
+        elif kind == "solver.circuit_open":
+            self.circuit_opens += 1
+
+
+class WatchdogRule:
+    """Base class for rules: a name plus an ``observe`` predicate."""
+
+    #: Rule identifier stamped on every alert it fires.
+    name = "rule"
+
+    def observe(self, record: dict, state: WatchdogState) -> Alert | None:
+        """Inspect one event (after ``state`` absorbed it); maybe alert."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class SolverStallRule(WatchdogRule):
+    """Fire when one slot's wall time dwarfs the run's own p95.
+
+    Attributes:
+        factor: how many multiples of the rolling p95 count as a stall.
+        min_slots: slots of history required before the rule arms (the
+            early p95 is too noisy to compare against).
+    """
+
+    factor: float = 8.0
+    min_slots: int = 16
+    name: str = field(default="solver-stall", init=False)
+
+    def observe(self, record: dict, state: WatchdogState) -> Alert | None:
+        """Compare a ``slot`` event's wall time against ``factor``·p95."""
+        if record.get("type") != "slot" or "wall_ms" not in record:
+            return None
+        if state.slots <= self.min_slots:
+            return None
+        p95 = state.wall.percentile(0.95)
+        if p95 is None or p95 <= 0.0:
+            return None
+        wall = float(record["wall_ms"])
+        limit = self.factor * p95
+        if wall <= limit:
+            return None
+        slot = record.get("slot")
+        return Alert(
+            rule=self.name,
+            message=(
+                f"slot wall time {wall:.1f} ms exceeds "
+                f"{self.factor:g} x p95 ({p95:.1f} ms)"
+            ),
+            slot=None if slot is None else int(slot),
+            value=wall,
+            threshold=limit,
+        )
+
+
+@dataclass(frozen=True)
+class FallbackStormRule(WatchdogRule):
+    """Fire when fallbacks cluster: ``threshold`` within ``window`` slots.
+
+    Fires exactly once per storm — at the moment the count in the window
+    *reaches* the threshold — rather than on every further fallback.
+
+    Attributes:
+        threshold: fallbacks within the window that constitute a storm.
+        window: the window length, measured in accounted slots.
+    """
+
+    threshold: int = 3
+    window: int = 25
+    name: str = field(default="fallback-storm", init=False)
+
+    def observe(self, record: dict, state: WatchdogState) -> Alert | None:
+        """Count recent ``solver.fallback`` events inside the slot window."""
+        if record.get("type") != "solver.fallback":
+            return None
+        positions = state.fallback_positions
+        while positions and positions[0] < state.slots - self.window:
+            positions.popleft()
+        if len(positions) != self.threshold:
+            return None
+        return Alert(
+            rule=self.name,
+            message=(
+                f"{len(positions)} solver fallbacks within the last "
+                f"{self.window} slots"
+            ),
+            value=float(len(positions)),
+            threshold=float(self.threshold),
+        )
+
+
+@dataclass(frozen=True)
+class CertificateGapRule(WatchdogRule):
+    """Fire when a per-slot optimality certificate exceeds the gap tolerance.
+
+    Attributes:
+        tol: relative duality-gap tolerance (``diag.certificate``'s
+            ``relative_gap`` above this fires).
+    """
+
+    tol: float = DEFAULT_GAP_TOL
+    name: str = field(default="certificate-gap", init=False)
+
+    def observe(self, record: dict, state: WatchdogState) -> Alert | None:
+        """Check a ``diag.certificate`` event's relative gap."""
+        if record.get("type") != "diag.certificate":
+            return None
+        gap = float(record.get("relative_gap", 0.0))
+        if gap <= self.tol:
+            return None
+        slot = record.get("slot")
+        return Alert(
+            rule=self.name,
+            message=f"relative duality gap {gap:.3e} exceeds tol {self.tol:g}",
+            slot=None if slot is None else int(slot),
+            value=gap,
+            threshold=self.tol,
+        )
+
+
+@dataclass(frozen=True)
+class RatioBoundRule(WatchdogRule):
+    """Fire when the empirical ratio exceeds the certified `1 + γ|I|` bound.
+
+    Listens to the diagnostics ratio feed: each streamed
+    ``diag.ratio.point`` is checked against its own ``bound`` field, and
+    explicit ``diag.ratio.violation`` events (emitted by
+    :func:`repro.diagnostics.ratio.record_ratio_trace`) always fire.
+
+    Attributes:
+        rtol: relative slack on the bound (solver noise lives below it).
+    """
+
+    rtol: float = DEFAULT_BOUND_RTOL
+    name: str = field(default="ratio-over-bound", init=False)
+
+    def observe(self, record: dict, state: WatchdogState) -> Alert | None:
+        """Check ratio-feed events against the certified bound."""
+        kind = record.get("type")
+        if kind not in ("diag.ratio.point", "diag.ratio.violation"):
+            return None
+        ratio = float(record.get("ratio", 0.0))
+        bound = float(record.get("bound", float("inf")))
+        if kind == "diag.ratio.point" and ratio <= bound * (1.0 + self.rtol):
+            return None
+        slot = record.get("slot")
+        return Alert(
+            rule=self.name,
+            message=(
+                f"empirical ratio {ratio:.6f} exceeds the certified "
+                f"bound {bound:.6f}"
+            ),
+            slot=None if slot is None else int(slot),
+            value=ratio,
+            threshold=bound,
+        )
+
+
+def default_rules() -> tuple[WatchdogRule, ...]:
+    """The standard rule set, at default thresholds."""
+    return (
+        SolverStallRule(),
+        FallbackStormRule(),
+        CertificateGapRule(),
+        RatioBoundRule(),
+    )
+
+
+class Watchdog:
+    """Evaluate a rule set over an event stream, accumulating alerts.
+
+    Attributes:
+        rules: the rule instances being evaluated.
+        state: the shared rolling state.
+        alerts: every alert fired so far, in firing order.
+    """
+
+    def __init__(self, rules: "tuple[WatchdogRule, ...] | list | None" = None):
+        """Create the engine (``None`` rules = :func:`default_rules`)."""
+        self.rules = tuple(rules) if rules is not None else default_rules()
+        self.state = WatchdogState()
+        self.alerts: list[Alert] = []
+
+    def observe(self, record: dict) -> list[Alert]:
+        """Feed one event record; return the alerts it fired (often none).
+
+        ``alert`` records are ignored (never re-evaluated), so replaying
+        a manifest that already contains alerts cannot cascade.
+        """
+        if record.get("type") == "alert":
+            return []
+        self.state.update(record)
+        fired = []
+        for rule in self.rules:
+            alert = rule.observe(record, self.state)
+            if alert is not None:
+                fired.append(alert)
+        self.alerts.extend(fired)
+        return fired
+
+    def observe_all(self, records) -> list[Alert]:
+        """Feed many records; return every alert they fired."""
+        fired: list[Alert] = []
+        for record in records:
+            fired.extend(self.observe(record))
+        return fired
+
+
+class WatchdogSink(EventSink):
+    """Wrap a sink with live rule evaluation; alerts join the stream.
+
+    Every record is forwarded to the inner sink first, then evaluated.
+    Fired alerts are emitted as ``alert`` records — through the bound
+    registry when one is attached (so they carry the active context tags
+    and land in the in-memory event buffer too), or straight into the
+    inner sink otherwise. Re-entrancy is safe because the engine skips
+    ``alert`` records.
+
+    Attributes:
+        inner: the wrapped sink (e.g. a
+            :class:`repro.telemetry.sinks.StreamingManifestWriter`).
+        watchdog: the rule engine (``.alerts`` holds everything fired).
+    """
+
+    def __init__(
+        self,
+        inner: EventSink,
+        *,
+        rules: "tuple[WatchdogRule, ...] | list | None" = None,
+    ) -> None:
+        """Wrap ``inner`` with a fresh :class:`Watchdog` over ``rules``."""
+        self.inner = inner
+        self.watchdog = Watchdog(rules)
+        self._registry: MetricsRegistry | None = None
+
+    def bind(self, registry: MetricsRegistry) -> None:
+        """Route fired alerts through ``registry.event`` (context-tagged)."""
+        self._registry = registry
+
+    def emit(self, record: dict) -> None:
+        """Forward the record, evaluate rules, emit any fired alerts."""
+        self.inner.emit(record)
+        if record.get("type") == "alert":
+            return
+        for alert in self.watchdog.observe(record):
+            if self._registry is not None:
+                payload = alert.as_event()
+                payload.pop("type")
+                self._registry.event("alert", **payload)
+            else:
+                self.inner.emit(alert.as_event())
+
+    def flush(self) -> None:
+        """Delegate to the inner sink."""
+        self.inner.flush()
+
+    def maybe_flush(self) -> None:
+        """Delegate to the inner sink."""
+        self.inner.maybe_flush()
+
+    def close(self) -> None:
+        """Delegate to the inner sink."""
+        self.inner.close()

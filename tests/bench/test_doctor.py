@@ -97,3 +97,60 @@ class TestDoctorReport:
         assert "TRUNCATED" in report
         for section in self.SECTIONS:
             assert section in report
+
+    def test_alert_section_lists_watchdog_firings(self, manifest_file, tmp_path):
+        import json as json_mod
+
+        lines = manifest_file.read_text().splitlines()
+        alert = json_mod.dumps(
+            {"type": "alert", "rule": "solver-stall", "slot": 1,
+             "message": "slot wall time 500.0 ms exceeds 8 x p95"}
+        )
+        # Splice an alert event in front of the trailing sections and fix
+        # the manifest_end event count to match.
+        end = json_mod.loads(lines[-1])
+        end["events"] += 1
+        doctored = tmp_path / "alerts.jsonl"
+        doctored.write_text(
+            "\n".join(lines[:-3] + [alert] + lines[-3:-1] + [json_mod.dumps(end)])
+        )
+        report = doctor_report(doctored)
+        assert "Watchdog alerts" in report
+        assert "solver-stall: 1" in report
+        assert "slot wall time 500.0 ms" in report
+
+    def test_no_alerts_renders_none(self, manifest_file):
+        report = doctor_report(manifest_file)
+        assert "Watchdog alerts" in report
+        assert "none recorded" in report
+
+
+class TestDoctorDirectory:
+    def test_directory_resolves_to_newest_manifest(self, tmp_path):
+        import os
+
+        from repro.bench import resolve_manifest_path
+
+        old = tmp_path / "old.jsonl"
+        new = tmp_path / "new.jsonl"
+        old.write_text("{}\n")
+        new.write_text("{}\n")
+        past = old.stat().st_mtime - 100
+        os.utime(old, (past, past))
+        assert resolve_manifest_path(tmp_path) == new
+        # A file path passes through untouched, even a nonexistent one.
+        assert resolve_manifest_path(old) == old
+        assert resolve_manifest_path(tmp_path / "nope.jsonl").name == "nope.jsonl"
+
+    def test_empty_directory_is_an_error(self, tmp_path):
+        from repro.bench import resolve_manifest_path
+
+        with pytest.raises(FileNotFoundError, match="no \\*.jsonl"):
+            resolve_manifest_path(tmp_path)
+
+    def test_cli_doctor_accepts_a_directory(self, manifest_file, capsys):
+        assert main(["doctor", str(manifest_file.parent)]) == 0
+        out = capsys.readouterr().out
+        assert "Slowest slots" in out
+        # The report names the file it picked inside the directory.
+        assert manifest_file.name in out

@@ -1,0 +1,187 @@
+"""Exporters: Chrome trace_event layout and OpenMetrics exposition format.
+
+Chrome traces are validated structurally (complete events, sequential
+child layout, one lane per root); OpenMetrics output is re-parsed by a
+mini-parser that enforces the invariants Prometheus relies on (cumulative
+monotone ``le`` buckets, ``+Inf`` equals ``_count``, ``# EOF``).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+
+import pytest
+
+from repro.telemetry import (
+    MetricsRegistry,
+    chrome_trace,
+    openmetrics,
+    read_manifest,
+    sketch_upper_edge,
+    write_chrome_trace,
+    write_manifest,
+    write_openmetrics,
+)
+
+
+def _tree() -> list[dict]:
+    return [
+        {
+            "name": "run",
+            "duration_ms": 10.0,
+            "meta": {"algorithm": "online-approx"},
+            "children": [
+                {"name": "simulate", "duration_ms": 6.0, "children": []},
+                {"name": "verify", "duration_ms": 2.0, "children": []},
+            ],
+        },
+        {"name": "run", "duration_ms": 5.0, "children": []},
+    ]
+
+
+class TestChromeTrace:
+    def test_events_are_complete_phase_with_us_timing(self):
+        trace = chrome_trace(_tree())
+        assert trace["displayTimeUnit"] == "ms"
+        events = trace["traceEvents"]
+        assert [e["ph"] for e in events] == ["X"] * 4
+        root = events[0]
+        assert root["name"] == "run"
+        assert root["ts"] == 0.0
+        assert root["dur"] == 10_000.0  # ms -> us
+        assert root["args"] == {"algorithm": "online-approx"}
+
+    def test_children_laid_out_sequentially_from_parent_start(self):
+        events = chrome_trace(_tree())["traceEvents"]
+        simulate = next(e for e in events if e["name"] == "simulate")
+        verify = next(e for e in events if e["name"] == "verify")
+        assert simulate["ts"] == 0.0
+        assert verify["ts"] == simulate["ts"] + simulate["dur"]
+        # Children stay inside the parent interval.
+        assert verify["ts"] + verify["dur"] <= events[0]["dur"]
+
+    def test_each_root_tree_gets_its_own_lane(self):
+        events = chrome_trace(_tree(), pid=7)["traceEvents"]
+        by_lane = {}
+        for event in events:
+            assert event["pid"] == 7
+            by_lane.setdefault(event["tid"], []).append(event["name"])
+        assert by_lane == {0: ["run", "simulate", "verify"], 1: ["run"]}
+
+    def test_empty_spans_give_an_empty_trace(self):
+        assert chrome_trace([]) == {"traceEvents": [], "displayTimeUnit": "ms"}
+
+    def test_write_round_trips_through_json(self, tmp_path):
+        path = write_chrome_trace(tmp_path / "trace.json", _tree())
+        loaded = json.loads(path.read_text())
+        assert loaded == chrome_trace(_tree())
+
+    def test_live_registry_spans_export(self, tmp_path):
+        registry = MetricsRegistry()
+        with registry.span("run", algorithm="x"):
+            with registry.span("simulate"):
+                pass
+        events = chrome_trace(registry.spans)["traceEvents"]
+        assert [e["name"] for e in events] == ["run", "simulate"]
+        assert events[1]["dur"] <= events[0]["dur"]
+
+
+def _parse_openmetrics(text: str) -> dict:
+    """Mini-parser: families with types, samples, and bucket lists."""
+    assert text.endswith("# EOF\n")
+    families: dict[str, dict] = {}
+    sample_re = re.compile(r'^([a-zA-Z0-9_:]+)(\{le="([^"]+)"\})? (\S+)$')
+    for line in text.splitlines()[:-1]:
+        if line.startswith("# TYPE "):
+            _, _, name, kind = line.split(" ")
+            families[name] = {"kind": kind, "samples": {}, "buckets": []}
+            continue
+        match = sample_re.match(line)
+        assert match, f"unparseable sample line: {line!r}"
+        name, _, le, value = match.groups()
+        if le is not None:
+            base = name.removesuffix("_bucket")
+            families[base]["buckets"].append((le, float(value)))
+        else:
+            for suffix in ("_total", "_sum", "_count"):
+                base = name.removesuffix(suffix)
+                if name.endswith(suffix) and base in families:
+                    families[base]["samples"][suffix] = float(value)
+                    break
+            else:
+                assert name in families, f"sample without family: {line!r}"
+                families[name]["samples"]["value"] = float(value)
+    return families
+
+
+class TestOpenMetrics:
+    def _registry(self) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        registry.counter("solver.iterations").inc(42)
+        registry.gauge("sweep.workers").set(4)
+        for value in (0.5, 1.5, 2.5, 1e9):  # 1e9 lands in the clamp bucket
+            registry.histogram("slot.wall_ms").observe(value)
+        return registry
+
+    def test_counters_gauges_histograms_render(self):
+        families = _parse_openmetrics(openmetrics(self._registry()))
+        assert families["repro_solver_iterations"]["kind"] == "counter"
+        assert families["repro_solver_iterations"]["samples"]["_total"] == 42.0
+        assert families["repro_sweep_workers"]["kind"] == "gauge"
+        assert families["repro_sweep_workers"]["samples"]["value"] == 4.0
+        hist = families["repro_slot_wall_ms"]
+        assert hist["kind"] == "histogram"
+        assert hist["samples"]["_count"] == 4.0
+        assert hist["samples"]["_sum"] == pytest.approx(1e9 + 4.5)
+
+    def test_buckets_are_cumulative_and_capped_by_inf(self):
+        families = _parse_openmetrics(openmetrics(self._registry()))
+        buckets = families["repro_slot_wall_ms"]["buckets"]
+        counts = [count for _, count in buckets]
+        assert counts == sorted(counts)  # cumulative => monotone
+        labels = [label for label, _ in buckets]
+        assert labels.count("+Inf") == 1  # no duplicate from the clamp bucket
+        assert buckets[-1] == ("+Inf", 4.0)  # +Inf carries the full count
+        # Finite edges are genuine sketch edges, in increasing order.
+        finite = [float(label) for label in labels[:-1]]
+        assert finite == sorted(finite)
+
+    def test_name_sanitization(self):
+        registry = MetricsRegistry()
+        registry.counter("weird-name.with/chars").inc()
+        text = openmetrics(registry)
+        assert "repro_weird_name_with_chars_total 1" in text
+
+    def test_accepts_run_record_and_snapshot_dict(self, tmp_path):
+        registry = self._registry()
+        path = write_manifest(tmp_path / "run.jsonl", registry)
+        record = read_manifest(path)
+        from_record = openmetrics(record)
+        from_registry = openmetrics(registry)
+        from_snapshot = openmetrics(registry.snapshot())
+        assert from_record == from_registry == from_snapshot
+
+    def test_rejects_unknown_sources(self):
+        with pytest.raises(TypeError, match="cannot read metrics"):
+            openmetrics(42)
+
+    def test_write_openmetrics(self, tmp_path):
+        path = write_openmetrics(tmp_path / "m.prom", self._registry())
+        assert path.read_text() == openmetrics(self._registry())
+
+
+class TestSketchEdges:
+    def test_edges_are_increasing_and_bracket_observations(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("x")
+        hist.observe(3.7)
+        ((index, count),) = registry.snapshot()["histograms"]["x"]["buckets"].items()
+        assert count == 1
+        upper = sketch_upper_edge(int(index))
+        lower = sketch_upper_edge(int(index) - 1)
+        assert lower < 3.7 <= upper
+
+    def test_clamp_and_floor_edges(self):
+        assert sketch_upper_edge(-5) == sketch_upper_edge(0)
+        assert sketch_upper_edge(10**9) == float("inf")

@@ -135,3 +135,38 @@ class TestNonStrictLoad:
         path = write_manifest(tmp_path / "run.jsonl", _recorded_registry())
         record = read_manifest(path, strict=False)
         assert not record.truncated
+
+    def test_every_mid_line_tear_yields_a_usable_partial_record(self, tmp_path):
+        """Regression sweep: tearing the file at *any* byte inside its
+        last line must still return every earlier complete record."""
+        path = write_manifest(tmp_path / "run.jsonl", _recorded_registry())
+        text = path.read_text()
+        lines = text.splitlines(keepends=True)
+        body_end = len(text) - len(lines[-1])
+        # Cut at a spread of offsets inside the final line: nothing of it,
+        # one byte, half of it, and all but the closing brace+newline.
+        last_len = len(lines[-1])
+        for offset in {0, 1, last_len // 2, last_len - 2}:
+            torn = tmp_path / f"torn{offset}.jsonl"
+            torn.write_text(text[: body_end + offset])
+            record = read_manifest(torn, strict=False)
+            assert record.truncated
+            assert len(record.slot_events) == 1  # the body survived intact
+
+    def test_live_streaming_file_reads_as_partial_run_record(self, tmp_path):
+        """A manifest mid-stream (no metrics/spans/end yet, torn tail)
+        loads non-strict with events intact — what `watch` relies on."""
+        from repro.telemetry import StreamingManifestWriter
+
+        path = tmp_path / "live.jsonl"
+        writer = StreamingManifestWriter(path, flush_every=1)
+        for slot in range(3):
+            writer.emit({"type": "slot", "slot": slot, "total": 1.0})
+        # Simulate a write caught mid-line by appending a torn record.
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"type": "slot", "slot": 3, "to')
+        record = read_manifest(path, strict=False)
+        assert record.truncated
+        assert [e["slot"] for e in record.slot_events] == [0, 1, 2]
+        assert record.counters == {}  # metrics section not written yet
+        writer.finalize(None)

@@ -116,3 +116,47 @@ class TestReadSide:
 
     def test_render_empty(self):
         assert render_spans([]) == "(no spans recorded)"
+
+
+class TestEdgeCases:
+    def test_empty_tree_walks_and_aggregates_to_nothing(self):
+        assert list(walk_spans([])) == []
+        assert span_durations([]) == {}
+
+    def test_unclosed_span_is_visible_with_zero_duration(self):
+        # A crash inside a span leaves the node recorded (duration 0.0
+        # until the context exits); the read side must not choke on it.
+        registry = MetricsRegistry()
+        cm = registry.span("never-exited")
+        cm.__enter__()
+        assert [s["name"] for s in registry.spans] == ["never-exited"]
+        assert registry.spans[0]["duration_ms"] == 0.0
+        assert span_durations(registry.spans)["never-exited"] == (1, 0.0)
+        assert render_spans(registry.spans).startswith("never-exited: 0.000 ms")
+
+    def test_deep_nesting_walks_iteratively(self):
+        # walk_spans is an explicit-stack traversal; a tree far deeper
+        # than the interpreter's recursion limit must still walk.
+        depth = 5000
+        node = {"name": "leaf", "duration_ms": 1.0, "children": []}
+        for level in range(depth - 1):
+            node = {"name": f"n{level}", "duration_ms": 1.0, "children": [node]}
+        walked = list(walk_spans([node]))
+        assert len(walked) == depth
+        assert walked[0][0] == 0
+        assert walked[-1] == (depth - 1, {"name": "leaf", "duration_ms": 1.0,
+                                          "children": []})
+        counts = span_durations([node])
+        assert counts["leaf"] == (1, 1.0)
+        assert len(render_spans([node]).splitlines()) == depth
+
+    def test_deeply_nested_live_spans_round_trip(self):
+        registry = MetricsRegistry()
+        contexts = [registry.span(f"level{i}") for i in range(50)]
+        for cm in contexts:
+            cm.__enter__()
+        for cm in reversed(contexts):
+            cm.__exit__(None, None, None)
+        walked = list(walk_spans(registry.spans))
+        assert [depth for depth, _ in walked] == list(range(50))
+        assert all(node["duration_ms"] >= 0.0 for _, node in walked)

@@ -1,0 +1,230 @@
+"""``repro-edge watch``: tailing, live state folding, and strict exits.
+
+The concurrent-writer test is the acceptance test for the live path: a
+background thread streams a manifest while ``watch`` follows the file,
+and the final frame must reflect the completed run.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.telemetry import (
+    ManifestTail,
+    MetricsRegistry,
+    WatchState,
+    read_manifest,
+    streaming_manifest_session,
+    watch,
+    write_manifest,
+)
+from repro.telemetry.sinks import StreamingManifestWriter
+
+
+def _write_line(path, record) -> None:
+    with path.open("a", encoding="utf-8") as handle:
+        handle.write(json.dumps(record) + "\n")
+
+
+class TestManifestTail:
+    def test_missing_file_polls_empty(self, tmp_path):
+        tail = ManifestTail(tmp_path / "nope.jsonl")
+        assert tail.poll() == []
+
+    def test_incremental_polls_return_only_new_records(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        tail = ManifestTail(path)
+        _write_line(path, {"type": "slot", "slot": 0})
+        assert [r["slot"] for r in tail.poll()] == [0]
+        assert tail.poll() == []
+        _write_line(path, {"type": "slot", "slot": 1})
+        assert [r["slot"] for r in tail.poll()] == [1]
+
+    def test_torn_trailing_line_is_buffered_until_complete(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        tail = ManifestTail(path)
+        full = json.dumps({"type": "slot", "slot": 7})
+        with path.open("w") as handle:
+            handle.write(full[:10])  # a write caught mid-line
+        assert tail.poll() == []
+        assert tail.corrupt_lines == 0
+        with path.open("a") as handle:
+            handle.write(full[10:] + "\n")
+        assert [r["slot"] for r in tail.poll()] == [7]
+
+    def test_complete_but_corrupt_line_is_counted_and_skipped(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        tail = ManifestTail(path)
+        with path.open("w") as handle:
+            handle.write("{not json}\n")
+            handle.write(json.dumps({"type": "slot", "slot": 1}) + "\n")
+        assert [r["slot"] for r in tail.poll()] == [1]
+        assert tail.corrupt_lines == 1
+
+
+class TestWatchState:
+    def _slot(self, slot, run=1, **extra):
+        return {
+            "type": "slot", "slot": slot, "run": run,
+            "algorithm": "online-approx", "wall_ms": 1.0,
+            "op": 1.0, "sq": 2.0, "rc": 0.5, "mg": 0.5, "total": 4.0,
+            **extra,
+        }
+
+    def test_folds_slots_runs_and_costs(self):
+        state = WatchState(rules=[])
+        state.update({"type": "manifest_start", "config": {"users": 4}})
+        state.update_all([self._slot(0), self._slot(1)])
+        state.update({"type": "run_end", "run": 1, "algorithm": "online-approx"})
+        assert state.started and not state.done
+        assert state.total_slots == 2
+        assert state.totals["total"] == 8.0
+        ((_, view),) = state.runs.items()
+        assert view.finished
+        state.update({"type": "manifest_end", "events": 3})
+        assert state.done
+
+    def test_render_shows_the_load_bearing_lines(self):
+        state = WatchState(rules=[])
+        state.update({"type": "manifest_start", "config": {"users": 4}})
+        state.update(self._slot(0))
+        state.update({"type": "solver.ipm.trace", "iterations": 12})
+        state.update(
+            {"type": "diag.ratio.point", "slot": 0, "ratio": 1.4, "bound": 2.0}
+        )
+        text = state.render(title="run.jsonl")
+        assert "[LIVE]" in text
+        assert "users=4" in text
+        assert "1 done" in text
+        assert "12 iterations / 1 solves" in text
+        assert "1.4000 vs bound 2.0000" in text
+        assert "alerts : none" in text
+
+    def test_render_before_any_data_says_waiting(self):
+        assert "[WAITING]" in WatchState(rules=[]).render()
+
+    def test_file_alerts_and_rederived_alerts_dedup(self):
+        # Default rules re-derive the same certificate-gap alert the
+        # manifest already recorded: it must be listed once.
+        state = WatchState()
+        state.update({"type": "diag.certificate", "slot": 3, "relative_gap": 1.0})
+        assert len(state.alerts) == 1
+        state.update(
+            {"type": "alert", "rule": "certificate-gap", "slot": 3,
+             "message": "recorded in the file"}
+        )
+        assert len(state.alerts) == 1
+        assert state.render().count("certificate-gap") == 1
+
+    def test_ratio_trace_summary_overrides_points(self):
+        state = WatchState(rules=[])
+        state.update(
+            {"type": "diag.ratio.point", "slot": 0, "ratio": 1.1, "bound": 2.0}
+        )
+        state.update(
+            {"type": "diag.ratio.trace", "bound": 2.0, "final_ratio": 1.3,
+             "worst_ratio": 1.5, "certified": True}
+        )
+        text = state.render()
+        assert "1.3000 vs bound 2.0000" in text
+        assert "worst prefix 1.5000" in text
+        assert "certified: True" in text
+
+
+class TestWatchLoop:
+    def _finished_manifest(self, tmp_path, *, stall=False):
+        path = tmp_path / "run.jsonl"
+        writer = StreamingManifestWriter(path, flush_every=1)
+        for slot in range(20):
+            writer.emit({"type": "slot", "slot": slot, "wall_ms": 1.0})
+        if stall:
+            writer.emit({"type": "slot", "slot": 20, "wall_ms": 500.0})
+        writer.finalize(None)
+        return path
+
+    def test_once_renders_and_returns_zero(self, tmp_path):
+        path = self._finished_manifest(tmp_path)
+        out = io.StringIO()
+        assert watch(path, follow=False, stream=out) == 0
+        assert "[COMPLETE]" in out.getvalue()
+
+    def test_strict_exits_nonzero_on_injected_stall(self, tmp_path):
+        path = self._finished_manifest(tmp_path, stall=True)
+        out = io.StringIO()
+        assert watch(path, follow=False, strict=True, stream=out) == 1
+        assert "solver-stall" in out.getvalue()
+        # The same manifest without --strict still exits 0.
+        assert watch(path, follow=False, stream=io.StringIO()) == 0
+
+    def test_follow_tracks_a_concurrent_writer_to_completion(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+
+        def writer_thread():
+            writer = StreamingManifestWriter(path, flush_every=1)
+            for slot in range(5):
+                writer.emit({"type": "slot", "slot": slot, "wall_ms": 1.0,
+                             "total": 1.0})
+                time.sleep(0.02)
+            writer.finalize(None)
+
+        thread = threading.Thread(target=writer_thread)
+        thread.start()
+        out = io.StringIO()
+        code = watch(path, interval=0.02, timeout=30.0, stream=out)
+        thread.join()
+        assert code == 0
+        assert "[COMPLETE]" in out.getvalue()
+        assert "5 done" in out.getvalue()
+
+    def test_timeout_stops_an_unfinished_manifest(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        _write_line(path, {"type": "manifest_start", "config": {}})
+        start = time.monotonic()
+        code = watch(path, interval=0.01, timeout=0.05, stream=io.StringIO())
+        assert code == 0
+        assert time.monotonic() - start < 5.0
+
+    def test_buffered_manifest_is_watchable_too(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.event("slot", slot=0, wall_ms=1.0, total=2.0)
+        path = write_manifest(tmp_path / "run.jsonl", registry)
+        out = io.StringIO()
+        assert watch(path, follow=False, stream=out) == 0
+        assert "[COMPLETE]" in out.getvalue()
+
+
+class TestWatchCli:
+    def test_cli_watch_once(self, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        with streaming_manifest_session(path) as registry:
+            registry.event("slot", slot=0, wall_ms=1.0, total=1.0)
+        with pytest.raises(SystemExit) as excinfo:
+            main(["watch", str(path), "--once"])
+        assert excinfo.value.code == 0
+        assert "[COMPLETE]" in capsys.readouterr().out
+
+    def test_cli_watch_strict_exits_nonzero(self, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        writer = StreamingManifestWriter(path, flush_every=1)
+        for slot in range(20):
+            writer.emit({"type": "slot", "slot": slot, "wall_ms": 1.0})
+        writer.emit({"type": "slot", "slot": 20, "wall_ms": 500.0})
+        writer.finalize(None)
+        with pytest.raises(SystemExit) as excinfo:
+            main(["watch", str(path), "--once", "--strict"])
+        assert excinfo.value.code == 1
+        capsys.readouterr()
+
+    def test_watched_streaming_manifest_still_verifies(self, tmp_path):
+        # Watching is read-only: the tailed file still strict-reads.
+        path = tmp_path / "run.jsonl"
+        with streaming_manifest_session(path) as registry:
+            registry.event("slot", slot=0, wall_ms=1.0, total=1.0)
+        assert watch(path, follow=False, stream=io.StringIO()) == 0
+        assert not read_manifest(path).truncated

@@ -1,0 +1,150 @@
+"""Watchdog rules engine: each rule, the sink wrapper, and alert injection.
+
+The solver-stall scenario doubles as the acceptance test for the whole
+alert path: a run with one injected pathological slot must leave an
+``alert`` event in its streamed manifest.
+"""
+
+from __future__ import annotations
+
+from repro.telemetry import (
+    Alert,
+    CertificateGapRule,
+    FallbackStormRule,
+    MetricsRegistry,
+    RatioBoundRule,
+    RingSink,
+    SolverStallRule,
+    Watchdog,
+    WatchdogSink,
+    default_rules,
+    read_manifest,
+    streaming_manifest_session,
+)
+
+
+def _slots(count: int, wall_ms: float = 1.0, start: int = 0):
+    """``count`` uniform slot events."""
+    return [
+        {"type": "slot", "slot": start + index, "wall_ms": wall_ms}
+        for index in range(count)
+    ]
+
+
+class TestSolverStallRule:
+    def test_fires_on_an_outlier_after_warmup(self):
+        dog = Watchdog([SolverStallRule(factor=8.0, min_slots=16)])
+        assert dog.observe_all(_slots(20)) == []
+        fired = dog.observe({"type": "slot", "slot": 20, "wall_ms": 500.0})
+        assert [a.rule for a in fired] == ["solver-stall"]
+        assert fired[0].slot == 20
+        assert fired[0].value == 500.0
+
+    def test_silent_during_warmup(self):
+        dog = Watchdog([SolverStallRule(min_slots=16)])
+        assert dog.observe_all(_slots(5)) == []
+        # Slot 5 is huge but the p95 baseline is not armed yet.
+        assert dog.observe({"type": "slot", "slot": 5, "wall_ms": 500.0}) == []
+
+    def test_silent_on_ordinary_slots(self):
+        dog = Watchdog([SolverStallRule()])
+        assert dog.observe_all(_slots(100)) == []
+
+
+class TestFallbackStormRule:
+    def test_fires_once_when_the_window_fills(self):
+        dog = Watchdog([FallbackStormRule(threshold=3, window=25)])
+        fallback = {"type": "solver.fallback", "primary": "ipm"}
+        assert dog.observe(fallback) == []
+        assert dog.observe(fallback) == []
+        fired = dog.observe(fallback)
+        assert [a.rule for a in fired] == ["fallback-storm"]
+        # A fourth fallback inside the same storm does not re-fire.
+        assert dog.observe(fallback) == []
+
+    def test_spread_out_fallbacks_stay_silent(self):
+        dog = Watchdog([FallbackStormRule(threshold=3, window=10)])
+        for batch in range(3):
+            dog.observe_all(_slots(50, start=batch * 50))
+            assert dog.observe({"type": "solver.fallback"}) == []
+
+
+class TestCertificateGapRule:
+    def test_fires_above_tol_only(self):
+        dog = Watchdog([CertificateGapRule(tol=1e-6)])
+        ok = {"type": "diag.certificate", "slot": 1, "relative_gap": 1e-9}
+        bad = {"type": "diag.certificate", "slot": 2, "relative_gap": 1e-3}
+        assert dog.observe(ok) == []
+        fired = dog.observe(bad)
+        assert [a.rule for a in fired] == ["certificate-gap"]
+        assert fired[0].slot == 2
+
+
+class TestRatioBoundRule:
+    def test_point_above_its_own_bound_fires(self):
+        dog = Watchdog([RatioBoundRule()])
+        below = {"type": "diag.ratio.point", "slot": 3, "ratio": 1.2, "bound": 2.0}
+        above = {"type": "diag.ratio.point", "slot": 4, "ratio": 2.5, "bound": 2.0}
+        assert dog.observe(below) == []
+        fired = dog.observe(above)
+        assert [a.rule for a in fired] == ["ratio-over-bound"]
+
+    def test_explicit_violation_event_always_fires(self):
+        dog = Watchdog([RatioBoundRule()])
+        violation = {
+            "type": "diag.ratio.violation", "slot": 1, "ratio": 2.1, "bound": 2.0,
+        }
+        assert [a.rule for a in dog.observe(violation)] == ["ratio-over-bound"]
+
+
+class TestWatchdogEngine:
+    def test_alert_records_are_never_reevaluated(self):
+        dog = Watchdog(default_rules())
+        alert = Alert(rule="solver-stall", message="m").as_event()
+        assert dog.observe(alert) == []
+        assert dog.alerts == []
+
+    def test_alerts_accumulate_in_firing_order(self):
+        dog = Watchdog([CertificateGapRule(tol=0.0)])
+        dog.observe({"type": "diag.certificate", "slot": 0, "relative_gap": 1.0})
+        dog.observe({"type": "diag.certificate", "slot": 1, "relative_gap": 1.0})
+        assert [a.slot for a in dog.alerts] == [0, 1]
+
+
+class TestWatchdogSink:
+    def test_unbound_sink_writes_alerts_to_inner(self):
+        ring = RingSink()
+        sink = WatchdogSink(ring, rules=[CertificateGapRule(tol=0.0)])
+        sink.emit({"type": "diag.certificate", "slot": 0, "relative_gap": 1.0})
+        kinds = [r["type"] for r in ring.records]
+        assert kinds == ["diag.certificate", "alert"]
+        assert ring.records[1]["rule"] == "certificate-gap"
+
+    def test_bound_sink_routes_alerts_through_the_registry(self):
+        ring = RingSink()
+        sink = WatchdogSink(ring, rules=[CertificateGapRule(tol=0.0)])
+        registry = MetricsRegistry(sink=sink)
+        sink.bind(registry)
+        with registry.context(run=3):
+            registry.event("diag.certificate", slot=0, relative_gap=1.0)
+        # The alert went through registry.event: context-tagged, present
+        # both in the in-memory buffer and the inner sink, after its
+        # triggering event in both orders.
+        assert [e["type"] for e in registry.events] == ["diag.certificate", "alert"]
+        assert registry.events[1]["run"] == 3
+        assert [r["type"] for r in ring.records] == ["diag.certificate", "alert"]
+
+    def test_injected_solver_stall_lands_in_streamed_manifest(self, tmp_path):
+        """Acceptance: a stalled slot produces an alert event in the file."""
+        path = tmp_path / "run.jsonl"
+        with streaming_manifest_session(
+            path, watchdog_rules=default_rules()
+        ) as registry:
+            for record in _slots(20):
+                registry.event("slot", **{k: v for k, v in record.items()
+                                          if k != "type"})
+            registry.event("slot", slot=20, wall_ms=500.0)  # the stall
+        record = read_manifest(path)
+        alerts = record.events_of_type("alert")
+        assert [a["rule"] for a in alerts] == ["solver-stall"]
+        assert alerts[0]["slot"] == 20

@@ -34,6 +34,34 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["fig9"])
 
+    def test_streaming_flags(self):
+        args = build_parser().parse_args(
+            ["fig2", "--telemetry", "run.jsonl", "--stream",
+             "--ring-events", "128", "--watchdog"]
+        )
+        assert args.telemetry == "run.jsonl"
+        assert args.stream is True
+        assert args.ring_events == 128
+        assert args.watchdog is True
+
+    def test_watch_arguments(self):
+        args = build_parser().parse_args(
+            ["watch", "run.jsonl", "--interval", "0.1", "--once", "--strict",
+             "--timeout", "2"]
+        )
+        assert args.manifest == "run.jsonl"
+        assert args.interval == 0.1
+        assert args.once and args.strict
+        assert args.timeout == 2.0
+
+    def test_export_arguments(self):
+        args = build_parser().parse_args(
+            ["export", "run.jsonl", "--trace", "t.json", "--openmetrics", "m.prom"]
+        )
+        assert args.manifest == "run.jsonl"
+        assert args.trace == "t.json"
+        assert args.openmetrics == "m.prom"
+
 
 class TestExecution:
     def test_fig1_output(self, capsys):
@@ -80,3 +108,63 @@ class TestExecution:
         )
         assert code == 0
         assert "Figure 5" in capsys.readouterr().out
+
+
+class TestTelemetryModes:
+    TINY = ["--users", "4", "--slots", "2", "--repetitions", "1"]
+
+    def test_certify_streams_the_ratio_feed(self, tmp_path, capsys):
+        from repro.telemetry import read_manifest
+
+        path = tmp_path / "run.jsonl"
+        argv = ["certify", "--users", "3", "--slots", "2", "--seed", "4",
+                "--telemetry", str(path), "--stream"]
+        assert main(argv) == 0
+        capsys.readouterr()
+        record = read_manifest(path)
+        points = record.events_of_type("diag.ratio.point")
+        assert len(points) == 2  # one per prefix slot
+        assert all("ratio" in p and "bound" in p for p in points)
+
+    def test_watchdog_without_stream_records_alerts_in_manifest(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        import repro.telemetry as telemetry_pkg
+        from repro.telemetry import CertificateGapRule, read_manifest
+
+        # Arm a certificate rule that trips on everything, so the tiny
+        # buffered run provably evaluates rules and persists the alerts.
+        monkeypatch.setattr(
+            telemetry_pkg, "default_rules",
+            lambda: (CertificateGapRule(tol=-1.0),),
+        )
+        path = tmp_path / "run.jsonl"
+        argv = ["certify", "--users", "3", "--slots", "2", "--seed", "4",
+                "--telemetry", str(path), "--watchdog"]
+        assert main(argv) == 0
+        capsys.readouterr()
+        record = read_manifest(path)
+        alerts = record.events_of_type("alert")
+        assert alerts and all(a["rule"] == "certificate-gap" for a in alerts)
+
+    def test_export_requires_an_output(self, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        assert main(["fig2", *self.TINY, "--telemetry", str(path)]) == 0
+        capsys.readouterr()
+        with pytest.raises(SystemExit):
+            main(["export", str(path)])
+
+    def test_export_writes_both_formats(self, tmp_path, capsys):
+        import json as json_mod
+
+        path = tmp_path / "run.jsonl"
+        assert main(["fig2", *self.TINY, "--telemetry", str(path)]) == 0
+        trace = tmp_path / "t.json"
+        prom = tmp_path / "m.prom"
+        argv = ["export", str(path), "--trace", str(trace),
+                "--openmetrics", str(prom)]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "chrome trace" in out and "openmetrics" in out
+        assert json_mod.loads(trace.read_text())["traceEvents"]
+        assert prom.read_text().endswith("# EOF\n")
