@@ -1,0 +1,39 @@
+"""User aggregation: solve city-scale P2 over (station, workload) cohorts.
+
+Layer map (docs/SCALING.md walks the math):
+
+* :mod:`config` — :class:`AggregationConfig`, the import-light knob bundle;
+* :mod:`cohorts` — bucket users into weighted aggregate columns and split
+  solutions back proportionally;
+* :mod:`reduced` — the cohort-reduced P2 (exact for workload-uniform
+  cohorts) and its a-priori cost error bound;
+* :mod:`sharding` — partition the reduced solve into cohort blocks across
+  worker processes with a deterministic input-order merge;
+* :mod:`controller` — the streaming :class:`AggregatedController` wiring
+  it all into ``simulate`` plus ``aggregate.*`` telemetry.
+"""
+
+from .config import AggregationConfig
+from .cohorts import BucketSpec, CohortMap, build_cohorts
+from .controller import (
+    ERROR_EVAL_LIMIT,
+    AggregatedController,
+    SlotAggregationReport,
+)
+from .reduced import aggregation_error_bound, reduced_subproblem
+from .sharding import ShardTask, make_shard_tasks, solve_sharded
+
+__all__ = [
+    "ERROR_EVAL_LIMIT",
+    "AggregatedController",
+    "AggregationConfig",
+    "BucketSpec",
+    "CohortMap",
+    "ShardTask",
+    "SlotAggregationReport",
+    "aggregation_error_bound",
+    "build_cohorts",
+    "make_shard_tasks",
+    "reduced_subproblem",
+    "solve_sharded",
+]

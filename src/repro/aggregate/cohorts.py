@@ -1,0 +1,197 @@
+"""Cohorts: cluster users by (attached station, workload bucket).
+
+The paper's P2 treats users as interchangeable columns up to their
+workload ``lambda_j`` and attachment ``l_{j,t}``: two users with the same
+attachment and the same workload enter the objective and constraints
+identically. A :class:`CohortMap` exploits this — every (station, bucket)
+pair with at least one member becomes one *aggregate column* carrying the
+summed workload ``Lambda_g``, and a solved aggregate allocation is split
+back to members proportionally to their workloads.
+
+Proportional disaggregation is exact for the static costs (the per-user
+static objective at the split equals the reduced static objective — see
+docs/SCALING.md for the two-line identity) and feasibility-preserving by
+construction: aggregate demand/capacity satisfaction implies per-user
+demand/capacity satisfaction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BucketSpec:
+    """Workload buckets shared by every slot of a run.
+
+    Geometric edges over the global workload range keep the *relative*
+    within-bucket spread uniform across buckets, which is what the cost
+    error bound (:func:`repro.aggregate.reduced.aggregation_error_bound`)
+    is expressed in. ``edges=None`` is the exact mode: every distinct
+    workload value is its own bucket and the spread is zero.
+    """
+
+    edges: np.ndarray | None
+    values: np.ndarray | None
+
+    @classmethod
+    def from_workloads(
+        cls, workloads: np.ndarray, num_buckets: int | None
+    ) -> "BucketSpec":
+        """Build the spec once per run from the (time-invariant) workloads."""
+        workloads = np.asarray(workloads, dtype=float)
+        if workloads.size == 0:
+            raise ValueError("need at least one user to bucket")
+        if np.any(workloads <= 0):
+            raise ValueError("workloads must be positive")
+        if num_buckets is None or num_buckets == 0:
+            return cls(edges=None, values=np.unique(workloads))
+        lo, hi = float(workloads.min()), float(workloads.max())
+        if num_buckets == 1 or hi <= lo:
+            edges = np.array([lo, max(hi, lo)])
+        else:
+            edges = np.geomspace(lo, hi, num_buckets + 1)
+        return cls(edges=edges, values=None)
+
+    @property
+    def num_buckets(self) -> int:
+        if self.edges is None:
+            assert self.values is not None
+            return int(self.values.size)
+        return max(1, int(self.edges.size) - 1)
+
+    def assign(self, workloads: np.ndarray) -> np.ndarray:
+        """The bucket index of each workload, shape (J,)."""
+        workloads = np.asarray(workloads, dtype=float)
+        if self.edges is None:
+            assert self.values is not None
+            idx = np.searchsorted(self.values, workloads)
+            return np.clip(idx, 0, self.values.size - 1)
+        idx = np.searchsorted(self.edges, workloads, side="right") - 1
+        return np.clip(idx, 0, self.num_buckets - 1)
+
+
+@dataclass(frozen=True)
+class CohortMap:
+    """One slot's (station, bucket) clustering of the user population.
+
+    Attributes:
+        cohort_of: (J,) cohort index of each user.
+        stations: (G,) attached station of each cohort.
+        sizes: (G,) member counts n_g.
+        workloads: (G,) summed member workloads Lambda_g.
+        member_share: (J,) each user's workload fraction of its cohort,
+            ``lambda_j / Lambda_{g(j)}`` — the proportional split weights.
+    """
+
+    cohort_of: np.ndarray
+    stations: np.ndarray
+    sizes: np.ndarray
+    workloads: np.ndarray
+    member_share: np.ndarray
+
+    @property
+    def num_cohorts(self) -> int:
+        return int(np.asarray(self.stations).size)
+
+    @property
+    def num_users(self) -> int:
+        return int(np.asarray(self.cohort_of).size)
+
+    @property
+    def mean_workloads(self) -> np.ndarray:
+        """(G,) mean member workloads Lambda_g / n_g."""
+        return np.asarray(self.workloads, dtype=float) / np.asarray(
+            self.sizes, dtype=float
+        )
+
+    @property
+    def reduction_ratio(self) -> float:
+        """users / cohorts — how much smaller the reduced P2 is."""
+        return self.num_users / self.num_cohorts
+
+    def spread(self, user_workloads: np.ndarray) -> float:
+        """Worst within-cohort relative workload spread, max_g (max/min - 1).
+
+        Zero exactly when every cohort is workload-uniform (exact buckets,
+        or identical users); this is the ``r`` the cost error bound of
+        docs/SCALING.md is a function of.
+        """
+        lam = np.asarray(user_workloads, dtype=float)
+        hi = np.zeros(self.num_cohorts)
+        lo = np.full(self.num_cohorts, np.inf)
+        np.maximum.at(hi, self.cohort_of, lam)
+        np.minimum.at(lo, self.cohort_of, lam)
+        return float(np.max(hi / lo) - 1.0)
+
+    def aggregate(self, x_users: np.ndarray) -> np.ndarray:
+        """Sum an (I, J) per-user allocation into (I, G) cohort columns."""
+        x = np.asarray(x_users, dtype=float)
+        out = np.empty((x.shape[0], self.num_cohorts))
+        for i in range(x.shape[0]):
+            out[i] = np.bincount(
+                self.cohort_of, weights=x[i], minlength=self.num_cohorts
+            )
+        return out
+
+    def disaggregate(self, x_cohorts: np.ndarray) -> np.ndarray:
+        """Split an (I, G) cohort allocation back to (I, J) users.
+
+        Each member receives its workload-proportional share of every
+        cloud's cohort allocation, so cloud totals are preserved exactly
+        and ``aggregate(disaggregate(y)) == y`` up to float summation.
+        """
+        y = np.asarray(x_cohorts, dtype=float)
+        # take + in-place multiply: one (I, J) buffer instead of three,
+        # which is the difference between 0.1s and 1s per slot at J=1e6.
+        out = y.take(self.cohort_of, axis=1)
+        np.multiply(out, np.asarray(self.member_share)[None, :], out=out)
+        return out
+
+
+def build_cohorts(
+    attachment: np.ndarray, workloads: np.ndarray, buckets: BucketSpec
+) -> CohortMap:
+    """Cluster one slot's users into (station, bucket) cohorts.
+
+    Cohort order is deterministic — sorted by (station, bucket) composite
+    key via ``np.unique`` — so repeated builds over the same observation
+    produce identical maps regardless of user order in memory. Stations
+    with no attached users simply contribute no cohorts.
+    """
+    attachment = np.asarray(attachment)
+    lam = np.asarray(workloads, dtype=float)
+    if attachment.shape != lam.shape:
+        raise ValueError("attachment and workloads must be index-aligned")
+    bucket = buckets.assign(lam)
+    key = attachment.astype(np.int64) * np.int64(buckets.num_buckets) + bucket
+    key_space = (int(key.max()) + 1) if key.size else 0
+    if 0 < key_space <= max(1 << 20, key.size):
+        # Dense-key path: the (station, bucket) key space is small, so two
+        # bincounts replace np.unique's O(J log J) sort. The cohort order
+        # (sorted by key) is identical to the np.unique path.
+        counts = np.bincount(key, minlength=key_space)
+        present = np.nonzero(counts)[0]
+        remap = np.zeros(key_space, dtype=np.intp)
+        remap[present] = np.arange(present.size)
+        cohort_of = remap[key]
+        sizes = counts[present]
+        cohort_workloads = np.bincount(key, weights=lam, minlength=key_space)[
+            present
+        ]
+        unique_keys = present
+    else:
+        unique_keys, cohort_of = np.unique(key, return_inverse=True)
+        sizes = np.bincount(cohort_of)
+        cohort_workloads = np.bincount(cohort_of, weights=lam)
+    stations = (unique_keys // buckets.num_buckets).astype(int)
+    member_share = lam / cohort_workloads[cohort_of]
+    return CohortMap(
+        cohort_of=cohort_of,
+        stations=stations,
+        sizes=sizes,
+        workloads=cohort_workloads,
+        member_share=member_share,
+    )

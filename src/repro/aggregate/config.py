@@ -1,0 +1,45 @@
+"""Configuration of the user-aggregation layer (dependency leaf).
+
+This module must stay import-light: :mod:`repro.core.regularization` and
+the CLI reference :class:`AggregationConfig` without pulling in the solver
+or simulation machinery behind the rest of :mod:`repro.aggregate`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AggregationConfig:
+    """How to cluster users into cohorts and shard the reduced solves.
+
+    Attributes:
+        lambda_buckets: number of geometric workload buckets per station.
+            ``None`` or ``0`` buckets users by *exact* workload value
+            (zero within-cohort spread, zero aggregation cost error).
+        shards: how many contiguous cohort blocks the reduced subproblem
+            is partitioned into (1 = one joint solve). Sharding changes
+            the decision boundedly (each shard gets a workload-
+            proportional capacity slice and its own regularizer coupling);
+            ``shards=1`` is exactly the unsharded solve.
+        workers: processes for the shard solves (1 = serial, ``None``/0 =
+            all visible CPUs). Worker count NEVER changes the solution —
+            shards are merged deterministically in input order, so any
+            worker count is bit-for-bit identical at a fixed shard count.
+        backend: solver registry name used for the reduced solves (shard
+            workers resolve it by name, so it must be registry-known).
+    """
+
+    lambda_buckets: int | None = 8
+    shards: int = 1
+    workers: int | None = 1
+    backend: str = "auto"
+
+    def __post_init__(self) -> None:
+        if self.lambda_buckets is not None and self.lambda_buckets < 0:
+            raise ValueError("lambda_buckets must be nonnegative or None")
+        if self.shards < 1:
+            raise ValueError("shards must be at least 1")
+        if self.workers is not None and self.workers < 0:
+            raise ValueError("workers must be nonnegative or None")

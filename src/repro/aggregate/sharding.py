@@ -1,0 +1,179 @@
+"""Shard the reduced P2 across cohort blocks and worker processes.
+
+A shard is a contiguous block of cohort columns solved as its own small
+P2, with a workload-proportional slice of every cloud's capacity
+(``C_i * Lambda_shard / Lambda_total`` — the overprovisioning headroom of
+each shard equals the joint problem's, so every shard is strictly
+feasible whenever the joint problem is). Shard solutions are concatenated
+back in input order.
+
+Two distinct knobs, two distinct contracts:
+
+* ``workers`` (process count) NEVER changes the solution. Each shard is a
+  pure function of its task; :class:`repro.parallel.SweepExecutor` merges
+  results in input order, so any worker count is bit-for-bit identical at
+  a fixed shard count (property-tested in tests/aggregate).
+* ``shards`` (block count) changes the solution *boundedly*: splitting
+  decouples the reconfiguration regularizer across blocks and pins each
+  block's capacity slice. ``shards=1`` is exactly the unsharded solve —
+  the capacity scale factor is literally ``1.0``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.subproblem import RegularizedSubproblem
+from ..parallel.executor import SweepExecutor
+from ..solvers.registry import get_backend
+
+#: Relative slack required of a warm-start point before it is trusted.
+_WARM_SLACK = 1e-9
+
+#: Warm-start blend weight toward the previous optimum (rest goes to the
+#: canonical interior point), matching OnlineRegularizedAllocator.
+_WARM_BLEND = 0.9
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """One shard's solve inputs — a plain bundle of arrays, pool-picklable.
+
+    The solver backend travels by registry *name* so worker processes
+    resolve their own instance instead of pickling solver state.
+    """
+
+    static_prices: np.ndarray
+    reconfig_prices: np.ndarray
+    migration_prices: np.ndarray
+    capacities: np.ndarray
+    workloads: np.ndarray
+    eps2: np.ndarray
+    x_prev: np.ndarray
+    eps1: float
+    tol: float
+    backend: str
+    warm: bool
+
+
+def _warm_start_point(
+    subproblem: RegularizedSubproblem, x_prev: np.ndarray
+) -> np.ndarray | None:
+    """The allocator's interior blend, or ``None`` when it is not usable.
+
+    The shard's capacity slice may cut below what the previous aggregate
+    decision put on a cloud, in which case the blend is infeasible for the
+    shard and the solve must start cold. The check is deterministic, so
+    serial and pooled shard solves make the same choice.
+    """
+    interior = subproblem.interior_point()
+    blend = _WARM_BLEND * np.asarray(x_prev, dtype=float).ravel() + (
+        1.0 - _WARM_BLEND
+    ) * interior
+    x = blend.reshape(subproblem.num_clouds, subproblem.num_users)
+    workloads = np.asarray(subproblem.workloads, dtype=float)
+    capacities = np.asarray(subproblem.capacities, dtype=float)
+    demand_ok = np.all(x.sum(axis=0) >= workloads * (1.0 + _WARM_SLACK))
+    capacity_ok = np.all(x.sum(axis=1) <= capacities * (1.0 - _WARM_SLACK))
+    return blend if (demand_ok and capacity_ok) else None
+
+
+def _solve_shard(task: ShardTask) -> tuple[np.ndarray, int]:
+    """Solve one shard; module-level so process pools can pickle it."""
+    subproblem = RegularizedSubproblem(
+        static_prices=task.static_prices,
+        reconfig_prices=task.reconfig_prices,
+        migration_prices=task.migration_prices,
+        capacities=task.capacities,
+        workloads=task.workloads,
+        x_prev=task.x_prev,
+        eps1=task.eps1,
+        eps2=task.eps2,
+    )
+    x0 = _warm_start_point(subproblem, task.x_prev) if task.warm else None
+    program = subproblem.build_program(x0=x0)
+    result = get_backend(task.backend).solve(program, tol=task.tol)
+    shape = (subproblem.num_clouds, subproblem.num_users)
+    return np.asarray(result.x, dtype=float).reshape(shape), int(result.iterations)
+
+
+def make_shard_tasks(
+    subproblem: RegularizedSubproblem,
+    shards: int,
+    *,
+    backend: str = "auto",
+    tol: float = 1e-8,
+    warm: bool = False,
+) -> list[ShardTask]:
+    """Partition a reduced subproblem into contiguous shard tasks."""
+    num_cols = subproblem.num_users
+    shards = max(1, min(int(shards), num_cols))
+    workloads = np.asarray(subproblem.workloads, dtype=float)
+    capacities = np.asarray(subproblem.capacities, dtype=float)
+    static = np.asarray(subproblem.static_prices, dtype=float)
+    x_prev = np.asarray(subproblem.x_prev, dtype=float)
+    eps2 = np.broadcast_to(
+        np.asarray(subproblem.eps2, dtype=float), (num_cols,)
+    )
+    total = float(workloads.sum())
+    tasks = []
+    for block in np.array_split(np.arange(num_cols), shards):
+        share = float(workloads[block].sum()) / total
+        tasks.append(
+            ShardTask(
+                static_prices=static[:, block],
+                reconfig_prices=np.asarray(subproblem.reconfig_prices, dtype=float),
+                migration_prices=np.asarray(
+                    subproblem.migration_prices, dtype=float
+                ),
+                capacities=capacities * share,
+                workloads=workloads[block],
+                eps2=np.array(eps2[block]),
+                x_prev=x_prev[:, block],
+                eps1=subproblem.eps1,
+                tol=tol,
+                backend=backend,
+                warm=warm,
+            )
+        )
+    return tasks
+
+
+def solve_sharded(
+    subproblem: RegularizedSubproblem,
+    *,
+    shards: int = 1,
+    workers: int | None = 1,
+    backend: str = "auto",
+    tol: float = 1e-8,
+    warm: bool = False,
+) -> tuple[np.ndarray, int]:
+    """Solve the reduced P2, optionally split into shards across workers.
+
+    Returns:
+        ``(x, iterations)`` — the (I, G) solution assembled from the
+        shards in input order, and the summed solver iteration count.
+
+    Raises:
+        RuntimeError: when any shard's solve failed (the message carries
+            every failed shard's error, first traceback included).
+    """
+    tasks = make_shard_tasks(
+        subproblem, shards, backend=backend, tol=tol, warm=warm
+    )
+    executor = SweepExecutor(max_workers=workers)
+    results = executor.map(
+        _solve_shard, tasks, keys=[f"shard-{k}" for k in range(len(tasks))]
+    )
+    failed = [r for r in results if not r.ok]
+    if failed:
+        summary = "; ".join(f"{r.key}: {r.error}" for r in failed)
+        raise RuntimeError(
+            f"{len(failed)}/{len(results)} shard solves failed: {summary}\n"
+            f"first failure traceback:\n{failed[0].traceback}"
+        )
+    blocks = [r.value[0] for r in results]
+    iterations = sum(r.value[1] for r in results)
+    return np.concatenate(blocks, axis=1), iterations

@@ -248,6 +248,124 @@ def _suite_parallel(scale: ExperimentScale, registry: MetricsRegistry) -> dict:
     return {"metrics": metrics, "diagnostics": diagnostics}
 
 
+def _city_slot(num_users: int, seed: int):
+    """One synthetic city-scale (system, observation) pair.
+
+    The fig2 generators at an arbitrary user count: Rome metro topology,
+    power-law workloads, uniform random attachment, frequency-provisioned
+    capacities — but a single slot, which is all the aggregation suite
+    measures (the layer is stateless across counts here).
+    """
+    import numpy as np
+
+    from ..core.problem import CostWeights
+    from ..pricing.bandwidth import isp_migration_prices
+    from ..pricing.capacity import provision_capacities
+    from ..pricing.operation import gaussian_operation_prices
+    from ..pricing.reconfiguration import gaussian_reconfiguration_prices
+    from ..simulation.observations import SlotObservation, SystemDescription
+    from ..topology.delays import inter_cloud_delay_matrix
+    from ..topology.metro import rome_metro_topology
+    from ..workload.distributions import make_workloads
+
+    topology = rome_metro_topology()
+    num_clouds = topology.num_sites
+    rng = np.random.default_rng(seed)
+    workloads = make_workloads("power", num_users, rng)
+    attachment = rng.integers(0, num_clouds, size=num_users)
+    capacities = provision_capacities(workloads, attachment[None, :], num_clouds)
+    system = SystemDescription(
+        workloads=workloads,
+        capacities=capacities,
+        reconfig_prices=gaussian_reconfiguration_prices(num_clouds, rng),
+        migration_prices=isp_migration_prices(num_clouds, rng=rng),
+        inter_cloud_delay=inter_cloud_delay_matrix(topology, price_per_km=2.0),
+        weights=CostWeights(),
+    )
+    observation = SlotObservation(
+        slot=0,
+        op_prices=gaussian_operation_prices(capacities, 1, rng)[0],
+        attachment=attachment,
+        access_delay=np.zeros(num_users),
+    )
+    return system, observation
+
+
+def _suite_aggregate(scale: ExperimentScale, registry: MetricsRegistry) -> dict:
+    """City-scale aggregation: 10k/100k/1M-user slots vs a direct solve.
+
+    For each user count, one :class:`repro.aggregate.AggregatedController`
+    slot is timed end to end (cohort build, sharded reduced solve,
+    proportional disaggregation); a per-user solve at J=120 provides the
+    wall-clock reference the 1M aggregated slot is compared against in
+    ``diagnostics``. Cohort counts and reduction ratios are deterministic
+    at a fixed seed, so CI gates on them; wall times stay advisory. Counts
+    scale with ``scale.num_users`` so tests can run the suite small.
+    """
+    import numpy as np
+
+    from ..aggregate import AggregatedController, AggregationConfig
+    from ..experiments.settings import DEFAULT_NUM_USERS
+
+    factor = scale.num_users / DEFAULT_NUM_USERS
+    labelled_counts = [
+        (label, max(30, int(n * factor)))
+        for label, n in (("10k", 10_000), ("100k", 100_000), ("1m", 1_000_000))
+    ]
+    config = AggregationConfig(lambda_buckets=8, shards=4, workers=1)
+    metrics: dict[str, BenchMetric] = {}
+    walls: dict[str, float] = {}
+    worst_residual = 0.0
+    reports = {}
+    for label, num_users in labelled_counts:
+        system, observation = _city_slot(num_users, scale.seed)
+        controller = AggregatedController(
+            system=system,
+            algorithm=OnlineRegularizedAllocator(eps1=scale.eps, eps2=scale.eps),
+            config=config,
+        )
+        start = time.perf_counter()
+        x = controller.observe(observation)
+        walls[label] = time.perf_counter() - start
+        report = controller.last_reports[-1]
+        reports[label] = report
+        worst_residual = max(
+            worst_residual,
+            float((np.asarray(system.workloads) - x.sum(axis=0)).max()),
+            float((x.sum(axis=1) - np.asarray(system.capacities)).max()),
+            float((-x).max()),
+        )
+        metrics[f"agg_wall_s_{label}"] = _time_metric(walls[label])
+        metrics[f"cohorts_{label}"] = _count_metric(report.cohorts, unit="cohorts")
+        metrics[f"reduction_{label}"] = _count_metric(
+            report.reduction_ratio, unit="x"
+        )
+
+    # The per-user reference: one direct P2 solve at the paper-adjacent
+    # J=120 (scaled with the suite so tiny test scales stay tiny).
+    direct_users = max(6, int(120 * factor))
+    system, observation = _city_slot(direct_users, scale.seed)
+    direct = OnlineRegularizedAllocator(
+        eps1=scale.eps, eps2=scale.eps
+    ).as_controller(system)
+    start = time.perf_counter()
+    direct.observe(observation)
+    direct_wall_s = time.perf_counter() - start
+    metrics["direct_wall_s_j120"] = _time_metric(direct_wall_s)
+    metrics["feasibility_residual"] = _cost_metric(worst_residual, unit="residual")
+
+    diagnostics = {
+        "user_counts": {label: count for label, count in labelled_counts},
+        "direct_users": direct_users,
+        "shards": config.shards,
+        "lambda_buckets": config.lambda_buckets,
+        "wall_ratio_1m_vs_direct": walls["1m"] / max(direct_wall_s, 1e-9),
+        "spread_1m": reports["1m"].spread,
+        "error_bound_1m": reports["1m"].error_bound,
+    }
+    return {"metrics": metrics, "diagnostics": diagnostics}
+
+
 #: The suite registry: name -> implementation.
 SUITES: dict[str, Callable[[ExperimentScale, MetricsRegistry], dict]] = {
     "smoke": _suite_smoke,
@@ -255,6 +373,7 @@ SUITES: dict[str, Callable[[ExperimentScale, MetricsRegistry], dict]] = {
     "fig2": _suite_fig2,
     "fig5": _suite_fig5,
     "parallel": _suite_parallel,
+    "aggregate": _suite_aggregate,
 }
 
 

@@ -61,6 +61,29 @@ def _add_scale_arguments(parser: argparse.ArgumentParser) -> None:
         "results are identical at any worker count)",
     )
     parser.add_argument(
+        "--aggregate",
+        action="store_true",
+        help="solve online-approx over (station, workload-bucket) cohorts "
+        "instead of per-user columns and split the solution back "
+        "(docs/SCALING.md); baselines are unaffected",
+    )
+    parser.add_argument(
+        "--lambda-buckets",
+        type=int,
+        default=None,
+        metavar="B",
+        help="workload buckets per station for --aggregate (default 8; "
+        "0 = bucket by exact workload value, zero aggregation error)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="K",
+        help="split each aggregated solve into K cohort blocks "
+        "(default 1 = one joint solve)",
+    )
+    parser.add_argument(
         "--paper-scale",
         action="store_true",
         help="run at the paper's full scale (300 users, 60 slots, 5 repetitions)",
@@ -128,6 +151,17 @@ def _scale_from_args(args: argparse.Namespace) -> ExperimentScale:
         overrides["workers"] = args.workers if args.workers > 0 else None
     if args.drop_schedules:
         overrides["keep_schedules"] = False
+    if getattr(args, "aggregate", False):
+        overrides["aggregate"] = True
+    if getattr(args, "lambda_buckets", None) is not None:
+        # 0 = exact-value buckets, which AggregationConfig spells as None.
+        overrides["lambda_buckets"] = (
+            args.lambda_buckets if args.lambda_buckets > 0 else None
+        )
+        overrides["aggregate"] = True
+    if getattr(args, "shards", None) is not None:
+        overrides["shards"] = args.shards
+        overrides["aggregate"] = True
     if overrides:
         scale = ExperimentScale(**{**scale.__dict__, **overrides})
     return scale
@@ -354,11 +388,18 @@ def _cmd_quickstart(args: argparse.Namespace) -> str:
         compare_algorithms,
     )
 
+    from .experiments import aggregation_config
+
     scale = _scale_from_args(args)
     scenario = Scenario(num_users=scale.num_users, num_slots=scale.num_slots)
     instance = scenario.build(seed=scale.seed)
     comparison = compare_algorithms(
-        [OfflineOptimal(), OnlineGreedy(), OnlineRegularizedAllocator()], instance
+        [
+            OfflineOptimal(),
+            OnlineGreedy(),
+            OnlineRegularizedAllocator(aggregation=aggregation_config(scale)),
+        ],
+        instance,
     )
     lines = ["Quickstart comparison (taxi mobility, power workloads)"]
     for name, ratio in comparison.ratios().items():
@@ -410,7 +451,8 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--suite",
         default="smoke",
-        help="suite name: smoke, solver, fig2, fig5, parallel (default: smoke)",
+        help="suite name: smoke, solver, fig2, fig5, parallel, aggregate "
+        "(default: smoke)",
     )
     bench.add_argument(
         "--out",

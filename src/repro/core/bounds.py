@@ -24,12 +24,19 @@ def eta(capacities: np.ndarray, eps1: float) -> np.ndarray:
     return np.log1p(np.asarray(capacities, dtype=float) / eps1)
 
 
-def tau(workloads: np.ndarray, eps2: float) -> np.ndarray:
+def tau(workloads: np.ndarray, eps2: float | np.ndarray) -> np.ndarray:
     """tau_{i,j} = ln(1 + lambda_j / eps2), the migration regularizer scale.
 
     The paper's tau depends only on j, so this returns a (J,) array.
+
+    ``eps2`` may be a (J,) vector (a per-column regularization). The
+    aggregation layer (:mod:`repro.aggregate`) uses this: a cohort column
+    standing for ``n`` users carries ``n * eps2``, so that
+    ``tau(Lambda_g, n_g * eps2) = ln(1 + mean_workload_g / eps2)`` — the
+    per-user tau at the cohort's mean workload.
     """
-    if eps2 <= 0:
+    eps2 = np.asarray(eps2, dtype=float)
+    if np.any(eps2 <= 0):
         raise ValueError("eps2 must be positive")
     return np.log1p(np.asarray(workloads, dtype=float) / eps2)
 

@@ -14,7 +14,9 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
-if TYPE_CHECKING:  # import cycle: simulation builds on core
+if TYPE_CHECKING:  # import cycle: simulation/aggregate build on core
+    from ..aggregate.config import AggregationConfig
+    from ..aggregate.controller import AggregatedController
     from ..simulation.controllers import RegularizedController
     from ..simulation.observations import SystemDescription
 
@@ -76,6 +78,12 @@ class OnlineRegularizedAllocator:
             registry, and keep it on ``last_certificates``. Pure
             observation — decisions and costs are bit-identical either
             way.
+        aggregation: when set, :meth:`as_controller` returns the
+            cohort-aggregated controller (:mod:`repro.aggregate`) instead
+            of the per-user one: users are clustered by (station,
+            workload bucket), the reduced P2 is solved — optionally
+            sharded across processes — and the solution is split back to
+            users. ``None`` (the default) keeps the exact per-user solve.
     """
 
     eps1: float = DEFAULT_EPSILON
@@ -84,6 +92,7 @@ class OnlineRegularizedAllocator:
     tol: float = 1e-8
     warm_start: bool = True
     certify: bool = False
+    aggregation: "AggregationConfig | None" = None
     name: str = "online-approx"
     #: Per-slot solver results from the most recent run (diagnostics).
     last_solves: list[SolverResult] = field(default_factory=list, repr=False)
@@ -164,11 +173,20 @@ class OnlineRegularizedAllocator:
         assert result.schedule is not None
         return result.schedule
 
-    def as_controller(self, system: "SystemDescription") -> "RegularizedController":
-        """The causal (streaming) form of this algorithm."""
+    def as_controller(
+        self, system: "SystemDescription"
+    ) -> "RegularizedController | AggregatedController":
+        """The causal (streaming) form of this algorithm.
+
+        With ``aggregation`` set, the controller solves the cohort-reduced
+        P2 and disaggregates (see :mod:`repro.aggregate`).
+        """
         from ..simulation.controllers import RegularizedController
 
-        return RegularizedController(system=system, algorithm=self)
+        controller = RegularizedController(system=system, algorithm=self)
+        if self.aggregation is not None:
+            return controller.aggregated(self.aggregation)
+        return controller
 
     @staticmethod
     def _warm_start_point(

@@ -68,7 +68,13 @@ class RegularizedSubproblem:
         capacities: (I,) cloud capacities C_i.
         workloads: (J,) user workloads lambda_j.
         x_prev: (I, J) previous slot's allocation x*_{t-1}.
-        eps1, eps2: the regularization parameters.
+        eps1: the reconfiguration regularization parameter (scalar).
+        eps2: the migration regularization parameter — a scalar, or a (J,)
+            vector giving each column its own smoothing width. The vector
+            form is what makes the cohort-reduced P2 of
+            :mod:`repro.aggregate` exact for uniform cohorts: a column
+            standing for ``n`` merged users carries ``n * eps2``, so its
+            entropy term equals the sum of the members' entropy terms.
     """
 
     static_prices: np.ndarray
@@ -78,7 +84,7 @@ class RegularizedSubproblem:
     workloads: np.ndarray
     x_prev: np.ndarray
     eps1: float
-    eps2: float
+    eps2: float | np.ndarray
 
     def __post_init__(self) -> None:
         num_clouds, num_users = np.asarray(self.static_prices).shape
@@ -86,7 +92,10 @@ class RegularizedSubproblem:
             raise ValueError("x_prev must have shape (I, J)")
         if np.any(np.asarray(self.x_prev) < 0):
             raise ValueError("x_prev must be nonnegative")
-        if self.eps1 <= 0 or self.eps2 <= 0:
+        eps2 = np.asarray(self.eps2, dtype=float)
+        if eps2.ndim not in (0, 1) or (eps2.ndim == 1 and eps2.shape != (num_users,)):
+            raise ValueError("eps2 must be a scalar or a (J,) vector")
+        if self.eps1 <= 0 or np.any(eps2 <= 0):
             raise ValueError("eps1 and eps2 must be positive")
         if np.asarray(self.capacities).shape != (num_clouds,):
             raise ValueError("capacities must have shape (I,)")

@@ -16,6 +16,7 @@ from .robustness import mobility_suite, robustness_spread, run_mobility_robustne
 from .runner import RatioPoint, ratio_table, run_ratio_point, run_ratio_sweep
 from .settings import (
     ExperimentScale,
+    aggregation_config,
     all_paper_algorithms,
     atomistic_algorithms,
     holistic_algorithms,
@@ -29,6 +30,7 @@ __all__ = [
     "Fig1Result",
     "OVERPROVISION_FACTORS",
     "RatioPoint",
+    "aggregation_config",
     "all_paper_algorithms",
     "atomistic_algorithms",
     "fig2_report",

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from ..simulation.scenario import Scenario
 from .runner import RatioPoint, ratio_table, run_ratio_sweep
-from .settings import ExperimentScale, all_paper_algorithms
+from .settings import ExperimentScale, aggregation_config, all_paper_algorithms
 
 #: The six hourly test cases of the paper.
 HOURS = ("3pm", "4pm", "5pm", "6pm", "7pm", "8pm")
@@ -38,7 +38,7 @@ def run_fig2(
     """One RatioPoint per hourly test case (independent seeded draws)."""
     scale = scale or ExperimentScale()
     scenario = fig2_scenario(scale)
-    algorithms = all_paper_algorithms(scale.eps)
+    algorithms = all_paper_algorithms(scale.eps, aggregation_config(scale))
     cases = [
         (hour, scenario, algorithms, scale.seed + 1000 * case)
         for case, hour in enumerate(hours)
@@ -69,7 +69,7 @@ def run_fig2_continuous_day(
 
     scale = scale or ExperimentScale()
     scenario = fig2_scenario(scale)
-    algorithms = all_paper_algorithms(scale.eps)
+    algorithms = all_paper_algorithms(scale.eps, aggregation_config(scale))
     points: list[RatioPoint] = []
     per_hour_comparisons: list[list] = [[] for _ in hours]
     for rep in range(scale.repetitions):

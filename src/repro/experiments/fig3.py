@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from ..simulation.scenario import Scenario
 from .runner import RatioPoint, ratio_table, run_ratio_sweep
-from .settings import ExperimentScale, all_paper_algorithms
+from .settings import ExperimentScale, aggregation_config, all_paper_algorithms
 
 #: The distributions of Figure 3 (Figure 2 covers "power").
 DISTRIBUTIONS = ("uniform", "normal")
@@ -23,7 +23,7 @@ def run_fig3(
 ) -> list[RatioPoint]:
     """One RatioPoint per workload distribution."""
     scale = scale or ExperimentScale()
-    algorithms = all_paper_algorithms(scale.eps)
+    algorithms = all_paper_algorithms(scale.eps, aggregation_config(scale))
     cases = [
         (
             distribution,

@@ -15,7 +15,7 @@ from ..mobility.random_walk import RandomWalkMobility
 from ..simulation.scenario import Scenario
 from ..topology.metro import rome_metro_topology
 from .runner import RatioPoint, ratio_table, run_ratio_sweep
-from .settings import ExperimentScale
+from .settings import ExperimentScale, aggregation_config
 
 #: The paper sweeps 40..1000 users; the default laptop scale trims the tail.
 PAPER_USER_COUNTS = (40, 100, 200, 400, 600, 800, 1000)
@@ -52,7 +52,11 @@ def run_fig5(
             [
                 OfflineOptimal(),
                 OnlineGreedy(),
-                OnlineRegularizedAllocator(eps1=scale.eps, eps2=scale.eps),
+                OnlineRegularizedAllocator(
+                    eps1=scale.eps,
+                    eps2=scale.eps,
+                    aggregation=aggregation_config(scale),
+                ),
             ],
             scale.seed + 1000 * k,
         )

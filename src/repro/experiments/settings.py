@@ -50,6 +50,11 @@ class ExperimentScale:
     eps: float = DEFAULT_EPS
     workers: int | None = 1
     keep_schedules: bool = True
+    #: Solve online-approx over (station, workload-bucket) cohorts instead
+    #: of per-user columns (docs/SCALING.md); baselines are unaffected.
+    aggregate: bool = False
+    lambda_buckets: int | None = 8
+    shards: int = 1
 
     @classmethod
     def paper(cls) -> "ExperimentScale":
@@ -61,12 +66,30 @@ class ExperimentScale:
         )
 
 
-def holistic_algorithms(eps: float = DEFAULT_EPS) -> list[AllocationAlgorithm]:
+def aggregation_config(scale: ExperimentScale):
+    """The scale's :class:`repro.aggregate.AggregationConfig`, or ``None``.
+
+    Shard solves always run serially here (``workers=1``): the experiment
+    drivers already fan their (point x repetition) grids across
+    ``scale.workers`` processes, and process pools must not nest.
+    """
+    if not scale.aggregate:
+        return None
+    from ..aggregate.config import AggregationConfig
+
+    return AggregationConfig(
+        lambda_buckets=scale.lambda_buckets, shards=scale.shards, workers=1
+    )
+
+
+def holistic_algorithms(
+    eps: float = DEFAULT_EPS, aggregation=None
+) -> list[AllocationAlgorithm]:
     """offline-opt, online-greedy, online-approx (Section V-B, holistic group)."""
     return [
         OfflineOptimal(),
         OnlineGreedy(),
-        OnlineRegularizedAllocator(eps1=eps, eps2=eps),
+        OnlineRegularizedAllocator(eps1=eps, eps2=eps, aggregation=aggregation),
     ]
 
 
@@ -75,6 +98,8 @@ def atomistic_algorithms() -> list[AllocationAlgorithm]:
     return [PerfOpt(), OperOpt(), StatOpt()]
 
 
-def all_paper_algorithms(eps: float = DEFAULT_EPS) -> list[AllocationAlgorithm]:
+def all_paper_algorithms(
+    eps: float = DEFAULT_EPS, aggregation=None
+) -> list[AllocationAlgorithm]:
     """Both groups, as compared in Figure 2."""
-    return atomistic_algorithms() + holistic_algorithms(eps)
+    return atomistic_algorithms() + holistic_algorithms(eps, aggregation)

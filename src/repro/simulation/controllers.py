@@ -58,6 +58,24 @@ class RegularizedController:
         self._slots_seen += 1
         return x_opt
 
+    def aggregated(self, config=None) -> "object":
+        """The cohort-aggregated form of this controller.
+
+        Returns an :class:`repro.aggregate.AggregatedController` sharing
+        this controller's system and algorithm: users are clustered into
+        (station, workload-bucket) cohorts, one reduced P2 is solved per
+        slot — optionally sharded across processes — and the solution is
+        split back to users (docs/SCALING.md).
+        """
+        from ..aggregate.config import AggregationConfig
+        from ..aggregate.controller import AggregatedController
+
+        return AggregatedController(
+            system=self.system,
+            algorithm=self.algorithm,
+            config=config if config is not None else AggregationConfig(),
+        )
+
     def reset(self) -> None:
         """Drop state: the next observation starts a fresh horizon."""
         self._x_prev = self.system.zero_allocation()

@@ -96,6 +96,7 @@ def simulate(
     keep_schedule: bool = True,
     resume_from: SimulationCheckpoint | None = None,
     max_slots: int | None = None,
+    aggregation: object | None = None,
 ) -> SimulationResult:
     """Drive a controller over an observation stream, one slot at a time.
 
@@ -120,12 +121,26 @@ def simulate(
             ``next_slot``.
         max_slots: stop (checkpointably) after this many slots of the
             stream, leaving the rest unconsumed.
+        aggregation: an :class:`repro.aggregate.AggregationConfig`; when
+            set, the controller is converted to its cohort-aggregated form
+            via its ``aggregated()`` method before the run (only
+            controllers exposing one — the regularized controller —
+            support this). See docs/SCALING.md.
 
     Returns:
         The :class:`SimulationResult`, whose ``checkpoint`` can seed a
         later ``resume_from``.
     """
     hooks = tuple(hooks)
+    if aggregation is not None:
+        aggregated = getattr(controller, "aggregated", None)
+        if aggregated is None:
+            raise ValueError(
+                f"{type(controller).__name__} does not support aggregation= "
+                "(no aggregated() method); construct the aggregated "
+                "controller explicitly"
+            )
+        controller = aggregated(aggregation)
     accumulator = CostAccumulator(system)
     if resume_from is None:
         controller.reset()

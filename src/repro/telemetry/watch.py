@@ -120,6 +120,11 @@ class WatchState:
         self.ratio_bound: float | None = None
         self.ratio_worst: float | None = None
         self.ratio_certified: bool | None = None
+        self.agg_slots = 0
+        self.agg_cohorts = 0
+        self.agg_reduction: float | None = None
+        self.agg_bound: float | None = None
+        self.agg_error_worst: float | None = None
         self.watchdog = Watchdog(rules)
         self.alerts: list[Alert] = []
         self._alert_keys: set[tuple] = set()
@@ -154,6 +159,20 @@ class WatchState:
             self.fallbacks += 1
         elif kind == "solver.circuit_open":
             self.circuit_opens += 1
+        elif kind == "aggregate.slot":
+            self.agg_slots += 1
+            self.agg_cohorts = int(record.get("cohorts", 0))
+            self.agg_reduction = float(record.get("reduction", 1.0))
+            # Worst-over-run, matching the doctor's Aggregation section
+            # (a last-slot bound next to a worst-gap reads inconsistently).
+            bound = float(record.get("bound", 0.0))
+            if self.agg_bound is None or bound > self.agg_bound:
+                self.agg_bound = bound
+            error = record.get("disagg_error")
+            if error is not None:
+                error = float(error)
+                if self.agg_error_worst is None or error > self.agg_error_worst:
+                    self.agg_error_worst = error
         elif kind == "diag.ratio.point":
             self.ratio = float(record.get("ratio", 0.0))
             self.ratio_bound = float(record.get("bound", 0.0))
@@ -274,6 +293,18 @@ class WatchState:
             )
         else:
             lines.append("  ratio  : (no diag.ratio feed in this manifest)")
+        if self.agg_slots:
+            error = (
+                ""
+                if self.agg_error_worst is None
+                else f"  worst gap {self.agg_error_worst:.2e}"
+            )
+            lines.append(
+                f"  agg    : {self.agg_slots} slot(s), "
+                f"{self.agg_cohorts} cohorts "
+                f"({self.agg_reduction:.1f}x reduction), "
+                f"error bound {self.agg_bound:.3f}{error}"
+            )
         if self.alerts:
             lines.append(f"  alerts : {len(self.alerts)}")
             for alert in self.alerts[:MAX_LISTED]:

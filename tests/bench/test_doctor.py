@@ -75,6 +75,7 @@ class TestDoctorReport:
         "Optimality certificates",
         "Competitive ratio vs Theorem 2",
         "Interior-point convergence",
+        "Aggregation",
     )
 
     def test_all_sections_render_on_a_complete_manifest(self, manifest_file):
@@ -123,6 +124,23 @@ class TestDoctorReport:
         report = doctor_report(manifest_file)
         assert "Watchdog alerts" in report
         assert "none recorded" in report
+
+    def test_aggregation_section_without_aggregation(self, manifest_file):
+        report = doctor_report(manifest_file)
+        assert "Aggregation" in report
+        assert "not used (per-user solves)" in report
+
+    def test_aggregation_section_summarizes_aggregated_runs(self, tmp_path):
+        path = tmp_path / "agg.jsonl"
+        code = main(
+            ["fig2", *TINY, "--aggregate", "--lambda-buckets", "4",
+             "--telemetry", str(path)]
+        )
+        assert code == 0
+        report = doctor_report(path)
+        assert "aggregated slots" in report
+        assert "a-priori cost error bound" in report
+        assert "disaggregation gap" in report
 
 
 class TestDoctorDirectory:

@@ -51,6 +51,37 @@ class TestSmokeSuite:
         assert not get_registry().enabled
 
 
+class TestAggregateSuite:
+    @pytest.fixture(scope="class")
+    def record(self):
+        return run_suite("aggregate", TINY)
+
+    def test_expected_metrics_and_kinds(self, record):
+        kinds = {n: m.kind for n, m in record.metrics.items()}
+        for label in ("10k", "100k", "1m"):
+            assert kinds[f"agg_wall_s_{label}"] == "time"
+            assert kinds[f"cohorts_{label}"] == "count"
+            assert kinds[f"reduction_{label}"] == "count"
+        assert kinds["direct_wall_s_j120"] == "time"
+        assert kinds["feasibility_residual"] == "cost"
+
+    def test_disaggregated_slots_stay_feasible(self, record):
+        assert record.metrics["feasibility_residual"].value <= 1e-8
+
+    def test_diagnostics_describe_the_scaling_run(self, record):
+        diagnostics = record.diagnostics
+        # User counts scale with the suite scale but the labels persist.
+        assert set(diagnostics["user_counts"]) == {"10k", "100k", "1m"}
+        assert diagnostics["user_counts"]["1m"] > diagnostics["user_counts"]["10k"]
+        assert diagnostics["shards"] == 4
+        assert diagnostics["wall_ratio_1m_vs_direct"] > 0
+        assert diagnostics["error_bound_1m"] >= diagnostics["spread_1m"] >= 0
+
+    def test_gated_metrics_reproduce_exactly(self, record):
+        report = compare_records(record, run_suite("aggregate", TINY))
+        assert report.ok
+
+
 class TestSolverSuite:
     def test_solver_suite_runs_and_reports_warm_start(self):
         record = run_suite("solver", TINY)
@@ -62,7 +93,9 @@ class TestSolverSuite:
 
 class TestRegistryOfSuites:
     def test_all_declared_suites_are_callable(self):
-        assert set(SUITES) == {"smoke", "solver", "fig2", "fig5", "parallel"}
+        assert set(SUITES) == {
+            "smoke", "solver", "fig2", "fig5", "parallel", "aggregate",
+        }
 
     def test_unknown_suite_raises_with_known_names(self):
         with pytest.raises(ValueError, match="smoke"):

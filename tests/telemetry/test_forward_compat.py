@@ -1,0 +1,119 @@
+"""Forward compatibility of ``repro.telemetry/1`` with unknown event kinds.
+
+A newer writer may emit ``aggregate.*`` (or any other) event kinds this
+reader has never heard of, inside the same manifest format. The contract:
+readers keep unknown events verbatim, and every consumer — ``doctor``,
+``watch`` — degrades gracefully instead of raising.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.doctor import doctor_report
+from repro.telemetry import WatchState, read_manifest
+from repro.telemetry.manifest import MANIFEST_FORMAT
+
+KNOWN_AGG_EVENT = {
+    "type": "aggregate.slot",
+    "slot": 0,
+    "users": 100,
+    "cohorts": 10,
+    "shards": 2,
+    "reduction": 10.0,
+    "spread": 0.25,
+    "bound": 0.5,
+    "disagg_error": 1e-6,
+    "iterations": 12,
+}
+
+#: Plausible events from a future minor revision of the writer.
+UNKNOWN_AGG_EVENTS = [
+    {"type": "aggregate.rebalance", "slot": 1, "moved": 3},
+    {"type": "aggregate.bucket_stats", "slot": 1, "histogram": [1, 2, 3]},
+    {"type": "aggregate.slot.v2", "slot": 2, "cohorts": "ten"},
+]
+
+
+def write_lines(path, records, *, end_count=None) -> None:
+    with path.open("w", encoding="utf-8") as handle:
+        handle.write(
+            json.dumps(
+                {
+                    "type": "manifest_start",
+                    "format": MANIFEST_FORMAT,
+                    "created_unix": 0.0,
+                    "config": {},
+                }
+            )
+            + "\n"
+        )
+        for record in records:
+            handle.write(json.dumps(record) + "\n")
+        handle.write(
+            json.dumps({"type": "metrics", "counters": {}, "gauges": {}, "histograms": {}})
+            + "\n"
+        )
+        handle.write(json.dumps({"type": "spans", "spans": []}) + "\n")
+        if end_count is not None:
+            handle.write(
+                json.dumps({"type": "manifest_end", "events": end_count}) + "\n"
+            )
+
+
+@pytest.mark.parametrize("strict", [True, False])
+def test_read_manifest_keeps_unknown_aggregate_kinds(tmp_path, strict):
+    path = tmp_path / "future.jsonl"
+    events = [KNOWN_AGG_EVENT, *UNKNOWN_AGG_EVENTS]
+    write_lines(path, events, end_count=len(events))
+    record = read_manifest(path, strict=strict)
+    assert not record.truncated
+    assert [e["type"] for e in record.events] == [e["type"] for e in events]
+    # Unknown payloads survive verbatim for newer tooling to re-read.
+    assert record.events_of_type("aggregate.bucket_stats")[0]["histogram"] == [1, 2, 3]
+
+
+def test_non_strict_read_tolerates_truncation_after_unknown_events(tmp_path):
+    path = tmp_path / "crashed.jsonl"
+    write_lines(path, [KNOWN_AGG_EVENT, *UNKNOWN_AGG_EVENTS], end_count=None)
+    with pytest.raises(ValueError, match="truncated"):
+        read_manifest(path, strict=True)
+    record = read_manifest(path, strict=False)
+    assert record.truncated
+    assert len(record.events) == 1 + len(UNKNOWN_AGG_EVENTS)
+
+
+def test_doctor_report_ignores_unknown_aggregate_kinds(tmp_path):
+    path = tmp_path / "future.jsonl"
+    events = [KNOWN_AGG_EVENT, *UNKNOWN_AGG_EVENTS]
+    write_lines(path, events, end_count=len(events))
+    report = doctor_report(read_manifest(path))
+    assert "Aggregation" in report
+    # The known event is summarized; unknown siblings neither crash the
+    # section nor leak into it.
+    assert "10 cohort" in report or "cohorts" in report
+    assert "aggregate.slot.v2" not in report
+
+
+def test_watch_state_folds_unknown_aggregate_kinds_without_alarm(tmp_path):
+    state = WatchState(rules=())
+    state.update(
+        {
+            "type": "manifest_start",
+            "format": MANIFEST_FORMAT,
+            "config": {},
+        }
+    )
+    state.update(KNOWN_AGG_EVENT)
+    for event in UNKNOWN_AGG_EVENTS:
+        state.update(event)
+    state.update({"type": "manifest_end", "events": 4})
+    # Unknown kinds count as events but only aggregate.slot feeds the line.
+    assert state.events == 1 + len(UNKNOWN_AGG_EVENTS)
+    assert state.agg_slots == 1
+    assert state.agg_cohorts == 10
+    assert state.alerts == []
+    rendered = state.render()
+    assert "agg" in rendered

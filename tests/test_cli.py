@@ -34,6 +34,60 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["fig9"])
 
+    def test_aggregation_flags(self):
+        args = build_parser().parse_args(
+            ["fig2", "--aggregate", "--lambda-buckets", "16", "--shards", "4"]
+        )
+        assert args.aggregate is True
+        assert args.lambda_buckets == 16
+        assert args.shards == 4
+
+    def test_aggregation_flags_default_off(self):
+        args = build_parser().parse_args(["fig2"])
+        assert args.aggregate is False
+        assert args.lambda_buckets is None
+        assert args.shards is None
+
+
+class TestAggregationScale:
+    def _scale(self, argv):
+        from repro.cli import _scale_from_args
+
+        return _scale_from_args(build_parser().parse_args(argv))
+
+    def test_aggregate_flag_enables_aggregation(self):
+        scale = self._scale(["fig2", "--aggregate"])
+        assert scale.aggregate is True
+        assert scale.lambda_buckets == 8  # default bucket count
+
+    def test_bucket_or_shard_flags_imply_aggregate(self):
+        assert self._scale(["fig2", "--lambda-buckets", "4"]).aggregate is True
+        assert self._scale(["fig2", "--shards", "2"]).aggregate is True
+
+    def test_zero_buckets_maps_to_exact_mode(self):
+        scale = self._scale(["fig2", "--lambda-buckets", "0"])
+        assert scale.lambda_buckets is None  # exact-value buckets
+        assert scale.aggregate is True
+
+    def test_no_flags_leaves_aggregation_off(self):
+        scale = self._scale(["fig2", "--users", "6"])
+        assert scale.aggregate is False
+        from repro.experiments.settings import aggregation_config
+
+        assert aggregation_config(scale) is None
+
+    def test_scale_maps_to_aggregation_config(self):
+        from repro.experiments.settings import aggregation_config
+
+        scale = self._scale(["fig2", "--lambda-buckets", "16", "--shards", "4"])
+        config = aggregation_config(scale)
+        assert config is not None
+        assert config.lambda_buckets == 16
+        assert config.shards == 4
+        # Experiment drivers already pool across repetitions; the nested
+        # shard solves stay serial.
+        assert config.workers == 1
+
     def test_streaming_flags(self):
         args = build_parser().parse_args(
             ["fig2", "--telemetry", "run.jsonl", "--stream",
