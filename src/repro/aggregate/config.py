@@ -29,12 +29,23 @@ class AggregationConfig:
             worker count is bit-for-bit identical at a fixed shard count.
         backend: solver registry name used for the reduced solves (shard
             workers resolve it by name, so it must be registry-known).
+        shard_slicing: how shard capacity slices are cut — ``"price"``
+            (default) blends toward the previous slot's realized usage
+            split, gated by the previous capacity duals;
+            ``"proportional"`` keeps the workload-proportional slices.
+            Irrelevant at ``shards=1``. See docs/SCALING.md.
+        warm_cohorts: reuse the previous slot's *reduced* solution as the
+            warm-start point whenever the cohort map is unchanged
+            (invalidated automatically on churn); observation-only — the
+            solves converge to the same optima either way.
     """
 
     lambda_buckets: int | None = 8
     shards: int = 1
     workers: int | None = 1
     backend: str = "auto"
+    shard_slicing: str = "price"
+    warm_cohorts: bool = True
 
     def __post_init__(self) -> None:
         if self.lambda_buckets is not None and self.lambda_buckets < 0:
@@ -43,3 +54,8 @@ class AggregationConfig:
             raise ValueError("shards must be at least 1")
         if self.workers is not None and self.workers < 0:
             raise ValueError("workers must be nonnegative or None")
+        if self.shard_slicing not in ("price", "proportional"):
+            raise ValueError(
+                "shard_slicing must be 'price' or 'proportional', "
+                f"got {self.shard_slicing!r}"
+            )

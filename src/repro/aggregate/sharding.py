@@ -1,11 +1,21 @@
 """Shard the reduced P2 across cohort blocks and worker processes.
 
 A shard is a contiguous block of cohort columns solved as its own small
-P2, with a workload-proportional slice of every cloud's capacity
-(``C_i * Lambda_shard / Lambda_total`` — the overprovisioning headroom of
-each shard equals the joint problem's, so every shard is strictly
-feasible whenever the joint problem is). Shard solutions are concatenated
-back in input order.
+P2 with a slice of every cloud's capacity. Two slicing policies:
+
+* ``"proportional"`` — ``C_i * Lambda_shard / Lambda_total``: each
+  shard inherits the joint problem's overprovisioning headroom, so every
+  shard is strictly feasible whenever the joint problem is, but shards
+  cannot *concentrate* onto cheap clouds.
+* ``"price"`` (default) — blend the proportional slice toward the split
+  implied by the *previous slot's* joint decision, gated per cloud by
+  the previous capacity duals: clouds whose capacity was binding (large
+  dual) follow the optimizer's realized usage split, clouds with slack
+  keep the proportional slice. The blend weight is capped at
+  ``0.9 * (1 - Lambda/sum(C))`` so every shard keeps a strict share of
+  the joint headroom — feasibility is preserved by construction, and
+  with no history (slot 0, or no duals) the policy degrades to exactly
+  the proportional slice. See docs/SCALING.md.
 
 Two distinct knobs, two distinct contracts:
 
@@ -16,7 +26,7 @@ Two distinct knobs, two distinct contracts:
 * ``shards`` (block count) changes the solution *boundedly*: splitting
   decouples the reconfiguration regularizer across blocks and pins each
   block's capacity slice. ``shards=1`` is exactly the unsharded solve —
-  the capacity scale factor is literally ``1.0``.
+  the capacity scale factor is literally ``1.0`` under either policy.
 """
 
 from __future__ import annotations
@@ -27,6 +37,7 @@ import numpy as np
 
 from ..core.subproblem import RegularizedSubproblem
 from ..parallel.executor import SweepExecutor
+from ..solvers.base import SolveBudget
 from ..solvers.registry import get_backend
 
 #: Relative slack required of a warm-start point before it is trusted.
@@ -35,6 +46,18 @@ _WARM_SLACK = 1e-9
 #: Warm-start blend weight toward the previous optimum (rest goes to the
 #: canonical interior point), matching OnlineRegularizedAllocator.
 _WARM_BLEND = 0.9
+
+#: Per-cloud ceiling on the price-aware blend weight: even a fully
+#: binding cloud keeps 5% of its proportional slice, so no shard's
+#: capacity on any cloud can be zeroed out by a degenerate usage split.
+_PRICE_BLEND_CAP = 0.95
+
+#: Every price-aware shard must keep at least this fraction of the joint
+#: problem's relative headroom: with ``op = sum(C)/Lambda``, shard k's
+#: slice total is required to be >= ``(1 + 0.1 (op - 1)) Lambda_k``. The
+#: blend is scaled back globally (deterministically) until the worst
+#: shard meets it, so feasibility never depends on what the duals say.
+_PRICE_HEADROOM_KEEP = 0.1
 
 
 @dataclass(frozen=True)
@@ -56,6 +79,34 @@ class ShardTask:
     tol: float
     backend: str
     warm: bool
+    #: Optional explicit warm-start point for this block (e.g. the cached
+    #: reduced solution of the previous slot under an unchanged cohort
+    #: map); takes precedence over the ``x_prev`` blend when usable.
+    warm_point: np.ndarray | None = None
+    #: Optional per-shard solve budget (live serving; docs/SERVING.md).
+    deadline_s: float | None = None
+    max_iterations: int | None = None
+
+
+@dataclass(frozen=True)
+class ShardedSolve:
+    """Outcome of :func:`solve_sharded`.
+
+    Iterates as ``(x, iterations)`` for backward compatibility with the
+    original two-tuple return, while carrying the extras the streaming
+    controller needs: how many shard solves were budget-truncated, and
+    the combined capacity duals that seed the *next* slot's price-aware
+    slices.
+    """
+
+    x: np.ndarray
+    iterations: int
+    partial_solves: int = 0
+    capacity_duals: np.ndarray | None = None
+
+    def __iter__(self):
+        yield self.x
+        yield self.iterations
 
 
 def _warm_start_point(
@@ -80,7 +131,7 @@ def _warm_start_point(
     return blend if (demand_ok and capacity_ok) else None
 
 
-def _solve_shard(task: ShardTask) -> tuple[np.ndarray, int]:
+def _solve_shard(task: ShardTask) -> tuple[np.ndarray, int, bool, np.ndarray | None]:
     """Solve one shard; module-level so process pools can pickle it."""
     subproblem = RegularizedSubproblem(
         static_prices=task.static_prices,
@@ -92,11 +143,110 @@ def _solve_shard(task: ShardTask) -> tuple[np.ndarray, int]:
         eps1=task.eps1,
         eps2=task.eps2,
     )
-    x0 = _warm_start_point(subproblem, task.x_prev) if task.warm else None
+    x0 = None
+    if task.warm_point is not None:
+        x0 = _warm_start_point(subproblem, task.warm_point)
+    if x0 is None and task.warm:
+        x0 = _warm_start_point(subproblem, task.x_prev)
     program = subproblem.build_program(x0=x0)
+    if task.deadline_s is not None or task.max_iterations is not None:
+        program.budget = SolveBudget(
+            deadline_s=task.deadline_s, max_iterations=task.max_iterations
+        )
     result = get_backend(task.backend).solve(program, tol=task.tol)
     shape = (subproblem.num_clouds, subproblem.num_users)
-    return np.asarray(result.x, dtype=float).reshape(shape), int(result.iterations)
+    capacity_duals = result.duals.get("capacity")
+    if capacity_duals is not None:
+        capacity_duals = np.asarray(capacity_duals, dtype=float)
+        if capacity_duals.shape != (shape[0],):
+            capacity_duals = None
+    return (
+        np.asarray(result.x, dtype=float).reshape(shape),
+        int(result.iterations),
+        bool(result.partial),
+        capacity_duals,
+    )
+
+
+def shard_capacity_shares(
+    subproblem: RegularizedSubproblem,
+    blocks: list[np.ndarray],
+    *,
+    slicing: str = "price",
+    capacity_duals: np.ndarray | None = None,
+) -> np.ndarray:
+    """Per-(cloud, shard) capacity share matrix ``t`` with ``sum_k t = 1``.
+
+    ``"proportional"`` gives every cloud the block's workload fraction.
+    ``"price"`` blends, per cloud *i*, toward the previous decision's
+    realized usage split ``u_{i,k} / u_i`` with weight
+    ``b_i = 0.95 * dual_i / (dual_i + mean(dual))`` — binding clouds
+    (large previous capacity dual) follow the optimizer's split, slack
+    clouds stay proportional. Feasibility is then enforced *exactly*:
+    shard totals are linear in a global blend scale ``theta``, so the
+    blend is scaled back just enough that the worst shard keeps
+    ``(1 + 0.1 (op - 1))`` times its workload, where ``op`` is the joint
+    overprovision ``sum(C)/Lambda`` — every shard stays strictly
+    feasible whenever the joint problem is overprovisioned, regardless
+    of what the duals or the previous usage look like.
+    """
+    if slicing not in ("price", "proportional"):
+        raise ValueError(
+            f"unknown shard slicing {slicing!r}; known: price, proportional"
+        )
+    workloads = np.asarray(subproblem.workloads, dtype=float)
+    capacities = np.asarray(subproblem.capacities, dtype=float)
+    total = float(workloads.sum())
+    shares = np.array(
+        [float(workloads[block].sum()) / total for block in blocks]
+    )
+    num_clouds = capacities.shape[0]
+    t = np.broadcast_to(shares[None, :], (num_clouds, len(blocks))).copy()
+    if slicing == "proportional" or len(blocks) == 1 or capacity_duals is None:
+        return t
+    duals = np.maximum(np.asarray(capacity_duals, dtype=float), 0.0)
+    mean_dual = float(duals.mean())
+    if mean_dual <= 0.0:
+        return t
+    capacity_sum = float(capacities.sum())
+    overprovision = capacity_sum / total
+    if overprovision <= 1.0:
+        return t
+    x_prev = np.asarray(subproblem.x_prev, dtype=float)
+    usage = np.stack(
+        [x_prev[:, block].sum(axis=1) for block in blocks], axis=1
+    )  # (I, K)
+    cloud_usage = usage.sum(axis=1)  # (I,)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        usage_split = np.where(
+            cloud_usage[:, None] > 0.0,
+            usage / np.where(cloud_usage[:, None] > 0.0, cloud_usage[:, None], 1.0),
+            t,
+        )
+    blend = _PRICE_BLEND_CAP * duals / (duals + mean_dual)  # (I,), in [0, 0.95)
+    blended = (1.0 - blend)[:, None] * t + blend[:, None] * usage_split
+    # Exact feasibility control: shard k's slice total is linear in a
+    # global scale theta on the blend, going from the proportional total
+    # (theta=0, which has the full joint headroom) to the blended total
+    # (theta=1). Scale back to the largest theta keeping every shard at
+    # or above its target headroom.
+    target = (1.0 + _PRICE_HEADROOM_KEEP * (overprovision - 1.0)) * (
+        shares * total
+    )  # (K,)
+    proportional_totals = shares * capacity_sum
+    blended_totals = capacities @ blended
+    theta = 1.0
+    short = blended_totals < target
+    if np.any(short):
+        deltas = proportional_totals[short] - blended_totals[short]
+        margins = proportional_totals[short] - target[short]
+        # deltas > 0 wherever short (proportional totals always exceed
+        # the target when overprovisioned); margins >= 0 likewise.
+        theta = float(np.min(margins / deltas))
+        theta = min(max(theta, 0.0), 1.0)
+    if theta >= 1.0:
+        return blended
+    return (1.0 - theta) * t + theta * blended
 
 
 def make_shard_tasks(
@@ -106,8 +256,17 @@ def make_shard_tasks(
     backend: str = "auto",
     tol: float = 1e-8,
     warm: bool = False,
+    warm_hint: np.ndarray | None = None,
+    capacity_duals: np.ndarray | None = None,
+    slicing: str = "price",
+    budget: SolveBudget | None = None,
 ) -> list[ShardTask]:
-    """Partition a reduced subproblem into contiguous shard tasks."""
+    """Partition a reduced subproblem into contiguous shard tasks.
+
+    A supplied ``budget`` is divided evenly across the shards (the shard
+    solves of one slot share the slot's deadline); ``warm_hint`` is an
+    (I, G) explicit start point sliced per block.
+    """
     num_cols = subproblem.num_users
     shards = max(1, min(int(shards), num_cols))
     workloads = np.asarray(subproblem.workloads, dtype=float)
@@ -117,10 +276,20 @@ def make_shard_tasks(
     eps2 = np.broadcast_to(
         np.asarray(subproblem.eps2, dtype=float), (num_cols,)
     )
-    total = float(workloads.sum())
+    blocks = np.array_split(np.arange(num_cols), shards)
+    shares = shard_capacity_shares(
+        subproblem, blocks, slicing=slicing, capacity_duals=capacity_duals
+    )
+    deadline_s = None
+    max_iterations = None
+    if budget is not None:
+        if budget.deadline_s is not None:
+            deadline_s = budget.deadline_s / len(blocks)
+        if budget.max_iterations is not None:
+            max_iterations = max(1, budget.max_iterations // len(blocks))
+    hint = None if warm_hint is None else np.asarray(warm_hint, dtype=float)
     tasks = []
-    for block in np.array_split(np.arange(num_cols), shards):
-        share = float(workloads[block].sum()) / total
+    for k, block in enumerate(blocks):
         tasks.append(
             ShardTask(
                 static_prices=static[:, block],
@@ -128,7 +297,7 @@ def make_shard_tasks(
                 migration_prices=np.asarray(
                     subproblem.migration_prices, dtype=float
                 ),
-                capacities=capacities * share,
+                capacities=capacities * shares[:, k],
                 workloads=workloads[block],
                 eps2=np.array(eps2[block]),
                 x_prev=x_prev[:, block],
@@ -136,6 +305,9 @@ def make_shard_tasks(
                 tol=tol,
                 backend=backend,
                 warm=warm,
+                warm_point=None if hint is None else hint[:, block],
+                deadline_s=deadline_s,
+                max_iterations=max_iterations,
             )
         )
     return tasks
@@ -149,19 +321,34 @@ def solve_sharded(
     backend: str = "auto",
     tol: float = 1e-8,
     warm: bool = False,
-) -> tuple[np.ndarray, int]:
+    warm_hint: np.ndarray | None = None,
+    capacity_duals: np.ndarray | None = None,
+    slicing: str = "price",
+    budget: SolveBudget | None = None,
+) -> ShardedSolve:
     """Solve the reduced P2, optionally split into shards across workers.
 
     Returns:
-        ``(x, iterations)`` — the (I, G) solution assembled from the
-        shards in input order, and the summed solver iteration count.
+        A :class:`ShardedSolve` — unpackable as ``(x, iterations)`` —
+        whose ``x`` is the (I, G) solution assembled from the shards in
+        input order. ``capacity_duals`` (workload-weighted across
+        shards) feed the next slot's price-aware slices;
+        ``partial_solves`` counts budget-truncated shards.
 
     Raises:
         RuntimeError: when any shard's solve failed (the message carries
             every failed shard's error, first traceback included).
     """
     tasks = make_shard_tasks(
-        subproblem, shards, backend=backend, tol=tol, warm=warm
+        subproblem,
+        shards,
+        backend=backend,
+        tol=tol,
+        warm=warm,
+        warm_hint=warm_hint,
+        capacity_duals=capacity_duals,
+        slicing=slicing,
+        budget=budget,
     )
     executor = SweepExecutor(max_workers=workers)
     results = executor.map(
@@ -176,4 +363,20 @@ def solve_sharded(
         )
     blocks = [r.value[0] for r in results]
     iterations = sum(r.value[1] for r in results)
-    return np.concatenate(blocks, axis=1), iterations
+    partial_solves = sum(1 for r in results if r.value[2])
+    shard_duals = [r.value[3] for r in results]
+    combined_duals: np.ndarray | None = None
+    if all(d is not None for d in shard_duals):
+        weights = np.array(
+            [float(task.workloads.sum()) for task in tasks], dtype=float
+        )
+        weights /= max(weights.sum(), 1e-300)
+        combined_duals = np.zeros_like(shard_duals[0])
+        for weight, duals in zip(weights, shard_duals):
+            combined_duals += weight * duals
+    return ShardedSolve(
+        x=np.concatenate(blocks, axis=1),
+        iterations=iterations,
+        partial_solves=partial_solves,
+        capacity_duals=combined_duals,
+    )

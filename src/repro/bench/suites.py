@@ -366,6 +366,65 @@ def _suite_aggregate(scale: ExperimentScale, registry: MetricsRegistry) -> dict:
     return {"metrics": metrics, "diagnostics": diagnostics}
 
 
+def _suite_service(scale: ExperimentScale, registry: MetricsRegistry) -> dict:
+    """The live service loop: fig2-scale replay through the TCP server.
+
+    Two replays of the same observation stream (as fast as possible, so
+    latency percentiles measure the *service*, not the pacing):
+
+    * **generous budget** (30 s deadline, never fires) — must match the
+      unbudgeted batch run to solver precision with zero deadline misses;
+      the gated invariant behind ``repro-edge loadgen --require-zero-misses
+      --max-cost-delta 1e-9`` in CI's service-smoke job.
+    * **tight iteration budget** — every solve truncated, the degradation
+      ladder engaged on every slot; gates that the budget machinery stays
+      deterministic (partial counts) while the realized cost stays
+      bounded (``budget_cost_ratio`` in diagnostics).
+
+    Latency percentiles are wall-clock and therefore advisory.
+    """
+    from ..service import ServiceConfig, run_loadgen
+    from ..simulation.observations import (
+        SystemDescription,
+        observations_from_instance,
+    )
+
+    instance = fig2_scenario(scale).build(seed=scale.seed)
+    system = SystemDescription.from_instance(instance)
+    observations = observations_from_instance(instance)
+
+    generous = ServiceConfig(deadline_s=30.0, eps1=scale.eps, eps2=scale.eps)
+    report = run_loadgen(system, observations, generous, speed=0)
+
+    tight = ServiceConfig(max_iterations=3, eps1=scale.eps, eps2=scale.eps)
+    degraded = run_loadgen(
+        system, observations, tight, speed=0, batch_reference=False
+    )
+
+    metrics = {
+        "replay_wall_s": _time_metric(report.wall_s),
+        "latency_p50_ms": BenchMetric(report.latency_p50_ms, "ms", "time"),
+        "latency_p95_ms": BenchMetric(report.latency_p95_ms, "ms", "time"),
+        "latency_p99_ms": BenchMetric(report.latency_p99_ms, "ms", "time"),
+        "deadline_misses": _count_metric(report.deadline_misses, unit="misses"),
+        "partial_slots": _count_metric(report.partial_slots, unit="slots"),
+        "streamed_cost": _cost_metric(report.streamed_cost),
+        "cost_delta_abs": _cost_metric(abs(report.cost_delta), unit="delta"),
+        "budget_partial_slots": _count_metric(
+            degraded.partial_slots, unit="slots"
+        ),
+    }
+    diagnostics = {
+        "slots": report.slots,
+        "batch_cost": report.batch_cost,
+        "budget_streamed_cost": degraded.streamed_cost,
+        "budget_cost_ratio": degraded.streamed_cost
+        / max(report.batch_cost, 1e-9),
+        "budget_deadline_misses": degraded.deadline_misses,
+    }
+    return {"metrics": metrics, "diagnostics": diagnostics}
+
+
 #: The suite registry: name -> implementation.
 SUITES: dict[str, Callable[[ExperimentScale, MetricsRegistry], dict]] = {
     "smoke": _suite_smoke,
@@ -374,6 +433,7 @@ SUITES: dict[str, Callable[[ExperimentScale, MetricsRegistry], dict]] = {
     "fig5": _suite_fig5,
     "parallel": _suite_parallel,
     "aggregate": _suite_aggregate,
+    "service": _suite_service,
 }
 
 

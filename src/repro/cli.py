@@ -16,6 +16,8 @@ Examples::
     repro-edge fig2 --telemetry run.jsonl --stream --watchdog
     repro-edge watch run.jsonl --strict   # live dashboard (second terminal)
     repro-edge export run.jsonl --trace trace.json --openmetrics run.prom
+    repro-edge serve --deadline-ms 250 --metrics-port 9464
+    repro-edge loadgen --speed 4 --deadline-ms 250  # replay + latency report
 
 Every command prints a paper-style ASCII table to stdout; see
 EXPERIMENTS.md for how the output maps onto the paper's figures and
@@ -378,6 +380,146 @@ def _cmd_export(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _service_setup(args: argparse.Namespace):
+    """(system, observations, ServiceConfig) for serve/loadgen commands."""
+    from .experiments.fig2 import fig2_scenario
+    from .experiments.settings import aggregation_config
+    from .service import ServiceConfig
+    from .simulation.observations import (
+        SystemDescription,
+        observations_from_instance,
+    )
+
+    scale = _scale_from_args(args)
+    if getattr(args, "trace", None):
+        from .io.traces import load_trace_json
+        from .mobility.replay import ReplayMobility
+        from .simulation.scenario import Scenario
+
+        trace = load_trace_json(args.trace)
+        scenario = Scenario(
+            mobility=ReplayMobility(trace),
+            num_users=trace.num_users,
+            num_slots=trace.num_slots,
+            workload_distribution="power",
+        )
+    else:
+        scenario = fig2_scenario(scale)
+    instance = scenario.build(seed=scale.seed)
+    system = SystemDescription.from_instance(instance)
+    observations = observations_from_instance(instance)
+    deadline_ms = getattr(args, "deadline_ms", None)
+    config = ServiceConfig(
+        deadline_s=None if deadline_ms is None else deadline_ms / 1000.0,
+        max_iterations=getattr(args, "max_iterations", None),
+        eps1=scale.eps,
+        eps2=scale.eps,
+        backend=args.backend,
+        aggregation=aggregation_config(scale),
+    )
+    return system, observations, config
+
+
+def _cmd_serve(args: argparse.Namespace) -> str:
+    import contextlib
+
+    from .telemetry import MetricsRegistry, telemetry_enabled, telemetry_session
+
+    # The service counters (and the --metrics-port endpoint) read the
+    # active registry; without --telemetry that is the null registry, so
+    # install a memory-bounded live one for the lifetime of the server.
+    scope = (
+        contextlib.nullcontext()
+        if telemetry_enabled()
+        else telemetry_session(MetricsRegistry(max_events=0))
+    )
+    with scope:
+        return _serve_with_registry(args)
+
+
+def _serve_with_registry(args: argparse.Namespace) -> str:
+    import asyncio
+
+    from .service import AllocationServer, AllocationSession, serve_stdio
+
+    system, _, config = _service_setup(args)
+    session = AllocationSession(system, config)
+    if args.stdio:
+        served = serve_stdio(session)
+        return f"served {served} slot(s) over stdio"
+
+    server = AllocationServer(
+        session,
+        host=args.host,
+        port=args.port,
+        tick_s=None if args.tick_ms is None else args.tick_ms / 1000.0,
+        metrics_port=args.metrics_port,
+    )
+
+    async def _serve() -> None:
+        await server.start()
+        print(
+            f"serving {system.num_users} users x {system.num_clouds} clouds "
+            f"on {server.host}:{server.port}"
+            + (
+                f" (metrics on :{server.metrics_endpoint.port}/metrics)"
+                if server.metrics_endpoint is not None
+                else ""
+            ),
+            flush=True,
+        )
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    stats = session.stats()
+    return (
+        f"served {stats['slots']} slot(s), total cost {stats['total_cost']:.6f}, "
+        f"{stats['deadline_misses']} deadline miss(es)"
+    )
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> str:
+    import json as json_module
+
+    from .service import run_loadgen
+
+    system, observations, config = _service_setup(args)
+    report = run_loadgen(
+        system,
+        observations,
+        config,
+        speed=args.speed,
+        slot_s=args.slot_ms / 1000.0,
+        host=args.host,
+        port=args.port,
+        batch_reference=not args.no_batch_reference,
+    )
+    if args.out is not None:
+        from pathlib import Path
+
+        Path(args.out).write_text(
+            json_module.dumps(report.as_dict(), indent=2) + "\n"
+        )
+    output = report.render()
+    failures = []
+    if args.require_zero_misses and report.deadline_misses > 0:
+        failures.append(f"{report.deadline_misses} deadline miss(es) (0 required)")
+    if args.max_cost_delta is not None and not args.no_batch_reference:
+        scale_ref = max(1.0, abs(report.batch_cost))
+        if abs(report.cost_delta) > args.max_cost_delta * scale_ref:
+            failures.append(
+                f"|cost delta| {abs(report.cost_delta):.3e} exceeds "
+                f"{args.max_cost_delta:g} x max(1, |batch cost|)"
+            )
+    if failures:
+        print(output)
+        raise SystemExit("loadgen gate failed: " + "; ".join(failures))
+    return output
+
+
 def _cmd_quickstart(args: argparse.Namespace) -> str:
     # Deferred import: the quickstart pulls in the whole public API.
     from . import (
@@ -451,8 +593,8 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--suite",
         default="smoke",
-        help="suite name: smoke, solver, fig2, fig5, parallel, aggregate "
-        "(default: smoke)",
+        help="suite name: smoke, solver, fig2, fig5, parallel, aggregate, "
+        "service (default: smoke)",
     )
     bench.add_argument(
         "--out",
@@ -479,6 +621,124 @@ def build_parser() -> argparse.ArgumentParser:
         help="also fail the gate on wall-time regressions (default: advisory)",
     )
     bench.set_defaults(func=_cmd_bench)
+
+    def _add_service_arguments(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--deadline-ms",
+            type=float,
+            default=None,
+            metavar="MS",
+            help="per-slot solve deadline in milliseconds; a slot past it "
+            "serves the repaired partial iterate and counts as a deadline "
+            "miss (default: no deadline)",
+        )
+        p.add_argument(
+            "--max-iterations",
+            type=int,
+            default=None,
+            metavar="N",
+            help="per-slot Newton-iteration cap (deterministic twin of "
+            "--deadline-ms; default: uncapped)",
+        )
+        p.add_argument(
+            "--backend",
+            default="auto",
+            help="solver-registry backend name (default: auto)",
+        )
+        p.add_argument(
+            "--trace",
+            default=None,
+            metavar="PATH",
+            help="replay a mobility trace saved by repro.io.traces "
+            "(JSON form) instead of generating the fig2 scenario trace",
+        )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the live allocation service (JSON-lines over TCP or stdio)",
+    )
+    _add_scale_arguments(serve)
+    _add_service_arguments(serve)
+    serve.add_argument("--host", default="127.0.0.1", help="listen address")
+    serve.add_argument(
+        "--port", type=int, default=7201, help="listen port (0 = pick a free one)"
+    )
+    serve.add_argument(
+        "--tick-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="advance slots on a wall-clock tick instead of per update: "
+        "buffered updates are downsampled to the freshest one each tick",
+    )
+    serve.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="also serve live OpenMetrics on GET /metrics at this port",
+    )
+    serve.add_argument(
+        "--stdio",
+        action="store_true",
+        help="serve JSON lines over stdin/stdout instead of TCP",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="replay a trace against the service; report latency percentiles "
+        "and the realized-vs-batch cost delta",
+    )
+    _add_scale_arguments(loadgen)
+    _add_service_arguments(loadgen)
+    loadgen.add_argument(
+        "--speed",
+        type=float,
+        default=1.0,
+        metavar="X",
+        help="replay speed factor (0 = as fast as possible; default: 1)",
+    )
+    loadgen.add_argument(
+        "--slot-ms",
+        type=float,
+        default=1000.0,
+        metavar="MS",
+        help="real-time slot duration at 1x speed (default: 1000)",
+    )
+    loadgen.add_argument(
+        "--host",
+        default=None,
+        help="target an external server instead of spawning one in-process",
+    )
+    loadgen.add_argument(
+        "--port", type=int, default=None, help="external server port"
+    )
+    loadgen.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write the replay report as JSON to PATH",
+    )
+    loadgen.add_argument(
+        "--no-batch-reference",
+        action="store_true",
+        help="skip the unbudgeted batch cross-check solve",
+    )
+    loadgen.add_argument(
+        "--require-zero-misses",
+        action="store_true",
+        help="exit nonzero when any slot missed the deadline (CI gate)",
+    )
+    loadgen.add_argument(
+        "--max-cost-delta",
+        type=float,
+        default=None,
+        metavar="RTOL",
+        help="exit nonzero when |streamed - batch| cost exceeds "
+        "RTOL x max(1, |batch|) (CI gate)",
+    )
+    loadgen.set_defaults(func=_cmd_loadgen)
 
     doctor = sub.add_parser(
         "doctor", help="post-mortem report from a telemetry run manifest"

@@ -20,8 +20,9 @@ if TYPE_CHECKING:  # import cycle: simulation/aggregate build on core
     from ..simulation.controllers import RegularizedController
     from ..simulation.observations import SystemDescription
 
-from ..solvers.base import ConvexBackend, SolverResult
+from ..solvers.base import ConvexBackend, SolveBudget, SolverResult
 from ..solvers.registry import default_backend
+from ..telemetry import get_registry
 from .allocation import AllocationSchedule
 from .problem import ProblemInstance
 from .subproblem import RegularizedSubproblem
@@ -84,6 +85,13 @@ class OnlineRegularizedAllocator:
             workload bucket), the reduced P2 is solved — optionally
             sharded across processes — and the solution is split back to
             users. ``None`` (the default) keeps the exact per-user solve.
+        budget: optional per-solve :class:`SolveBudget` (deadline and/or
+            iteration cap) for live serving. When the budget fires the
+            backend returns its last strictly feasible barrier iterate;
+            :meth:`step` then repairs it and takes the cheaper of that
+            iterate and the attached-cloud allocation — the degradation
+            ladder of docs/SERVING.md. ``None`` (the default) is
+            bit-identical to the unbudgeted solve.
     """
 
     eps1: float = DEFAULT_EPSILON
@@ -93,6 +101,7 @@ class OnlineRegularizedAllocator:
     warm_start: bool = True
     certify: bool = False
     aggregation: "AggregationConfig | None" = None
+    budget: SolveBudget | None = None
     name: str = "online-approx"
     #: Per-slot solver results from the most recent run (diagnostics).
     last_solves: list[SolverResult] = field(default_factory=list, repr=False)
@@ -136,6 +145,8 @@ class OnlineRegularizedAllocator:
             warm = self.warm_start and slot > 0
         x0 = self._warm_start_point(subproblem, x_prev) if warm else None
         program = subproblem.build_program(x0=x0)
+        if self.budget is not None:
+            program.budget = self.budget
         result = self._resolve_backend().solve(program, tol=self.tol)
         if self.certify:
             # Certify at the solver's own point (pre-repair) with its own
@@ -153,7 +164,40 @@ class OnlineRegularizedAllocator:
             record_certificate(certificate)
         x_opt = result.x.reshape(instance.num_clouds, instance.num_users)
         x_opt = _repair_feasibility(x_opt, instance, slot)
+        if result.partial:
+            x_opt = self._degrade_partial(x_opt, subproblem, instance, slot)
         return x_opt, result
+
+    def _degrade_partial(
+        self,
+        x_opt: np.ndarray,
+        subproblem: RegularizedSubproblem,
+        instance: ProblemInstance,
+        slot: int,
+    ) -> np.ndarray:
+        """The degradation ladder for budget-truncated solves.
+
+        A partial barrier iterate is always feasible but can be far from
+        the optimum when the budget fires early. The attached-cloud
+        allocation (every user's whole workload at its current station)
+        is the natural "no optimization at all" reference, so take
+        whichever of the two has the lower P2 value — this guarantees a
+        partial slot never costs more than the trivial repair would,
+        whenever that repair is itself capacity-feasible.
+        """
+        attachment = np.asarray(instance.attachment)[slot]
+        workloads = np.asarray(instance.workloads, dtype=float)
+        attached = np.zeros_like(x_opt)
+        attached[attachment, np.arange(attached.shape[1])] = workloads
+        over = attached.sum(axis=1) - np.asarray(instance.capacities, dtype=float)
+        if float(over.max(initial=0.0)) > 1e-9:
+            return x_opt
+        if subproblem.objective(attached.ravel()) < subproblem.objective(
+            x_opt.ravel()
+        ):
+            get_registry().counter("solver.partial.attached_repair").inc()
+            return attached
+        return x_opt
 
     @property
     def total_solver_iterations(self) -> int:

@@ -5,6 +5,7 @@ from .base import MobilityModel, MobilityTrace
 from .levy import LevyFlightMobility
 from .markov import MarkovMobility, lazy_random_walk_matrix
 from .random_walk import RandomWalkMobility
+from .replay import ReplayMobility
 from .stats import (
     TraceStats,
     dwell_lengths,
@@ -22,6 +23,7 @@ __all__ = [
     "MobilityModel",
     "MobilityTrace",
     "RandomWalkMobility",
+    "ReplayMobility",
     "TaxiMobility",
     "TraceStats",
     "dwell_lengths",

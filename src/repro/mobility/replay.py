@@ -1,0 +1,46 @@
+"""Replay a recorded mobility trace through the :class:`MobilityModel` API.
+
+The serving loop (``repro-edge serve --trace`` / ``repro-edge loadgen
+--trace``) feeds *recorded* traces — saved by :mod:`repro.io.traces` —
+through the same :class:`repro.simulation.scenario.Scenario` pipeline
+the synthetic models use, so capacities, prices, and workloads are
+provisioned for the replayed trace exactly as they would be for a
+generated one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .base import MobilityTrace
+
+
+@dataclass(frozen=True)
+class ReplayMobility:
+    """A mobility "model" that returns one fixed, pre-recorded trace.
+
+    Deterministic by construction: the generator argument is ignored.
+    ``generate`` validates that the requested shape matches the recorded
+    one, so a scenario misconfigured against its trace fails loudly
+    instead of silently re-indexing users.
+    """
+
+    trace: MobilityTrace
+
+    def generate(
+        self, num_users: int, num_slots: int, rng: np.random.Generator
+    ) -> MobilityTrace:
+        """Return the recorded trace (shape-checked against the request)."""
+        if num_users != self.trace.num_users:
+            raise ValueError(
+                f"replay trace has {self.trace.num_users} users, "
+                f"scenario asked for {num_users}"
+            )
+        if num_slots != self.trace.num_slots:
+            raise ValueError(
+                f"replay trace has {self.trace.num_slots} slots, "
+                f"scenario asked for {num_slots}"
+            )
+        return self.trace

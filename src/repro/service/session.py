@@ -1,0 +1,298 @@
+"""One serving session: a budgeted controller driven over live updates.
+
+:class:`AllocationSession` is the service's synchronous core — no
+asyncio, no sockets — so it is directly testable and reusable from the
+TCP server, the stdio loop, and the load generator alike. It wires the
+pieces the batch path already has into a long-running shape:
+
+* a :class:`~repro.core.regularization.OnlineRegularizedAllocator` whose
+  :class:`~repro.solvers.base.SolveBudget` comes from the
+  :class:`~repro.service.config.ServiceConfig` (the deadline ladder);
+* that allocator's controller form — per-user, or cohort-aggregated when
+  the config carries an :class:`~repro.aggregate.AggregationConfig`;
+* a :class:`~repro.simulation.spine.SlotStepper`, so every slot runs the
+  *identical* accounting/telemetry/feasibility body as batch
+  :func:`~repro.simulation.spine.simulate`.
+
+Each processed slot is measured and classified: a **deadline miss** is a
+slot whose solve was budget-truncated (any partial solve) or whose wall
+latency exceeded the configured deadline. Misses are counted
+(``service.deadline.misses``), recorded as ``service.deadline.miss``
+events (the :class:`~repro.telemetry.watchdog.DeadlineMissRule` watches
+those), and surfaced in every ``slot_result`` reply.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.regularization import OnlineRegularizedAllocator
+from ..simulation.accounting import SlotCosts
+from ..simulation.observations import SlotObservation, SystemDescription
+from ..simulation.spine import SlotStepper
+from ..solvers.registry import get_backend
+from ..solvers.registry import reset_session as reset_backend_session
+from ..telemetry import get_registry
+from .config import ServiceConfig
+from .protocol import ProtocolError, parse_update
+
+
+def percentile(values, fraction: float) -> float:
+    """Exact nearest-rank percentile of a sequence (0.0 when empty)."""
+    ordered = sorted(float(v) for v in values)
+    if not ordered:
+        return 0.0
+    rank = max(1, int(np.ceil(fraction * len(ordered))))
+    return ordered[rank - 1]
+
+
+@dataclass(frozen=True)
+class ServiceSlotResult:
+    """What serving one slot produced.
+
+    Attributes:
+        slot: the slot index that was solved.
+        costs: the slot's four paper costs (incremental accounting).
+        total_cost: the session's accumulated P0 objective.
+        latency_ms: wall time of the whole step (solve + accounting).
+        partial: whether the solve was truncated by the budget.
+        deadline_miss: partial, or latency above the configured deadline.
+    """
+
+    slot: int
+    costs: SlotCosts
+    total_cost: float
+    latency_ms: float
+    partial: bool
+    deadline_miss: bool
+
+    def as_reply(self) -> dict:
+        """The ``slot_result`` wire reply for this slot."""
+        return {
+            "type": "slot_result",
+            "slot": self.slot,
+            "cost": self.costs.total,
+            "operation": self.costs.operation,
+            "service_quality": self.costs.service_quality,
+            "reconfiguration": self.costs.reconfiguration,
+            "migration": self.costs.migration,
+            "total_cost": self.total_cost,
+            "latency_ms": self.latency_ms,
+            "partial": self.partial,
+            "deadline_miss": self.deadline_miss,
+        }
+
+
+class AllocationSession:
+    """A long-running allocation horizon over a fixed system description.
+
+    Attributes:
+        system: the time-invariant system being served.
+        config: the serving configuration (budget, solver, aggregation).
+        results: every :class:`ServiceSlotResult` produced so far.
+    """
+
+    def __init__(self, system: SystemDescription, config: ServiceConfig) -> None:
+        self.system = system
+        self.config = config
+        self._backend = get_backend(config.backend)
+        self._allocator = OnlineRegularizedAllocator(
+            eps1=config.eps1,
+            eps2=config.eps2,
+            backend=self._backend,
+            tol=config.tol,
+            aggregation=config.aggregation,
+            budget=config.budget(),
+        )
+        self.results: list[ServiceSlotResult] = []
+        self._deadline_misses = 0
+        self._start_stepper()
+
+    def _start_stepper(self) -> None:
+        self.controller = self._allocator.as_controller(self.system)
+        self.stepper = SlotStepper(
+            self.controller,
+            self.system,
+            keep_schedule=self.config.keep_schedule,
+        )
+        self.stepper.start()
+
+    # ----- slot processing ----------------------------------------------------
+
+    @property
+    def expected_slot(self) -> int:
+        """The slot index the next update must carry."""
+        return self.stepper.processed
+
+    @property
+    def deadline_misses(self) -> int:
+        """Slots that missed the deadline (partial solve or late wall time)."""
+        return self._deadline_misses
+
+    @property
+    def total_cost(self) -> float:
+        """The accumulated P0 objective over every served slot."""
+        if self.stepper.processed == 0:
+            return 0.0
+        return self.stepper.accumulator.breakdown().total
+
+    def _solve_was_partial(self) -> bool:
+        """Whether the slot just stepped hit its budget (either path)."""
+        reports = getattr(self.controller, "last_reports", None)
+        if reports:  # cohort-aggregated path
+            return reports[-1].partial_solves > 0
+        last = getattr(self.controller, "last_result", None)
+        return bool(last is not None and last.partial)
+
+    def _trim_history(self) -> None:
+        """Bound the diagnostics lists a long-lived session accumulates."""
+        keep = self.config.history
+        algorithm = self._allocator
+        if len(algorithm.last_solves) > keep:
+            del algorithm.last_solves[:-keep]
+        if len(algorithm.last_certificates) > keep:
+            del algorithm.last_certificates[:-keep]
+        reports = getattr(self.controller, "last_reports", None)
+        if reports is not None and len(reports) > keep:
+            del reports[:-keep]
+        if len(self.results) > max(keep, 4096):
+            del self.results[: -max(keep, 4096)]
+
+    def step(self, observation: SlotObservation) -> ServiceSlotResult:
+        """Serve one slot: solve under budget, account, classify the latency."""
+        start = time.perf_counter()
+        _, costs = self.stepper.step(observation)
+        latency_s = time.perf_counter() - start
+        partial = self._solve_was_partial()
+        miss = partial or (
+            self.config.deadline_s is not None
+            and latency_s > self.config.deadline_s
+        )
+        result = ServiceSlotResult(
+            slot=int(observation.slot),
+            costs=costs,
+            total_cost=self.total_cost,
+            latency_ms=latency_s * 1000.0,
+            partial=partial,
+            deadline_miss=miss,
+        )
+        self.results.append(result)
+        telemetry = get_registry()
+        telemetry.counter("service.slots").inc()
+        telemetry.histogram("service.slot_latency_ms").observe(result.latency_ms)
+        if miss:
+            self._deadline_misses += 1
+            telemetry.counter("service.deadline.misses").inc()
+            if partial:
+                telemetry.counter("service.deadline.partial_solves").inc()
+            if telemetry.enabled:
+                telemetry.event(
+                    "service.deadline.miss",
+                    slot=result.slot,
+                    latency_ms=result.latency_ms,
+                    deadline_ms=(
+                        None
+                        if self.config.deadline_s is None
+                        else self.config.deadline_s * 1000.0
+                    ),
+                    partial=partial,
+                )
+        self._trim_history()
+        return result
+
+    # ----- message dispatch ---------------------------------------------------
+
+    def handle(self, message: dict) -> dict:
+        """Dispatch one parsed client message; always returns a reply dict.
+
+        Protocol violations (bad shapes, late/future slots) produce an
+        ``error`` reply and leave the session state untouched — the
+        client may continue with a corrected update for the same slot.
+        """
+        kind = message.get("type")
+        try:
+            if kind == "hello":
+                return self._welcome()
+            if kind == "update":
+                observation = parse_update(
+                    message,
+                    expected_slot=self.expected_slot,
+                    num_clouds=self.system.num_clouds,
+                    num_users=self.system.num_users,
+                )
+                return self.step(observation).as_reply()
+            if kind == "reset":
+                self.reset_session()
+                return {"type": "reset_ok", "expected_slot": self.expected_slot}
+            if kind == "stats":
+                return {"type": "stats", **self.stats()}
+        except ProtocolError as exc:
+            get_registry().counter("service.protocol.rejected").inc()
+            return {
+                "type": "error",
+                "error": str(exc),
+                "expected_slot": self.expected_slot,
+            }
+        return {
+            "type": "error",
+            "error": f"unknown message type {kind!r}",
+            "expected_slot": self.expected_slot,
+        }
+
+    def handle_line(self, line: str | bytes) -> dict:
+        """Parse one wire line and dispatch it (torn lines become errors)."""
+        from .protocol import parse_message
+
+        try:
+            message = parse_message(line)
+        except ProtocolError as exc:
+            get_registry().counter("service.protocol.rejected").inc()
+            return {
+                "type": "error",
+                "error": str(exc),
+                "expected_slot": self.expected_slot,
+            }
+        return self.handle(message)
+
+    def _welcome(self) -> dict:
+        return {
+            "type": "welcome",
+            "num_clouds": self.system.num_clouds,
+            "num_users": self.system.num_users,
+            "expected_slot": self.expected_slot,
+            "deadline_s": self.config.deadline_s,
+            "max_iterations": self.config.max_iterations,
+            "aggregated": self.config.aggregation is not None,
+        }
+
+    # ----- lifecycle ----------------------------------------------------------
+
+    def reset_session(self) -> None:
+        """Start a fresh horizon: slot 0, cold caches, closed circuits.
+
+        Clears *every* layer of cross-slot state: the controller's carried
+        decision and warm caches (``controller.reset``), the backend's
+        circuit-breaker/session state
+        (:func:`repro.solvers.registry.reset_session`), and the stepper's
+        accumulator/residuals (a fresh :class:`SlotStepper`).
+        """
+        reset_backend_session(self._backend)
+        self.results = []
+        self._deadline_misses = 0
+        self._start_stepper()
+
+    def stats(self) -> dict:
+        """Session statistics: slots, costs, misses, latency percentiles."""
+        latencies = [r.latency_ms for r in self.results]
+        return {
+            "slots": self.stepper.processed,
+            "expected_slot": self.expected_slot,
+            "total_cost": self.total_cost,
+            "deadline_misses": self._deadline_misses,
+            "latency_p50_ms": percentile(latencies, 0.50),
+            "latency_p95_ms": percentile(latencies, 0.95),
+            "latency_p99_ms": percentile(latencies, 0.99),
+        }

@@ -34,6 +34,7 @@ from .spine import (
     ScheduleController,
     SimulationCheckpoint,
     SimulationResult,
+    SlotStepper,
     controller_for,
     run_on_spine,
     simulate,
@@ -64,6 +65,7 @@ __all__ = [
     "SlotCosts",
     "SlotHook",
     "SlotObservation",
+    "SlotStepper",
     "SolverStatsHook",
     "StatefulController",
     "SweepCell",

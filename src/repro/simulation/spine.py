@@ -10,10 +10,14 @@ plus a memory-bounded mode that never materializes the (T, I, J) schedule.
 
 Every batch ``run()`` in the project (the paper's algorithm and all
 baselines) is a thin adapter over this spine, so "batch" and "streamed"
-execution are the same code path by construction. Generic controller
-adapters (:class:`PerSlotController`, :class:`RecomputeController`,
-:class:`ScheduleController`) live here so algorithm modules can build
-their controller forms without import cycles; see docs/ENGINE.md.
+execution are the same code path by construction. The per-slot body
+lives in :class:`SlotStepper` so callers that do not own the observation
+stream — the live allocation service in :mod:`repro.service` — drive the
+identical accounting/hook/telemetry path one slot at a time. Generic
+controller adapters (:class:`PerSlotController`,
+:class:`RecomputeController`, :class:`ScheduleController`) live here so
+algorithm modules can build their controller forms without import
+cycles; see docs/ENGINE.md and docs/SERVING.md.
 """
 
 from __future__ import annotations
@@ -28,7 +32,7 @@ from ..core.allocation import AllocationSchedule, FeasibilityReport
 from ..core.costs import CostBreakdown
 from ..core.problem import ProblemInstance
 from ..telemetry import get_registry
-from .accounting import AccumulatorState, CostAccumulator
+from .accounting import AccumulatorState, CostAccumulator, SlotCosts
 from .hooks import SlotHook
 from .observations import (
     OnlineController,
@@ -87,6 +91,162 @@ class SimulationResult:
         return self.breakdown.total
 
 
+class SlotStepper:
+    """The per-slot body of :func:`simulate`, one step at a time.
+
+    A stepper owns everything :func:`simulate`'s loop used to own — the
+    controller, the incremental cost accumulator, feasibility-residual
+    maxima, the optional schedule buffer, hooks and per-slot telemetry —
+    but leaves the *stream* to the caller. :func:`simulate` drives it
+    from an iterable; the live service (:mod:`repro.service`) drives it
+    from network updates. Both produce identical numbers because this is
+    the only implementation of the slot body.
+
+    Lifecycle: construct (resets or resumes the controller), then call
+    :meth:`step` once per observation; :meth:`finish` fires the run-end
+    hooks and returns the :class:`SimulationResult`. :meth:`result` and
+    :meth:`checkpoint` can be called at any time for a live snapshot.
+    """
+
+    def __init__(
+        self,
+        controller: OnlineController,
+        system: SystemDescription,
+        *,
+        hooks: Iterable[SlotHook] = (),
+        keep_schedule: bool = True,
+        resume_from: SimulationCheckpoint | None = None,
+    ) -> None:
+        self.controller = controller
+        self.system = system
+        self.hooks = tuple(hooks)
+        self.keep_schedule = keep_schedule
+        self.accumulator = CostAccumulator(system)
+        if resume_from is None:
+            controller.reset()
+            self._residual_demand = 0.0
+            self._residual_capacity = 0.0
+            self._residual_negativity = 0.0
+        else:
+            set_state = getattr(controller, "set_state", None)
+            if set_state is None:
+                raise ValueError(
+                    f"{type(controller).__name__} cannot resume: it has no set_state()"
+                )
+            set_state(resume_from.controller_state)
+            self.accumulator.set_state(resume_from.accumulator_state)
+            (
+                self._residual_demand,
+                self._residual_capacity,
+                self._residual_negativity,
+            ) = resume_from.residuals
+        self._workloads = np.asarray(system.workloads, dtype=float)
+        self._capacities = np.asarray(system.capacities, dtype=float)
+        self._slots: list[np.ndarray] = []
+        self.processed = 0
+        self._started = False
+
+    def start(self) -> None:
+        """Fire the run-start hooks once (idempotent; ``step`` calls it)."""
+        if self._started:
+            return
+        self._started = True
+        for hook in self.hooks:
+            hook.on_run_start(self.system, self.controller)
+
+    def step(self, observation: SlotObservation) -> tuple[np.ndarray, SlotCosts]:
+        """Process one slot: decide, account, observe, track residuals."""
+        self.start()
+        telemetry = get_registry()
+        observing = telemetry.enabled
+        for hook in self.hooks:
+            hook.on_slot_start(observation)
+        if observing:
+            slot_start = time.perf_counter()
+        x_t = np.asarray(self.controller.observe(observation), dtype=float)
+        costs = self.accumulator.update(observation, x_t)
+        if observing:
+            slot_ms = (time.perf_counter() - slot_start) * 1000.0
+            telemetry.histogram("slot.wall_ms").observe(slot_ms)
+            telemetry.event(
+                "slot",
+                slot=observation.slot,
+                wall_ms=slot_ms,
+                op=costs.operation,
+                sq=costs.service_quality,
+                rc=costs.reconfiguration,
+                mg=costs.migration,
+                total=costs.total,
+            )
+            # A streaming sink flushes every N events; this per-slot
+            # nudge makes its *time* policy effective too, so a
+            # watcher's staleness is bounded by the flush interval
+            # even when slots are slow and events sparse.
+            telemetry.maybe_flush()
+        self._residual_demand = max(
+            self._residual_demand, float((self._workloads - x_t.sum(axis=0)).max())
+        )
+        self._residual_capacity = max(
+            self._residual_capacity, float((x_t.sum(axis=1) - self._capacities).max())
+        )
+        self._residual_negativity = max(self._residual_negativity, float((-x_t).max()))
+        if self.keep_schedule:
+            self._slots.append(np.array(x_t, dtype=float))
+        for hook in self.hooks:
+            hook.on_slot_end(observation, x_t, costs)
+        self.processed += 1
+        return x_t, costs
+
+    @property
+    def residuals(self) -> tuple[float, float, float]:
+        """Running (demand, capacity, negativity) violation maxima."""
+        return (
+            self._residual_demand,
+            self._residual_capacity,
+            self._residual_negativity,
+        )
+
+    def checkpoint(self) -> SimulationCheckpoint:
+        """State snapshot sufficient to resume after the last slot."""
+        get_state = getattr(self.controller, "get_state", None)
+        return SimulationCheckpoint(
+            next_slot=self.accumulator.num_slots,
+            controller_state=get_state() if get_state is not None else None,
+            accumulator_state=self.accumulator.get_state(),
+            residuals=self.residuals,
+        )
+
+    def feasibility(self) -> FeasibilityReport:
+        """Worst constraint violations seen so far (clipped at zero)."""
+        return FeasibilityReport(
+            demand_violation=max(0.0, self._residual_demand),
+            capacity_violation=max(0.0, self._residual_capacity),
+            negativity_violation=max(0.0, self._residual_negativity),
+        )
+
+    def result(self, wall_time_s: float = 0.0) -> SimulationResult:
+        """Build a :class:`SimulationResult` from the current state."""
+        return SimulationResult(
+            schedule=AllocationSchedule.from_slots(self._slots)
+            if self._slots
+            else None,
+            breakdown=self.accumulator.breakdown(),
+            feasibility=self.feasibility(),
+            slots=self.processed,
+            total_slots=self.accumulator.num_slots,
+            wall_time_s=wall_time_s,
+            checkpoint=self.checkpoint(),
+        )
+
+    def finish(self, wall_time_s: float = 0.0) -> SimulationResult:
+        """Close the run: require at least one slot, fire run-end hooks."""
+        if self.accumulator.num_slots == 0:
+            raise ValueError("simulate() needs at least one observation")
+        for hook in self.hooks:
+            hook.on_run_end(self.processed)
+        return self.result(wall_time_s)
+
+
 def simulate(
     controller: OnlineController,
     observations: Iterable[SlotObservation],
@@ -131,7 +291,6 @@ def simulate(
         The :class:`SimulationResult`, whose ``checkpoint`` can seed a
         later ``resume_from``.
     """
-    hooks = tuple(hooks)
     if aggregation is not None:
         aggregated = getattr(controller, "aggregated", None)
         if aggregated is None:
@@ -141,102 +300,25 @@ def simulate(
                 "controller explicitly"
             )
         controller = aggregated(aggregation)
-    accumulator = CostAccumulator(system)
-    if resume_from is None:
-        controller.reset()
-        residual_demand = residual_capacity = residual_negativity = 0.0
-    else:
-        set_state = getattr(controller, "set_state", None)
-        if set_state is None:
-            raise ValueError(
-                f"{type(controller).__name__} cannot resume: it has no set_state()"
-            )
-        set_state(resume_from.controller_state)
-        accumulator.set_state(resume_from.accumulator_state)
-        residual_demand, residual_capacity, residual_negativity = resume_from.residuals
-
-    workloads = np.asarray(system.workloads, dtype=float)
-    capacities = np.asarray(system.capacities, dtype=float)
-    slots: list[np.ndarray] = []
-    processed = 0
-
-    for hook in hooks:
-        hook.on_run_start(system, controller)
-
+    stepper = SlotStepper(
+        controller,
+        system,
+        hooks=hooks,
+        keep_schedule=keep_schedule,
+        resume_from=resume_from,
+    )
+    stepper.start()
     telemetry = get_registry()
-    observing = telemetry.enabled
-
     start = time.perf_counter()
     with telemetry.span("simulate", controller=getattr(controller, "name", "?")):
         stream = iter(observations)
-        while max_slots is None or processed < max_slots:
+        while max_slots is None or stepper.processed < max_slots:
             observation = next(stream, None)
             if observation is None:
                 break
-            for hook in hooks:
-                hook.on_slot_start(observation)
-            if observing:
-                slot_start = time.perf_counter()
-            x_t = np.asarray(controller.observe(observation), dtype=float)
-            costs = accumulator.update(observation, x_t)
-            if observing:
-                slot_ms = (time.perf_counter() - slot_start) * 1000.0
-                telemetry.histogram("slot.wall_ms").observe(slot_ms)
-                telemetry.event(
-                    "slot",
-                    slot=observation.slot,
-                    wall_ms=slot_ms,
-                    op=costs.operation,
-                    sq=costs.service_quality,
-                    rc=costs.reconfiguration,
-                    mg=costs.migration,
-                    total=costs.total,
-                )
-                # A streaming sink flushes every N events; this per-slot
-                # nudge makes its *time* policy effective too, so a
-                # watcher's staleness is bounded by the flush interval
-                # even when slots are slow and events sparse.
-                telemetry.maybe_flush()
-            residual_demand = max(
-                residual_demand, float((workloads - x_t.sum(axis=0)).max())
-            )
-            residual_capacity = max(
-                residual_capacity, float((x_t.sum(axis=1) - capacities).max())
-            )
-            residual_negativity = max(residual_negativity, float((-x_t).max()))
-            if keep_schedule:
-                slots.append(np.array(x_t, dtype=float))
-            for hook in hooks:
-                hook.on_slot_end(observation, x_t, costs)
-            processed += 1
+            stepper.step(observation)
     elapsed = time.perf_counter() - start
-
-    if accumulator.num_slots == 0:
-        raise ValueError("simulate() needs at least one observation")
-    for hook in hooks:
-        hook.on_run_end(processed)
-
-    get_state = getattr(controller, "get_state", None)
-    residuals = (residual_demand, residual_capacity, residual_negativity)
-    checkpoint = SimulationCheckpoint(
-        next_slot=accumulator.num_slots,
-        controller_state=get_state() if get_state is not None else None,
-        accumulator_state=accumulator.get_state(),
-        residuals=residuals,
-    )
-    return SimulationResult(
-        schedule=AllocationSchedule.from_slots(slots) if slots else None,
-        breakdown=accumulator.breakdown(),
-        feasibility=FeasibilityReport(
-            demand_violation=max(0.0, residual_demand),
-            capacity_violation=max(0.0, residual_capacity),
-            negativity_violation=max(0.0, residual_negativity),
-        ),
-        slots=processed,
-        total_slots=accumulator.num_slots,
-        wall_time_s=elapsed,
-        checkpoint=checkpoint,
-    )
+    return stepper.finish(elapsed)
 
 
 # ----- generic controller adapters -------------------------------------------

@@ -1,6 +1,12 @@
 """LP and convex solver substrate (replaces the paper's GLPK/Pyomo/IPOPT)."""
 
-from .base import ConvexBackend, ConvexProgram, SolverError, SolverResult
+from .base import (
+    ConvexBackend,
+    ConvexProgram,
+    SolveBudget,
+    SolverError,
+    SolverResult,
+)
 from .interior_point import InteriorPointBackend
 from .linear import LinearProgramBuilder, VariableBlock
 from .registry import (
@@ -9,6 +15,7 @@ from .registry import (
     default_backend,
     get_backend,
     register_backend,
+    reset_session,
 )
 from .scipy_backend import ScipyTrustConstrBackend
 
@@ -19,6 +26,7 @@ __all__ = [
     "InteriorPointBackend",
     "LinearProgramBuilder",
     "ScipyTrustConstrBackend",
+    "SolveBudget",
     "SolverError",
     "SolverResult",
     "VariableBlock",
@@ -26,4 +34,5 @@ __all__ = [
     "default_backend",
     "get_backend",
     "register_backend",
+    "reset_session",
 ]

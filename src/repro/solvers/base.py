@@ -21,6 +21,38 @@ class SolverError(RuntimeError):
 
 
 @dataclass(frozen=True)
+class SolveBudget:
+    """A best-effort cap on how much work one solve may do.
+
+    Budgets exist for the live service (docs/SERVING.md): a slot must be
+    decided before its deadline, so a solve that would converge late is
+    cut off and its current *strictly interior* barrier iterate returned
+    as a partial result instead. Both limits are optional and compose
+    (whichever fires first wins); a ``None`` budget — the default
+    everywhere — changes nothing, which is what keeps batch
+    ``simulate()`` bit-identical with budgets disabled.
+
+    Attributes:
+        deadline_s: wall-clock seconds from the start of the solve. The
+            check runs between Newton iterations, so overshoot is bounded
+            by one iteration, not one solve.
+        max_iterations: cap on total Newton iterations across the whole
+            barrier schedule.
+    """
+
+    deadline_s: float | None = None
+    max_iterations: int | None = None
+
+    def exhausted(self, *, elapsed_s: float, iterations: int) -> bool:
+        """True once either limit has been reached."""
+        if self.deadline_s is not None and elapsed_s >= self.deadline_s:
+            return True
+        if self.max_iterations is not None and iterations >= self.max_iterations:
+            return True
+        return False
+
+
+@dataclass(frozen=True)
 class SolverResult:
     """Outcome of one solve.
 
@@ -33,6 +65,8 @@ class SolverResult:
         primary_error: when a fallback wrapper produced this result, the
             error message of the primary backend that failed first (kept
             inspectable instead of silently discarded); ``None`` otherwise.
+        partial: ``True`` when a :class:`SolveBudget` fired and ``x`` is
+            the last (feasible) iterate rather than a converged optimum.
     """
 
     x: np.ndarray
@@ -41,6 +75,7 @@ class SolverResult:
     backend: str = ""
     duals: dict[str, np.ndarray] = field(default_factory=dict)
     primary_error: str | None = None
+    partial: bool = False
 
 
 @dataclass
@@ -78,6 +113,11 @@ class ConvexProgram:
     #: specialized backends can exploit; generic backends ignore it.
     structure: object | None = None
     warm_start: bool = False
+    #: Optional work cap (see :class:`SolveBudget`). Backends that honor
+    #: it return ``SolverResult(partial=True)`` when it fires; backends
+    #: that cannot interrupt themselves (the generic SciPy fallback)
+    #: ignore it, so the budget is best-effort by contract.
+    budget: SolveBudget | None = None
 
     @property
     def num_variables(self) -> int:

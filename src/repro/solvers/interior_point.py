@@ -20,6 +20,7 @@ sums, column sums, and single entries of an (I, J) table.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -84,6 +85,21 @@ class _BarrierSolve:
         self.num_constraints = self.n + self.num_users + self.num_clouds
         self.iterations = 0
         self.last_decrement = 0.0
+        # Deadline budgets (docs/SERVING.md): checked between Newton
+        # iterations; a fired budget turns the solve into a partial
+        # result instead of an error. ``budget is None`` skips every
+        # check, keeping unbudgeted solves bit-identical.
+        self.budget = program.budget
+        self.partial = False
+        self._budget_start = time.perf_counter() if self.budget is not None else 0.0
+
+    def _out_of_budget(self) -> bool:
+        if self.budget is None:
+            return False
+        return self.budget.exhausted(
+            elapsed_s=time.perf_counter() - self._budget_start,
+            iterations=self.iterations,
+        )
 
     # ----- constraint slacks (all computed from the (I, J) table) ------------
 
@@ -224,6 +240,8 @@ class _BarrierSolve:
                         "decrement": self.last_decrement,
                     }
                 )
+            if self.partial:
+                break
             if mu * self.num_constraints <= gap_target:
                 break
             mu *= _MU_DECAY
@@ -235,6 +253,11 @@ class _BarrierSolve:
         telemetry.histogram("solver.ipm.iterations").observe(self.iterations)
         if warm:
             telemetry.counter("solver.ipm.warm_start_hits").inc()
+        if self.partial:
+            # Barrier iterates are strictly interior by construction, so
+            # a budget-truncated x is always feasible — degraded in cost,
+            # never in constraints (Theorem 1 survives the cutoff).
+            telemetry.counter("solver.ipm.budget_exhausted").inc()
         if trace is not None:
             telemetry.event(
                 "solver.ipm.trace",
@@ -264,11 +287,15 @@ class _BarrierSolve:
             iterations=self.iterations,
             backend=self.config.name,
             duals=duals,
+            partial=self.partial,
         )
 
     def _newton_loop(self, x: np.ndarray, mu: float) -> np.ndarray:
         """Minimize the barrier objective for a fixed mu."""
         for _ in range(self.config.max_newton_per_mu):
+            if self._out_of_budget():
+                self.partial = True
+                break
             grad = self.barrier_gradient(x, mu)
             dx = self.newton_direction(x, grad, mu)
             decrement = float(-(grad * dx).sum())

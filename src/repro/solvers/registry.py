@@ -89,6 +89,23 @@ class FallbackBackend:
         self._consecutive_failures = 0
         self._skips_remaining = 0
 
+    def reset_session(self) -> None:
+        """Reset every piece of cross-solve state this wrapper holds.
+
+        Service sessions (docs/SERVING.md) outlive any single ``run()``:
+        one long-lived process serves many logical sessions against the
+        same registered backend instance, so a circuit opened by one
+        session must not leak a cold-start penalty into the next. Today
+        the breaker is the only cross-solve state here, but callers
+        should use this (not :meth:`reset_circuit`) at session
+        boundaries so future caches are covered by the same contract.
+        """
+        self.reset_circuit()
+        for backend in (self.primary, self.secondary):
+            reset = getattr(backend, "reset_session", None)
+            if reset is not None:
+                reset()
+
     def solve(self, program: ConvexProgram, *, tol: float = 1e-8) -> SolverResult:
         """Try the primary backend; on SolverError, retry with the secondary.
 
@@ -158,3 +175,20 @@ register_backend("auto", FallbackBackend(InteriorPointBackend(), ScipyTrustConst
 def default_backend() -> ConvexBackend:
     """The backend used when an algorithm is not given one explicitly."""
     return get_backend("auto")
+
+
+def reset_session(backend: ConvexBackend | str) -> None:
+    """Session-boundary reset for any backend (duck-typed, never raises).
+
+    Accepts a backend instance or a registry name. Backends without
+    cross-solve state are a no-op; wrappers with a ``reset_session`` (or
+    legacy ``reset_circuit``) hook are cleared. The live service calls
+    this when a client issues a session reset (docs/SERVING.md).
+    """
+    if isinstance(backend, str):
+        backend = get_backend(backend)
+    reset = getattr(backend, "reset_session", None)
+    if reset is None:
+        reset = getattr(backend, "reset_circuit", None)
+    if reset is not None:
+        reset()

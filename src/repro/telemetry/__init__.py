@@ -34,6 +34,7 @@ worker count.
 """
 
 from .exporters import (
+    MetricsEndpoint,
     chrome_trace,
     openmetrics,
     write_chrome_trace,
@@ -67,6 +68,7 @@ from .watch import ManifestTail, WatchState, watch
 from .watchdog import (
     Alert,
     CertificateGapRule,
+    DeadlineMissRule,
     FallbackStormRule,
     RatioBoundRule,
     SolverStallRule,
@@ -83,11 +85,13 @@ __all__ = [
     "Alert",
     "CertificateGapRule",
     "Counter",
+    "DeadlineMissRule",
     "EventSink",
     "FallbackStormRule",
     "Gauge",
     "Histogram",
     "ManifestTail",
+    "MetricsEndpoint",
     "MetricsRegistry",
     "NullRegistry",
     "NullSink",

@@ -22,16 +22,21 @@ tooling, both pure functions of recorded data:
 
 Both accept the shapes found in a run manifest, so `repro-edge export`
 can produce traces and metric snapshots from any archived ``.jsonl``.
+:class:`MetricsEndpoint` is the *live* form of the OpenMetrics bridge:
+an asyncio HTTP listener that renders the active registry on every
+``GET /metrics``, so a running ``repro-edge serve`` is scrapeable by a
+stock Prometheus without any textfile-collector hop (docs/SERVING.md).
 """
 
 from __future__ import annotations
 
+import asyncio
 import json
 import re
 from pathlib import Path
 
 from .manifest import RunRecord, _jsonify
-from .metrics import MetricsRegistry, sketch_upper_edge
+from .metrics import MetricsRegistry, get_registry, sketch_upper_edge
 
 #: Characters allowed in an OpenMetrics metric name (everything else
 #: becomes ``_``).
@@ -181,6 +186,94 @@ def openmetrics(source) -> str:
         lines.append(f"{metric}_count {count}")
     lines.append("# EOF")
     return "\n".join(lines) + "\n"
+
+
+class MetricsEndpoint:
+    """A live ``/metrics`` endpoint over the telemetry registry.
+
+    A deliberately tiny HTTP/1.0-style responder (no framework, no
+    keep-alive): each connection reads one request, answers, closes.
+    ``GET /metrics`` renders :func:`openmetrics` over the resolved
+    source *at request time*, so scrapes always see current counters.
+
+    Attributes:
+        source: what to render — a registry/record/snapshot, a zero-arg
+            callable returning one, or ``None`` to use the *active*
+            registry (:func:`~repro.telemetry.metrics.get_registry`) at
+            each request. A disabled (null) active registry renders an
+            empty, valid exposition rather than failing the scrape.
+        host: listen address.
+        port: listen port (0 = pick a free one; read back after start).
+    """
+
+    def __init__(
+        self, source=None, *, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self.source = source
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+
+    async def start(self) -> None:
+        """Bind the listener; ``self.port`` holds the realized port after."""
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        """Close the listener."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    def _render(self) -> str:
+        source = self.source
+        if callable(source):
+            source = source()
+        if source is None:
+            source = get_registry()
+        if not isinstance(source, (MetricsRegistry, RunRecord, dict)):
+            # Null registry (telemetry off): an empty but valid exposition.
+            source = {"counters": {}, "gauges": {}, "histograms": {}}
+        return openmetrics(source)
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request = await reader.readline()
+            while True:  # drain headers up to the blank line
+                header = await reader.readline()
+                if header in (b"", b"\r\n", b"\n"):
+                    break
+            parts = request.decode("latin-1", "replace").split()
+            method = parts[0] if parts else ""
+            path = parts[1] if len(parts) > 1 else ""
+            if method != "GET":
+                status, body = "405 Method Not Allowed", "method not allowed\n"
+            elif path.split("?")[0] != "/metrics":
+                status, body = "404 Not Found", "try GET /metrics\n"
+            else:
+                status, body = "200 OK", self._render()
+            payload = body.encode("utf-8")
+            writer.write(
+                (
+                    f"HTTP/1.1 {status}\r\n"
+                    "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+                    f"Content-Length: {len(payload)}\r\n"
+                    "Connection: close\r\n\r\n"
+                ).encode("latin-1")
+            )
+            writer.write(payload)
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            # close() without wait_closed(): awaiting it in a handler races
+            # loop shutdown (handlers are cancelled mid-await).
+            writer.close()
 
 
 def write_openmetrics(path: str | Path, source) -> Path:

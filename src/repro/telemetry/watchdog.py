@@ -89,6 +89,8 @@ class WatchdogState:
         self.fallbacks = 0
         self.fallback_positions: deque[int] = deque()
         self.circuit_opens = 0
+        self.deadline_misses = 0
+        self.deadline_miss_positions: deque[int] = deque()
 
     def update(self, record: dict) -> None:
         """Fold one event record into the rolling state."""
@@ -103,6 +105,9 @@ class WatchdogState:
             self.fallback_positions.append(self.slots)
         elif kind == "solver.circuit_open":
             self.circuit_opens += 1
+        elif kind == "service.deadline.miss":
+            self.deadline_misses += 1
+            self.deadline_miss_positions.append(self.slots)
 
 
 class WatchdogRule:
@@ -259,6 +264,50 @@ class RatioBoundRule(WatchdogRule):
         )
 
 
+@dataclass(frozen=True)
+class DeadlineMissRule(WatchdogRule):
+    """Fire when the serving deadline is missed repeatedly.
+
+    Listens to the live service's ``service.deadline.miss`` events
+    (docs/SERVING.md): a slot whose solve was budget-truncated or whose
+    wall latency exceeded the configured deadline. A single miss is the
+    degradation ladder doing its job; a *cluster* means the service is
+    persistently overloaded, so the rule fires once per storm — at the
+    moment the count within the window reaches the threshold — exactly
+    like :class:`FallbackStormRule`. Set ``threshold=1`` to alert on
+    every miss (what the CI smoke gate does via ``watch --strict``).
+
+    Attributes:
+        threshold: misses within the window that constitute overload.
+        window: the window length, measured in accounted slots.
+    """
+
+    threshold: int = 3
+    window: int = 25
+    name: str = field(default="deadline-miss", init=False)
+
+    def observe(self, record: dict, state: WatchdogState) -> Alert | None:
+        """Count recent ``service.deadline.miss`` events in the window."""
+        if record.get("type") != "service.deadline.miss":
+            return None
+        positions = state.deadline_miss_positions
+        while positions and positions[0] < state.slots - self.window:
+            positions.popleft()
+        if len(positions) != self.threshold:
+            return None
+        slot = record.get("slot")
+        return Alert(
+            rule=self.name,
+            message=(
+                f"{len(positions)} deadline misses within the last "
+                f"{self.window} slots"
+            ),
+            slot=None if slot is None else int(slot),
+            value=float(len(positions)),
+            threshold=float(self.threshold),
+        )
+
+
 def default_rules() -> tuple[WatchdogRule, ...]:
     """The standard rule set, at default thresholds."""
     return (
@@ -266,6 +315,7 @@ def default_rules() -> tuple[WatchdogRule, ...]:
         FallbackStormRule(),
         CertificateGapRule(),
         RatioBoundRule(),
+        DeadlineMissRule(),
     )
 
 

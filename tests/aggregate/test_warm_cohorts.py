@@ -1,0 +1,120 @@
+"""Warm cohort reuse: cache hits on stable maps, invalidation on churn."""
+
+import numpy as np
+import pytest
+
+from repro.aggregate import AggregatedController, AggregationConfig
+from repro.core.regularization import OnlineRegularizedAllocator
+from repro.simulation.observations import (
+    SystemDescription,
+    observations_from_instance,
+)
+from repro.simulation.spine import simulate
+from tests.conftest import make_tiny_instance
+
+
+def _stable_setup(seed: int = 0, **config_overrides):
+    """A tiny instance whose attachment never changes across slots."""
+    instance = make_tiny_instance(seed=seed)
+    instance.attachment[:] = instance.attachment[0]
+    system = SystemDescription.from_instance(instance)
+    config = AggregationConfig(**config_overrides)
+    controller = AggregatedController(
+        system=system,
+        algorithm=OnlineRegularizedAllocator(),
+        config=config,
+    )
+    return instance, system, controller
+
+
+class TestWarmCohortCache:
+    def test_stable_map_hits_from_the_second_slot(self):
+        instance, _, controller = _stable_setup()
+        for observation in observations_from_instance(instance):
+            controller.observe(observation)
+        hits = [r.warm_cohort_hit for r in controller.last_reports]
+        assert hits[0] is False
+        assert all(hits[1:])
+
+    def test_cohort_churn_invalidates_the_cache(self):
+        instance, _, controller = _stable_setup(seed=1)
+        observations = observations_from_instance(instance)
+        controller.observe(observations[0])
+        controller.observe(observations[1])
+        # Move one user to another station: new cohort signature.
+        churned = observations[2]
+        attachment = np.array(churned.attachment)
+        attachment[0] = (attachment[0] + 1) % 3
+        churned = type(churned)(
+            slot=churned.slot,
+            op_prices=churned.op_prices,
+            attachment=attachment,
+            access_delay=churned.access_delay,
+        )
+        controller.observe(churned)
+        hits = [r.warm_cohort_hit for r in controller.last_reports]
+        assert hits == [False, True, False]
+
+    def test_disabled_config_never_hits(self):
+        instance, _, controller = _stable_setup(warm_cohorts=False)
+        for observation in observations_from_instance(instance):
+            controller.observe(observation)
+        assert not any(r.warm_cohort_hit for r in controller.last_reports)
+
+    def test_reset_drops_the_cache(self):
+        instance, _, controller = _stable_setup()
+        observations = observations_from_instance(instance)
+        controller.observe(observations[0])
+        controller.observe(observations[1])
+        controller.reset()
+        controller.observe(observations[0])
+        assert controller.last_reports[-1].warm_cohort_hit is False
+
+    def test_warm_reuse_does_not_change_the_costs(self):
+        instance, system, _ = _stable_setup(seed=2)
+        observations = observations_from_instance(instance)
+
+        def run(warm: bool) -> float:
+            allocator = OnlineRegularizedAllocator(
+                aggregation=AggregationConfig(warm_cohorts=warm)
+            )
+            return simulate(
+                allocator.as_controller(system), observations, system
+            ).total_cost
+
+        assert run(True) == pytest.approx(run(False), rel=1e-6)
+
+
+class TestCheckpointRoundTrip:
+    def test_six_tuple_state_preserves_the_warm_cache(self):
+        instance, system, controller = _stable_setup(seed=3)
+        observations = observations_from_instance(instance)
+        controller.observe(observations[0])
+        controller.observe(observations[1])
+        state = controller.get_state()
+        assert len(state) == 6
+
+        restored = AggregatedController(
+            system=system,
+            algorithm=OnlineRegularizedAllocator(),
+            config=AggregationConfig(),
+        )
+        restored.set_state(state)
+        restored.observe(observations[2])
+        assert restored.last_reports[-1].warm_cohort_hit is True
+
+    def test_legacy_three_tuple_state_restores_with_cold_caches(self):
+        instance, system, controller = _stable_setup(seed=3)
+        observations = observations_from_instance(instance)
+        controller.observe(observations[0])
+        controller.observe(observations[1])
+        state = controller.get_state()[:3]
+
+        restored = AggregatedController(
+            system=system,
+            algorithm=OnlineRegularizedAllocator(),
+            config=AggregationConfig(),
+        )
+        restored.set_state(state)
+        restored.observe(observations[2])
+        assert restored.last_reports[-1].warm_cohort_hit is False

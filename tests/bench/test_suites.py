@@ -95,6 +95,7 @@ class TestRegistryOfSuites:
     def test_all_declared_suites_are_callable(self):
         assert set(SUITES) == {
             "smoke", "solver", "fig2", "fig5", "parallel", "aggregate",
+            "service",
         }
 
     def test_unknown_suite_raises_with_known_names(self):

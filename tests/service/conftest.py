@@ -1,0 +1,19 @@
+"""Service-test fixtures: a tiny system plus its observation stream."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulation.observations import (
+    SystemDescription,
+    observations_from_instance,
+)
+from tests.conftest import make_tiny_instance
+
+
+@pytest.fixture()
+def tiny_stream():
+    """(system, observations) for a 3-cloud / 4-user / 5-slot instance."""
+    instance = make_tiny_instance(seed=0)
+    system = SystemDescription.from_instance(instance)
+    return system, observations_from_instance(instance)

@@ -1,0 +1,109 @@
+"""Loadgen: the streamed replay must reproduce the batch numbers.
+
+These are the in-process versions of the CI ``service-smoke`` gates:
+an unhurried replay has zero deadline misses and a realized cost equal
+to batch ``simulate()`` to solver precision, while a starved iteration
+budget engages the degradation ladder on every slot yet stays feasible.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.mobility import ReplayMobility
+from repro.service import (
+    LoadgenReport,
+    ServiceConfig,
+    observations_from_trace,
+    run_loadgen,
+)
+from repro.simulation.scenario import Scenario
+
+
+class TestReplayGates:
+    def test_generous_replay_matches_batch_exactly(self, tiny_stream):
+        system, observations = tiny_stream
+        report = run_loadgen(
+            system,
+            observations,
+            ServiceConfig(deadline_s=30.0),
+            speed=0,
+        )
+        assert report.slots == len(observations)
+        assert report.deadline_misses == 0
+        assert report.partial_slots == 0
+        assert abs(report.cost_delta) <= 1e-9
+        assert report.latency_p99_ms >= report.latency_p50_ms > 0.0
+
+    def test_starved_budget_degrades_every_slot(self, tiny_stream):
+        system, observations = tiny_stream
+        report = run_loadgen(
+            system,
+            observations,
+            ServiceConfig(max_iterations=1),
+            speed=0,
+            batch_reference=False,
+        )
+        assert report.partial_slots == report.slots
+        assert report.deadline_misses == report.slots
+        assert np.isnan(report.batch_cost)
+        assert np.isfinite(report.streamed_cost)
+
+    def test_report_renders_and_serializes(self, tiny_stream):
+        system, observations = tiny_stream
+        report = run_loadgen(
+            system, observations[:2], ServiceConfig(), speed=0
+        )
+        assert isinstance(report, LoadgenReport)
+        text = report.render()
+        assert "Loadgen replay: 2 slots" in text
+        assert "batch cost" in text
+        as_dict = report.as_dict()
+        assert as_dict["slots"] == 2
+        assert as_dict["streamed_cost"] == report.streamed_cost
+
+
+class TestArgumentValidation:
+    def test_empty_stream_is_rejected(self, tiny_stream):
+        system, _ = tiny_stream
+        with pytest.raises(ValueError, match="at least one observation"):
+            run_loadgen(system, [], ServiceConfig())
+
+    def test_host_and_port_must_travel_together(self, tiny_stream):
+        system, observations = tiny_stream
+        with pytest.raises(ValueError, match="host and port together"):
+            run_loadgen(
+                system, observations, ServiceConfig(), host="127.0.0.1"
+            )
+
+
+def _recorded_trace():
+    scenario = Scenario(num_users=4, num_slots=4)
+    trace = scenario.resolve_mobility().generate(4, 4, np.random.default_rng(7))
+    return scenario, trace
+
+
+class TestTraceReplay:
+    def test_recorded_trace_streams_through_the_scenario_pipeline(self):
+        scenario, trace = _recorded_trace()
+        # Provisioning (capacities, prices) is re-derived for the replayed
+        # trace, but the mobility itself is the recorded one, verbatim.
+        replayed = replace(scenario, mobility=ReplayMobility(trace)).build(
+            seed=99
+        )
+        assert np.array_equal(replayed.attachment, trace.attachment)
+
+        observations = observations_from_trace(trace, replayed.op_prices)
+        assert len(observations) == trace.num_slots
+        assert np.array_equal(observations[2].attachment, trace.attachment[2])
+
+    def test_shape_mismatches_fail_loudly(self):
+        _, trace = _recorded_trace()
+        with pytest.raises(ValueError, match="op_prices must be"):
+            observations_from_trace(trace, np.ones((2, 3)))
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError, match="replay trace has"):
+            ReplayMobility(trace).generate(9, 4, rng)
+        with pytest.raises(ValueError, match="replay trace has"):
+            ReplayMobility(trace).generate(4, 9, rng)

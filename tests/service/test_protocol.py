@@ -1,0 +1,119 @@
+"""Wire-protocol validation: every malformed input is a ProtocolError."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.service import (
+    ProtocolError,
+    encode,
+    observation_to_update,
+    parse_message,
+    parse_update,
+)
+from repro.simulation.observations import SlotObservation
+
+
+def _update(slot=0, num_clouds=3, num_users=4, **overrides):
+    message = {
+        "type": "update",
+        "slot": slot,
+        "op_prices": [1.0] * num_clouds,
+        "attachment": [0] * num_users,
+        "access_delay": [0.1] * num_users,
+    }
+    message.update(overrides)
+    return message
+
+
+class TestParseMessage:
+    def test_round_trips_a_valid_line(self):
+        line = encode({"type": "hello"})
+        assert line.endswith(b"\n")
+        assert parse_message(line) == {"type": "hello"}
+        assert parse_message(line.decode("utf-8")) == {"type": "hello"}
+
+    @pytest.mark.parametrize(
+        "line",
+        [
+            "",
+            "   \n",
+            '{"type": "update", "slot":',  # torn mid-message
+            '"just a string"',
+            "[1, 2, 3]",
+            '{"type": "launch_missiles"}',
+            '{"no_type": true}',
+            b"\xff\xfe invalid utf-8 \xff",
+        ],
+    )
+    def test_rejects_malformed_lines(self, line):
+        with pytest.raises(ProtocolError):
+            parse_message(line)
+
+
+class TestParseUpdate:
+    def _parse(self, message, expected_slot=0):
+        return parse_update(
+            message, expected_slot=expected_slot, num_clouds=3, num_users=4
+        )
+
+    def test_accepts_a_well_formed_update(self):
+        observation = self._parse(_update())
+        assert observation.slot == 0
+        assert observation.op_prices.shape == (3,)
+        assert observation.attachment.shape == (4,)
+        assert observation.access_delay.shape == (4,)
+
+    def test_rejects_late_updates(self):
+        with pytest.raises(ProtocolError, match="late update.*already solved"):
+            self._parse(_update(slot=1), expected_slot=3)
+
+    def test_rejects_future_updates(self):
+        with pytest.raises(ProtocolError, match="future update.*skip slots"):
+            self._parse(_update(slot=5), expected_slot=3)
+
+    @pytest.mark.parametrize("slot", ["0", 1.5, None, True])
+    def test_rejects_non_integer_slots(self, slot):
+        with pytest.raises(ProtocolError, match="slot must be an integer"):
+            self._parse(_update(slot=slot))
+
+    def test_rejects_wrong_shapes(self):
+        with pytest.raises(ProtocolError, match="op_prices"):
+            self._parse(_update(op_prices=[1.0, 2.0]))
+        with pytest.raises(ProtocolError, match="attachment"):
+            self._parse(_update(attachment=[[0, 1], [2, 0]]))
+        with pytest.raises(ProtocolError, match="missing"):
+            message = _update()
+            del message["access_delay"]
+            self._parse(message)
+
+    def test_rejects_non_numeric_and_non_finite_values(self):
+        with pytest.raises(ProtocolError, match="not numeric"):
+            self._parse(_update(op_prices=["a", "b", "c"]))
+        with pytest.raises(ProtocolError, match="non-finite"):
+            self._parse(_update(access_delay=[0.1, float("nan"), 0.1, 0.1]))
+
+    def test_rejects_out_of_range_attachment(self):
+        with pytest.raises(ProtocolError, match="attachment entries"):
+            self._parse(_update(attachment=[0, 1, 3, 0]))
+        with pytest.raises(ProtocolError, match="attachment entries"):
+            self._parse(_update(attachment=[0, -1, 2, 0]))
+
+
+class TestEncoding:
+    def test_observation_round_trip(self):
+        observation = SlotObservation(
+            slot=2,
+            op_prices=np.array([1.0, 2.0, 3.0]),
+            attachment=np.array([0, 1, 2, 1]),
+            access_delay=np.array([0.1, 0.2, 0.3, 0.4]),
+        )
+        message = json.loads(encode(observation_to_update(observation)))
+        parsed = parse_update(
+            message, expected_slot=2, num_clouds=3, num_users=4
+        )
+        assert parsed.slot == observation.slot
+        assert np.array_equal(parsed.op_prices, observation.op_prices)
+        assert np.array_equal(parsed.attachment, observation.attachment)
+        assert np.array_equal(parsed.access_delay, observation.access_delay)

@@ -1,0 +1,163 @@
+"""Deadline budgets: partial solves, feasibility, and session resets.
+
+The serving contract (docs/SERVING.md) rests on three solver-level
+guarantees: a fired budget yields a *feasible* partial iterate, a ``None``
+budget is bit-identical to no budget at all, and session-boundary resets
+clear every piece of cross-solve state (the fallback circuit breaker).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.regularization import OnlineRegularizedAllocator
+from repro.core.subproblem import RegularizedSubproblem
+from repro.solvers.base import ConvexProgram, SolveBudget, SolverError
+from repro.solvers.interior_point import InteriorPointBackend
+from repro.solvers.registry import (
+    FallbackBackend,
+    get_backend,
+    reset_session,
+)
+from repro.solvers.scipy_backend import ScipyTrustConstrBackend
+from tests.conftest import make_tiny_instance
+
+
+def _program(seed: int = 0, budget: SolveBudget | None = None) -> ConvexProgram:
+    instance = make_tiny_instance(seed=seed)
+    rng = np.random.default_rng(seed + 7)
+    shape = (instance.num_clouds, instance.num_users)
+    x_prev = rng.uniform(0.0, 1.0, size=shape) * np.asarray(instance.workloads)
+    sub = RegularizedSubproblem.from_instance(instance, 0, x_prev, eps1=1.0, eps2=1.0)
+    program = sub.build_program()
+    program.budget = budget
+    return program
+
+
+class TestSolveBudget:
+    def test_exhausted_by_either_limit(self):
+        budget = SolveBudget(deadline_s=1.0, max_iterations=10)
+        assert not budget.exhausted(elapsed_s=0.5, iterations=5)
+        assert budget.exhausted(elapsed_s=1.0, iterations=5)
+        assert budget.exhausted(elapsed_s=0.5, iterations=10)
+
+    def test_unset_limits_never_fire(self):
+        budget = SolveBudget()
+        assert not budget.exhausted(elapsed_s=1e9, iterations=10**9)
+
+
+class TestPartialSolves:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_iteration_budget_yields_feasible_partial(self, seed):
+        program = _program(seed, budget=SolveBudget(max_iterations=1))
+        result = InteriorPointBackend().solve(program, tol=1e-10)
+        assert result.partial
+        assert result.iterations <= 1
+        # The barrier iterate is strictly interior, hence feasible.
+        assert np.all(result.x >= program.x_lower - 1e-9)
+        slack = program.constraint_matrix @ result.x - program.constraint_lower
+        assert float(slack.min()) >= -1e-9
+
+    def test_zero_deadline_fires_immediately_but_stays_feasible(self):
+        program = _program(3, budget=SolveBudget(deadline_s=0.0))
+        result = InteriorPointBackend().solve(program, tol=1e-10)
+        assert result.partial
+        assert np.all(result.x >= program.x_lower - 1e-9)
+        slack = program.constraint_matrix @ result.x - program.constraint_lower
+        assert float(slack.min()) >= -1e-9
+
+    def test_none_budget_is_bit_identical_to_no_budget(self):
+        backend = InteriorPointBackend()
+        plain = backend.solve(_program(4), tol=1e-10)
+        budgeted = backend.solve(
+            _program(4, budget=SolveBudget()), tol=1e-10
+        )
+        assert not plain.partial and not budgeted.partial
+        assert np.array_equal(plain.x, budgeted.x)
+        assert plain.objective == budgeted.objective
+        assert plain.iterations == budgeted.iterations
+
+    def test_generous_budget_converges_like_no_budget(self):
+        backend = InteriorPointBackend()
+        plain = backend.solve(_program(5), tol=1e-10)
+        generous = backend.solve(
+            _program(5, budget=SolveBudget(deadline_s=1e6, max_iterations=10**6)),
+            tol=1e-10,
+        )
+        assert not generous.partial
+        assert np.array_equal(plain.x, generous.x)
+
+    def test_fallback_backend_passes_partial_through(self):
+        backend = FallbackBackend(InteriorPointBackend(), ScipyTrustConstrBackend())
+        result = backend.solve(
+            _program(6, budget=SolveBudget(max_iterations=1)), tol=1e-10
+        )
+        assert result.partial
+
+
+class TestDegradationLadder:
+    def test_partial_slot_never_beats_attached_cloud_repair(self):
+        # An attachment row that is capacity-feasible, so the ladder's
+        # attached-cloud comparison is active: loads (6, 3, 1) vs (6, 5, 4).
+        instance = make_tiny_instance(seed=2)
+        instance.attachment[1] = [0, 1, 2, 0]
+        x_prev = np.zeros((instance.num_clouds, instance.num_users))
+        allocator = OnlineRegularizedAllocator(
+            backend=InteriorPointBackend(), budget=SolveBudget(max_iterations=1)
+        )
+        x_t, result = allocator.step(instance, 1, x_prev)
+        assert result.partial
+        sub = RegularizedSubproblem.from_instance(
+            instance, 1, x_prev, eps1=allocator.eps1, eps2=allocator.eps2
+        )
+        attached = np.zeros_like(x_t)
+        attached[instance.attachment[1], np.arange(instance.num_users)] = (
+            instance.workloads
+        )
+        assert sub.objective(x_t.ravel()) <= sub.objective(attached.ravel()) + 1e-9
+
+    def test_unbudgeted_allocator_never_reports_partial(self):
+        instance = make_tiny_instance(seed=3)
+        x_prev = np.zeros((instance.num_clouds, instance.num_users))
+        allocator = OnlineRegularizedAllocator(backend=InteriorPointBackend())
+        _, result = allocator.step(instance, 0, x_prev)
+        assert not result.partial
+
+
+class _AlwaysFails:
+    name = "always-fails"
+
+    def solve(self, program, *, tol=1e-8):
+        raise SolverError("injected failure")
+
+
+class TestSessionReset:
+    def test_reset_session_closes_an_open_circuit(self):
+        backend = FallbackBackend(
+            _AlwaysFails(), ScipyTrustConstrBackend(), failure_threshold=1
+        )
+        backend.solve(_program(0), tol=1e-8)
+        assert backend.circuit_open
+        backend.reset_session()
+        assert not backend.circuit_open
+        assert backend._consecutive_failures == 0
+
+    def test_module_reset_accepts_instances_and_names(self):
+        backend = FallbackBackend(
+            _AlwaysFails(), ScipyTrustConstrBackend(), failure_threshold=1
+        )
+        backend.solve(_program(0), tol=1e-8)
+        reset_session(backend)
+        assert not backend.circuit_open
+        # Registry names resolve; stateless backends are a silent no-op.
+        reset_session("auto")
+        reset_session("ipm")
+
+    def test_reset_session_recurses_into_wrapped_backends(self):
+        inner = FallbackBackend(
+            _AlwaysFails(), ScipyTrustConstrBackend(), failure_threshold=1
+        )
+        outer = FallbackBackend(get_backend("ipm"), inner)
+        inner.solve(_program(0), tol=1e-8)
+        assert inner.circuit_open
+        outer.reset_session()
+        assert not inner.circuit_open

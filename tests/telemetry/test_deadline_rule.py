@@ -1,0 +1,49 @@
+"""DeadlineMissRule: alert on clustered serving deadline misses."""
+
+from repro.telemetry import DeadlineMissRule, Watchdog, default_rules
+
+
+def _slot(index: int) -> dict:
+    return {"type": "slot", "slot": index, "wall_ms": 1.0}
+
+
+def _miss(slot: int) -> dict:
+    return {"type": "service.deadline.miss", "slot": slot, "latency_ms": 9.0}
+
+
+class TestDeadlineMissRule:
+    def test_fires_once_when_the_threshold_is_reached(self):
+        dog = Watchdog([DeadlineMissRule(threshold=2, window=5)])
+        assert dog.observe(_slot(0)) == []
+        assert dog.observe(_miss(0)) == []
+        assert dog.observe(_slot(1)) == []
+        fired = dog.observe(_miss(1))
+        assert [a.rule for a in fired] == ["deadline-miss"]
+        assert fired[0].slot == 1
+        assert "2 deadline misses" in fired[0].message
+        # A third miss in the same storm does not re-fire.
+        assert dog.observe(_miss(1)) == []
+
+    def test_old_misses_age_out_of_the_window(self):
+        dog = Watchdog([DeadlineMissRule(threshold=2, window=3)])
+        dog.observe(_miss(0))
+        for index in range(5):
+            dog.observe(_slot(index))
+        # The first miss is now outside the window: one fresh miss is fine.
+        assert dog.observe(_miss(5)) == []
+
+    def test_threshold_one_alerts_on_every_storm(self):
+        dog = Watchdog([DeadlineMissRule(threshold=1, window=2)])
+        assert len(dog.observe(_miss(0))) == 1
+        for index in range(4):
+            dog.observe(_slot(index))
+        assert len(dog.observe(_miss(4))) == 1
+
+    def test_part_of_the_default_rule_set(self):
+        names = [rule.name for rule in default_rules()]
+        assert "deadline-miss" in names
+
+    def test_state_counts_misses(self):
+        dog = Watchdog([DeadlineMissRule()])
+        dog.observe_all([_slot(0), _miss(0), _slot(1), _miss(1)])
+        assert dog.state.deadline_misses == 2
