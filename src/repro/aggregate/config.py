@@ -38,6 +38,11 @@ class AggregationConfig:
             warm-start point whenever the cohort map is unchanged
             (invalidated automatically on churn); observation-only — the
             solves converge to the same optima either way.
+        batch_solves: solve a slot's shards as one stacked batched-IPM
+            call in-process instead of fanning them across ``workers``
+            processes. Bit-identical to the serial shard loop
+            (docs/PERFORMANCE.md); ignored for backends whose fast path
+            is not the structured IPM.
     """
 
     lambda_buckets: int | None = 8
@@ -46,6 +51,7 @@ class AggregationConfig:
     backend: str = "auto"
     shard_slicing: str = "price"
     warm_cohorts: bool = True
+    batch_solves: bool = False
 
     def __post_init__(self) -> None:
         if self.lambda_buckets is not None and self.lambda_buckets < 0:

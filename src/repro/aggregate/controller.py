@@ -190,6 +190,7 @@ class AggregatedController:
             capacity_duals=self._prev_capacity_duals,
             slicing=self.config.shard_slicing,
             budget=self.algorithm.budget,
+            batch_solves=self.config.batch_solves,
         )
         y, iterations = solve.x, solve.iterations
         y = _repair_cohort_feasibility(y, cohorts)

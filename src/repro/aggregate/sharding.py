@@ -31,14 +31,18 @@ Two distinct knobs, two distinct contracts:
 
 from __future__ import annotations
 
+import traceback
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..core.subproblem import RegularizedSubproblem
 from ..parallel.executor import SweepExecutor
-from ..solvers.base import SolveBudget
-from ..solvers.registry import get_backend
+from ..solvers.base import SolveBudget, SolverError
+from ..solvers.batched import solve_batch
+from ..solvers.interior_point import InteriorPointBackend
+from ..solvers.registry import FallbackBackend, get_backend
+from ..telemetry import MetricsRegistry, get_registry
 
 #: Relative slack required of a warm-start point before it is trusted.
 _WARM_SLACK = 1e-9
@@ -131,8 +135,13 @@ def _warm_start_point(
     return blend if (demand_ok and capacity_ok) else None
 
 
-def _solve_shard(task: ShardTask) -> tuple[np.ndarray, int, bool, np.ndarray | None]:
-    """Solve one shard; module-level so process pools can pickle it."""
+def _shard_program(task: ShardTask):
+    """Build the shard's subproblem and program exactly as the solve does.
+
+    Shared by the sequential path (:func:`_solve_shard`) and the batched
+    path (:func:`_solve_shards_batched`) so both solve literally the same
+    program object shape — same warm-start decision, same budget.
+    """
     subproblem = RegularizedSubproblem(
         static_prices=task.static_prices,
         reconfig_prices=task.reconfig_prices,
@@ -153,7 +162,13 @@ def _solve_shard(task: ShardTask) -> tuple[np.ndarray, int, bool, np.ndarray | N
         program.budget = SolveBudget(
             deadline_s=task.deadline_s, max_iterations=task.max_iterations
         )
-    result = get_backend(task.backend).solve(program, tol=task.tol)
+    return subproblem, program
+
+
+def _finish_shard(
+    subproblem: RegularizedSubproblem, result
+) -> tuple[np.ndarray, int, bool, np.ndarray | None]:
+    """Post-process one shard's solver result into the merge tuple."""
     shape = (subproblem.num_clouds, subproblem.num_users)
     capacity_duals = result.duals.get("capacity")
     if capacity_duals is not None:
@@ -166,6 +181,89 @@ def _solve_shard(task: ShardTask) -> tuple[np.ndarray, int, bool, np.ndarray | N
         bool(result.partial),
         capacity_duals,
     )
+
+
+def _solve_shard(task: ShardTask) -> tuple[np.ndarray, int, bool, np.ndarray | None]:
+    """Solve one shard; module-level so process pools can pickle it."""
+    subproblem, program = _shard_program(task)
+    result = get_backend(task.backend).solve(program, tol=task.tol)
+    return _finish_shard(subproblem, result)
+
+
+def _batchable_backend(backend) -> bool:
+    """Whether the backend's fast path is the structured IPM we can stack."""
+    if isinstance(backend, InteriorPointBackend):
+        return True
+    return isinstance(backend, FallbackBackend) and isinstance(
+        backend.primary, InteriorPointBackend
+    )
+
+
+def _solve_shards_batched(
+    tasks: list[ShardTask],
+) -> list[tuple[object, str | None, str | None]]:
+    """Solve every shard through one stacked batched-IPM call.
+
+    Replicates the sequential path's observable behavior exactly:
+
+    * The stacked solve (:func:`repro.solvers.batched.solve_batch`) is
+      bit-identical to per-shard :class:`InteriorPointBackend` solves.
+    * Per-shard solver telemetry is buffered in throwaway registries and
+      merged into the active registry **in shard order**, so counters and
+      the event stream match a serial loop.
+    * :class:`FallbackBackend` semantics are preserved without a doomed
+      second primary attempt: a failed lane is handed to
+      :meth:`FallbackBackend.absorb_primary_failure` (fallback counters,
+      circuit-breaker accounting, the secondary solve); a success closes
+      the breaker via :meth:`absorb_primary_success`. If the circuit is
+      already open when a lane's turn comes, the speculative batched
+      attempt is discarded and the sequential skip path runs instead —
+      exactly what the serial loop would have done.
+
+    Returns one ``(value, error, traceback)`` triple per task, in order,
+    mirroring the executor's structured-failure capture.
+    """
+    backend = get_backend(tasks[0].backend)
+    built = [_shard_program(task) for task in tasks]
+    lane_registries = [MetricsRegistry() for _ in tasks]
+    outcomes = solve_batch(
+        [program for _, program in built],
+        tol=[task.tol for task in tasks],
+        registries=lane_registries,
+    )
+    telemetry = get_registry()
+    results: list[tuple[object, str | None, str | None]] = []
+    for task, (subproblem, program), outcome, lane_registry in zip(
+        tasks, built, outcomes, lane_registries
+    ):
+        try:
+            if isinstance(backend, FallbackBackend):
+                if backend.circuit_open:
+                    # Serial would not have attempted the primary at all;
+                    # the lane's speculative result and telemetry are
+                    # dropped unseen.
+                    result = backend.solve(program, tol=task.tol)
+                elif isinstance(outcome, SolverError):
+                    telemetry.merge_snapshot(lane_registry.snapshot())
+                    result = backend.absorb_primary_failure(
+                        program, tol=task.tol, error=outcome
+                    )
+                elif isinstance(outcome, Exception):
+                    raise outcome
+                else:
+                    telemetry.merge_snapshot(lane_registry.snapshot())
+                    result = backend.absorb_primary_success(outcome)
+            else:
+                telemetry.merge_snapshot(lane_registry.snapshot())
+                if isinstance(outcome, Exception):
+                    raise outcome
+                result = outcome
+            results.append((_finish_shard(subproblem, result), None, None))
+        except Exception as exc:  # noqa: BLE001 - mirrors executor capture
+            results.append(
+                (None, f"{type(exc).__name__}: {exc}", traceback.format_exc())
+            )
+    return results
 
 
 def shard_capacity_shares(
@@ -325,8 +423,16 @@ def solve_sharded(
     capacity_duals: np.ndarray | None = None,
     slicing: str = "price",
     budget: SolveBudget | None = None,
+    batch_solves: bool = False,
 ) -> ShardedSolve:
     """Solve the reduced P2, optionally split into shards across workers.
+
+    With ``batch_solves=True`` (and a backend whose fast path is the
+    structured IPM) the shard solves run as **one stacked batched-IPM
+    call** in-process instead of fanning across worker processes —
+    bit-identical results, one barrier iteration driving every shard
+    (docs/PERFORMANCE.md). Unbatchable backends fall back to the
+    executor path unchanged.
 
     Returns:
         A :class:`ShardedSolve` — unpackable as ``(x, iterations)`` —
@@ -350,21 +456,38 @@ def solve_sharded(
         slicing=slicing,
         budget=budget,
     )
-    executor = SweepExecutor(max_workers=workers)
-    results = executor.map(
-        _solve_shard, tasks, keys=[f"shard-{k}" for k in range(len(tasks))]
-    )
-    failed = [r for r in results if not r.ok]
-    if failed:
-        summary = "; ".join(f"{r.key}: {r.error}" for r in failed)
-        raise RuntimeError(
-            f"{len(failed)}/{len(results)} shard solves failed: {summary}\n"
-            f"first failure traceback:\n{failed[0].traceback}"
+    if batch_solves and _batchable_backend(get_backend(backend)):
+        triples = _solve_shards_batched(tasks)
+        failed_triples = [
+            (f"shard-{k}", error, tb)
+            for k, (_, error, tb) in enumerate(triples)
+            if error is not None
+        ]
+        if failed_triples:
+            summary = "; ".join(f"{key}: {error}" for key, error, _ in failed_triples)
+            raise RuntimeError(
+                f"{len(failed_triples)}/{len(triples)} shard solves failed: "
+                f"{summary}\n"
+                f"first failure traceback:\n{failed_triples[0][2]}"
+            )
+        values = [value for value, _, _ in triples]
+    else:
+        executor = SweepExecutor(max_workers=workers)
+        results = executor.map(
+            _solve_shard, tasks, keys=[f"shard-{k}" for k in range(len(tasks))]
         )
-    blocks = [r.value[0] for r in results]
-    iterations = sum(r.value[1] for r in results)
-    partial_solves = sum(1 for r in results if r.value[2])
-    shard_duals = [r.value[3] for r in results]
+        failed = [r for r in results if not r.ok]
+        if failed:
+            summary = "; ".join(f"{r.key}: {r.error}" for r in failed)
+            raise RuntimeError(
+                f"{len(failed)}/{len(results)} shard solves failed: {summary}\n"
+                f"first failure traceback:\n{failed[0].traceback}"
+            )
+        values = [r.value for r in results]
+    blocks = [value[0] for value in values]
+    iterations = sum(value[1] for value in values)
+    partial_solves = sum(1 for value in values if value[2])
+    shard_duals = [value[3] for value in values]
     combined_duals: np.ndarray | None = None
     if all(d is not None for d in shard_duals):
         weights = np.array(

@@ -425,6 +425,150 @@ def _suite_service(scale: ExperimentScale, registry: MetricsRegistry) -> dict:
     return {"metrics": metrics, "diagnostics": diagnostics}
 
 
+def _batch_subproblems(scale: ExperimentScale, count: int):
+    """Deterministic P2 instances shaped like one sweep slot's solves."""
+    import numpy as np
+
+    from ..core.subproblem import RegularizedSubproblem
+
+    rng = np.random.default_rng(scale.seed)
+    num_clouds = 6
+    num_users = scale.num_users
+    subproblems = []
+    for _ in range(count):
+        workloads = rng.integers(1, 6, size=num_users).astype(float)
+        capacities = workloads.sum() * (0.3 + rng.dirichlet(np.ones(num_clouds)))
+        capacities *= 1.5 * workloads.sum() / capacities.sum()
+        x_prev = rng.uniform(0.0, 1.0, size=(num_clouds, num_users))
+        x_prev *= workloads[None, :] / num_clouds
+        subproblems.append(
+            RegularizedSubproblem(
+                static_prices=rng.uniform(0.05, 2.0, size=(num_clouds, num_users)),
+                reconfig_prices=rng.uniform(0.1, 2.0, size=num_clouds),
+                migration_prices=rng.uniform(0.1, 2.0, size=num_clouds),
+                capacities=capacities,
+                workloads=workloads,
+                x_prev=x_prev,
+                eps1=scale.eps,
+                eps2=scale.eps,
+            )
+        )
+    return subproblems
+
+
+def _suite_batched(scale: ExperimentScale, registry: MetricsRegistry) -> dict:
+    """Batched P2 solves and zero-copy dispatch vs their serial twins.
+
+    Three measurements (docs/PERFORMANCE.md reads from this record):
+
+    * **stacked solve** — ``scale.num_slots`` same-shape P2 instances
+      solved sequentially by :class:`InteriorPointBackend` and as one
+      :func:`repro.solvers.batched.solve_batch` call. Bit-identity is
+      gated (``stack_bit_identical``); walls are advisory.
+    * **batched sweep** — ``run_ratio_sweep`` with and without
+      ``batch_solves=True`` on the fig2 grid; the stats must match
+      exactly (``sweep_stats_match``).
+    * **dispatch bytes** — what actually crosses the worker pipe for a
+      sweep-cell-sized item, pickled wholesale vs the shared-memory
+      skeleton, at 1x and 8x the suite's user count. Byte counts are
+      deterministic, so CI gates that the shm skeleton stays flat while
+      the pickled payload grows with the instance.
+    """
+    import pickle
+
+    import numpy as np
+
+    from ..parallel import shm
+    from ..solvers.batched import solve_batch
+    from ..solvers.interior_point import InteriorPointBackend
+
+    # Stacked solve vs a sequential loop over the same programs.
+    subproblems = _batch_subproblems(scale, max(4, scale.num_slots))
+    backend = InteriorPointBackend()
+    sequential = []
+    start = time.perf_counter()
+    for sub in subproblems:
+        sequential.append(backend.solve(sub.build_program()))
+    sequential_s = time.perf_counter() - start
+    programs = [sub.build_program() for sub in subproblems]
+    start = time.perf_counter()
+    batched = solve_batch(programs)
+    batched_s = time.perf_counter() - start
+    identical = all(
+        np.array_equal(seq.x, bat.x)
+        and seq.objective == bat.objective
+        and seq.iterations == bat.iterations
+        for seq, bat in zip(sequential, batched)
+    )
+
+    # Sweep-level: the lockstep runner vs the plain serial sweep.
+    scenario = fig2_scenario(scale)
+    algorithms = all_paper_algorithms(scale.eps)
+    cases = [
+        (hour, scenario, algorithms, scale.seed + 1000 * case)
+        for case, hour in enumerate(SUITE_HOURS)
+    ]
+    start = time.perf_counter()
+    plain = run_ratio_sweep(cases, repetitions=scale.repetitions, workers=1)
+    sweep_plain_s = time.perf_counter() - start
+    start = time.perf_counter()
+    lockstep = run_ratio_sweep(
+        cases, repetitions=scale.repetitions, workers=1, batch_solves=True
+    )
+    sweep_batched_s = time.perf_counter() - start
+    stats_match = all(
+        ser.label == bat.label and ser.stats == bat.stats
+        for ser, bat in zip(plain, lockstep)
+    )
+
+    # Dispatch bytes: full pickle vs the shm skeleton, two instance sizes.
+    def _dispatch_bytes(num_users: int) -> tuple[int, int]:
+        rng = np.random.default_rng(scale.seed)
+        item = (
+            rng.uniform(size=(6, num_users)),
+            rng.uniform(size=(6, num_users)),
+            rng.uniform(size=num_users),
+        )
+        pickled = len(pickle.dumps(item, protocol=5))
+        arena = shm.encode_items([item])
+        try:
+            skeleton = len(arena.refs[0].payload)
+        finally:
+            arena.close()
+        return pickled, skeleton
+
+    pickled_1x, skeleton_1x = _dispatch_bytes(scale.num_users)
+    pickled_8x, skeleton_8x = _dispatch_bytes(8 * scale.num_users)
+
+    metrics = {
+        "stack_sequential_wall_s": _time_metric(sequential_s),
+        "stack_batched_wall_s": _time_metric(batched_s),
+        "stack_bit_identical": _count_metric(int(identical), unit="bool"),
+        "stack_iterations": _count_metric(
+            sum(r.iterations for r in batched)
+        ),
+        "sweep_plain_wall_s": _time_metric(sweep_plain_s),
+        "sweep_batched_wall_s": _time_metric(sweep_batched_s),
+        "sweep_stats_match": _count_metric(int(stats_match), unit="bool"),
+        "pipe_bytes_pickled_1x": _count_metric(pickled_1x, unit="bytes"),
+        "pipe_bytes_pickled_8x": _count_metric(pickled_8x, unit="bytes"),
+        "pipe_bytes_shm_1x": _count_metric(skeleton_1x, unit="bytes"),
+        "pipe_bytes_shm_8x": _count_metric(skeleton_8x, unit="bytes"),
+    }
+    diagnostics = {
+        "stack_instances": len(subproblems),
+        "stack_speedup": sequential_s / batched_s if batched_s > 0 else 0.0,
+        "sweep_speedup": (
+            sweep_plain_s / sweep_batched_s if sweep_batched_s > 0 else 0.0
+        ),
+        "pickled_growth_8x": pickled_8x / max(pickled_1x, 1),
+        "shm_growth_8x": skeleton_8x / max(skeleton_1x, 1),
+        "batched_instances": registry.counter("solver.batched.instances").value,
+        "jit_groups": registry.counter("solver.batched.jit_groups").value,
+    }
+    return {"metrics": metrics, "diagnostics": diagnostics}
+
+
 #: The suite registry: name -> implementation.
 SUITES: dict[str, Callable[[ExperimentScale, MetricsRegistry], dict]] = {
     "smoke": _suite_smoke,
@@ -432,6 +576,7 @@ SUITES: dict[str, Callable[[ExperimentScale, MetricsRegistry], dict]] = {
     "fig2": _suite_fig2,
     "fig5": _suite_fig5,
     "parallel": _suite_parallel,
+    "batched": _suite_batched,
     "aggregate": _suite_aggregate,
     "service": _suite_service,
 }

@@ -86,6 +86,20 @@ def _add_scale_arguments(parser: argparse.ArgumentParser) -> None:
         "(default 1 = one joint solve)",
     )
     parser.add_argument(
+        "--batch-solves",
+        action="store_true",
+        help="stack concurrent cells' per-slot P2 solves into lockstep "
+        "batched barrier iterations (docs/PERFORMANCE.md); results are "
+        "bit-identical to the sequential solves",
+    )
+    parser.add_argument(
+        "--shm",
+        action="store_true",
+        help="ship work to pool workers through a shared-memory arena "
+        "instead of pickling (zero-copy dispatch; needs --workers > 1); "
+        "results are bit-identical",
+    )
+    parser.add_argument(
         "--paper-scale",
         action="store_true",
         help="run at the paper's full scale (300 users, 60 slots, 5 repetitions)",
@@ -164,6 +178,10 @@ def _scale_from_args(args: argparse.Namespace) -> ExperimentScale:
     if getattr(args, "shards", None) is not None:
         overrides["shards"] = args.shards
         overrides["aggregate"] = True
+    if getattr(args, "batch_solves", False):
+        overrides["batch_solves"] = True
+    if getattr(args, "shm", False):
+        overrides["use_shm"] = True
     if overrides:
         scale = ExperimentScale(**{**scale.__dict__, **overrides})
     return scale
@@ -593,8 +611,8 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--suite",
         default="smoke",
-        help="suite name: smoke, solver, fig2, fig5, parallel, aggregate, "
-        "service (default: smoke)",
+        help="suite name: smoke, solver, fig2, fig5, parallel, batched, "
+        "aggregate, service (default: smoke)",
     )
     bench.add_argument(
         "--out",

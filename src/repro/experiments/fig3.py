@@ -42,6 +42,8 @@ def run_fig3(
         repetitions=scale.repetitions,
         workers=scale.workers,
         keep_schedules=scale.keep_schedules,
+        batch_solves=scale.batch_solves,
+        use_shm=scale.use_shm,
     )
 
 

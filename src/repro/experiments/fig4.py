@@ -59,6 +59,8 @@ def run_eps_sweep(
         repetitions=scale.repetitions,
         workers=scale.workers,
         keep_schedules=scale.keep_schedules,
+        batch_solves=scale.batch_solves,
+        use_shm=scale.use_shm,
     )
 
 
@@ -91,6 +93,8 @@ def run_mu_sweep(
         repetitions=scale.repetitions,
         workers=scale.workers,
         keep_schedules=scale.keep_schedules,
+        batch_solves=scale.batch_solves,
+        use_shm=scale.use_shm,
     )
 
 

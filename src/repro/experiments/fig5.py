@@ -67,6 +67,8 @@ def run_fig5(
         repetitions=scale.repetitions,
         workers=scale.workers,
         keep_schedules=scale.keep_schedules,
+        batch_solves=scale.batch_solves,
+        use_shm=scale.use_shm,
     )
 
 

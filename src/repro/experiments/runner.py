@@ -54,6 +54,8 @@ def run_ratio_sweep(
     repetitions: int,
     workers: int | None = 1,
     keep_schedules: bool = True,
+    batch_solves: bool = False,
+    use_shm: bool = False,
 ) -> list[RatioPoint]:
     """Run a whole sweep grid, optionally in parallel.
 
@@ -68,6 +70,10 @@ def run_ratio_sweep(
         keep_schedules: ``False`` drops each run's per-slot allocations
             after cost accounting (ratios only need the totals), bounding
             memory on long horizons.
+        batch_solves: run the cells' per-slot P2 solves as stacked batches
+            (:mod:`repro.simulation.batched`); results stay bit-identical.
+        use_shm: ship work to pool workers through the shared-memory arena
+            transport instead of pickling (:mod:`repro.parallel.shm`).
 
     Returns:
         One aggregated :class:`RatioPoint` per case, in case order.
@@ -83,7 +89,14 @@ def run_ratio_sweep(
         for index, (_, scenario, algorithms, seed) in enumerate(cases)
         for rep in range(repetitions)
     ]
-    results = SweepExecutor(max_workers=workers).run_cells(cells)
+    if batch_solves:
+        from ..simulation.batched import run_cells_batched
+
+        results = run_cells_batched(cells, workers=workers, use_shm=use_shm)
+    else:
+        results = SweepExecutor(max_workers=workers, use_shm=use_shm).run_cells(
+            cells
+        )
     comparisons = comparisons_or_raise(results)
     points = []
     for index, (label, _, _, _) in enumerate(cases):
@@ -105,6 +118,8 @@ def run_ratio_point(
     seed: int,
     workers: int | None = 1,
     keep_schedules: bool = True,
+    batch_solves: bool = False,
+    use_shm: bool = False,
 ) -> RatioPoint:
     """Run ``repetitions`` seeded instances of a scenario and aggregate."""
     (point,) = run_ratio_sweep(
@@ -112,6 +127,8 @@ def run_ratio_point(
         repetitions=repetitions,
         workers=workers,
         keep_schedules=keep_schedules,
+        batch_solves=batch_solves,
+        use_shm=use_shm,
     )
     return point
 

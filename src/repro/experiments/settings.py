@@ -55,6 +55,12 @@ class ExperimentScale:
     aggregate: bool = False
     lambda_buckets: int | None = 8
     shards: int = 1
+    #: Stack concurrent cells' per-slot P2 solves into lockstep batched
+    #: barrier iterations (docs/PERFORMANCE.md); results are bit-identical.
+    batch_solves: bool = False
+    #: Ship work to pool workers through a shared-memory arena instead of
+    #: pickling, so dispatch cost stops scaling with instance size.
+    use_shm: bool = False
 
     @classmethod
     def paper(cls) -> "ExperimentScale":
@@ -78,7 +84,10 @@ def aggregation_config(scale: ExperimentScale):
     from ..aggregate.config import AggregationConfig
 
     return AggregationConfig(
-        lambda_buckets=scale.lambda_buckets, shards=scale.shards, workers=1
+        lambda_buckets=scale.lambda_buckets,
+        shards=scale.shards,
+        workers=1,
+        batch_solves=scale.batch_solves,
     )
 
 

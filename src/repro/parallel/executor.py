@@ -8,7 +8,13 @@ Design goals (docs/PARALLEL.md):
   output order always matches the input order.
 * **Graceful degradation** — ``max_workers=1`` runs inline with no pool;
   platforms where a process pool cannot be created (or where the work does
-  not pickle) silently fall back to the same inline path.
+  not pickle) fall back to the same inline path, announced by a one-time
+  ``RuntimeWarning`` and a ``parallel.fallback.inline`` telemetry event so
+  degraded fan-out is visible in ``doctor``/``watch``.
+* **Zero-copy dispatch** — ``use_shm=True`` ships work items through a
+  ``multiprocessing.shared_memory`` arena (serialized once, workers attach
+  zero-copy; results return via preallocated slots), so dispatch cost no
+  longer scales with instance size (:mod:`repro.parallel.shm`).
 * **Structured failure** — a cell that raises is captured as a
   :class:`CellResult` carrying the error string and traceback instead of
   poisoning the whole sweep or hanging the pool.
@@ -28,6 +34,7 @@ from __future__ import annotations
 import os
 import time
 import traceback
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Sequence
@@ -38,6 +45,7 @@ from ..telemetry import (
     set_registry,
     telemetry_enabled,
 )
+from . import shm as shm_transport
 
 if TYPE_CHECKING:  # type-only: the simulation layer builds on this leaf
     from ..simulation.results import Comparison
@@ -140,6 +148,31 @@ def _execute_cell(cell: Any) -> Any:
     return cell.execute()
 
 
+def _execute_one_shm(
+    work: Callable[[Any], Any],
+    key: Any,
+    arena_name: str | None,
+    ref: "shm_transport.ItemRef",
+    telemetry: bool,
+    result_name: str,
+    slot_bytes: int,
+    slot_index: int,
+) -> CellResult | None:
+    """Pool target for the shared-memory path.
+
+    Decodes the item zero-copy from the work arena, runs the ordinary
+    :func:`_execute_one` (identical semantics to every other path), and
+    ships the result home through the preallocated slot — returning
+    ``None`` through the pipe. A result too big for its slot rides the
+    pipe instead, exactly like the classic pool path.
+    """
+    item = shm_transport.decode_item(arena_name, ref)
+    result = _execute_one(work, key, item, telemetry)
+    if shm_transport.write_result(result_name, slot_bytes, slot_index, result):
+        return None
+    return result
+
+
 def _wrap_cell_spans(result: CellResult) -> dict:
     """The cell's telemetry snapshot with its spans grouped under one root.
 
@@ -159,6 +192,38 @@ def _wrap_cell_spans(result: CellResult) -> dict:
     return {**snap, "spans": [root]}
 
 
+_inline_fallback_warned = False
+
+
+def _note_inline_fallback(exc: Exception, *, cells: int, workers: int) -> None:
+    """Make a degraded (inline) fan-out visible instead of silent.
+
+    Every occurrence lands in telemetry as a ``parallel.fallback.inline``
+    event plus counter — so ``doctor``/``watch`` surface it on live runs —
+    and the first occurrence per process also raises a ``RuntimeWarning``
+    for plain scripts with telemetry off. Results are still correct (the
+    inline path is the reference semantics); only the speedup is lost.
+    """
+    global _inline_fallback_warned
+    registry = get_registry()
+    registry.counter("parallel.fallback.inline").inc()
+    registry.event(
+        "parallel.fallback.inline",
+        error=f"{type(exc).__name__}: {exc}",
+        cells=cells,
+        workers=workers,
+    )
+    if not _inline_fallback_warned:
+        _inline_fallback_warned = True
+        warnings.warn(
+            f"parallel fan-out degraded to inline execution "
+            f"({type(exc).__name__}: {exc}); results are unaffected but "
+            f"the requested {workers} workers are not being used",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
+
 @dataclass(frozen=True)
 class SweepExecutor:
     """Run independent work items, optionally across a process pool.
@@ -170,9 +235,15 @@ class SweepExecutor:
 
     Attributes:
         max_workers: worker processes (1 = inline serial execution).
+        use_shm: ship work items through a shared-memory arena instead of
+            pickling them into the pool pipe (:mod:`repro.parallel.shm`).
+            Dispatch cost stops scaling with instance size; results are
+            bit-identical. Ignored on the serial path; degrades to the
+            classic pickled pool if the platform lacks shared memory.
     """
 
     max_workers: int | None = 1
+    use_shm: bool = False
 
     @property
     def workers(self) -> int:
@@ -202,6 +273,8 @@ class SweepExecutor:
                 _execute_one(work, key, item, telemetry)
                 for key, item in zip(keys, items)
             ]
+        elif self.use_shm:
+            results = self._map_pool_shm(work, items, keys, telemetry)
         else:
             results = self._map_pool(work, items, keys, telemetry)
         if telemetry:
@@ -250,16 +323,77 @@ class SweepExecutor:
                     for key, item in zip(keys, items)
                 ]
                 return [future.result() for future in futures]
-        except Exception:  # noqa: BLE001
+        except Exception as exc:  # noqa: BLE001
             # Pool creation or transport failed (no fork/spawn support,
             # unpicklable work, broken pool, ...). The cells themselves never
             # raise out of _execute_one, so anything surfacing here is an
             # infrastructure problem: fall back to the serial reference path,
             # which needs none of that machinery.
+            _note_inline_fallback(exc, cells=len(items), workers=self.workers)
             return [
                 _execute_one(work, key, item, telemetry)
                 for key, item in zip(keys, items)
             ]
+
+    def _map_pool_shm(
+        self,
+        work: Callable[[Any], Any],
+        items: Sequence[Any],
+        keys: Sequence[Any],
+        telemetry: bool = False,
+    ) -> list[CellResult]:
+        """Pool fan-out with shared-memory transport for items and results.
+
+        Work items are serialized once into a read-only arena that workers
+        attach zero-copy; results land in preallocated per-item slots. Any
+        failure to *create* the arenas degrades to the classic pickled
+        pool; transport-or-pool failure after that degrades inline like
+        :meth:`_map_pool`.
+        """
+        try:
+            arena = shm_transport.encode_items(items)
+        except Exception:  # noqa: BLE001 - no /dev/shm, unpicklable items, ...
+            return self._map_pool(work, items, keys, telemetry)
+        result_arena = None
+        try:
+            result_arena = shm_transport.ResultArena(slots=len(items))
+            with ProcessPoolExecutor(max_workers=min(self.workers, len(items))) as pool:
+                futures = [
+                    pool.submit(
+                        _execute_one_shm,
+                        work,
+                        key,
+                        arena.name,
+                        ref,
+                        telemetry,
+                        result_arena.name,
+                        result_arena.slot_bytes,
+                        index,
+                    )
+                    for index, (key, ref) in enumerate(zip(keys, arena.refs))
+                ]
+                piped = [future.result() for future in futures]
+            results = []
+            for index, via_pipe in enumerate(piped):
+                result = (
+                    via_pipe
+                    if via_pipe is not None
+                    else result_arena.read_slot(index)
+                )
+                if result is None:  # worker died before writing its slot
+                    raise SweepError(f"cell {keys[index]!r} returned no result")
+                results.append(result)
+            return results
+        except Exception as exc:  # noqa: BLE001
+            _note_inline_fallback(exc, cells=len(items), workers=self.workers)
+            return [
+                _execute_one(work, key, item, telemetry)
+                for key, item in zip(keys, items)
+            ]
+        finally:
+            arena.close()
+            if result_arena is not None:
+                result_arena.close()
 
 
 def comparisons_or_raise(results: Sequence[CellResult]) -> "list[Comparison]":

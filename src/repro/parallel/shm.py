@@ -1,0 +1,229 @@
+"""Zero-copy work dispatch over ``multiprocessing.shared_memory``.
+
+The classic pool path pickles every work item into the submit pipe, so
+dispatch cost grows with instance size: a city-scale scenario re-serializes
+megabytes of arrays per cell. This module removes the array bytes from the
+pipe entirely:
+
+1. the parent pickles each item **once** with protocol 5, diverting every
+   contiguous array buffer out-of-band via ``buffer_callback``;
+2. all diverted buffers land back-to-back (8-byte aligned) in a single
+   :class:`~multiprocessing.shared_memory.SharedMemory` arena per map call;
+3. what travels through the pool pipe is only the tiny pickle skeleton plus
+   ``(offset, length)`` spans — constant-size, independent of the arrays;
+4. workers attach the arena by name (cached per process) and unpickle with
+   ``buffers=`` pointing straight into the shared mapping — zero copies.
+
+Results come home the same way in reverse: the parent preallocates one
+fixed-size slot per item in a writable result arena; each worker pickles
+its :class:`~repro.parallel.executor.CellResult` into its own slot (slots
+are disjoint, so no locking), and oversized results transparently fall
+back to the ordinary pickle return path.
+
+**Bit-identity.** Unpickling from the arena reconstructs arrays with the
+same dtype/shape/strides/bytes as the pickled path — the only observable
+difference is ``writeable=False``: worker-side views alias the shared
+mapping, so the arena hands out read-only buffers and any would-be
+mutation of a work item (which would silently diverge under the
+copy-per-worker pickle path) raises loudly instead. Cells are pure
+functions of their inputs by contract (docs/PARALLEL.md), so the paths are
+bit-for-bit equivalent — pinned by ``tests/test_parallel.py``.
+
+Lifetime: the parent creates and unlinks both arenas; workers attach and
+immediately deregister from the ``resource_tracker`` (Python registers
+every attach for leak tracking, and a tracked attach in a pool worker
+would double-unlink the parent's segment on worker exit).
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from multiprocessing import resource_tracker, shared_memory
+from typing import Any, Sequence
+
+_ALIGN = 8
+
+#: Worker-side cache of attached arenas, keyed by segment name: a pool
+#: worker executes many cells of the same map call and must pay the
+#: attach syscall once, not per cell.
+_ATTACHED: dict[str, shared_memory.SharedMemory] = {}
+
+#: Names of segments *created* by this process. An attach from a process
+#: that also owns the segment (inline fallback, tests) must not touch the
+#: resource tracker — the owner's registration has to survive until
+#: ``unlink``.
+_OWNED: set[str] = set()
+
+
+def _attach(name: str) -> shared_memory.SharedMemory:
+    segment = _ATTACHED.get(name)
+    if segment is None:
+        segment = shared_memory.SharedMemory(name=name)
+        if name not in _OWNED:
+            # Python 3.11 has no track= parameter: attaching registers
+            # the segment with this process's resource tracker, which
+            # would unlink it on worker exit even though the parent still
+            # owns it (bpo-39959).
+            resource_tracker.unregister(segment._name, "shared_memory")  # noqa: SLF001
+        _ATTACHED[name] = segment
+    return segment
+
+
+def detach_all() -> None:
+    """Close every cached worker-side attachment (test isolation hook)."""
+    for segment in _ATTACHED.values():
+        try:
+            segment.close()
+        except BufferError:  # decoded arrays still alive — leave it mapped
+            pass
+    _ATTACHED.clear()
+
+
+@dataclass(frozen=True)
+class ItemRef:
+    """One work item as it travels through the pool pipe.
+
+    Attributes:
+        payload: the protocol-5 pickle skeleton (no array bytes).
+        spans: per out-of-band buffer, its ``(offset, length)`` in the arena.
+    """
+
+    payload: bytes
+    spans: tuple[tuple[int, int], ...]
+
+
+@dataclass
+class WorkArena:
+    """Parent-side owner of the read-only arena holding all item buffers."""
+
+    segment: shared_memory.SharedMemory | None
+    refs: list[ItemRef]
+
+    @property
+    def name(self) -> str | None:
+        return None if self.segment is None else self.segment.name
+
+    def close(self) -> None:
+        """Unlink the shared segment; idempotent once closed."""
+        if self.segment is not None:
+            _OWNED.discard(self.segment.name)
+            self.segment.close()
+            self.segment.unlink()
+            self.segment = None
+
+
+def encode_items(items: Sequence[Any]) -> WorkArena:
+    """Serialize items once, array buffers into one shared arena.
+
+    Items whose arrays are non-contiguous (or items with no arrays at all)
+    simply keep those bytes in the pickle skeleton — protocol 5 only
+    diverts what it can share — so every picklable item is accepted.
+    """
+    payloads: list[bytes] = []
+    item_buffers: list[list[pickle.PickleBuffer]] = []
+    total = 0
+    sizes: list[list[int]] = []
+    for item in items:
+        buffers: list[pickle.PickleBuffer] = []
+        payloads.append(
+            pickle.dumps(item, protocol=5, buffer_callback=buffers.append)
+        )
+        item_buffers.append(buffers)
+        lane_sizes = [buf.raw().nbytes for buf in buffers]
+        sizes.append(lane_sizes)
+        for nbytes in lane_sizes:
+            total += -(-nbytes // _ALIGN) * _ALIGN
+    segment = None
+    if total:
+        segment = shared_memory.SharedMemory(create=True, size=total)
+        _OWNED.add(segment.name)
+    refs: list[ItemRef] = []
+    cursor = 0
+    for payload, buffers, lane_sizes in zip(payloads, item_buffers, sizes):
+        spans: list[tuple[int, int]] = []
+        for buf, nbytes in zip(buffers, lane_sizes):
+            if nbytes:
+                segment.buf[cursor : cursor + nbytes] = buf.raw().cast("B")
+            spans.append((cursor, nbytes))
+            cursor += -(-nbytes // _ALIGN) * _ALIGN
+            buf.release()
+        refs.append(ItemRef(payload=payload, spans=tuple(spans)))
+    return WorkArena(segment=segment, refs=refs)
+
+
+def decode_item(arena_name: str | None, ref: ItemRef) -> Any:
+    """Worker-side: rebuild one item, arrays aliasing the shared arena."""
+    if not ref.spans:
+        return pickle.loads(ref.payload)
+    segment = _attach(arena_name)
+    view = memoryview(segment.buf).toreadonly()
+    buffers = [view[offset : offset + length] for offset, length in ref.spans]
+    return pickle.loads(ref.payload, buffers=buffers)
+
+
+# ----- result slots -----------------------------------------------------------
+
+#: Default per-item result slot. Sweep cells return a Comparison plus a
+#: telemetry snapshot — typically tens of KiB; anything larger falls back
+#: to the ordinary pickle return transparently.
+DEFAULT_SLOT_BYTES = 1 << 18
+
+_LEN_BYTES = 8
+
+
+@dataclass
+class ResultArena:
+    """Preallocated per-item result slots in a writable shared segment.
+
+    Slot ``k`` spans ``[k * slot_bytes, (k + 1) * slot_bytes)`` and is
+    written only by the worker executing item ``k`` — disjoint slots need
+    no locking. Layout per slot: 8-byte big-endian payload length, then
+    the pickled result. Length 0 means "did not fit, returned via pipe".
+    """
+
+    slots: int
+    slot_bytes: int = DEFAULT_SLOT_BYTES
+    segment: shared_memory.SharedMemory = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.segment = shared_memory.SharedMemory(
+            create=True, size=max(1, self.slots * self.slot_bytes)
+        )
+        _OWNED.add(self.segment.name)
+
+    @property
+    def name(self) -> str:
+        return self.segment.name
+
+    def read_slot(self, index: int) -> Any | None:
+        """Parent-side: the slot's result, or ``None`` if it did not fit."""
+        base = index * self.slot_bytes
+        buf = self.segment.buf
+        length = int.from_bytes(buf[base : base + _LEN_BYTES], "big")
+        if length == 0:
+            return None
+        start = base + _LEN_BYTES
+        return pickle.loads(bytes(buf[start : start + length]))
+
+    def close(self) -> None:
+        """Unlink the result segment once every slot has been read."""
+        _OWNED.discard(self.segment.name)
+        self.segment.close()
+        self.segment.unlink()
+
+
+def write_result(
+    arena_name: str, slot_bytes: int, index: int, value: Any
+) -> bool:
+    """Worker-side: pickle ``value`` into slot ``index`` if it fits."""
+    payload = pickle.dumps(value, protocol=5)
+    if len(payload) > slot_bytes - _LEN_BYTES:
+        return False
+    segment = _attach(arena_name)
+    base = index * slot_bytes
+    segment.buf[base : base + _LEN_BYTES] = len(payload).to_bytes(
+        _LEN_BYTES, "big"
+    )
+    segment.buf[base + _LEN_BYTES : base + _LEN_BYTES + len(payload)] = payload
+    return True

@@ -44,6 +44,7 @@ from .results import Comparison, RunResult, aggregate_ratios
 from .scenario import Scenario
 from .engine import compare_algorithms, run_algorithm
 from .cells import SweepCell
+from .batched import run_cells_batched
 from .streaming import replay
 
 __all__ = [
@@ -78,6 +79,7 @@ __all__ = [
     "observations_from_instance",
     "replay",
     "run_algorithm",
+    "run_cells_batched",
     "run_on_spine",
     "simulate",
     "single_slot_instance",

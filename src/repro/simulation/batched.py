@@ -1,0 +1,244 @@
+"""Batched sweep execution: lockstep P2 solves across concurrent cells.
+
+A ratio sweep's cells spend nearly all of their wall-clock inside per-slot
+P2 solves that are individually tiny, so Python dispatch overhead around
+the NumPy arithmetic dominates. This runner executes a group of cells as
+*threads* whose regularized allocators route their structured-IPM solves
+through one :class:`~repro.solvers.batched.BatchCoordinator`: whenever
+every live cell is blocked on (or done with) its current solve, the whole
+pending set runs as **one** stacked barrier solve
+(:func:`repro.solvers.batched.solve_batch`).
+
+Everything else about a cell is untouched — warm starts, feasibility
+repair, the circuit breaker, SciPy fallback, telemetry tagging — because
+the only swap is the allocator's *backend*: each cell gets a private
+``FallbackBackend(DeferringBackend(coordinator), ScipyTrustConstrBackend())``
+whose primary defers into the shared batch and whose failure semantics are
+exactly the sequential ones (a failed lane raises in the requesting
+thread). Results are therefore bit-identical to the serial sweep, pinned
+by ``tests/simulation/test_batched_sweep.py``.
+
+With ``workers > 1`` the cells are split into contiguous groups, one
+group per worker process (fanned out via the executor's pool machinery,
+including the optional shared-memory transport); each group runs its own
+in-process lockstep rendezvous. Per-cell telemetry snapshots are merged
+into the caller's registry in input order, exactly like
+:meth:`repro.parallel.SweepExecutor.map`, so metric aggregates match the
+classic paths at any worker count.
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+import os
+import threading
+import time
+import traceback
+from typing import Any, Iterable, Sequence
+
+from ..core.regularization import OnlineRegularizedAllocator
+from ..parallel.executor import (
+    CellResult,
+    SweepError,
+    SweepExecutor,
+    _wrap_cell_spans,
+    resolve_workers,
+)
+from ..solvers.batched import BatchCoordinator, DeferringBackend
+from ..solvers.registry import FallbackBackend
+from ..solvers.scipy_backend import ScipyTrustConstrBackend
+from ..telemetry import (
+    MetricsRegistry,
+    get_registry,
+    telemetry_enabled,
+    thread_registry,
+)
+
+
+def _prepare_cell(cell: Any, coordinator: BatchCoordinator) -> Any:
+    """A copy of ``cell`` whose regularized allocators defer into the batch.
+
+    Each cell gets *deep copies* of its allocators — the same isolation the
+    process pool provides by pickling — so concurrent cells never share
+    mutable allocator state. Algorithms without a swappable backend (the
+    baselines, aggregated allocators resolving their backend by registry
+    name) run unchanged; their cells simply never enter the rendezvous as
+    solvers, only as participants that eventually finish.
+    """
+    algorithms = []
+    swapped = False
+    for algorithm in cell.algorithms:
+        if isinstance(algorithm, OnlineRegularizedAllocator):
+            clone = copy.deepcopy(algorithm)
+            clone.backend = FallbackBackend(
+                DeferringBackend(coordinator), ScipyTrustConstrBackend()
+            )
+            algorithms.append(clone)
+            swapped = True
+        else:
+            algorithms.append(algorithm)
+    if not swapped:
+        return cell
+    return dataclasses.replace(cell, algorithms=tuple(algorithms))
+
+
+def _thread_execute(cell: Any, telemetry: bool) -> CellResult:
+    """Run one cell in the current thread with executor failure semantics.
+
+    Mirrors :func:`repro.parallel.executor._execute_one`, except the fresh
+    per-cell registry is installed as a *thread-local* override — the
+    process-global registry cannot be swapped while sibling cell threads
+    are recording.
+    """
+    registry = MetricsRegistry() if telemetry else None
+    start = time.perf_counter()
+    try:
+        if registry is not None:
+            with thread_registry(registry):
+                value = cell.execute()
+        else:
+            value = cell.execute()
+    except Exception as exc:  # noqa: BLE001 - structured capture is the point
+        return CellResult(
+            key=cell.key,
+            value=None,
+            error=f"{type(exc).__name__}: {exc}",
+            traceback=traceback.format_exc(),
+            wall_time_s=time.perf_counter() - start,
+            pid=os.getpid(),
+            telemetry=registry.snapshot() if registry is not None else None,
+        )
+    return CellResult(
+        key=cell.key,
+        value=value,
+        error=None,
+        traceback=None,
+        wall_time_s=time.perf_counter() - start,
+        pid=os.getpid(),
+        telemetry=registry.snapshot() if registry is not None else None,
+    )
+
+
+def _run_group(cells: Sequence[Any], telemetry: bool) -> list[CellResult]:
+    """Execute one group of cells as lockstep threads; results in order."""
+    coordinator = BatchCoordinator(total=len(cells))
+    prepared = [_prepare_cell(cell, coordinator) for cell in cells]
+    results: list[CellResult | None] = [None] * len(cells)
+
+    def run(index: int) -> None:
+        try:
+            results[index] = _thread_execute(prepared[index], telemetry)
+        finally:
+            # Unconditionally: a participant that never finishes would
+            # stall the rendezvous for every other cell in the group.
+            coordinator.finish()
+
+    threads = [
+        threading.Thread(
+            target=run, args=(index,), name=f"batched-cell-{cells[index].key}"
+        )
+        for index in range(len(cells))
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    final: list[CellResult] = []
+    for index, result in enumerate(results):
+        if result is None:  # thread died outside _thread_execute
+            result = CellResult(
+                key=cells[index].key,
+                value=None,
+                error="RuntimeError: batched cell thread produced no result",
+                traceback=None,
+                wall_time_s=0.0,
+                pid=os.getpid(),
+            )
+        final.append(result)
+    return final
+
+
+def _run_group_item(item: "tuple[list[Any], bool]") -> list[CellResult]:
+    """Module-level pool target: one worker process runs one cell group."""
+    cells, telemetry = item
+    return _run_group(cells, telemetry)
+
+
+def _split_groups(cells: list[Any], workers: int) -> list[list[Any]]:
+    """Contiguous, near-equal groups (at most ``workers`` of them)."""
+    count = min(workers, len(cells))
+    size, extra = divmod(len(cells), count)
+    groups = []
+    cursor = 0
+    for index in range(count):
+        width = size + (1 if index < extra else 0)
+        groups.append(cells[cursor : cursor + width])
+        cursor += width
+    return groups
+
+
+def run_cells_batched(
+    cells: Iterable[Any],
+    *,
+    workers: int | None = 1,
+    use_shm: bool = False,
+) -> list[CellResult]:
+    """Run sweep cells with lockstep-batched P2 solves.
+
+    Drop-in alternative to ``SweepExecutor.run_cells``: same cell types,
+    same :class:`CellResult` contract (failures structured per cell,
+    output order = input order), same telemetry aggregation, bit-identical
+    results — but the regularized allocators' structured-IPM solves execute
+    as stacked batches instead of one at a time.
+
+    Args:
+        cells: anything with ``key``, ``algorithms``, and ``execute()``
+            (normally :class:`repro.simulation.cells.SweepCell`).
+        workers: worker processes; 1 runs one in-process thread group,
+            ``None``/``0`` uses all visible CPUs. Each worker receives one
+            contiguous group of cells and batches within it.
+        use_shm: ship the cell groups to workers through the shared-memory
+            arena transport (:mod:`repro.parallel.shm`).
+    """
+    cells = list(cells)
+    if not cells:
+        return []
+    telemetry = telemetry_enabled()
+    resolved = resolve_workers(workers)
+    if resolved <= 1 or len(cells) <= 1:
+        results = _run_group(cells, telemetry)
+    else:
+        groups = _split_groups(cells, resolved)
+        executor = SweepExecutor(max_workers=len(groups), use_shm=use_shm)
+        items = [(group, telemetry) for group in groups]
+        keys = list(range(len(groups)))
+        if use_shm:
+            group_results = executor._map_pool_shm(  # noqa: SLF001
+                _run_group_item, items, keys, False
+            )
+        else:
+            group_results = executor._map_pool(  # noqa: SLF001
+                _run_group_item, items, keys, False
+            )
+        results = []
+        for group_result in group_results:
+            if not group_result.ok:
+                raise SweepError(
+                    f"batched cell group {group_result.key} failed: "
+                    f"{group_result.error}\n{group_result.traceback}"
+                )
+            results.extend(group_result.value)
+    if telemetry:
+        # Identical merge discipline to SweepExecutor.map: fold per-cell
+        # snapshots into the caller's registry in input order, the one
+        # fixed order every execution path shares.
+        registry = get_registry()
+        registry.counter("sweep.cells").inc(len(cells))
+        registry.gauge("sweep.workers").set(resolved)
+        for result in results:
+            if result.telemetry is not None:
+                registry.merge_snapshot(_wrap_cell_spans(result))
+            registry.histogram("sweep.cell_wall_s").observe(result.wall_time_s)
+        registry.flush()
+    return results

@@ -131,40 +131,61 @@ class FallbackBackend:
         try:
             result = self.primary.solve(program, tol=tol)
         except SolverError as exc:
-            message = f"{self.primary.name}: {exc}"
-            logger.warning(
-                "primary backend failed, falling back to %s (%s)",
-                self.secondary.name,
-                message,
-            )
-            self._consecutive_failures += 1
-            telemetry.counter("solver.fallbacks").inc()
-            if telemetry.enabled:
-                telemetry.event(
-                    "solver.fallback", primary=self.primary.name, error=str(exc)
-                )
-            if self._consecutive_failures >= self.failure_threshold:
-                self._skips_remaining = self.cooldown
-                telemetry.counter("solver.circuit_breaker.opened").inc()
-                if telemetry.enabled:
-                    telemetry.event(
-                        "solver.circuit_open",
-                        primary=self.primary.name,
-                        failures=self._consecutive_failures,
-                        cooldown=self.cooldown,
-                    )
-                logger.warning(
-                    "primary backend %s failed %d times in a row; skipping it "
-                    "for the next %d solves",
-                    self.primary.name,
-                    self._consecutive_failures,
-                    self.cooldown,
-                )
-            result = self.secondary.solve(program, tol=tol)
-            return dataclasses.replace(result, primary_error=message)
+            return self.absorb_primary_failure(program, tol=tol, error=exc)
         else:
             self._consecutive_failures = 0
             return result
+
+    def absorb_primary_failure(
+        self, program: ConvexProgram, *, tol: float, error: SolverError
+    ) -> SolverResult:
+        """Record a primary failure that happened elsewhere and fall back.
+
+        The batched shard path (:mod:`repro.aggregate.sharding`) attempts
+        the primary inside a stacked :func:`repro.solvers.batched.solve_batch`
+        call rather than through :meth:`solve`; handing the failure to this
+        method runs the exact failure bookkeeping of the sequential path —
+        fallback counters and events, circuit-breaker accounting, the
+        secondary solve, and ``primary_error`` on the result — without a
+        doomed second primary attempt.
+        """
+        telemetry = get_registry()
+        message = f"{self.primary.name}: {error}"
+        logger.warning(
+            "primary backend failed, falling back to %s (%s)",
+            self.secondary.name,
+            message,
+        )
+        self._consecutive_failures += 1
+        telemetry.counter("solver.fallbacks").inc()
+        if telemetry.enabled:
+            telemetry.event(
+                "solver.fallback", primary=self.primary.name, error=str(error)
+            )
+        if self._consecutive_failures >= self.failure_threshold:
+            self._skips_remaining = self.cooldown
+            telemetry.counter("solver.circuit_breaker.opened").inc()
+            if telemetry.enabled:
+                telemetry.event(
+                    "solver.circuit_open",
+                    primary=self.primary.name,
+                    failures=self._consecutive_failures,
+                    cooldown=self.cooldown,
+                )
+            logger.warning(
+                "primary backend %s failed %d times in a row; skipping it "
+                "for the next %d solves",
+                self.primary.name,
+                self._consecutive_failures,
+                self.cooldown,
+            )
+        result = self.secondary.solve(program, tol=tol)
+        return dataclasses.replace(result, primary_error=message)
+
+    def absorb_primary_success(self, result: SolverResult) -> SolverResult:
+        """Record a primary success that happened elsewhere (batched path)."""
+        self._consecutive_failures = 0
+        return result
 
 
 register_backend("scipy", ScipyTrustConstrBackend())

@@ -55,6 +55,7 @@ from .metrics import (
     span,
     telemetry_enabled,
     telemetry_session,
+    thread_registry,
 )
 from .sinks import (
     EventSink,
@@ -117,6 +118,7 @@ __all__ = [
     "streaming_manifest_session",
     "telemetry_enabled",
     "telemetry_session",
+    "thread_registry",
     "walk_spans",
     "watch",
     "write_chrome_trace",

@@ -26,6 +26,7 @@ Design constraints (docs/OBSERVABILITY.md):
 from __future__ import annotations
 
 import math
+import threading
 import time
 from collections import deque
 from contextlib import contextmanager
@@ -544,10 +545,24 @@ NULL_REGISTRY = NullRegistry()
 
 _active: MetricsRegistry = NULL_REGISTRY
 
+#: Per-thread registry overrides. The batched sweep runner executes many
+#: cells concurrently on threads of one process; each cell must record into
+#: its own fresh registry (exactly as the process-pool path gives every cell
+#: a fresh worker-side registry), so a thread-local override shadows the
+#: process-wide active registry when set. The common single-threaded paths
+#: never set it, paying only one ``getattr`` per :func:`get_registry` call.
+_thread_override = threading.local()
+
 
 def get_registry() -> MetricsRegistry:
-    """The currently active registry (the shared null registry by default)."""
-    return _active
+    """The currently active registry (the shared null registry by default).
+
+    A thread-local override installed by :func:`thread_registry` wins over
+    the process-wide registry; without one, every thread sees the registry
+    installed by :func:`set_registry`.
+    """
+    override = getattr(_thread_override, "registry", None)
+    return override if override is not None else _active
 
 
 def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
@@ -558,9 +573,25 @@ def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
     return previous
 
 
+@contextmanager
+def thread_registry(registry: MetricsRegistry) -> Iterator[MetricsRegistry]:
+    """Activate ``registry`` for the current thread only, for one block.
+
+    Other threads (and code outside the block on this thread) keep seeing
+    the process-wide registry. Overrides nest per thread; the previous
+    override is restored on exit.
+    """
+    previous = getattr(_thread_override, "registry", None)
+    _thread_override.registry = registry
+    try:
+        yield registry
+    finally:
+        _thread_override.registry = previous
+
+
 def telemetry_enabled() -> bool:
     """Whether the active registry records anything."""
-    return _active.enabled
+    return get_registry().enabled
 
 
 @contextmanager

@@ -94,8 +94,8 @@ class TestSolverSuite:
 class TestRegistryOfSuites:
     def test_all_declared_suites_are_callable(self):
         assert set(SUITES) == {
-            "smoke", "solver", "fig2", "fig5", "parallel", "aggregate",
-            "service",
+            "smoke", "solver", "fig2", "fig5", "parallel", "batched",
+            "aggregate", "service",
         }
 
     def test_unknown_suite_raises_with_known_names(self):

@@ -1,0 +1,327 @@
+"""Bit-identity of the batched barrier solver vs the sequential IPM.
+
+The contract of :mod:`repro.solvers.batched` is not "numerically close":
+every instance of a batch must produce the *identical floats* the
+sequential :class:`InteriorPointBackend` produces — solution, objective,
+iteration count, duals, partial flag — across instance shapes (including a
+single-instance batch and mixed-shape batches), warm starts, and
+budget-truncated solves. These properties pin the reduction-order analysis
+in the module docstring.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.subproblem import RegularizedSubproblem
+from repro.solvers.base import ConvexProgram, SolveBudget, SolverError
+from repro.solvers.batched import (
+    BatchCoordinator,
+    DeferringBackend,
+    resolve_kernels,
+    solve_batch,
+)
+from repro.solvers.interior_point import InteriorPointBackend
+from repro.telemetry import MetricsRegistry, telemetry_session
+
+
+def random_subproblem(
+    seed: int,
+    num_clouds: int,
+    num_users: int,
+    *,
+    eps_vector: bool = False,
+    zero_prev: bool = False,
+) -> RegularizedSubproblem:
+    rng = np.random.default_rng(seed)
+    workloads = rng.integers(1, 6, size=num_users).astype(float)
+    capacities = workloads.sum() * (0.3 + rng.dirichlet(np.ones(num_clouds)))
+    capacities *= 1.4 * workloads.sum() / capacities.sum()
+    if zero_prev:
+        x_prev = np.zeros((num_clouds, num_users))
+    else:
+        x_prev = rng.uniform(0.0, 1.0, size=(num_clouds, num_users))
+        x_prev *= workloads[None, :] / num_clouds
+    eps2 = rng.uniform(0.3, 2.0, size=num_users) if eps_vector else 0.7
+    return RegularizedSubproblem(
+        static_prices=rng.uniform(0.05, 2.0, size=(num_clouds, num_users)),
+        reconfig_prices=rng.uniform(0.1, 2.0, size=num_clouds),
+        migration_prices=rng.uniform(0.1, 2.0, size=num_clouds),
+        capacities=capacities,
+        workloads=workloads,
+        x_prev=x_prev,
+        eps1=0.5,
+        eps2=eps2,
+    )
+
+
+def build_program(sub: RegularizedSubproblem, *, warm: bool, seed: int):
+    if not warm:
+        return sub.build_program()
+    interior = sub.interior_point()
+    rng = np.random.default_rng(seed + 77)
+    prev = np.asarray(sub.x_prev, dtype=float).ravel()
+    x0 = 0.9 * prev + 0.1 * interior
+    if rng.integers(0, 2):
+        # Occasionally hand in a boundary point so the infeasible-warm-start
+        # recovery (barrier restart) path is exercised in both solvers.
+        x0 = prev
+    return sub.build_program(x0=x0)
+
+
+def assert_identical(batched, sequential):
+    assert np.array_equal(batched.x, sequential.x)
+    assert batched.objective == sequential.objective
+    assert batched.iterations == sequential.iterations
+    assert batched.backend == sequential.backend
+    assert batched.partial == sequential.partial
+    assert set(batched.duals) == set(sequential.duals)
+    for key, value in sequential.duals.items():
+        assert np.array_equal(batched.duals[key], value), key
+
+
+def solve_both(programs, *, tol=1e-8):
+    sequential = []
+    backend = InteriorPointBackend()
+    for program in programs:
+        try:
+            sequential.append(backend.solve(program, tol=tol))
+        except Exception as exc:  # noqa: BLE001 - failure parity is tested
+            sequential.append(exc)
+    batched = solve_batch(programs, tol=tol)
+    assert len(batched) == len(sequential)
+    for got, want in zip(batched, sequential):
+        if isinstance(want, Exception):
+            assert isinstance(got, type(want))
+            assert str(got) == str(want)
+        else:
+            assert_identical(got, want)
+    return batched
+
+
+class TestBitIdentity:
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        num_clouds=st.integers(min_value=2, max_value=4),
+        num_users=st.integers(min_value=2, max_value=5),
+        batch=st.integers(min_value=1, max_value=4),
+        warm=st.booleans(),
+        eps_vector=st.booleans(),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_same_shape_batches(
+        self, seed, num_clouds, num_users, batch, warm, eps_vector
+    ):
+        programs = [
+            build_program(
+                random_subproblem(
+                    seed + k, num_clouds, num_users, eps_vector=eps_vector
+                ),
+                warm=warm,
+                seed=seed + k,
+            )
+            for k in range(batch)
+        ]
+        solve_both(programs)
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=8, deadline=None)
+    def test_mixed_shape_batches(self, seed):
+        shapes = [(2, 3), (3, 4), (2, 3), (4, 2), (3, 4)]
+        programs = [
+            build_program(
+                random_subproblem(seed + k, clouds, users),
+                warm=bool(k % 2),
+                seed=seed + k,
+            )
+            for k, (clouds, users) in enumerate(shapes)
+        ]
+        solve_both(programs)
+
+    def test_single_instance_batch(self):
+        program = random_subproblem(3, 3, 4).build_program()
+        solve_both([program])
+
+    def test_zero_previous_allocation(self):
+        programs = [
+            random_subproblem(k, 3, 4, zero_prev=True).build_program()
+            for k in range(3)
+        ]
+        solve_both(programs)
+
+    @given(
+        seed=st.integers(min_value=0, max_value=5_000),
+        max_iterations=st.integers(min_value=1, max_value=12),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_budget_truncated_solves(self, seed, max_iterations):
+        # Iteration budgets are exact per lane, so truncated (partial)
+        # solves must be bit-identical too; mix budgeted and unbudgeted
+        # lanes in one batch to prove masks keep them independent.
+        programs = []
+        for k in range(3):
+            program = random_subproblem(seed + k, 3, 4).build_program()
+            if k != 1:
+                program.budget = SolveBudget(max_iterations=max_iterations)
+            programs.append(program)
+        results = solve_both(programs)
+        assert any(r.partial for r in results if not isinstance(r, Exception))
+
+    def test_structureless_program_fails_like_sequential(self):
+        from scipy import sparse
+
+        bad = ConvexProgram(
+            objective=lambda x: float(np.sum(x**2)),
+            gradient=lambda x: 2 * x,
+            constraint_matrix=sparse.eye(2),
+            constraint_lower=np.zeros(2),
+            x_lower=np.zeros(2),
+            x0=np.ones(2),
+        )
+        good = random_subproblem(1, 2, 3).build_program()
+        outcomes = solve_batch([bad, good])
+        assert isinstance(outcomes[0], SolverError)
+        assert "structure" in str(outcomes[0])
+        assert not isinstance(outcomes[1], Exception)
+        sequential = InteriorPointBackend().solve(good, tol=1e-8)
+        assert_identical(outcomes[1], sequential)
+
+    def test_infeasible_subproblem_fails_like_sequential(self):
+        sub = random_subproblem(2, 3, 4)
+        starved = RegularizedSubproblem(
+            static_prices=sub.static_prices,
+            reconfig_prices=sub.reconfig_prices,
+            migration_prices=sub.migration_prices,
+            capacities=np.asarray(sub.capacities) * 1e-3,
+            workloads=sub.workloads,
+            x_prev=sub.x_prev,
+            eps1=sub.eps1,
+            eps2=sub.eps2,
+        )
+        programs = [
+            sub.build_program(),
+            ConvexProgram(
+                objective=starved.objective,
+                gradient=starved.gradient,
+                constraint_matrix=sub.build_program().constraint_matrix,
+                constraint_lower=np.zeros(12),
+                x_lower=np.zeros(12),
+                structure=starved,
+            ),
+        ]
+        solve_both(programs)
+
+
+class TestTelemetryParity:
+    def test_solver_counters_match_sequential(self):
+        programs = [
+            build_program(random_subproblem(k, 3, 4), warm=k > 0, seed=k)
+            for k in range(4)
+        ]
+        with telemetry_session() as sequential_registry:
+            backend = InteriorPointBackend()
+            for program in programs:
+                backend.solve(program, tol=1e-8)
+        with telemetry_session() as batched_registry:
+            solve_batch(programs, tol=1e-8)
+        seq = sequential_registry.snapshot()
+        bat = batched_registry.snapshot()
+        for name in (
+            "solver.ipm.solves",
+            "solver.iterations",
+            "solver.ipm.warm_start_hits",
+        ):
+            assert bat["counters"].get(name) == seq["counters"].get(name), name
+        assert (
+            bat["histograms"]["solver.ipm.iterations"]
+            == seq["histograms"]["solver.ipm.iterations"]
+        )
+        seq_traces = [e for e in seq["events"] if e["type"] == "solver.ipm.trace"]
+        bat_traces = [e for e in bat["events"] if e["type"] == "solver.ipm.trace"]
+        assert [t["trace"] for t in bat_traces] == [t["trace"] for t in seq_traces]
+        assert bat["counters"]["solver.batched.instances"] == 4
+
+    def test_per_instance_registries(self):
+        programs = [random_subproblem(k, 2, 3).build_program() for k in range(2)]
+        registries = [MetricsRegistry(), MetricsRegistry()]
+        solve_batch(programs, registries=registries)
+        for registry in registries:
+            snap = registry.snapshot()
+            assert snap["counters"]["solver.ipm.solves"] == 1
+
+
+class TestCoordinator:
+    def test_threads_get_sequential_results(self):
+        programs = [
+            build_program(random_subproblem(k, 3, 4), warm=k % 2 == 1, seed=k)
+            for k in range(5)
+        ]
+        backend = InteriorPointBackend()
+        expected = [backend.solve(p, tol=1e-8) for p in programs]
+
+        coordinator = BatchCoordinator(total=len(programs))
+        deferring = DeferringBackend(coordinator)
+        outcomes: list = [None] * len(programs)
+
+        def worker(index):
+            try:
+                outcomes[index] = deferring.solve(programs[index], tol=1e-8)
+            finally:
+                coordinator.finish()
+
+        threads = [
+            threading.Thread(target=worker, args=(k,))
+            for k in range(len(programs))
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+            assert not thread.is_alive()
+        for got, want in zip(outcomes, expected):
+            assert_identical(got, want)
+
+    def test_failed_solve_raises_in_requesting_thread(self):
+        from scipy import sparse
+
+        bad = ConvexProgram(
+            objective=lambda x: float(np.sum(x**2)),
+            gradient=lambda x: 2 * x,
+            constraint_matrix=sparse.eye(2),
+            constraint_lower=np.zeros(2),
+            x_lower=np.zeros(2),
+            x0=np.ones(2),
+        )
+        coordinator = BatchCoordinator(total=1)
+        deferring = DeferringBackend(coordinator)
+        with pytest.raises(SolverError, match="structure"):
+            deferring.solve(bad, tol=1e-8)
+
+
+class TestJitFlag:
+    def test_flag_off_uses_numpy_kernels(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BATCHED_JIT", raising=False)
+        _, _, jitted = resolve_kernels()
+        assert not jitted
+
+    def test_flag_without_numba_falls_back_cleanly(self, monkeypatch):
+        # The container image deliberately has no numba: requesting the JIT
+        # must degrade to the NumPy kernels and still solve bit-identically.
+        import repro.solvers.batched as batched_module
+
+        monkeypatch.setenv("REPRO_BATCHED_JIT", "1")
+        monkeypatch.setattr(batched_module, "_KERNELS_RESOLVED", False)
+        monkeypatch.setattr(batched_module, "_KERNELS", None)
+        fill, expand, jitted = resolve_kernels()
+        try:
+            import numba  # noqa: F401
+
+            assert jitted
+        except ImportError:
+            assert not jitted
+            assert fill is batched_module._numpy_fill_smw
+        program = random_subproblem(9, 3, 4).build_program()
+        solve_both([program])
