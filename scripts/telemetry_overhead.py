@@ -14,6 +14,16 @@ enforces the observe-only contract:
 * the wall-time delta is printed as an advisory (shared CI runners are
   too noisy to gate on), so overhead creep is visible in the job log.
 
+A third **profiled** leg re-runs the streamed comparison inside
+:func:`repro.telemetry.profiling_session` (phase timers + the 19 hz
+sampling profiler) and extends the contract:
+
+* profiled costs stay identical to the bare run to the same 1e-9;
+* the profiled manifest carries ``prof.*`` events, the non-profiled one
+  carries **none** (profiling-off leaves the manifest clean — the
+  byte-level twin of the zero-overhead gate);
+* sampler overhead is printed as an advisory next to the streaming one.
+
 Exit code 0 on success, 1 with a diagnostic on any mismatch.
 
 Run:  python scripts/telemetry_overhead.py [--users N] [--slots T]
@@ -33,15 +43,28 @@ from pathlib import Path
 COST_RTOL = 1e-9
 
 
-def run_once(instance, stream_path: Path | None) -> tuple[dict[str, float], float]:
+#: Sampling-profiler frequency for the profiled leg (the CLI default:
+#: co-prime with periodic slot work, so samples don't alias).
+PROFILE_HZ = 19.0
+
+
+def run_once(
+    instance, stream_path: Path | None, *, profile: bool = False
+) -> tuple[dict[str, float], float]:
     """One seeded comparison; returns (total cost per algorithm, wall s)."""
+    import contextlib
+
     from repro import (
         OfflineOptimal,
         OnlineGreedy,
         OnlineRegularizedAllocator,
         compare_algorithms,
     )
-    from repro.telemetry import default_rules, streaming_manifest_session
+    from repro.telemetry import (
+        default_rules,
+        profiling_session,
+        streaming_manifest_session,
+    )
 
     algorithms = [OfflineOptimal(), OnlineGreedy(), OnlineRegularizedAllocator()]
     start = time.perf_counter()
@@ -53,7 +76,13 @@ def run_once(instance, stream_path: Path | None) -> tuple[dict[str, float], floa
             config={"check": "telemetry_overhead"},
             watchdog_rules=default_rules(),
         ):
-            comparison = compare_algorithms(algorithms, instance)
+            scope = (
+                profiling_session(hz=PROFILE_HZ)
+                if profile
+                else contextlib.nullcontext()
+            )
+            with scope:
+                comparison = compare_algorithms(algorithms, instance)
     wall = time.perf_counter() - start
     costs = {
         name: result.total_cost for name, result in comparison.results.items()
@@ -77,23 +106,34 @@ def main(argv: list[str] | None = None) -> int:
     ).build(seed=args.seed)
 
     manifest = Path(tempfile.gettempdir()) / "telemetry_overhead.jsonl"
+    profiled_manifest = (
+        Path(tempfile.gettempdir()) / "telemetry_overhead_profiled.jsonl"
+    )
     manifest.unlink(missing_ok=True)
+    profiled_manifest.unlink(missing_ok=True)
 
     bare_costs, bare_wall = run_once(instance, None)
     streamed_costs, streamed_wall = run_once(instance, manifest)
+    profiled_costs, profiled_wall = run_once(
+        instance, profiled_manifest, profile=True
+    )
 
     failures = []
     for name, bare in bare_costs.items():
-        streamed = streamed_costs.get(name)
-        if streamed is None:
-            failures.append(f"{name}: missing from the streamed run")
-            continue
-        scale = max(1.0, abs(bare))
-        if abs(streamed - bare) > COST_RTOL * scale:
-            failures.append(
-                f"{name}: bare {bare!r} != streamed {streamed!r} "
-                f"(delta {abs(streamed - bare):.3e})"
-            )
+        for label, other_costs in (
+            ("streamed", streamed_costs),
+            ("profiled", profiled_costs),
+        ):
+            other = other_costs.get(name)
+            if other is None:
+                failures.append(f"{name}: missing from the {label} run")
+                continue
+            scale = max(1.0, abs(bare))
+            if abs(other - bare) > COST_RTOL * scale:
+                failures.append(
+                    f"{name}: bare {bare!r} != {label} {other!r} "
+                    f"(delta {abs(other - bare):.3e})"
+                )
 
     record = load_manifest(manifest)
     try:
@@ -108,17 +148,54 @@ def main(argv: list[str] | None = None) -> int:
                 f"run_end totals by {check.deviation:.3e}"
             )
 
+    # The profiling-off gate: a run without --profile must leave zero
+    # prof.* events (and no trace ids) in its manifest — profiling off is
+    # not merely cheap, it is absent.
+    stray = [
+        event
+        for event in record.events
+        if str(event.get("type", "")).startswith("prof.")
+        or "trace_id" in event
+    ]
+    if stray:
+        failures.append(
+            f"non-profiled manifest carries {len(stray)} prof.*/traced "
+            f"event(s); first: {stray[0]}"
+        )
+    profiled_record = load_manifest(profiled_manifest)
+    profiled_events = [
+        event
+        for event in profiled_record.events
+        if str(event.get("type", "")).startswith("prof.")
+    ]
+    if not profiled_events:
+        failures.append("profiled manifest carries no prof.* events")
+
     overhead = streamed_wall - bare_wall
     pct = 100.0 * overhead / bare_wall if bare_wall > 0 else float("nan")
     print(
         f"telemetry overhead (advisory): bare {bare_wall:.3f}s, "
         f"streamed {streamed_wall:.3f}s, delta {overhead:+.3f}s ({pct:+.1f}%)"
     )
+    sampler_overhead = profiled_wall - streamed_wall
+    sampler_pct = (
+        100.0 * sampler_overhead / streamed_wall
+        if streamed_wall > 0
+        else float("nan")
+    )
+    print(
+        f"profiler overhead (advisory): profiled {profiled_wall:.3f}s at "
+        f"{PROFILE_HZ:g} hz, delta vs streamed {sampler_overhead:+.3f}s "
+        f"({sampler_pct:+.1f}%)"
+    )
     print(
         f"costs identical to {COST_RTOL:g} across "
-        f"{len(bare_costs)} algorithms: {not failures}"
+        f"{len(bare_costs)} algorithms x 2 legs: {not failures}"
     )
-    print(f"manifest: {len(record.events)} events, {len(checks)} runs verified")
+    print(
+        f"manifest: {len(record.events)} events, {len(checks)} runs verified; "
+        f"profiled manifest: {len(profiled_events)} prof.* events"
+    )
     if failures:
         for failure in failures:
             print(f"FAIL {failure}", file=sys.stderr)

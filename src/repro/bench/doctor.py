@@ -207,6 +207,104 @@ def _aggregation(record: RunRecord) -> list[str]:
     return lines
 
 
+def _service(record: RunRecord) -> list[str]:
+    slots = int(record.counters.get("service.slots", 0))
+    if not slots and not record.events_of_type("service.slot"):
+        return ["  no service activity recorded"]
+    rejected = int(record.counters.get("service.protocol.rejected", 0))
+    superseded = int(record.counters.get("service.updates.superseded", 0))
+    misses = int(record.counters.get("service.deadline.misses", 0))
+    partial = int(record.counters.get("service.deadline.partial_solves", 0))
+    lines = [
+        f"  {slots} request(s) served, {rejected} rejected, "
+        f"{superseded} superseded",
+        f"  deadline misses: {misses} ({partial} budget-truncated solves)",
+    ]
+    histogram = record.histograms.get("service.slot_latency_ms", {})
+    if histogram.get("count"):
+        lines.append(
+            "  slot latency: "
+            f"p50={histogram.get('p50', 0.0) or 0.0:.2f} ms "
+            f"p95={histogram.get('p95', 0.0) or 0.0:.2f} ms "
+            f"p99={histogram.get('p99', 0.0) or 0.0:.2f} ms "
+            f"over {int(histogram['count'])} request(s)"
+        )
+    for event in record.events_of_type("service.deadline.miss")[:TOP_N]:
+        deadline = event.get("deadline_ms")
+        budget = (
+            "no deadline configured"
+            if deadline is None
+            else f"deadline {float(deadline):.1f} ms"
+        )
+        lines.append(
+            f"  miss at slot {int(event.get('slot', -1)):4d}: "
+            f"{float(event.get('latency_ms', 0.0)):8.2f} ms ({budget}"
+            + (", partial solve)" if event.get("partial") else ")")
+        )
+    return lines
+
+
+def _parallel(record: RunRecord) -> list[str]:
+    cells = int(record.counters.get("sweep.cells", 0))
+    if not cells:
+        return ["  not used (no sweep dispatch recorded)"]
+    workers = int(record.gauges.get("sweep.workers", 0) or 0)
+    lines = [f"  {cells} cell(s) dispatched over {workers} worker(s)"]
+    wall = record.histograms.get("sweep.cell_wall_s", {})
+    if wall.get("count"):
+        lines.append(
+            "  cell wall time: "
+            f"p50={(wall.get('p50', 0.0) or 0.0) * 1000.0:.2f} ms "
+            f"p95={(wall.get('p95', 0.0) or 0.0) * 1000.0:.2f} ms"
+        )
+    fallbacks = int(record.counters.get("parallel.fallback.inline", 0))
+    if fallbacks:
+        lines.append(
+            f"  WARNING: {fallbacks} fan-out(s) degraded to inline "
+            "execution (results correct, requested speedup lost)"
+        )
+        for event in record.events_of_type("parallel.fallback.inline")[:TOP_N]:
+            lines.append(
+                f"    {event.get('cells', '?')} cell(s) at "
+                f"{event.get('workers', '?')} worker(s): "
+                f"{event.get('error', '?')}"
+            )
+    else:
+        lines.append("  no inline fallbacks - the pool ran as requested")
+    return lines
+
+
+def _where_time_went(record: RunRecord) -> list[str]:
+    events = record.events_of_type("prof.phases")
+    if not events:
+        return ["  no profile recorded (run with --profile)"]
+    totals: dict[str, float] = {}
+    wall_total = 0.0
+    for event in events:
+        wall_total += float(event.get("wall_ms", 0.0))
+        for name, ms in (event.get("phases") or {}).items():
+            totals[str(name)] = totals.get(str(name), 0.0) + float(ms)
+    ranked = sorted(totals.items(), key=lambda kv: (-kv[1], kv[0]))
+    lines = [
+        f"  {len(events)} profiled slot(s), {wall_total:.2f} ms attributed"
+    ]
+    for name, total_ms in ranked[:TOP_N + 3]:
+        share = 0.0 if wall_total <= 0 else 100.0 * total_ms / wall_total
+        lines.append(f"  {name:28s} {total_ms:10.2f} ms  ({share:5.1f}%)")
+    slowest = sorted(
+        events, key=lambda e: float(e.get("wall_ms", 0.0)), reverse=True
+    )
+    for event in slowest[:3]:
+        phases = event.get("phases") or {}
+        top = max(phases, key=phases.get) if phases else "?"
+        lines.append(
+            f"  slowest slot {int(event.get('slot', -1)):4d}: "
+            f"{float(event.get('wall_ms', 0.0)):8.2f} ms "
+            f"(mostly {top})"
+        )
+    return lines
+
+
 def _alerts(record: RunRecord) -> list[str]:
     alerts = record.events_of_type("alert")
     if not alerts:
@@ -258,12 +356,15 @@ def doctor_report(
     )
     sections = (
         ("Slowest slots", _slowest_slots(record)),
+        ("Where the time went", _where_time_went(record)),
         ("Watchdog alerts", _alerts(record)),
         ("Solver incidents", _solver_incidents(record)),
         ("Optimality certificates", _certificates(record, gap_tol)),
         ("Competitive ratio vs Theorem 2", _ratio(record)),
         ("Interior-point convergence", _convergence(record)),
         ("Aggregation", _aggregation(record)),
+        ("Parallel sweep", _parallel(record)),
+        ("Service", _service(record)),
     )
     for title, body in sections:
         lines.append("")

@@ -147,6 +147,30 @@ def _add_scale_arguments(parser: argparse.ArgumentParser) -> None:
         help="print a metrics summary table (solver iterations, fallbacks, "
         "per-slot wall time, cost totals) after the report",
     )
+    parser.add_argument(
+        "--trace-context",
+        action="store_true",
+        help="run under a distributed-trace root: every span the run "
+        "records — across worker processes and batched solver lanes — "
+        "carries trace/span ids, so 'repro-edge export --trace' renders "
+        "one connected tree (docs/OBSERVABILITY.md); implies telemetry, "
+        "results are bit-identical",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="profile the run: deterministic per-phase solver timers plus "
+        "a sampling profiler, folded-stack profiles land in the manifest "
+        "as prof.* events ('repro-edge export --speedscope' renders "
+        "them); implies telemetry, results are bit-identical",
+    )
+    parser.add_argument(
+        "--profile-hz",
+        type=float,
+        default=None,
+        metavar="HZ",
+        help="sampling-profiler frequency for --profile (default: 19)",
+    )
 
 
 def _scale_from_args(args: argparse.Namespace) -> ExperimentScale:
@@ -381,8 +405,11 @@ def _cmd_watch(args: argparse.Namespace) -> str:
 def _cmd_export(args: argparse.Namespace) -> str:
     from .telemetry import read_manifest, write_chrome_trace, write_openmetrics
 
-    if args.trace is None and args.openmetrics is None:
-        raise SystemExit("export: pass --trace PATH and/or --openmetrics PATH")
+    if args.trace is None and args.openmetrics is None and args.speedscope is None:
+        raise SystemExit(
+            "export: pass --trace PATH, --openmetrics PATH, and/or "
+            "--speedscope PATH"
+        )
     record = read_manifest(args.manifest, strict=False)
     lines = [f"Exported from {args.manifest}"]
     if record.truncated:
@@ -395,6 +422,89 @@ def _cmd_export(args: argparse.Namespace) -> str:
     if args.openmetrics is not None:
         out = write_openmetrics(args.openmetrics, record)
         lines.append(f"  openmetrics   -> {out}  (Prometheus textfile format)")
+    if args.speedscope is not None:
+        from .telemetry import merge_folded, write_speedscope
+
+        profiles: dict[tuple[str, str], dict] = {}
+        for event in record.events_of_type("prof.profile"):
+            key = (
+                str(event.get("source", "phases")),
+                str(event.get("unit", "ms")),
+            )
+            profiles[key] = merge_folded(
+                profiles.get(key, {}), event.get("folded") or {}
+            )
+        if not profiles:
+            lines.append(
+                "  speedscope    : no prof.profile events in the manifest "
+                "(record the run with --profile)"
+            )
+        else:
+            out = write_speedscope(
+                args.speedscope,
+                [
+                    {"name": source, "unit": unit, "folded": folded}
+                    for (source, unit), folded in sorted(profiles.items())
+                ],
+            )
+            lines.append(
+                f"  speedscope    -> {out}  (open at https://www.speedscope.app)"
+            )
+    return "\n".join(lines)
+
+
+def _cmd_profile(args: argparse.Namespace) -> str:
+    from .telemetry import profiling_session, write_collapsed, write_speedscope
+
+    command = list(args.run_cmd)
+    if command and command[0] == "--":
+        command = command[1:]
+    if not command:
+        raise SystemExit(
+            "profile: pass the repro-edge command to run, e.g. "
+            "'repro-edge profile fig2 --slots 4'"
+        )
+    if command[0] == "profile":
+        raise SystemExit("profile: cannot profile itself")
+    with profiling_session(hz=args.hz, emit=False) as handle:
+        code = main(command)
+    lines = [
+        f"Profile of: repro-edge {' '.join(command)}",
+        f"  sampler: {handle.samples} stack sample(s) at {args.hz:g} hz",
+    ]
+    ranked = sorted(handle.phase_folded.items(), key=lambda kv: (-kv[1], kv[0]))
+    if ranked:
+        lines.append("  phase totals:")
+        for name, total_ms in ranked[:12]:
+            lines.append(f"    {name:36s} {total_ms:12.2f} ms")
+    else:
+        lines.append("  no instrumented phases ran")
+    if args.speedscope is not None:
+        profiles = []
+        if handle.phase_folded:
+            profiles.append(
+                {"name": "phases", "unit": "ms", "folded": handle.phase_folded}
+            )
+        if handle.sampler_folded:
+            profiles.append(
+                {
+                    "name": "sampler",
+                    "unit": "samples",
+                    "folded": handle.sampler_folded,
+                }
+            )
+        if profiles:
+            out = write_speedscope(args.speedscope, profiles)
+            lines.append(f"  speedscope -> {out}")
+        else:
+            lines.append("  speedscope skipped: nothing was recorded")
+    if args.collapsed is not None:
+        folded = handle.sampler_folded or handle.phase_folded
+        out = write_collapsed(args.collapsed, folded)
+        lines.append(f"  collapsed  -> {out}  (flamegraph.pl-compatible)")
+    if code != 0:
+        print("\n".join(lines))
+        raise SystemExit(code)
     return "\n".join(lines)
 
 
@@ -820,8 +930,76 @@ def build_parser() -> argparse.ArgumentParser:
         help="write an OpenMetrics/Prometheus text snapshot of the metrics "
         "to PATH",
     )
+    export.add_argument(
+        "--speedscope",
+        default=None,
+        metavar="PATH",
+        help="write the manifest's prof.profile folded stacks (recorded "
+        "with --profile) as a speedscope JSON document to PATH",
+    )
     export.set_defaults(func=_cmd_export)
+
+    profile = sub.add_parser(
+        "profile",
+        help="run any repro-edge command under the sampling profiler and "
+        "phase timers; print the phase ranking and optionally write "
+        "speedscope/collapsed profiles",
+    )
+    profile.add_argument(
+        "--hz",
+        type=float,
+        default=19.0,
+        metavar="HZ",
+        help="stack-sampling frequency (default: 19)",
+    )
+    profile.add_argument(
+        "--speedscope",
+        default=None,
+        metavar="PATH",
+        help="write phase + sampler profiles as a speedscope JSON document",
+    )
+    profile.add_argument(
+        "--collapsed",
+        default=None,
+        metavar="PATH",
+        help="write the sampled stacks in collapsed (flamegraph.pl) format",
+    )
+    profile.add_argument(
+        "run_cmd",
+        nargs=argparse.REMAINDER,
+        metavar="COMMAND...",
+        help="the repro-edge command line to profile (e.g. fig2 --slots 4)",
+    )
+    profile.set_defaults(func=_cmd_profile)
     return parser
+
+
+def _run_command(args: argparse.Namespace) -> str:
+    """Run the selected command under --trace-context / --profile scopes.
+
+    Both scopes are strictly additive instrumentation: with neither flag
+    this is exactly ``args.func(args)`` — no tracer, no profiler thread,
+    no extra telemetry of any kind.
+    """
+    import contextlib
+
+    want_trace = getattr(args, "trace_context", False)
+    want_profile = getattr(args, "profile", False)
+    if not (want_trace or want_profile):
+        return args.func(args)
+    with contextlib.ExitStack() as stack:
+        if want_profile:
+            from .telemetry import profiling_session
+
+            hz = getattr(args, "profile_hz", None)
+            stack.enter_context(
+                profiling_session(hz=19.0 if hz is None else hz)
+            )
+        if want_trace:
+            from .telemetry import traced_root
+
+            stack.enter_context(traced_root("run", command=args.command))
+        return args.func(args)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -846,7 +1024,12 @@ def main(argv: list[str] | None = None) -> int:
     if stream and manifest_path is None:
         parser.error("--stream requires --telemetry PATH (the file to stream to)")
     wants_telemetry = (
-        manifest_path is not None or want_summary or ring is not None or want_watchdog
+        manifest_path is not None
+        or want_summary
+        or ring is not None
+        or want_watchdog
+        or getattr(args, "trace_context", False)
+        or getattr(args, "profile", False)
     )
     if not wants_telemetry:
         print(args.func(args))
@@ -869,7 +1052,7 @@ def main(argv: list[str] | None = None) -> int:
             max_events=ring if ring is not None else 0,
             watchdog_rules=default_rules() if want_watchdog else None,
         ) as registry:
-            output = args.func(args)
+            output = _run_command(args)
     else:
         from .telemetry import (
             MetricsRegistry,
@@ -889,7 +1072,7 @@ def main(argv: list[str] | None = None) -> int:
         if sink is not None:
             sink.bind(registry)
         with telemetry_session(registry):
-            output = args.func(args)
+            output = _run_command(args)
         if manifest_path is not None:
             write_manifest(manifest_path, registry, config=config)
     if want_summary:

@@ -36,14 +36,19 @@ import time
 import traceback
 import warnings
 from concurrent.futures import ProcessPoolExecutor
+from contextlib import ExitStack
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Sequence
 
 from ..telemetry import (
     MetricsRegistry,
+    TraceContext,
+    current_trace,
     get_registry,
     set_registry,
     telemetry_enabled,
+    trace_scope,
+    trace_span,
 )
 from . import shm as shm_transport
 
@@ -102,7 +107,11 @@ class CellResult:
 
 
 def _execute_one(
-    work: Callable[[Any], Any], key: Any, item: Any, telemetry: bool = False
+    work: Callable[[Any], Any],
+    key: Any,
+    item: Any,
+    telemetry: bool = False,
+    trace: "TraceContext | None" = None,
 ) -> CellResult:
     """Run one unit of work, capturing failures, timing, and telemetry.
 
@@ -110,7 +119,11 @@ def _execute_one(
     both paths have identical failure semantics. When ``telemetry`` is
     set, the cell runs under a *fresh* registry (on the serial path too,
     so serial and pooled execution aggregate identically) whose snapshot
-    rides home on the :class:`CellResult`.
+    rides home on the :class:`CellResult`. When the dispatch site minted a
+    ``trace`` context for this cell, it becomes the active context for
+    the cell's duration and tags every event the cell records with its
+    ``trace_id`` — the dispatch side stamps the matching span ids onto
+    the merged cell root, so neither id has to travel back home.
     """
     registry = previous = None
     if telemetry:
@@ -118,7 +131,14 @@ def _execute_one(
         previous = set_registry(registry)
     start = time.perf_counter()
     try:
-        value = work(item)
+        with ExitStack() as scopes:
+            if trace is not None:
+                scopes.enter_context(trace_scope(trace))
+                if registry is not None:
+                    scopes.enter_context(
+                        registry.context(trace_id=trace.trace_id)
+                    )
+            value = work(item)
     except Exception as exc:  # noqa: BLE001 - structured capture is the point
         return CellResult(
             key=key,
@@ -157,6 +177,7 @@ def _execute_one_shm(
     result_name: str,
     slot_bytes: int,
     slot_index: int,
+    trace: "TraceContext | None" = None,
 ) -> CellResult | None:
     """Pool target for the shared-memory path.
 
@@ -164,16 +185,20 @@ def _execute_one_shm(
     :func:`_execute_one` (identical semantics to every other path), and
     ships the result home through the preallocated slot — returning
     ``None`` through the pipe. A result too big for its slot rides the
-    pipe instead, exactly like the classic pool path.
+    pipe instead, exactly like the classic pool path. The trace context
+    (a tiny frozen dataclass of strings) rides the pickled call, not the
+    arena — dispatch stays zero-copy for the array bytes.
     """
     item = shm_transport.decode_item(arena_name, ref)
-    result = _execute_one(work, key, item, telemetry)
+    result = _execute_one(work, key, item, telemetry, trace)
     if shm_transport.write_result(result_name, slot_bytes, slot_index, result):
         return None
     return result
 
 
-def _wrap_cell_spans(result: CellResult) -> dict:
+def _wrap_cell_spans(
+    result: CellResult, trace: "TraceContext | None" = None
+) -> dict:
     """The cell's telemetry snapshot with its spans grouped under one root.
 
     Worker registries are fresh per cell, so their trace trees would merge
@@ -181,13 +206,22 @@ def _wrap_cell_spans(result: CellResult) -> dict:
     ``"cell"`` node keyed by the cell id (and stamped with the worker pid
     and wall time) keeps per-cell structure in merged manifests — which is
     what lets ``repro-edge doctor`` attribute spans on parallel runs.
+    When the cell was dispatched with a trace context, its ids are stamped
+    onto the root here, at merge time — the same context the worker held,
+    so the root's ``span_id`` is exactly the ``parent_span_id`` any span
+    the cell recorded will reference, and the root's own
+    ``parent_span_id`` points at the dispatch span. That is what lets the
+    exporter re-link per-worker forests into one tree.
     """
     snap = result.telemetry
+    meta: dict = {"cell": result.key, "pid": result.pid}
+    if trace is not None:
+        meta.update(trace.as_meta())
     root = {
         "name": "cell",
         "duration_ms": result.wall_time_s * 1000.0,
         "children": list(snap.get("spans", ())),
-        "meta": {"cell": result.key, "pid": result.pid},
+        "meta": meta,
     }
     return {**snap, "spans": [root]}
 
@@ -268,15 +302,41 @@ class SweepExecutor:
         if len(keys) != len(items):
             raise ValueError("keys and items must have the same length")
         telemetry = telemetry_enabled()
+        if telemetry and current_trace() is not None:
+            # Tracing active: open a dispatch span and mint one child
+            # context per cell under it. The contexts ship out with the
+            # work items and are stamped onto the merged cell roots, so
+            # the whole fan-out renders as one connected tree.
+            with trace_span(
+                "sweep.map", cells=len(items), workers=self.workers
+            ):
+                dispatch = current_trace()
+                contexts = [dispatch.child() for _ in items]
+                return self._map_with_contexts(
+                    work, items, keys, telemetry, contexts
+                )
+        return self._map_with_contexts(work, items, keys, telemetry, None)
+
+    def _map_with_contexts(
+        self,
+        work: Callable[[Any], Any],
+        items: Sequence[Any],
+        keys: Sequence[Any],
+        telemetry: bool,
+        contexts: "Sequence[TraceContext] | None",
+    ) -> list[CellResult]:
+        traces: Sequence[TraceContext | None] = (
+            contexts if contexts is not None else [None] * len(items)
+        )
         if self.workers <= 1 or len(items) <= 1:
             results = [
-                _execute_one(work, key, item, telemetry)
-                for key, item in zip(keys, items)
+                _execute_one(work, key, item, telemetry, trace)
+                for key, item, trace in zip(keys, items, traces)
             ]
         elif self.use_shm:
-            results = self._map_pool_shm(work, items, keys, telemetry)
+            results = self._map_pool_shm(work, items, keys, telemetry, traces)
         else:
-            results = self._map_pool(work, items, keys, telemetry)
+            results = self._map_pool(work, items, keys, telemetry, traces)
         if telemetry:
             # Fold per-cell snapshots into the caller's registry in input
             # order — the one fixed order both execution paths share — so
@@ -284,13 +344,13 @@ class SweepExecutor:
             registry = get_registry()
             registry.counter("sweep.cells").inc(len(items))
             registry.gauge("sweep.workers").set(self.workers)
-            for result in results:
+            for result, trace in zip(results, traces):
                 if result.telemetry is not None:
                     # merge_snapshot routes the cell's events through the
                     # parent registry's sink, so a streaming manifest
                     # receives each worker's stream at merge time — still
                     # in deterministic input order.
-                    registry.merge_snapshot(_wrap_cell_spans(result))
+                    registry.merge_snapshot(_wrap_cell_spans(result, trace))
                 registry.histogram("sweep.cell_wall_s").observe(result.wall_time_s)
             # One flush per sweep: the merged per-worker events become
             # visible to a live watcher as a block once the sweep lands.
@@ -315,12 +375,15 @@ class SweepExecutor:
         items: Sequence[Any],
         keys: Sequence[Any],
         telemetry: bool = False,
+        traces: "Sequence[TraceContext | None] | None" = None,
     ) -> list[CellResult]:
+        if traces is None:
+            traces = [None] * len(items)
         try:
             with ProcessPoolExecutor(max_workers=min(self.workers, len(items))) as pool:
                 futures = [
-                    pool.submit(_execute_one, work, key, item, telemetry)
-                    for key, item in zip(keys, items)
+                    pool.submit(_execute_one, work, key, item, telemetry, trace)
+                    for key, item, trace in zip(keys, items, traces)
                 ]
                 return [future.result() for future in futures]
         except Exception as exc:  # noqa: BLE001
@@ -331,8 +394,8 @@ class SweepExecutor:
             # which needs none of that machinery.
             _note_inline_fallback(exc, cells=len(items), workers=self.workers)
             return [
-                _execute_one(work, key, item, telemetry)
-                for key, item in zip(keys, items)
+                _execute_one(work, key, item, telemetry, trace)
+                for key, item, trace in zip(keys, items, traces)
             ]
 
     def _map_pool_shm(
@@ -341,6 +404,7 @@ class SweepExecutor:
         items: Sequence[Any],
         keys: Sequence[Any],
         telemetry: bool = False,
+        traces: "Sequence[TraceContext | None] | None" = None,
     ) -> list[CellResult]:
         """Pool fan-out with shared-memory transport for items and results.
 
@@ -350,10 +414,12 @@ class SweepExecutor:
         pool; transport-or-pool failure after that degrades inline like
         :meth:`_map_pool`.
         """
+        if traces is None:
+            traces = [None] * len(items)
         try:
             arena = shm_transport.encode_items(items)
         except Exception:  # noqa: BLE001 - no /dev/shm, unpicklable items, ...
-            return self._map_pool(work, items, keys, telemetry)
+            return self._map_pool(work, items, keys, telemetry, traces)
         result_arena = None
         try:
             result_arena = shm_transport.ResultArena(slots=len(items))
@@ -369,6 +435,7 @@ class SweepExecutor:
                         result_arena.name,
                         result_arena.slot_bytes,
                         index,
+                        traces[index],
                     )
                     for index, (key, ref) in enumerate(zip(keys, arena.refs))
                 ]
@@ -387,8 +454,8 @@ class SweepExecutor:
         except Exception as exc:  # noqa: BLE001
             _note_inline_fallback(exc, cells=len(items), workers=self.workers)
             return [
-                _execute_one(work, key, item, telemetry)
-                for key, item in zip(keys, items)
+                _execute_one(work, key, item, telemetry, trace)
+                for key, item, trace in zip(keys, items, traces)
             ]
         finally:
             arena.close()

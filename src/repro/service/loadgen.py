@@ -32,6 +32,7 @@ import numpy as np
 from ..core.regularization import OnlineRegularizedAllocator
 from ..simulation.observations import SlotObservation, SystemDescription
 from ..simulation.spine import simulate
+from ..telemetry import TraceContext, current_trace
 from .config import ServiceConfig
 from .protocol import ProtocolError, encode, observation_to_update
 from .server import AllocationServer
@@ -110,8 +111,15 @@ async def _replay(
     host: str,
     port: int,
     period_s: float,
+    trace_root: TraceContext | None = None,
 ) -> list[dict]:
-    """Send the stream over one connection; return the slot_result replies."""
+    """Send the stream over one connection; return the slot_result replies.
+
+    When ``trace_root`` is set (the replay runs under an active trace,
+    e.g. ``repro-edge serve --loadgen --trace-context``), every update
+    carries a child context of it — each server-side solve joins the
+    replay's trace and each ``slot_result`` echoes its ``trace_id``.
+    """
     reader, writer = await asyncio.open_connection(host, port)
     replies: list[dict] = []
     try:
@@ -127,7 +135,8 @@ async def _replay(
                 delay = target - time.perf_counter()
                 if delay > 0:
                     await asyncio.sleep(delay)
-            writer.write(encode(observation_to_update(observation)))
+            ctx = None if trace_root is None else trace_root.child()
+            writer.write(encode(observation_to_update(observation, trace=ctx)))
             await writer.drain()
             reply = json.loads(await reader.readline())
             if reply.get("type") != "slot_result":
@@ -202,6 +211,7 @@ def run_loadgen(
     if (host is None) != (port is None):
         raise ValueError("pass host and port together (or neither)")
     period_s = 0.0 if speed <= 0 else slot_s / speed
+    trace_root = current_trace()
 
     async def _run() -> tuple[list[dict], dict | None]:
         server = None
@@ -218,6 +228,7 @@ def run_loadgen(
                 host=target_host,
                 port=int(target_port),
                 period_s=period_s,
+                trace_root=trace_root,
             )
             stats = None
             if server is not None:

@@ -6,7 +6,12 @@ One JSON object per line, both directions. Client messages:
   the system shape and the slot it expects next.
 * ``{"type": "update", "slot": t, "op_prices": [...], "attachment":
   [...], "access_delay": [...]}`` — the slot-t observation; the server
-  solves it and replies ``slot_result``.
+  solves it and replies ``slot_result``. An optional ``"trace"`` field
+  (a :meth:`repro.telemetry.TraceContext.to_wire` dict) propagates the
+  client's distributed-trace context: the server solves the slot under
+  it and echoes its ``trace_id`` on the ``slot_result``, making the
+  update → solve → reply round-trip one connected trace. A malformed
+  trace field is ignored (observability must never reject a request).
 * ``{"type": "reset"}`` — start a fresh horizon (slot 0, zero carried
   decision, cold solver caches); reply ``reset_ok``.
 * ``{"type": "stats"}`` — reply ``stats`` with slot counts, cost totals,
@@ -26,6 +31,7 @@ import json
 import numpy as np
 
 from ..simulation.observations import SlotObservation
+from ..telemetry import TraceContext
 
 
 class ProtocolError(ValueError):
@@ -131,15 +137,24 @@ def parse_update(
     )
 
 
-def observation_to_update(observation: SlotObservation) -> dict:
-    """The ``update`` message form of an observation (loadgen's encoder)."""
-    return {
+def observation_to_update(
+    observation: SlotObservation, *, trace: TraceContext | None = None
+) -> dict:
+    """The ``update`` message form of an observation (loadgen's encoder).
+
+    When ``trace`` is given, the message carries the client's trace
+    context so the server-side solve joins the client's trace.
+    """
+    message = {
         "type": "update",
         "slot": int(observation.slot),
         "op_prices": np.asarray(observation.op_prices, dtype=float).tolist(),
         "attachment": np.asarray(observation.attachment).astype(int).tolist(),
         "access_delay": np.asarray(observation.access_delay, dtype=float).tolist(),
     }
+    if trace is not None:
+        message["trace"] = trace.to_wire()
+    return message
 
 
 def encode(message: dict) -> bytes:

@@ -35,7 +35,7 @@ from ..simulation.observations import SlotObservation, SystemDescription
 from ..simulation.spine import SlotStepper
 from ..solvers.registry import get_backend
 from ..solvers.registry import reset_session as reset_backend_session
-from ..telemetry import get_registry
+from ..telemetry import TraceContext, get_registry, trace_scope, trace_span
 from .config import ServiceConfig
 from .protocol import ProtocolError, parse_update
 
@@ -60,6 +60,10 @@ class ServiceSlotResult:
         latency_ms: wall time of the whole step (solve + accounting).
         partial: whether the solve was truncated by the budget.
         deadline_miss: partial, or latency above the configured deadline.
+        trace_id: the requesting update's distributed-trace id, echoed on
+            the reply so the client can stitch the round-trip into its
+            trace; ``None`` for untraced requests (and then absent from
+            the wire reply, keeping untraced replies byte-identical).
     """
 
     slot: int
@@ -68,10 +72,11 @@ class ServiceSlotResult:
     latency_ms: float
     partial: bool
     deadline_miss: bool
+    trace_id: str | None = None
 
     def as_reply(self) -> dict:
         """The ``slot_result`` wire reply for this slot."""
-        return {
+        reply = {
             "type": "slot_result",
             "slot": self.slot,
             "cost": self.costs.total,
@@ -84,6 +89,9 @@ class ServiceSlotResult:
             "partial": self.partial,
             "deadline_miss": self.deadline_miss,
         }
+        if self.trace_id is not None:
+            reply["trace_id"] = self.trace_id
+        return reply
 
 
 class AllocationSession:
@@ -161,10 +169,25 @@ class AllocationSession:
         if len(self.results) > max(keep, 4096):
             del self.results[: -max(keep, 4096)]
 
-    def step(self, observation: SlotObservation) -> ServiceSlotResult:
-        """Serve one slot: solve under budget, account, classify the latency."""
+    def step(
+        self,
+        observation: SlotObservation,
+        *,
+        trace: TraceContext | None = None,
+    ) -> ServiceSlotResult:
+        """Serve one slot: solve under budget, account, classify the latency.
+
+        When ``trace`` carries a client's wire context, the whole solve
+        runs under it — every span and event the slot records joins the
+        client's trace, and the result echoes the ``trace_id``.
+        """
         start = time.perf_counter()
-        _, costs = self.stepper.step(observation)
+        if trace is not None:
+            with trace_scope(trace):
+                with trace_span("service.slot", slot=int(observation.slot)):
+                    _, costs = self.stepper.step(observation)
+        else:
+            _, costs = self.stepper.step(observation)
         latency_s = time.perf_counter() - start
         partial = self._solve_was_partial()
         miss = partial or (
@@ -178,6 +201,7 @@ class AllocationSession:
             latency_ms=latency_s * 1000.0,
             partial=partial,
             deadline_miss=miss,
+            trace_id=None if trace is None else trace.trace_id,
         )
         self.results.append(result)
         telemetry = get_registry()
@@ -200,6 +224,18 @@ class AllocationSession:
                     ),
                     partial=partial,
                 )
+        if telemetry.enabled:
+            payload = {
+                "slot": result.slot,
+                "latency_ms": result.latency_ms,
+                "partial": partial,
+                "deadline_miss": miss,
+                "total_cost": result.total_cost,
+            }
+            if result.trace_id is not None:
+                payload["trace_id"] = result.trace_id
+            telemetry.event("service.slot", **payload)
+            telemetry.maybe_flush()
         self._trim_history()
         return result
 
@@ -223,7 +259,8 @@ class AllocationSession:
                     num_clouds=self.system.num_clouds,
                     num_users=self.system.num_users,
                 )
-                return self.step(observation).as_reply()
+                trace = TraceContext.from_wire(message.get("trace"))
+                return self.step(observation, trace=trace).as_reply()
             if kind == "reset":
                 self.reset_session()
                 return {"type": "reset_ok", "expected_slot": self.expected_slot}

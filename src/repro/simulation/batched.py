@@ -50,9 +50,13 @@ from ..solvers.registry import FallbackBackend
 from ..solvers.scipy_backend import ScipyTrustConstrBackend
 from ..telemetry import (
     MetricsRegistry,
+    TraceContext,
+    current_trace,
     get_registry,
     telemetry_enabled,
     thread_registry,
+    trace_scope,
+    trace_span,
 )
 
 
@@ -83,20 +87,30 @@ def _prepare_cell(cell: Any, coordinator: BatchCoordinator) -> Any:
     return dataclasses.replace(cell, algorithms=tuple(algorithms))
 
 
-def _thread_execute(cell: Any, telemetry: bool) -> CellResult:
+def _thread_execute(
+    cell: Any, telemetry: bool, trace: TraceContext | None = None
+) -> CellResult:
     """Run one cell in the current thread with executor failure semantics.
 
     Mirrors :func:`repro.parallel.executor._execute_one`, except the fresh
     per-cell registry is installed as a *thread-local* override — the
     process-global registry cannot be swapped while sibling cell threads
-    are recording.
+    are recording. The cell's trace context (if any) is likewise
+    thread-local, which is what lets the batch coordinator capture each
+    submitting cell's own context at ``submit()`` time.
     """
     registry = MetricsRegistry() if telemetry else None
     start = time.perf_counter()
     try:
         if registry is not None:
             with thread_registry(registry):
-                value = cell.execute()
+                if trace is not None:
+                    with trace_scope(trace), registry.context(
+                        trace_id=trace.trace_id
+                    ):
+                        value = cell.execute()
+                else:
+                    value = cell.execute()
         else:
             value = cell.execute()
     except Exception as exc:  # noqa: BLE001 - structured capture is the point
@@ -120,15 +134,23 @@ def _thread_execute(cell: Any, telemetry: bool) -> CellResult:
     )
 
 
-def _run_group(cells: Sequence[Any], telemetry: bool) -> list[CellResult]:
+def _run_group(
+    cells: Sequence[Any],
+    telemetry: bool,
+    traces: Sequence[TraceContext | None] | None = None,
+) -> list[CellResult]:
     """Execute one group of cells as lockstep threads; results in order."""
     coordinator = BatchCoordinator(total=len(cells))
     prepared = [_prepare_cell(cell, coordinator) for cell in cells]
     results: list[CellResult | None] = [None] * len(cells)
+    if traces is None:
+        traces = [None] * len(cells)
 
     def run(index: int) -> None:
         try:
-            results[index] = _thread_execute(prepared[index], telemetry)
+            results[index] = _thread_execute(
+                prepared[index], telemetry, traces[index]
+            )
         finally:
             # Unconditionally: a participant that never finishes would
             # stall the rendezvous for every other cell in the group.
@@ -159,10 +181,15 @@ def _run_group(cells: Sequence[Any], telemetry: bool) -> list[CellResult]:
     return final
 
 
-def _run_group_item(item: "tuple[list[Any], bool]") -> list[CellResult]:
-    """Module-level pool target: one worker process runs one cell group."""
-    cells, telemetry = item
-    return _run_group(cells, telemetry)
+def _run_group_item(item: "tuple[Any, ...]") -> list[CellResult]:
+    """Module-level pool target: one worker process runs one cell group.
+
+    Accepts ``(cells, telemetry)`` or ``(cells, telemetry, traces)`` — the
+    per-cell trace contexts ride the pickled item alongside the cells.
+    """
+    cells, telemetry, *rest = item
+    traces = rest[0] if rest else None
+    return _run_group(cells, telemetry, traces)
 
 
 def _split_groups(cells: list[Any], workers: int) -> list[list[Any]]:
@@ -206,12 +233,41 @@ def run_cells_batched(
         return []
     telemetry = telemetry_enabled()
     resolved = resolve_workers(workers)
+    if telemetry and current_trace() is not None:
+        # Same dispatch discipline as SweepExecutor.map: one child context
+        # per cell, minted under a dispatch span and stamped back onto the
+        # merged cell roots, so batched fan-out traces stay connected.
+        with trace_span(
+            "sweep.batched", cells=len(cells), workers=resolved
+        ):
+            dispatch = current_trace()
+            contexts = [dispatch.child() for _ in cells]
+            return _run_batched(cells, telemetry, resolved, use_shm, contexts)
+    return _run_batched(cells, telemetry, resolved, use_shm, None)
+
+
+def _run_batched(
+    cells: list[Any],
+    telemetry: bool,
+    resolved: int,
+    use_shm: bool,
+    contexts: Sequence[TraceContext] | None,
+) -> list[CellResult]:
+    traces: Sequence[TraceContext | None] = (
+        contexts if contexts is not None else [None] * len(cells)
+    )
     if resolved <= 1 or len(cells) <= 1:
-        results = _run_group(cells, telemetry)
+        results = _run_group(cells, telemetry, traces)
     else:
         groups = _split_groups(cells, resolved)
+        # _split_groups is deterministic in the input length, so slicing
+        # the trace list with it keeps contexts aligned with their cells.
+        trace_groups = _split_groups(list(traces), resolved)
         executor = SweepExecutor(max_workers=len(groups), use_shm=use_shm)
-        items = [(group, telemetry) for group in groups]
+        items = [
+            (group, telemetry, group_traces)
+            for group, group_traces in zip(groups, trace_groups)
+        ]
         keys = list(range(len(groups)))
         if use_shm:
             group_results = executor._map_pool_shm(  # noqa: SLF001
@@ -236,9 +292,9 @@ def run_cells_batched(
         registry = get_registry()
         registry.counter("sweep.cells").inc(len(cells))
         registry.gauge("sweep.workers").set(resolved)
-        for result in results:
+        for result, trace in zip(results, traces):
             if result.telemetry is not None:
-                registry.merge_snapshot(_wrap_cell_spans(result))
+                registry.merge_snapshot(_wrap_cell_spans(result, trace))
             registry.histogram("sweep.cell_wall_s").observe(result.wall_time_s)
         registry.flush()
     return results

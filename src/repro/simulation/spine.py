@@ -31,7 +31,7 @@ import numpy as np
 from ..core.allocation import AllocationSchedule, FeasibilityReport
 from ..core.costs import CostBreakdown
 from ..core.problem import ProblemInstance
-from ..telemetry import get_registry
+from ..telemetry import active_profile, get_registry, phase, trace_span
 from .accounting import AccumulatorState, CostAccumulator, SlotCosts
 from .hooks import SlotHook
 from .observations import (
@@ -151,8 +151,9 @@ class SlotStepper:
         if self._started:
             return
         self._started = True
-        for hook in self.hooks:
-            hook.on_run_start(self.system, self.controller)
+        with phase("spine.start"):
+            for hook in self.hooks:
+                hook.on_run_start(self.system, self.controller)
 
     def step(self, observation: SlotObservation) -> tuple[np.ndarray, SlotCosts]:
         """Process one slot: decide, account, observe, track residuals."""
@@ -161,10 +162,16 @@ class SlotStepper:
         observing = telemetry.enabled
         for hook in self.hooks:
             hook.on_slot_start(observation)
+        # Per-slot phase attribution: snapshot the active profile's totals
+        # for this thread before the solve, diff after — the window covers
+        # exactly what slot.wall_ms covers, so the two reconcile.
+        profile = active_profile() if observing else None
+        mark = profile.marker() if profile is not None else None
         if observing:
             slot_start = time.perf_counter()
         x_t = np.asarray(self.controller.observe(observation), dtype=float)
-        costs = self.accumulator.update(observation, x_t)
+        with phase("spine.account"):
+            costs = self.accumulator.update(observation, x_t)
         if observing:
             slot_ms = (time.perf_counter() - slot_start) * 1000.0
             telemetry.histogram("slot.wall_ms").observe(slot_ms)
@@ -178,6 +185,23 @@ class SlotStepper:
                 mg=costs.migration,
                 total=costs.total,
             )
+            if profile is not None:
+                phases = profile.since(mark)
+                attributed = sum(phases.values())
+                # The remainder keeps per-slot phase sums equal to the
+                # slot wall by construction — honest "none of the named
+                # phases" time instead of silently missing milliseconds.
+                phases["spine.unattributed"] = max(0.0, slot_ms - attributed)
+                telemetry.event(
+                    "prof.phases",
+                    slot=observation.slot,
+                    wall_ms=slot_ms,
+                    phases=phases,
+                )
+                for name in sorted(phases):
+                    telemetry.histogram("prof.phase_ms." + name).observe(
+                        phases[name]
+                    )
             # A streaming sink flushes every N events; this per-slot
             # nudge makes its *time* policy effective too, so a
             # watcher's staleness is bounded by the flush interval
@@ -208,13 +232,14 @@ class SlotStepper:
 
     def checkpoint(self) -> SimulationCheckpoint:
         """State snapshot sufficient to resume after the last slot."""
-        get_state = getattr(self.controller, "get_state", None)
-        return SimulationCheckpoint(
-            next_slot=self.accumulator.num_slots,
-            controller_state=get_state() if get_state is not None else None,
-            accumulator_state=self.accumulator.get_state(),
-            residuals=self.residuals,
-        )
+        with phase("spine.checkpoint"):
+            get_state = getattr(self.controller, "get_state", None)
+            return SimulationCheckpoint(
+                next_slot=self.accumulator.num_slots,
+                controller_state=get_state() if get_state is not None else None,
+                accumulator_state=self.accumulator.get_state(),
+                residuals=self.residuals,
+            )
 
     def feasibility(self) -> FeasibilityReport:
         """Worst constraint violations seen so far (clipped at zero)."""
@@ -308,9 +333,10 @@ def simulate(
         resume_from=resume_from,
     )
     stepper.start()
-    telemetry = get_registry()
     start = time.perf_counter()
-    with telemetry.span("simulate", controller=getattr(controller, "name", "?")):
+    # trace_span == registry.span when no trace context is active (the
+    # default); under --trace-context it links this run into the trace.
+    with trace_span("simulate", controller=getattr(controller, "name", "?")):
         stream = iter(observations)
         while max_slots is None or stepper.processed < max_slots:
             observation = next(stream, None)

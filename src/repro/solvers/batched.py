@@ -51,7 +51,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from ..telemetry import get_registry
+from ..telemetry import TraceContext, current_trace, get_registry
 from .base import ConvexProgram, SolverError, SolverResult
 from .interior_point import (
     _ARMIJO_C,
@@ -180,11 +180,12 @@ class _Lane:
         "warm",
         "budget",
         "trace",
+        "trace_ctx",
         "outcome",
         "final",
     )
 
-    def __init__(self, index, program, sub, tol, registry):
+    def __init__(self, index, program, sub, tol, registry, trace_ctx=None):
         self.index = index
         self.program = program
         self.sub = sub
@@ -193,6 +194,10 @@ class _Lane:
         self.warm = False
         self.budget = program.budget
         self.trace: list[dict] | None = [] if registry.enabled else None
+        # The distributed-trace context of the *submitting* cell (captured
+        # at submit time), not of whichever thread runs the flush — so the
+        # lane's deferred telemetry stays attributed to its originator.
+        self.trace_ctx: TraceContext | None = trace_ctx
         self.outcome: SolverResult | Exception | None = None
         # Telemetry for the finished solve, emitted by solve_batch() in
         # *input* order once every group is done — lanes retire in
@@ -215,6 +220,12 @@ class _Lane:
         if final["partial"]:
             telemetry.counter("solver.ipm.budget_exhausted").inc()
         if self.trace is not None:
+            linkage = {}
+            if self.trace_ctx is not None:
+                linkage = {
+                    "trace_id": self.trace_ctx.trace_id,
+                    "parent_span_id": self.trace_ctx.span_id,
+                }
             telemetry.event(
                 "solver.ipm.trace",
                 backend=final["backend"],
@@ -223,6 +234,7 @@ class _Lane:
                 mu_final=final["mu"],
                 gap_target=final["gap_target"],
                 trace=self.trace,
+                **linkage,
             )
 
 
@@ -708,6 +720,7 @@ def solve_batch(
     *,
     tol: float | Sequence[float] = 1e-8,
     registries: Sequence | None = None,
+    traces: "Sequence[TraceContext | None] | None" = None,
     max_newton_per_mu: int = 80,
     max_outer: int = 60,
 ) -> list[SolverResult | Exception]:
@@ -725,6 +738,10 @@ def solve_batch(
             sweep runner passes each requesting cell's registry so solver
             counters aggregate exactly as on the sequential path); defaults
             to the active registry.
+        traces: optional per-program distributed-trace contexts (the
+            coordinator passes each submitter's context so deferred
+            telemetry stays attributed); defaults to the caller's current
+            context for every program.
 
     Returns:
         One entry per program, in order: a :class:`SolverResult`, or the
@@ -742,6 +759,10 @@ def solve_batch(
         registries = [get_registry()] * len(programs)
     elif len(registries) != len(programs):
         raise ValueError("registries must be one per program")
+    if traces is None:
+        traces = [current_trace()] * len(programs)
+    elif len(traces) != len(programs):
+        raise ValueError("traces must be one per program")
 
     batch_registry = get_registry()
     lanes: list[_Lane] = []
@@ -750,14 +771,19 @@ def solve_batch(
         sub = program.structure
         lane_registry = registries[index]
         if sub is None or not hasattr(sub, "hessian_factors"):
-            lane = _Lane(index, program, None, tols[index], lane_registry)
+            lane = _Lane(
+                index, program, None, tols[index], lane_registry,
+                traces[index],
+            )
             lane.outcome = SolverError(
                 f"{BATCHED_BACKEND_NAME} requires a program with "
                 "RegularizedSubproblem structure"
             )
             lanes.append(lane)
             continue
-        lane = _Lane(index, program, sub, tols[index], lane_registry)
+        lane = _Lane(
+            index, program, sub, tols[index], lane_registry, traces[index]
+        )
         lanes.append(lane)
         groups.setdefault((sub.num_clouds, sub.num_users), []).append(lane)
 
@@ -795,6 +821,7 @@ class _PendingSolve:
     program: ConvexProgram
     tol: float
     registry: object
+    trace: TraceContext | None = None
     event: threading.Event = field(default_factory=threading.Event)
     outcome: SolverResult | Exception | None = None
 
@@ -824,7 +851,7 @@ class BatchCoordinator:
 
     def submit(self, program: ConvexProgram, *, tol: float) -> SolverResult:
         """Enqueue a solve, flush if this completes the rendezvous, block."""
-        entry = _PendingSolve(program, tol, get_registry())
+        entry = _PendingSolve(program, tol, get_registry(), current_trace())
         with self._lock:
             self._pending.append(entry)
             flush = self._flush_ready()
@@ -856,6 +883,7 @@ class BatchCoordinator:
             [entry.program for entry in batch],
             tol=[entry.tol for entry in batch],
             registries=[entry.registry for entry in batch],
+            traces=[entry.trace for entry in batch],
         )
         for entry, outcome in zip(batch, outcomes):
             entry.outcome = outcome

@@ -25,7 +25,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..telemetry import get_registry
+from ..telemetry import current_trace, get_registry, phase
 from .base import ConvexProgram, SolverError, SolverResult
 
 #: Fraction-to-boundary rule: never step further than this share of the
@@ -259,6 +259,16 @@ class _BarrierSolve:
             # never in constraints (Theorem 1 survives the cutoff).
             telemetry.counter("solver.ipm.budget_exhausted").inc()
         if trace is not None:
+            # When a distributed-trace context is active, link the event to
+            # its originating span — the same linkage the batched lanes
+            # emit, so sequential and batched traces attribute identically.
+            linkage = {}
+            ctx = current_trace()
+            if ctx is not None:
+                linkage = {
+                    "trace_id": ctx.trace_id,
+                    "parent_span_id": ctx.span_id,
+                }
             telemetry.event(
                 "solver.ipm.trace",
                 backend=self.config.name,
@@ -267,6 +277,7 @@ class _BarrierSolve:
                 mu_final=mu,
                 gap_target=gap_target,
                 trace=trace,
+                **linkage,
             )
 
         demand, capacity = self.slacks(x)
@@ -291,29 +302,42 @@ class _BarrierSolve:
         )
 
     def _newton_loop(self, x: np.ndarray, mu: float) -> np.ndarray:
-        """Minimize the barrier objective for a fixed mu."""
+        """Minimize the barrier objective for a fixed mu.
+
+        The ``phase`` blocks are the profiling plane's phase timers
+        (docs/OBSERVABILITY.md §12): free no-op context managers unless a
+        profile is active, and purely observational either way — the
+        floating-point operation sequence is identical with profiling on
+        or off.
+        """
         for _ in range(self.config.max_newton_per_mu):
             if self._out_of_budget():
                 self.partial = True
                 break
-            grad = self.barrier_gradient(x, mu)
-            dx = self.newton_direction(x, grad, mu)
-            decrement = float(-(grad * dx).sum())
-            self.last_decrement = decrement
+            with phase("ipm.assemble"):
+                grad = self.barrier_gradient(x, mu)
+            with phase("ipm.factorize_smw"):
+                dx = self.newton_direction(x, grad, mu)
+            with phase("ipm.convergence_check"):
+                decrement = float(-(grad * dx).sum())
+                self.last_decrement = decrement
             if decrement <= 0:
                 break
             if decrement * 0.5 <= 1e-10 * max(1.0, mu):
                 break
-            alpha = min(1.0, self.max_step(x, dx))
-            value = self.barrier_value(x, mu)
-            directional = float((grad * dx).sum())
-            while alpha > 1e-14:
-                candidate = x + alpha * dx
-                new_value = self.barrier_value(candidate, mu)
-                if new_value <= value + _ARMIJO_C * alpha * directional:
-                    break
-                alpha *= _BACKTRACK
-            else:
+            with phase("ipm.line_search"):
+                alpha = min(1.0, self.max_step(x, dx))
+                value = self.barrier_value(x, mu)
+                directional = float((grad * dx).sum())
+                found = False
+                while alpha > 1e-14:
+                    candidate = x + alpha * dx
+                    new_value = self.barrier_value(candidate, mu)
+                    if new_value <= value + _ARMIJO_C * alpha * directional:
+                        found = True
+                        break
+                    alpha *= _BACKTRACK
+            if not found:
                 break
             x = x + alpha * dx
             self.iterations += 1

@@ -23,7 +23,13 @@ The pieces (docs/OBSERVABILITY.md):
   (solver stall, fallback storm, certificate gap, ratio over bound)
   evaluated over the live event stream, alerts emitted back into it;
 * the **watch view** (:mod:`repro.telemetry.watch`) — tail a streaming
-  manifest and render a refreshing dashboard (``repro-edge watch``).
+  manifest and render a refreshing dashboard (``repro-edge watch``);
+* **tracing** (:mod:`repro.telemetry.tracing`) — ``TraceContext``
+  propagation across process/thread/wire boundaries so merged span
+  forests render as one connected tree per run or request;
+* **profiling** (:mod:`repro.telemetry.profiling`) — deterministic phase
+  timers plus a ``sys._current_frames()`` sampling profiler, folded-stack
+  output exportable to speedscope/collapsed formats.
 
 Enabling telemetry never changes results: instrumented code only *reads*
 the quantities it reports, and the bit-identity is pinned by
@@ -57,12 +63,32 @@ from .metrics import (
     telemetry_session,
     thread_registry,
 )
+from .profiling import (
+    PhaseAccumulator,
+    ProfileHandle,
+    SamplingProfiler,
+    active_profile,
+    merge_folded,
+    phase,
+    profiling_session,
+    speedscope_document,
+    write_collapsed,
+    write_speedscope,
+)
 from .sinks import (
     EventSink,
     NullSink,
     RingSink,
     StreamingManifestWriter,
     streaming_manifest_session,
+)
+from .tracing import (
+    TraceContext,
+    current_trace,
+    new_trace,
+    trace_scope,
+    trace_span,
+    traced_root,
 )
 from .spans import render_spans, span_durations, walk_spans
 from .watch import ManifestTail, WatchState, watch
@@ -96,32 +122,48 @@ __all__ = [
     "MetricsRegistry",
     "NullRegistry",
     "NullSink",
+    "PhaseAccumulator",
+    "ProfileHandle",
     "RatioBoundRule",
     "RingSink",
     "RunRecord",
+    "SamplingProfiler",
     "SolverStallRule",
     "StreamingManifestWriter",
+    "TraceContext",
     "Watchdog",
     "WatchdogRule",
     "WatchdogSink",
     "WatchState",
+    "active_profile",
     "chrome_trace",
+    "current_trace",
     "default_rules",
     "get_registry",
+    "merge_folded",
+    "new_trace",
     "openmetrics",
+    "phase",
+    "profiling_session",
     "read_manifest",
     "render_spans",
     "set_registry",
     "sketch_upper_edge",
     "span",
     "span_durations",
+    "speedscope_document",
     "streaming_manifest_session",
     "telemetry_enabled",
     "telemetry_session",
     "thread_registry",
+    "trace_scope",
+    "trace_span",
+    "traced_root",
     "walk_spans",
     "watch",
     "write_chrome_trace",
+    "write_collapsed",
     "write_manifest",
     "write_openmetrics",
+    "write_speedscope",
 ]

@@ -55,7 +55,8 @@ def chrome_trace(spans, *, pid: int = 0) -> dict:
     Args:
         spans: root span nodes (``registry.spans`` or a manifest's
             ``spans`` record).
-        pid: the ``pid`` stamped on every event.
+        pid: the ``pid`` stamped on every event (nodes whose meta carries
+            an integer ``"pid"`` keep their own in linked mode).
 
     Returns:
         ``{"traceEvents": [...], "displayTimeUnit": "ms"}`` where each
@@ -64,7 +65,24 @@ def chrome_trace(spans, *, pid: int = 0) -> dict:
         starts at ``ts = 0``; children are laid out sequentially from
         their parent's start (real inter-child gaps are not recorded by
         the span tree, so self-time shows at the tail of each parent).
+
+    When any span's meta carries distributed-trace ids (``span_id`` /
+    ``parent_span_id`` from :mod:`repro.telemetry.tracing`), the export
+    switches to **linked mode**: merged forests are re-parented across
+    process boundaries. A root whose ``parent_span_id`` resolves to
+    another exported span is *adopted* — laid out starting at its
+    parent's start time, in its own ``tid`` lane of its own ``pid`` (meta
+    ``"pid"`` when present) — so one traced run renders as one connected
+    tree per ``trace_id``. Every event's ``args`` then carries a
+    resolvable ``span_id``/``parent_span_id`` pair (synthetic ids are
+    minted for untraced interior spans), and ``"ph": "M"`` metadata
+    events name every process and thread lane. Forests with no trace
+    meta export exactly as before — linked mode never changes untraced
+    output.
     """
+    spans = list(spans)
+    if _has_trace_meta(spans):
+        return _linked_trace(spans, default_pid=pid)
     events: list[dict] = []
     for tid, root in enumerate(spans):
         _layout(root, 0.0, tid, pid, events)
@@ -93,6 +111,148 @@ def _layout(
     for child in node.get("children", ()):
         _layout(child, cursor, tid, pid, out)
         cursor += float(child.get("duration_ms", 0.0)) * 1000.0
+
+
+def _iter_nodes(node: dict):
+    """Yield ``node`` and every descendant, depth first."""
+    yield node
+    for child in node.get("children", ()):
+        yield from _iter_nodes(child)
+
+
+def _has_trace_meta(spans) -> bool:
+    """Whether any span in the forest carries distributed-trace ids."""
+    for root in spans:
+        for node in _iter_nodes(root):
+            meta = node.get("meta")
+            if meta and ("span_id" in meta or "parent_span_id" in meta):
+                return True
+    return False
+
+
+def _linked_trace(spans, *, default_pid: int) -> dict:
+    """Linked-mode export: resolve cross-process parent links.
+
+    Three passes: (1) give every node a span id — its explicit meta
+    ``span_id`` when unique, else a synthetic ``autoN`` — and index the
+    forest by id; (2) partition roots into *primary* (no resolvable
+    ``parent_span_id``) and *adopted* (their parent is another exported
+    span — the cross-process link the in-memory tree could not record);
+    (3) lay out primary roots at ``ts = 0`` and adopted roots at their
+    parent's realized start, chasing chains of adoption to a fixpoint.
+    Unresolvable chains degrade to primary lanes rather than being
+    dropped.
+    """
+    ids: dict[int, str] = {}  # id(node) -> assigned span id
+    index: dict[str, dict] = {}  # span id -> node
+    counter = 0
+    for root in spans:
+        for node in _iter_nodes(root):
+            meta = node.get("meta") or {}
+            sid = meta.get("span_id")
+            if not isinstance(sid, str) or not sid or sid in index:
+                counter += 1
+                sid = f"auto{counter}"
+            ids[id(node)] = sid
+            index[sid] = node
+
+    adopted: dict[int, dict] = {}  # id(root) -> parent node
+    primary: list[dict] = []
+    for root in spans:
+        meta = root.get("meta") or {}
+        parent_sid = meta.get("parent_span_id")
+        parent = index.get(parent_sid) if isinstance(parent_sid, str) else None
+        if parent is not None and parent is not root:
+            adopted[id(root)] = parent
+        else:
+            primary.append(root)
+
+    events: list[dict] = []
+    lanes: dict[int, int] = {}  # pid -> number of tid lanes allocated
+    lane_names: dict[tuple[int, int], str] = {}
+    starts: dict[int, float] = {}  # id(node) -> layout start (us)
+
+    def node_pid(node: dict) -> int:
+        value = (node.get("meta") or {}).get("pid")
+        if isinstance(value, int) and not isinstance(value, bool):
+            return value
+        return default_pid
+
+    def lay(node, start_us, tid, pid, tree_parent_sid) -> None:
+        starts[id(node)] = start_us
+        duration_us = float(node.get("duration_ms", 0.0)) * 1000.0
+        meta = node.get("meta") or {}
+        sid = ids[id(node)]
+        parent_sid = meta.get("parent_span_id")
+        if not isinstance(parent_sid, str) or not parent_sid:
+            parent_sid = tree_parent_sid
+        args = {str(key): value for key, value in meta.items()}
+        args["span_id"] = sid
+        if parent_sid is not None:
+            args["parent_span_id"] = parent_sid
+        events.append(
+            {
+                "name": str(node.get("name", "?")),
+                "cat": "repro",
+                "ph": "X",
+                "ts": round(start_us, 3),
+                "dur": round(duration_us, 3),
+                "pid": pid,
+                "tid": tid,
+                "args": args,
+            }
+        )
+        cursor = start_us
+        for child in node.get("children", ()):
+            lay(child, cursor, tid, pid, sid)
+            cursor += float(child.get("duration_ms", 0.0)) * 1000.0
+
+    def lay_root(root, start_us) -> None:
+        pid = node_pid(root)
+        tid = lanes.get(pid, 0)
+        lanes[pid] = tid + 1
+        lane_names[(pid, tid)] = str(root.get("name", "?"))
+        lay(root, start_us, tid, pid, None)
+
+    for root in primary:
+        lay_root(root, 0.0)
+    pending = [root for root in spans if id(root) in adopted]
+    while pending:
+        placed: set[int] = set()
+        for root in pending:
+            parent = adopted[id(root)]
+            if id(parent) in starts:
+                lay_root(root, starts[id(parent)])
+                placed.add(id(root))
+        if not placed:
+            for root in pending:  # circular or half-merged chain
+                lay_root(root, 0.0)
+            break
+        pending = [root for root in pending if id(root) not in placed]
+
+    meta_events: list[dict] = []
+    for pid in sorted(lanes):
+        label = "repro" if pid == default_pid else f"worker {pid}"
+        meta_events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": label},
+            }
+        )
+        for tid in range(lanes[pid]):
+            meta_events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"name": lane_names[(pid, tid)]},
+                }
+            )
+    return {"traceEvents": meta_events + events, "displayTimeUnit": "ms"}
 
 
 def write_chrome_trace(path: str | Path, spans, *, pid: int = 0) -> Path:

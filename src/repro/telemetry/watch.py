@@ -125,6 +125,10 @@ class WatchState:
         self.agg_reduction: float | None = None
         self.agg_bound: float | None = None
         self.agg_error_worst: float | None = None
+        self.service_slots = 0
+        self.service_misses = 0
+        self.service_latency = Histogram("service.slot_latency_ms")
+        self.phase_latency: dict[str, Histogram] = {}
         self.watchdog = Watchdog(rules)
         self.alerts: list[Alert] = []
         self._alert_keys: set[tuple] = set()
@@ -173,6 +177,19 @@ class WatchState:
                 error = float(error)
                 if self.agg_error_worst is None or error > self.agg_error_worst:
                     self.agg_error_worst = error
+        elif kind == "service.slot":
+            self.service_slots += 1
+            self.service_latency.observe(float(record.get("latency_ms", 0.0)))
+            if record.get("deadline_miss"):
+                self.service_misses += 1
+        elif kind == "prof.phases":
+            for name, ms in (record.get("phases") or {}).items():
+                histogram = self.phase_latency.get(str(name))
+                if histogram is None:
+                    histogram = self.phase_latency[str(name)] = Histogram(
+                        f"prof.phase_ms.{name}"
+                    )
+                histogram.observe(float(ms))
         elif kind == "diag.ratio.point":
             self.ratio = float(record.get("ratio", 0.0))
             self.ratio_bound = float(record.get("bound", 0.0))
@@ -305,6 +322,24 @@ class WatchState:
                 f"({self.agg_reduction:.1f}x reduction), "
                 f"error bound {self.agg_bound:.3f}{error}"
             )
+        if self.service_slots:
+            lines.append(
+                "  svc    : "
+                f"{self.service_slots} request(s)  "
+                f"p50 {self.service_latency.percentile(0.50):.2f} ms  "
+                f"p95 {self.service_latency.percentile(0.95):.2f} ms  "
+                f"{self.service_misses} deadline miss(es)"
+            )
+        if self.phase_latency:
+            ranked = sorted(
+                self.phase_latency.items(),
+                key=lambda kv: (-kv[1].percentile(0.95), kv[0]),
+            )
+            shown = "  ".join(
+                f"{name} p95 {histogram.percentile(0.95):.2f} ms"
+                for name, histogram in ranked[:3]
+            )
+            lines.append(f"  phases : {shown}")
         if self.alerts:
             lines.append(f"  alerts : {len(self.alerts)}")
             for alert in self.alerts[:MAX_LISTED]:

@@ -172,3 +172,103 @@ class TestDoctorDirectory:
         assert "Slowest slots" in out
         # The report names the file it picked inside the directory.
         assert manifest_file.name in out
+
+
+class TestObservabilitySections:
+    """The Service / Parallel / Where-the-time-went doctor sections."""
+
+    def _record(self, **kwargs):
+        from repro.telemetry import RunRecord
+
+        return RunRecord(**kwargs)
+
+    def test_new_sections_render_their_fallbacks(self, manifest_file):
+        report = doctor_report(manifest_file)
+        assert "Service" in report
+        assert "no service activity recorded" in report
+        assert "Where the time went" in report
+        assert "no profile recorded (run with --profile)" in report
+
+    def test_service_section_summarizes_requests_and_misses(self):
+        record = self._record(
+            counters={
+                "service.slots": 8,
+                "service.protocol.rejected": 2,
+                "service.updates.superseded": 1,
+                "service.deadline.misses": 3,
+                "service.deadline.partial_solves": 1,
+            },
+            events=[
+                {
+                    "type": "service.deadline.miss",
+                    "slot": 4,
+                    "latency_ms": 512.5,
+                    "deadline_ms": 250.0,
+                    "partial": True,
+                }
+            ],
+        )
+        report = doctor_report(record)
+        assert "8 request(s) served, 2 rejected, 1 superseded" in report
+        assert "deadline misses: 3 (1 budget-truncated solves)" in report
+        assert "miss at slot    4" in report and "partial solve" in report
+
+    def test_parallel_fallback_regression_surfaces_in_doctor(self):
+        """Regression pin: an inline fallback must never be silent."""
+        record = self._record(
+            counters={"sweep.cells": 6, "parallel.fallback.inline": 2},
+            gauges={"sweep.workers": 4},
+            events=[
+                {
+                    "type": "parallel.fallback.inline",
+                    "error": "PicklingError: boom",
+                    "cells": 6,
+                    "workers": 4,
+                }
+            ],
+        )
+        report = doctor_report(record)
+        assert "6 cell(s) dispatched over 4 worker(s)" in report
+        assert "WARNING: 2 fan-out(s) degraded to inline execution" in report
+        assert "PicklingError: boom" in report
+
+    def test_parallel_clean_run_reports_no_fallbacks(self):
+        record = self._record(
+            counters={"sweep.cells": 4}, gauges={"sweep.workers": 2}
+        )
+        report = doctor_report(record)
+        assert "no inline fallbacks - the pool ran as requested" in report
+
+    def test_where_the_time_went_ranks_phases(self):
+        record = self._record(
+            events=[
+                {
+                    "type": "prof.phases",
+                    "slot": 0,
+                    "wall_ms": 10.0,
+                    "phases": {"ipm.line_search": 6.0, "ipm.assemble": 4.0},
+                },
+                {
+                    "type": "prof.phases",
+                    "slot": 1,
+                    "wall_ms": 4.0,
+                    "phases": {"ipm.line_search": 3.0, "ipm.assemble": 1.0},
+                },
+            ]
+        )
+        report = doctor_report(record)
+        lines = report.splitlines()
+        ranked = [
+            line for line in lines if "ipm." in line and "%" in line
+        ]
+        assert len(ranked) == 2
+        assert "ipm.line_search" in ranked[0]  # biggest share first
+        assert "slowest slot    0" in report and "mostly ipm.line_search" in report
+
+    def test_profiled_cli_run_ranks_phases_end_to_end(self, tmp_path):
+        path = tmp_path / "profiled.jsonl"
+        assert main(["fig2", *TINY, "--telemetry", str(path), "--profile"]) == 0
+        report = doctor_report(path)
+        assert "Where the time went" in report
+        assert "profiled slot(s)" in report
+        assert "ipm." in report

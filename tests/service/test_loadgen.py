@@ -107,3 +107,51 @@ class TestTraceReplay:
             ReplayMobility(trace).generate(9, 4, rng)
         with pytest.raises(ValueError, match="replay trace has"):
             ReplayMobility(trace).generate(4, 9, rng)
+
+
+class TestTracedReplay:
+    def test_every_served_slot_joins_the_replay_trace(self, tiny_stream):
+        # The acceptance pin for serving-side tracing: a replay run under
+        # an active trace root sends a child context with every update
+        # over the real socket, and every server-side solve records the
+        # replay's trace_id — one trace covers the whole loadgen run.
+        from repro.telemetry import (
+            MetricsRegistry,
+            current_trace,
+            telemetry_session,
+            traced_root,
+        )
+
+        system, observations = tiny_stream
+        registry = MetricsRegistry()
+        with telemetry_session(registry):
+            with traced_root("serve", command="loadgen"):
+                root = current_trace()
+                report = run_loadgen(
+                    system,
+                    observations[:3],
+                    ServiceConfig(),
+                    speed=0,
+                    batch_reference=False,
+                )
+        assert report.slots == 3
+        events = [e for e in registry.events if e.get("type") == "service.slot"]
+        assert len(events) == 3
+        assert {e["trace_id"] for e in events} == {root.trace_id}
+
+    def test_untraced_replay_records_no_trace_ids(self, tiny_stream):
+        from repro.telemetry import MetricsRegistry, telemetry_session
+
+        system, observations = tiny_stream
+        registry = MetricsRegistry()
+        with telemetry_session(registry):
+            run_loadgen(
+                system,
+                observations[:2],
+                ServiceConfig(),
+                speed=0,
+                batch_reference=False,
+            )
+        events = [e for e in registry.events if e.get("type") == "service.slot"]
+        assert len(events) == 2
+        assert all("trace_id" not in e for e in events)

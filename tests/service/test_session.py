@@ -180,3 +180,47 @@ class TestPercentile:
         assert percentile(values, 0.95) == 40.0
         assert percentile([5.0], 0.99) == 5.0
         assert percentile([], 0.50) == 0.0
+
+
+class TestTracing:
+    """The serving wire joins the caller's trace: an update's ``trace``
+    field scopes the solve and the ``slot_result`` echoes its trace_id."""
+
+    def test_traced_update_reply_echoes_the_trace_id(self, tiny_stream):
+        from repro.telemetry import new_trace
+
+        system, observations = tiny_stream
+        session = AllocationSession(system, ServiceConfig())
+        ctx = new_trace().child()
+        reply = session.handle(observation_to_update(observations[0], trace=ctx))
+        assert reply["type"] == "slot_result"
+        assert reply["trace_id"] == ctx.trace_id
+
+    def test_untraced_reply_has_no_trace_id_key(self, tiny_stream):
+        system, observations = tiny_stream
+        session = AllocationSession(system, ServiceConfig())
+        reply = session.handle(observation_to_update(observations[0]))
+        assert "trace_id" not in reply
+
+    def test_malformed_trace_field_is_ignored_not_fatal(self, tiny_stream):
+        system, observations = tiny_stream
+        session = AllocationSession(system, ServiceConfig())
+        update = observation_to_update(observations[0])
+        update["trace"] = {"trace_id": 42}  # junk from a buggy client
+        reply = session.handle(update)
+        assert reply["type"] == "slot_result"
+        assert "trace_id" not in reply
+
+    def test_traced_solve_records_span_and_event(self, tiny_stream):
+        from repro.telemetry import MetricsRegistry, new_trace, telemetry_session
+
+        system, observations = tiny_stream
+        registry = MetricsRegistry()
+        ctx = new_trace().child()
+        with telemetry_session(registry):
+            session = AllocationSession(system, ServiceConfig())
+            session.handle(observation_to_update(observations[0], trace=ctx))
+        spans = [s for s in registry.spans if s["name"] == "service.slot"]
+        assert spans and spans[0]["meta"]["trace_id"] == ctx.trace_id
+        events = [e for e in registry.events if e.get("type") == "service.slot"]
+        assert events and events[0]["trace_id"] == ctx.trace_id

@@ -87,6 +87,124 @@ class TestChromeTrace:
         assert events[1]["dur"] <= events[0]["dur"]
 
 
+def _linked_forest() -> list[dict]:
+    """A merged multi-worker + batched-lane forest, as merge_snapshot
+    leaves it: cell roots at TOP level (not under the dispatch span),
+    connected only by explicit trace meta — worker cells with their own
+    pids, plus a lane root parented to a cell span."""
+    return [
+        {
+            "name": "run",
+            "duration_ms": 20.0,
+            "meta": {"trace_id": "t1", "span_id": "root"},
+            "children": [
+                {
+                    "name": "sweep.map",
+                    "duration_ms": 18.0,
+                    "meta": {
+                        "trace_id": "t1",
+                        "span_id": "disp",
+                        "parent_span_id": "root",
+                    },
+                    "children": [],
+                }
+            ],
+        },
+        {
+            "name": "cell",
+            "duration_ms": 9.0,
+            "meta": {
+                "cell": "c0",
+                "pid": 4001,
+                "trace_id": "t1",
+                "span_id": "cell0",
+                "parent_span_id": "disp",
+            },
+            "children": [{"name": "solve", "duration_ms": 7.0, "children": []}],
+        },
+        {
+            "name": "cell",
+            "duration_ms": 8.0,
+            "meta": {
+                "cell": "c1",
+                "pid": 4002,
+                "trace_id": "t1",
+                "span_id": "cell1",
+                "parent_span_id": "disp",
+            },
+            "children": [],
+        },
+        {
+            "name": "lane",
+            "duration_ms": 3.0,
+            "meta": {
+                "trace_id": "t1",
+                "span_id": "lane0",
+                "parent_span_id": "cell0",
+            },
+            "children": [],
+        },
+    ]
+
+
+class TestLinkedChromeTrace:
+    """Cross-process parent resolution for traced (merged) forests."""
+
+    def test_every_span_has_a_resolvable_parent(self):
+        doc = chrome_trace(_linked_forest())
+        events = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        ids = {e["args"]["span_id"] for e in events}
+        roots = [e for e in events if "parent_span_id" not in e["args"]]
+        assert [e["name"] for e in roots] == ["run"]
+        for event in events:
+            if event is not roots[0]:
+                assert event["args"]["parent_span_id"] in ids, event["name"]
+
+    def test_untraced_interior_spans_get_synthetic_resolvable_ids(self):
+        doc = chrome_trace(_linked_forest())
+        events = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        solve = next(e for e in events if e["name"] == "solve")
+        cell0 = next(e for e in events if e["args"].get("span_id") == "cell0")
+        assert solve["args"]["parent_span_id"] == "cell0"
+        assert solve["args"]["span_id"].startswith("auto")
+        assert solve["pid"] == cell0["pid"] == 4001
+
+    def test_adopted_roots_start_at_their_parents_start(self):
+        doc = chrome_trace(_linked_forest())
+        events = {
+            e["args"]["span_id"]: e
+            for e in doc["traceEvents"]
+            if e["ph"] == "X" and "span_id" in e.get("args", {})
+        }
+        disp = events["disp"]
+        assert events["cell0"]["ts"] == disp["ts"]
+        assert events["cell1"]["ts"] == disp["ts"]
+        # Chained adoption: the lane adopts under cell0's realized start.
+        assert events["lane0"]["ts"] == events["cell0"]["ts"]
+
+    def test_no_orphan_pids_or_tids(self):
+        doc = chrome_trace(_linked_forest(), pid=7)
+        named_processes = {
+            e["pid"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        named_threads = {
+            (e["pid"], e["tid"])
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        used = {(e["pid"], e["tid"]) for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert {pid for pid, _ in used} <= named_processes
+        assert used <= named_threads
+        # Worker cells keep their own pids; untraced pid falls back to 7.
+        assert {7, 4001, 4002} <= named_processes
+
+    def test_linked_output_round_trips_through_json(self, tmp_path):
+        path = write_chrome_trace(tmp_path / "linked.json", _linked_forest())
+        assert json.loads(path.read_text()) == chrome_trace(_linked_forest())
+
+
 def _parse_openmetrics(text: str) -> dict:
     """Mini-parser: families with types, samples, and bucket lists."""
     assert text.endswith("# EOF\n")

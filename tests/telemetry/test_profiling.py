@@ -1,0 +1,197 @@
+"""Profiling plane: phase timers, the sampling profiler, and exports.
+
+The two load-bearing contracts mirror the telemetry spine's: profiling
+OFF is a true no-op (``phase()`` hands back a shared no-op timer, no
+``prof.*`` events anywhere), and profiling ON observes only — the same
+seeded simulation produces bit-identical costs, with every slot's
+per-phase attribution summing to its wall time by construction.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+from repro.core.regularization import OnlineRegularizedAllocator
+from repro.simulation.observations import (
+    SystemDescription,
+    observations_from_instance,
+)
+from repro.simulation.scenario import Scenario
+from repro.simulation.spine import simulate
+from repro.telemetry import (
+    MetricsRegistry,
+    PhaseAccumulator,
+    SamplingProfiler,
+    active_profile,
+    merge_folded,
+    phase,
+    profiling_session,
+    speedscope_document,
+    telemetry_session,
+    write_collapsed,
+    write_speedscope,
+)
+from repro.telemetry.profiling import _NOOP_TIMER
+
+
+class TestPhaseTimers:
+    def test_off_by_default_hands_back_the_shared_noop(self):
+        assert active_profile() is None
+        assert phase("ipm.assemble") is _NOOP_TIMER
+
+    def test_accumulator_add_and_folded(self):
+        acc = PhaseAccumulator()
+        acc.add("a", 2.0)
+        acc.add("a", 3.0)
+        acc.add("b", 1.0)
+        assert acc.folded() == {"a": 5.0, "b": 1.0}
+
+    def test_marker_since_windows_a_delta(self):
+        acc = PhaseAccumulator()
+        acc.add("a", 2.0)
+        mark = acc.marker()
+        acc.add("a", 4.0)
+        acc.add("b", 1.0)
+        assert acc.since(mark) == {"a": 4.0, "b": 1.0}
+
+    def test_threads_do_not_pollute_each_others_windows(self):
+        acc = PhaseAccumulator()
+        ready = threading.Event()
+        release = threading.Event()
+
+        def other():
+            acc.add("a", 100.0)
+            ready.set()
+            release.wait(5.0)
+            acc.add("a", 100.0)
+
+        thread = threading.Thread(target=other)
+        thread.start()
+        ready.wait(5.0)
+        mark = acc.marker()
+        acc.add("a", 1.0)
+        release.set()
+        thread.join(5.0)
+        # This thread's window sees only its own 1.0 ms...
+        assert acc.since(mark) == {"a": 1.0}
+        # ...while the folded profile merges every thread by addition.
+        assert acc.folded() == {"a": 201.0}
+
+    def test_session_times_phases_and_emits_profile_events(self):
+        registry = MetricsRegistry()
+        with telemetry_session(registry):
+            with profiling_session(hz=0.0) as handle:
+                assert active_profile() is not None
+                with phase("work.sleep"):
+                    time.sleep(0.002)
+        assert active_profile() is None
+        assert handle.phase_folded["work.sleep"] >= 1.0  # ms
+        sources = [
+            e["source"] for e in registry.events if e["type"] == "prof.profile"
+        ]
+        assert "phases" in sources
+
+    def test_merge_folded_is_associative_addition(self):
+        a = {"x;y": 2.0, "z": 1.0}
+        b = {"x;y": 3.0}
+        assert merge_folded(a, b) == {"x;y": 5.0, "z": 1.0}
+        assert merge_folded(merge_folded(a, b), {}) == merge_folded(a, b)
+
+
+class TestSamplingProfiler:
+    def test_sample_once_folds_other_threads_stacks(self):
+        marker = threading.Event()
+        stop = threading.Event()
+
+        def parked():
+            marker.set()
+            stop.wait(10.0)
+
+        thread = threading.Thread(target=parked, name="parked")
+        thread.start()
+        marker.wait(5.0)
+        profiler = SamplingProfiler(hz=1.0)
+        profiler.sample_once()
+        stop.set()
+        thread.join(5.0)
+        folded = profiler.stop()
+        assert folded, "no stacks sampled"
+        assert any("parked" in stack for stack in folded)
+        # Stacks fold outermost-first, frames joined by ';'.
+        assert all(isinstance(count, int) and count > 0 for count in folded.values())
+
+
+class TestExports:
+    FOLDED = {"main;solve": 3.0, "main;solve;factorize": 2.0, "main": 1.0}
+
+    def test_speedscope_document_schema(self):
+        doc = speedscope_document(
+            [{"name": "phases", "unit": "ms", "folded": self.FOLDED}]
+        )
+        assert doc["$schema"] == "https://www.speedscope.app/file-format-schema.json"
+        frames = [f["name"] for f in doc["shared"]["frames"]]
+        assert set(frames) == {"main", "solve", "factorize"}
+        profile = doc["profiles"][0]
+        assert profile["unit"] == "milliseconds"
+        # Weights are carried per sampled stack; they sum to the fold total.
+        assert sum(profile["weights"]) == sum(self.FOLDED.values())
+        assert len(profile["samples"]) == len(profile["weights"])
+        json.loads(json.dumps(doc))
+
+    def test_write_speedscope_and_collapsed(self, tmp_path):
+        out = write_speedscope(
+            tmp_path / "p.json",
+            [{"name": "phases", "unit": "ms", "folded": self.FOLDED}],
+        )
+        assert json.loads(out.read_text())["profiles"]
+        collapsed = write_collapsed(tmp_path / "p.folded", self.FOLDED)
+        lines = collapsed.read_text().splitlines()
+        assert "main;solve 3" in lines
+        assert len(lines) == len(self.FOLDED)
+
+
+class TestObserveOnly:
+    def _run(self, *, profiled: bool):
+        instance = Scenario(num_users=4, num_slots=3).build(seed=11)
+        system = SystemDescription.from_instance(instance)
+        observations = observations_from_instance(instance)
+        registry = MetricsRegistry()
+        with telemetry_session(registry):
+            controller = OnlineRegularizedAllocator().as_controller(system)
+            if profiled:
+                with profiling_session(hz=0.0):
+                    result = simulate(controller, observations, system)
+            else:
+                result = simulate(controller, observations, system)
+        return result, registry
+
+    def test_costs_bit_identical_with_and_without_profiling(self):
+        bare, bare_registry = self._run(profiled=False)
+        profiled, prof_registry = self._run(profiled=True)
+        assert profiled.total_cost == bare.total_cost  # exact, not approx
+        assert profiled.breakdown.totals() == bare.breakdown.totals()
+        # Profiling off leaves the manifest clean of prof.* events.
+        assert not [
+            e
+            for e in bare_registry.events
+            if str(e.get("type", "")).startswith("prof.")
+        ]
+
+    def test_per_slot_phase_sums_match_slot_wall(self):
+        _, registry = self._run(profiled=True)
+        slots = [e for e in registry.events if e.get("type") == "prof.phases"]
+        assert slots, "profiled run emitted no prof.phases events"
+        for event in slots:
+            attributed = sum(event["phases"].values())
+            assert attributed <= event["wall_ms"] * 1.05 + 1e-6
+            assert attributed >= event["wall_ms"] * 0.95 - 1e-6
+        names = set().union(*(e["phases"] for e in slots))
+        assert "spine.unattributed" in names
+        assert any(name.startswith("ipm.") for name in names)
+        # The per-phase histograms feed /metrics and the live watch.
+        assert any(
+            name.startswith("prof.phase_ms.")
+            for name in registry.snapshot()["histograms"]
+        )

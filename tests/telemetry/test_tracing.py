@@ -1,0 +1,174 @@
+"""Distributed tracing: context propagation and connected span trees.
+
+The acceptance pin for the tracing plane: a multi-worker sweep (plain
+and batched) exported through ``chrome_trace`` yields ONE connected
+tree — a single root, every other span's ``parent_span_id`` resolving
+to an exported span — because the dispatch site mints child contexts
+that ride the work items and are stamped onto the merged cell roots.
+The off path is equally load-bearing: ``trace_span`` with no active
+context must be indistinguishable from ``registry.span``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.baselines import OfflineOptimal, OnlineGreedy
+from repro.core.regularization import OnlineRegularizedAllocator
+from repro.parallel import SweepCell, SweepExecutor
+from repro.simulation.batched import run_cells_batched
+from repro.simulation.scenario import Scenario
+from repro.telemetry import (
+    MetricsRegistry,
+    TraceContext,
+    chrome_trace,
+    current_trace,
+    new_trace,
+    telemetry_session,
+    trace_scope,
+    trace_span,
+    traced_root,
+)
+
+
+def _cells(seeds, *, with_ipm=False):
+    scenario = Scenario(num_users=3, num_slots=2)
+    algorithms = (OfflineOptimal(), OnlineGreedy())
+    if with_ipm:
+        algorithms = algorithms + (OnlineRegularizedAllocator(),)
+    return [
+        SweepCell(key=("cell", k), scenario=scenario, algorithms=algorithms, seed=s)
+        for k, s in enumerate(seeds)
+    ]
+
+
+def _connectivity(registry):
+    """(roots, orphans) of the exported linked trace."""
+    doc = chrome_trace(registry.spans)
+    events = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    ids = {e["args"]["span_id"] for e in events}
+    roots = [e for e in events if "parent_span_id" not in e["args"]]
+    orphans = [
+        e
+        for e in events
+        if "parent_span_id" in e["args"] and e["args"]["parent_span_id"] not in ids
+    ]
+    return doc, events, roots, orphans
+
+
+class TestTraceContext:
+    def test_child_links_to_parent(self):
+        root = new_trace()
+        child = root.child()
+        assert child.trace_id == root.trace_id
+        assert child.parent_span_id == root.span_id
+        assert child.span_id != root.span_id
+
+    def test_as_meta_omits_missing_parent(self):
+        root = new_trace()
+        assert "parent_span_id" not in root.as_meta()
+        assert "parent_span_id" in root.child().as_meta()
+
+    def test_wire_round_trip(self):
+        ctx = new_trace().child()
+        again = TraceContext.from_wire(ctx.to_wire())
+        assert again == ctx
+
+    @pytest.mark.parametrize(
+        "payload", [None, 42, "nope", {}, {"trace_id": 7}, {"trace_id": "a"}]
+    )
+    def test_malformed_wire_payloads_become_none(self, payload):
+        assert TraceContext.from_wire(payload) is None
+
+    def test_scope_activates_and_restores(self):
+        assert current_trace() is None
+        ctx = new_trace()
+        with trace_scope(ctx):
+            assert current_trace() is ctx
+            inner = ctx.child()
+            with trace_scope(inner):
+                assert current_trace() is inner
+            assert current_trace() is ctx
+        assert current_trace() is None
+
+
+class TestTraceSpan:
+    def test_without_context_is_plain_registry_span(self):
+        plain = MetricsRegistry()
+        with telemetry_session(plain):
+            with plain.span("work", detail=1):
+                pass
+        traced = MetricsRegistry()
+        with telemetry_session(traced):
+            with trace_span("work", detail=1):
+                pass
+        def strip(nodes):  # durations are wall-clock noise
+            return [
+                {k: v for k, v in node.items() if k != "duration_ms"}
+                for node in nodes
+            ]
+
+        assert strip(traced.spans) == strip(plain.spans)
+
+    def test_with_context_stamps_ids_and_forks_child(self):
+        registry = MetricsRegistry()
+        with telemetry_session(registry):
+            with traced_root("run"):
+                root_ctx = current_trace()
+                with trace_span("inner"):
+                    assert current_trace().parent_span_id == root_ctx.span_id
+        root = registry.spans[0]
+        inner = root["children"][0]
+        assert root["meta"]["span_id"] == root_ctx.span_id
+        assert inner["meta"]["parent_span_id"] == root_ctx.span_id
+        assert inner["meta"]["trace_id"] == root_ctx.trace_id
+
+
+class TestConnectedSweepTrace:
+    def test_multiworker_sweep_is_one_connected_tree(self):
+        registry = MetricsRegistry()
+        with telemetry_session(registry):
+            with traced_root("run", command="sweep"):
+                SweepExecutor(max_workers=2).run_cells(_cells([3, 5, 7]))
+        doc, events, roots, orphans = _connectivity(registry)
+        assert len(roots) == 1 and roots[0]["name"] == "run"
+        assert orphans == []
+        # Every merged cell root was adopted under the dispatch span.
+        cell_roots = [e for e in events if e["name"] == "cell"]
+        assert len(cell_roots) == 3
+        dispatch = next(e for e in events if e["name"] == "sweep.map")
+        assert {e["args"]["parent_span_id"] for e in cell_roots} == {
+            dispatch["args"]["span_id"]
+        }
+        json.loads(json.dumps(doc))  # exporter output survives the wire
+
+    def test_batched_sweep_is_one_connected_tree(self):
+        registry = MetricsRegistry()
+        with telemetry_session(registry):
+            with traced_root("run", command="batched"):
+                run_cells_batched(_cells([3, 5], with_ipm=True), workers=1)
+        _, events, roots, orphans = _connectivity(registry)
+        assert len(roots) == 1 and roots[0]["name"] == "run"
+        assert orphans == []
+        # Batched lanes attribute their deferred solver telemetry to the
+        # originating cell's context, not the flusher thread's.
+        trace_id = roots[0]["args"]["trace_id"]
+        lane_events = [
+            e for e in registry.events if e.get("type") == "solver.ipm.trace"
+        ]
+        assert lane_events, "batched cells recorded no solver traces"
+        assert all(e.get("trace_id") == trace_id for e in lane_events)
+
+    def test_untraced_sweep_records_no_ids(self):
+        registry = MetricsRegistry()
+        with telemetry_session(registry):
+            SweepExecutor(max_workers=2).run_cells(_cells([3, 5]))
+        for root in registry.spans:
+            stack = [root]
+            while stack:
+                node = stack.pop()
+                meta = node.get("meta") or {}
+                assert "span_id" not in meta and "trace_id" not in meta
+                stack.extend(node.get("children", ()))

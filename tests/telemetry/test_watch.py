@@ -122,6 +122,43 @@ class TestWatchState:
         assert len(state.alerts) == 1
         assert state.render().count("certificate-gap") == 1
 
+    def test_service_slots_fold_into_the_svc_line(self):
+        state = WatchState(rules=[])
+        state.update({"type": "service.slot", "slot": 0, "latency_ms": 2.0})
+        state.update(
+            {"type": "service.slot", "slot": 1, "latency_ms": 9.0,
+             "deadline_miss": True}
+        )
+        assert state.service_slots == 2
+        assert state.service_misses == 1
+        text = state.render()
+        assert "svc    : 2 request(s)" in text
+        assert "p50" in text and "p95" in text
+        assert "1 deadline miss(es)" in text
+
+    def test_phase_profiles_fold_into_the_phases_line(self):
+        state = WatchState(rules=[])
+        state.update(
+            {"type": "prof.phases", "slot": 0,
+             "phases": {"ipm.line_search": 8.0, "ipm.assemble": 1.0,
+                        "spine.account": 0.5, "spine.checkpoint": 0.1}}
+        )
+        text = state.render()
+        # Top-3 by p95, slowest first; the fourth phase is elided.
+        phases_line = next(l for l in text.splitlines() if "phases :" in l)
+        assert phases_line.index("ipm.line_search") < phases_line.index(
+            "ipm.assemble"
+        )
+        assert "spine.checkpoint" not in phases_line
+        assert "p95" in phases_line
+
+    def test_no_service_or_profile_records_no_extra_lines(self):
+        state = WatchState(rules=[])
+        state.update(self._slot(0))
+        text = state.render()
+        assert "svc    :" not in text
+        assert "phases :" not in text
+
     def test_ratio_trace_summary_overrides_points(self):
         state = WatchState(rules=[])
         state.update(

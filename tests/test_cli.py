@@ -222,3 +222,81 @@ class TestTelemetryModes:
         assert "chrome trace" in out and "openmetrics" in out
         assert json_mod.loads(trace.read_text())["traceEvents"]
         assert prom.read_text().endswith("# EOF\n")
+
+
+class TestObservabilityFlags:
+    TINY = ["--users", "4", "--slots", "2", "--repetitions", "1"]
+
+    @staticmethod
+    def _walk(spans):
+        stack = list(spans)
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(node.get("children", ()))
+
+    def test_flags_parse_on_scale_commands(self):
+        args = build_parser().parse_args(
+            ["fig2", "--trace-context", "--profile", "--profile-hz", "7"]
+        )
+        assert args.trace_context and args.profile
+        assert args.profile_hz == 7.0
+        plain = build_parser().parse_args(["fig2"])
+        assert not plain.trace_context and not plain.profile
+
+    def test_flags_on_record_trace_ids_and_profiles(self, tmp_path, capsys):
+        from repro.telemetry import read_manifest
+
+        path = tmp_path / "run.jsonl"
+        argv = ["fig2", *self.TINY, "--telemetry", str(path),
+                "--trace-context", "--profile"]
+        assert main(argv) == 0
+        capsys.readouterr()
+        record = read_manifest(path)
+        assert record.events_of_type("prof.phases")
+        assert record.events_of_type("prof.profile")
+        roots = [n for n in record.spans if "span_id" in (n.get("meta") or {})]
+        assert roots, "traced run recorded no span ids"
+        trace_ids = {
+            n["meta"]["trace_id"]
+            for n in self._walk(record.spans)
+            if "trace_id" in (n.get("meta") or {})
+        }
+        assert len(trace_ids) == 1  # one run, one trace
+
+    def test_flags_off_leave_the_manifest_clean(self, tmp_path, capsys):
+        from repro.telemetry import read_manifest
+
+        path = tmp_path / "run.jsonl"
+        assert main(["fig2", *self.TINY, "--telemetry", str(path)]) == 0
+        capsys.readouterr()
+        record = read_manifest(path)
+        assert not [
+            e for e in record.events
+            if str(e.get("type", "")).startswith("prof.")
+        ]
+        for node in self._walk(record.spans):
+            meta = node.get("meta") or {}
+            assert "span_id" not in meta and "trace_id" not in meta
+
+    def test_export_speedscope_from_a_profiled_manifest(self, tmp_path, capsys):
+        import json as json_mod
+
+        path = tmp_path / "run.jsonl"
+        argv = ["fig2", *self.TINY, "--telemetry", str(path), "--profile"]
+        assert main(argv) == 0
+        out_path = tmp_path / "p.speedscope.json"
+        assert main(["export", str(path), "--speedscope", str(out_path)]) == 0
+        capsys.readouterr()
+        doc = json_mod.loads(out_path.read_text())
+        assert doc["profiles"]
+        assert any(p["name"].startswith("phases") for p in doc["profiles"])
+
+    def test_profile_subcommand_wraps_a_run(self, tmp_path, capsys):
+        collapsed = tmp_path / "prof.folded"
+        argv = ["profile", "--collapsed", str(collapsed),
+                "--", "fig2", *self.TINY]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "phase totals" in out or "sampler" in out
+        assert collapsed.exists() and collapsed.read_text().strip()
