@@ -115,8 +115,12 @@ def check_file(doc: Path) -> list[str]:
                 problems.append(
                     f"{relative}:{line_number}: broken link target {target!r}"
                 )
-        for raw in _SYMBOL.findall(line):
-            symbol = _strip_decorations(raw)
+        for match in _SYMBOL.finditer(line):
+            if line[match.end() : match.end() + 1] == "/":
+                # A versioned wire-format id (``repro.incident/1``),
+                # not an importable symbol.
+                continue
+            symbol = _strip_decorations(match.group(0))
             if symbol not in symbols_checked:
                 symbols_checked[symbol] = _check_symbol(symbol)
             error = symbols_checked[symbol]

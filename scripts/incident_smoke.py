@@ -1,0 +1,185 @@
+"""CI smoke check: an alert storm must leave a bit-replayable incident bundle.
+
+Drives the full incident path end to end, the way an operator would hit
+it:
+
+1. serve a small stream through the live service with a 1-iteration
+   budget (every solve is truncated → every slot misses its deadline →
+   the watchdog's deadline-miss rule and the SLO burn plane both fire);
+2. assert the session's flight recorder dumped at least one incident
+   bundle into the incident directory;
+3. replay every bundle through ``repro-edge incident replay`` and
+   require exit code 0 — the recorded costs, iteration counts, and
+   partial flags must reproduce **bit-for-bit**;
+4. tamper one recorded cost by 1e-9 and require the replay gate to exit
+   nonzero with a per-field diff (the bit-identity claim is real);
+5. tear the bundle's tail off and require the strict reader and the
+   replay gate to refuse it, while ``strict=False`` still salvages the
+   intact prefix;
+6. run the same storm with the recorder disabled and require zero
+   recorder side effects (no snapshots, no bundles, no new files).
+
+Exit code 0 on success, 1 with a diagnostic on any mismatch.
+
+Run:  python scripts/incident_smoke.py [--users N] [--slots T]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+
+def cli(argv: list[str]) -> int:
+    """Run a repro-edge command in-process; returns its exit code."""
+    from repro.cli import main
+
+    try:
+        return int(main(argv) or 0)
+    except SystemExit as error:
+        code = error.code
+        if code is None:
+            return 0
+        return code if isinstance(code, int) else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the incident smoke; returns the process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--users", type=int, default=6)
+    parser.add_argument("--slots", type=int, default=10)
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args(argv)
+
+    from repro import Scenario
+    from repro.service import ServiceConfig, run_loadgen
+    from repro.simulation.observations import (
+        SystemDescription,
+        observations_from_instance,
+    )
+    from repro.telemetry import read_bundle
+
+    instance = Scenario(
+        num_users=args.users, num_slots=args.slots
+    ).build(seed=args.seed)
+    system = SystemDescription.from_instance(instance)
+    observations = observations_from_instance(instance)
+
+    incident_dir = Path(tempfile.mkdtemp(prefix="incident_smoke_"))
+    failures: list[str] = []
+
+    # Leg 1-2: the storm must dump bundles.
+    report = run_loadgen(
+        system,
+        observations,
+        ServiceConfig(
+            max_iterations=1,
+            flight_slots=6,
+            incident_dir=str(incident_dir),
+            slo=True,
+        ),
+        speed=0,
+        batch_reference=False,
+    )
+    if report.deadline_misses != args.slots:
+        failures.append(
+            f"expected every slot to miss under max_iterations=1, got "
+            f"{report.deadline_misses}/{args.slots}"
+        )
+    if report.flight_snapshots != args.slots:
+        failures.append(
+            f"recorder captured {report.flight_snapshots} snapshots, "
+            f"expected {args.slots}"
+        )
+    bundles = [Path(p) for p in report.incident_bundles]
+    if not bundles:
+        failures.append("the miss storm wrote no incident bundle")
+    if "deadline-miss" not in report.slo_active:
+        failures.append(
+            f"deadline-miss SLO not firing after the storm "
+            f"(active: {list(report.slo_active)})"
+        )
+
+    # Leg 3: every bundle replays bit-for-bit through the CLI gate.
+    for bundle in bundles:
+        code = cli(["incident", "replay", str(bundle)])
+        if code != 0:
+            failures.append(f"replay gate failed on {bundle} (exit {code})")
+
+    if bundles:
+        # Leg 4: a 1e-9 cost tamper must diverge.
+        source = bundles[0]
+        tampered = incident_dir / "tampered.jsonl"
+        lines = []
+        patched = False
+        for line in source.read_text().splitlines():
+            record = json.loads(line)
+            if record.get("type") == "snapshot" and not patched:
+                record["recorded"]["costs"]["total"] += 1e-9
+                patched = True
+            lines.append(json.dumps(record))
+        tampered.write_text("\n".join(lines) + "\n")
+        code = cli(["incident", "replay", str(tampered)])
+        if code == 0:
+            failures.append(
+                "replay gate accepted a bundle with a tampered cost — the "
+                "bit-identity check is not real"
+            )
+
+        # Leg 5: a torn bundle is refused strictly, salvaged leniently.
+        torn = incident_dir / "torn.jsonl"
+        torn.write_text("\n".join(source.read_text().splitlines()[:-2]) + "\n")
+        code = cli(["incident", "replay", str(torn)])
+        if code == 0:
+            failures.append("replay gate accepted a truncated bundle")
+        try:
+            read_bundle(torn)
+            failures.append("strict read accepted a truncated bundle")
+        except ValueError:
+            pass
+        salvaged = read_bundle(torn, strict=False)
+        if not salvaged.truncated or not salvaged.snapshots:
+            failures.append(
+                "salvage read did not recover the intact prefix of the "
+                "torn bundle"
+            )
+
+    # Leg 6: recorder off → zero side effects.
+    before = sorted(incident_dir.iterdir())
+    off_report = run_loadgen(
+        system,
+        observations,
+        ServiceConfig(max_iterations=1),
+        speed=0,
+        batch_reference=False,
+    )
+    if off_report.flight_snapshots or off_report.incident_bundles:
+        failures.append(
+            "recorder-off run reports recorder activity: "
+            f"{off_report.flight_snapshots} snapshots, "
+            f"{list(off_report.incident_bundles)} bundles"
+        )
+    if sorted(incident_dir.iterdir()) != before:
+        failures.append("recorder-off run wrote files into the incident dir")
+
+    print(
+        f"incident smoke: {report.slots} slots, {report.deadline_misses} "
+        f"misses, {len(bundles)} bundle(s), SLOs firing: "
+        f"{', '.join(report.slo_active) or 'none'}"
+    )
+    print(
+        f"replay gate: {len(bundles)} bundle(s) reproduced bit-for-bit; "
+        "tamper and truncation both refused"
+    )
+    if failures:
+        for failure in failures:
+            print(f"FAIL {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

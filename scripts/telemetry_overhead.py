@@ -24,6 +24,16 @@ sampling profiler) and extends the contract:
   byte-level twin of the zero-overhead gate);
 * sampler overhead is printed as an advisory next to the streaming one.
 
+A fourth **recorded** leg re-runs the streamed comparison with the
+incident flight recorder and the SLO burn-rate plane armed
+(:mod:`repro.telemetry.flight` / :mod:`repro.telemetry.slo`):
+
+* recorded costs stay identical to the bare run to the same 1e-9 (the
+  recorder snapshots solve inputs, it never perturbs the solve);
+* the recorded manifest carries a positive ``flight.snapshots`` counter;
+* the recorder-off manifests carry **zero** ``incident.*`` / ``slo.*``
+  events — recorder off leaves the manifest clean.
+
 Exit code 0 on success, 1 with a diagnostic on any mismatch.
 
 Run:  python scripts/telemetry_overhead.py [--users N] [--slots T]
@@ -49,7 +59,11 @@ PROFILE_HZ = 19.0
 
 
 def run_once(
-    instance, stream_path: Path | None, *, profile: bool = False
+    instance,
+    stream_path: Path | None,
+    *,
+    profile: bool = False,
+    record_flights: bool = False,
 ) -> tuple[dict[str, float], float]:
     """One seeded comparison; returns (total cost per algorithm, wall s)."""
     import contextlib
@@ -61,12 +75,15 @@ def run_once(
         compare_algorithms,
     )
     from repro.telemetry import (
+        FlightRecorder,
         default_rules,
+        flight_session,
         profiling_session,
         streaming_manifest_session,
     )
 
     algorithms = [OfflineOptimal(), OnlineGreedy(), OnlineRegularizedAllocator()]
+    recorder = FlightRecorder(8) if record_flights else None
     start = time.perf_counter()
     if stream_path is None:
         comparison = compare_algorithms(algorithms, instance)
@@ -75,13 +92,20 @@ def run_once(
             stream_path,
             config={"check": "telemetry_overhead"},
             watchdog_rules=default_rules(),
+            slo=True if record_flights else None,
+            recorder=recorder,
         ):
             scope = (
                 profiling_session(hz=PROFILE_HZ)
                 if profile
                 else contextlib.nullcontext()
             )
-            with scope:
+            flight_scope = (
+                flight_session(recorder)
+                if recorder is not None
+                else contextlib.nullcontext()
+            )
+            with scope, flight_scope:
                 comparison = compare_algorithms(algorithms, instance)
     wall = time.perf_counter() - start
     costs = {
@@ -109,13 +133,20 @@ def main(argv: list[str] | None = None) -> int:
     profiled_manifest = (
         Path(tempfile.gettempdir()) / "telemetry_overhead_profiled.jsonl"
     )
+    recorded_manifest = (
+        Path(tempfile.gettempdir()) / "telemetry_overhead_recorded.jsonl"
+    )
     manifest.unlink(missing_ok=True)
     profiled_manifest.unlink(missing_ok=True)
+    recorded_manifest.unlink(missing_ok=True)
 
     bare_costs, bare_wall = run_once(instance, None)
     streamed_costs, streamed_wall = run_once(instance, manifest)
     profiled_costs, profiled_wall = run_once(
         instance, profiled_manifest, profile=True
+    )
+    recorded_costs, recorded_wall = run_once(
+        instance, recorded_manifest, record_flights=True
     )
 
     failures = []
@@ -123,6 +154,7 @@ def main(argv: list[str] | None = None) -> int:
         for label, other_costs in (
             ("streamed", streamed_costs),
             ("profiled", profiled_costs),
+            ("recorded", recorded_costs),
         ):
             other = other_costs.get(name)
             if other is None:
@@ -171,6 +203,31 @@ def main(argv: list[str] | None = None) -> int:
     if not profiled_events:
         failures.append("profiled manifest carries no prof.* events")
 
+    # The recorder-off gate: manifests from runs without the flight
+    # recorder / SLO plane must carry zero incident.* / slo.* events.
+    for label, clean_record in (
+        ("streamed", record),
+        ("profiled", profiled_record),
+    ):
+        stray_incident = [
+            event
+            for event in clean_record.events
+            if str(event.get("type", "")).startswith(("incident.", "slo."))
+        ]
+        if stray_incident:
+            failures.append(
+                f"recorder-off {label} manifest carries "
+                f"{len(stray_incident)} incident.*/slo.* event(s); "
+                f"first: {stray_incident[0]}"
+            )
+    recorded_record = load_manifest(recorded_manifest)
+    snapshots_taken = int(recorded_record.counters.get("flight.snapshots", 0))
+    if snapshots_taken <= 0:
+        failures.append(
+            "recorded manifest carries no flight.snapshots counter — the "
+            "recorder leg did not actually record"
+        )
+
     overhead = streamed_wall - bare_wall
     pct = 100.0 * overhead / bare_wall if bare_wall > 0 else float("nan")
     print(
@@ -188,13 +245,24 @@ def main(argv: list[str] | None = None) -> int:
         f"{PROFILE_HZ:g} hz, delta vs streamed {sampler_overhead:+.3f}s "
         f"({sampler_pct:+.1f}%)"
     )
+    recorder_overhead = recorded_wall - streamed_wall
+    recorder_pct = (
+        100.0 * recorder_overhead / streamed_wall
+        if streamed_wall > 0
+        else float("nan")
+    )
+    print(
+        f"recorder overhead (advisory): recorded {recorded_wall:.3f}s, "
+        f"delta vs streamed {recorder_overhead:+.3f}s ({recorder_pct:+.1f}%)"
+    )
     print(
         f"costs identical to {COST_RTOL:g} across "
-        f"{len(bare_costs)} algorithms x 2 legs: {not failures}"
+        f"{len(bare_costs)} algorithms x 3 legs: {not failures}"
     )
     print(
         f"manifest: {len(record.events)} events, {len(checks)} runs verified; "
-        f"profiled manifest: {len(profiled_events)} prof.* events"
+        f"profiled manifest: {len(profiled_events)} prof.* events; "
+        f"recorded manifest: {snapshots_taken} flight snapshots"
     )
     if failures:
         for failure in failures:

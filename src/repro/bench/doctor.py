@@ -305,6 +305,86 @@ def _where_time_went(record: RunRecord) -> list[str]:
     return lines
 
 
+def _fmt_environment(environment: dict) -> str:
+    if not environment:
+        return "(not recorded - pre-fingerprint manifest)"
+    parts = [
+        f"python {environment.get('python', '?')}",
+        f"numpy {environment.get('numpy', '?')}",
+    ]
+    if environment.get("scipy"):
+        parts.append(f"scipy {environment['scipy']}")
+    parts.append(f"blas {environment.get('blas', '?')}")
+    if environment.get("cpu_count") is not None:
+        parts.append(f"{environment['cpu_count']} cpus")
+    flags = environment.get("repro_flags") or {}
+    if flags:
+        parts.append(
+            "flags " + ",".join(f"{k}={v}" for k, v in sorted(flags.items()))
+        )
+    return ", ".join(parts)
+
+
+def _slo_incidents(record: RunRecord) -> list[str]:
+    burns = record.events_of_type("slo.burn")
+    incidents = record.events_of_type("incident.written")
+    suppressed = int(record.counters.get("watchdog.suppressed", 0))
+    snapshots = int(record.counters.get("flight.snapshots", 0))
+    if not burns and not incidents and not snapshots:
+        lines = ["  no SLO plane or flight recorder active this run"]
+        if suppressed:
+            lines.append(f"  watchdog alerts suppressed by cooldown: {suppressed}")
+        return lines
+    lines = []
+    firing: dict[str, dict] = {}
+    for event in burns:
+        name = str(event.get("objective", "?"))
+        if event.get("state") == "firing":
+            firing[name] = event
+        else:
+            firing.pop(name, None)
+    resolved = sum(1 for e in burns if e.get("state") == "resolved")
+    lines.append(
+        f"  slo.burn transitions: {len(burns)} "
+        f"({len(firing)} still firing, {resolved} resolved)"
+    )
+    for name, event in sorted(firing.items()):
+        lines.append(
+            f"  FIRING [{name}] fast {float(event.get('fast_burn', 0.0)):.1f}x / "
+            f"slow {float(event.get('slow_burn', 0.0)):.1f}x of budget "
+            f"{float(event.get('budget', 0.0)):g}"
+        )
+    for name, rates in sorted(_burn_gauges(record).items()):
+        lines.append(
+            f"  burn [{name}] fast {rates.get('fast', 0.0):.2f}x / "
+            f"slow {rates.get('slow', 0.0):.2f}x"
+        )
+    if snapshots:
+        lines.append(f"  flight snapshots captured: {snapshots}")
+    if incidents:
+        lines.append(f"  incident bundles written: {len(incidents)}")
+        for event in incidents[:TOP_N]:
+            rule = event.get("rule") or event.get("reason", "?")
+            lines.append(f"    [{rule}] {event.get('path', '?')}")
+        lines.append(
+            "    replay with: repro-edge incident replay BUNDLE"
+        )
+    if suppressed:
+        lines.append(f"  watchdog alerts suppressed by cooldown: {suppressed}")
+    return lines
+
+
+def _burn_gauges(record: RunRecord) -> dict[str, dict[str, float]]:
+    """slo.burn.{fast,slow}.<objective> gauges, grouped by objective."""
+    rates: dict[str, dict[str, float]] = {}
+    for name, value in record.gauges.items():
+        for window in ("fast", "slow"):
+            prefix = f"slo.burn.{window}."
+            if name.startswith(prefix):
+                rates.setdefault(name[len(prefix):], {})[window] = float(value)
+    return rates
+
+
 def _alerts(record: RunRecord) -> list[str]:
     alerts = record.events_of_type("alert")
     if not alerts:
@@ -350,6 +430,7 @@ def doctor_report(
             "manifest_end; metrics/spans sections may be missing **"
         )
     lines.append(f"  config: {_fmt_config(record.config)}")
+    lines.append(f"  environment: {_fmt_environment(record.environment)}")
     lines.append(
         f"  events: {len(record.events)} "
         f"({len(record.slot_events)} slots, {len(record.run_ends)} runs)"
@@ -358,6 +439,7 @@ def doctor_report(
         ("Slowest slots", _slowest_slots(record)),
         ("Where the time went", _where_time_went(record)),
         ("Watchdog alerts", _alerts(record)),
+        ("SLOs & Incidents", _slo_incidents(record)),
         ("Solver incidents", _solver_incidents(record)),
         ("Optimality certificates", _certificates(record, gap_tol)),
         ("Competitive ratio vs Theorem 2", _ratio(record)),

@@ -171,6 +171,32 @@ def _add_scale_arguments(parser: argparse.ArgumentParser) -> None:
         metavar="HZ",
         help="sampling-profiler frequency for --profile (default: 19)",
     )
+    parser.add_argument(
+        "--flight",
+        type=int,
+        default=None,
+        metavar="K",
+        help="arm the incident flight recorder over the last K slots: a "
+        "watchdog or SLO alert dumps the full solve input state as a "
+        "deterministically replayable incident bundle ('repro-edge "
+        "incident replay BUNDLE'); implies --watchdog, observes only — "
+        "results are bit-identical (docs/OBSERVABILITY.md)",
+    )
+    parser.add_argument(
+        "--incident-dir",
+        default=None,
+        metavar="DIR",
+        help="directory --flight incident bundles are written into "
+        "(default: keep the ring in memory only)",
+    )
+    parser.add_argument(
+        "--slo",
+        action="store_true",
+        help="evaluate the default SLO objectives (latency p99, deadline-"
+        "miss ratio, fallback rate, ratio-vs-bound) with fast/slow "
+        "burn-rate windows; transitions land in the manifest as "
+        "'slo.burn' events and firing objectives raise slo:<name> alerts",
+    )
 
 
 def _scale_from_args(args: argparse.Namespace) -> ExperimentScale:
@@ -544,6 +570,9 @@ def _service_setup(args: argparse.Namespace):
         eps2=scale.eps,
         backend=args.backend,
         aggregation=aggregation_config(scale),
+        flight_slots=getattr(args, "flight", None) or 0,
+        incident_dir=getattr(args, "incident_dir", None),
+        slo=getattr(args, "slo", False),
     )
     return system, observations, config
 
@@ -646,6 +675,57 @@ def _cmd_loadgen(args: argparse.Namespace) -> str:
         print(output)
         raise SystemExit("loadgen gate failed: " + "; ".join(failures))
     return output
+
+
+def _cmd_incident(args: argparse.Namespace) -> str:
+    from .telemetry import read_bundle, replay_bundle
+
+    try:
+        bundle = read_bundle(args.bundle, strict=not args.salvage)
+    except (OSError, ValueError) as error:
+        raise SystemExit(f"incident: {error}") from None
+    if args.action == "show":
+        environment = bundle.environment or {}
+        alert = bundle.alert or {}
+        lines = [
+            f"Incident bundle {bundle.path}",
+            f"  reason     : {bundle.reason or '?'}",
+            f"  snapshots  : {len(bundle.snapshots)}",
+        ]
+        if bundle.snapshots:
+            slots = [s.get("slot") for s in bundle.snapshots]
+            lines.append(f"  slots      : {slots[0]}..{slots[-1]}")
+        if alert:
+            lines.append(
+                f"  alert      : [{alert.get('rule', '?')}] "
+                f"{alert.get('message', '')}"
+            )
+        if environment:
+            lines.append(
+                f"  recorded on: python {environment.get('python', '?')}, "
+                f"numpy {environment.get('numpy', '?')}, "
+                f"blas {environment.get('blas', '?')}"
+            )
+        controller = bundle.controller or {}
+        lines.append(
+            f"  controller : {controller.get('kind', '?')} "
+            f"(replayable: {controller.get('replayable', False)})"
+        )
+        if bundle.truncated:
+            lines.append("  TRUNCATED  : torn tail dropped (salvaged read)")
+        context = bundle.context or {}
+        traces = context.get("trace_ids") or []
+        if traces:
+            lines.append(f"  trace ids  : {', '.join(map(str, traces))}")
+        return "\n".join(lines)
+    try:
+        report = replay_bundle(bundle)
+    except ValueError as error:
+        raise SystemExit(f"incident: {error}") from None
+    if not report.ok:
+        print(report.render())
+        raise SystemExit(1)
+    return report.render()
 
 
 def _cmd_quickstart(args: argparse.Namespace) -> str:
@@ -913,6 +993,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     watch_p.set_defaults(func=_cmd_watch)
 
+    incident = sub.add_parser(
+        "incident",
+        help="inspect or deterministically replay an incident bundle "
+        "written by the --flight recorder",
+    )
+    incident.add_argument(
+        "action",
+        choices=("replay", "show"),
+        help="'replay' rebuilds every captured slot through the solver and "
+        "verifies costs/iterations/partial flags reproduce bit-for-bit "
+        "(exit 1 with a per-field diff on divergence); 'show' prints the "
+        "bundle header",
+    )
+    incident.add_argument(
+        "bundle", help="path to an incident-*.jsonl bundle file"
+    )
+    incident.add_argument(
+        "--salvage",
+        action="store_true",
+        help="tolerate a torn/truncated bundle: drop the torn tail and "
+        "show what survived (replay still refuses truncated bundles)",
+    )
+    incident.set_defaults(func=_cmd_incident)
+
     export = sub.add_parser(
         "export", help="convert a run manifest to external tooling formats"
     )
@@ -1023,11 +1127,26 @@ def main(argv: list[str] | None = None) -> int:
     want_watchdog = getattr(args, "watchdog", False)
     if stream and manifest_path is None:
         parser.error("--stream requires --telemetry PATH (the file to stream to)")
+    # serve/loadgen own their incident plane through ServiceConfig (the
+    # session records and evaluates SLOs itself); every other command gets
+    # the global recorder + SLO plane on the telemetry sink chain.
+    service_command = args.command in ("serve", "loadgen")
+    want_slo = getattr(args, "slo", False) and not service_command
+    recorder = None
+    if not service_command and getattr(args, "flight", None):
+        from .telemetry import FlightRecorder
+
+        recorder = FlightRecorder(
+            args.flight, incident_dir=getattr(args, "incident_dir", None)
+        )
+        # A recorder without an alert source never auto-dumps.
+        want_watchdog = True
     wants_telemetry = (
         manifest_path is not None
         or want_summary
         or ring is not None
         or want_watchdog
+        or want_slo
         or getattr(args, "trace_context", False)
         or getattr(args, "profile", False)
     )
@@ -1043,6 +1162,14 @@ def main(argv: list[str] | None = None) -> int:
             if key not in ("func", "command") and not callable(value)
         },
     }
+    import contextlib
+
+    from .telemetry import flight_session
+
+    flight_scope = (
+        flight_session(recorder) if recorder is not None
+        else contextlib.nullcontext()
+    )
     if stream:
         from .telemetry import default_rules, streaming_manifest_session
 
@@ -1051,7 +1178,9 @@ def main(argv: list[str] | None = None) -> int:
             config=config,
             max_events=ring if ring is not None else 0,
             watchdog_rules=default_rules() if want_watchdog else None,
-        ) as registry:
+            slo=True if want_slo else None,
+            recorder=recorder,
+        ) as registry, flight_scope:
             output = _run_command(args)
     else:
         from .telemetry import (
@@ -1064,14 +1193,26 @@ def main(argv: list[str] | None = None) -> int:
         from .telemetry.watchdog import WatchdogSink
 
         sink = None
-        if want_watchdog:
+        watchdog_sink = None
+        if want_watchdog or want_slo:
             # Buffered path: alerts go into the event buffer (and thus the
             # manifest) via the registry; the inner sink is a no-op.
-            sink = WatchdogSink(NullSink(), rules=default_rules())
+            watchdog_sink = WatchdogSink(
+                NullSink(),
+                rules=default_rules() if want_watchdog else None,
+                slo=True if want_slo else None,
+            )
+            sink = watchdog_sink
+        if recorder is not None:
+            from .telemetry import FlightRecorderSink
+
+            sink = FlightRecorderSink(
+                sink if sink is not None else NullSink(), recorder
+            )
         registry = MetricsRegistry(sink=sink, max_events=ring)
-        if sink is not None:
-            sink.bind(registry)
-        with telemetry_session(registry):
+        if watchdog_sink is not None:
+            watchdog_sink.bind(registry)
+        with telemetry_session(registry), flight_scope:
             output = _run_command(args)
         if manifest_path is not None:
             write_manifest(manifest_path, registry, config=config)

@@ -56,6 +56,11 @@ class LoadgenReport:
         batch_cost: total cost of the unbudgeted batch run of the same
             stream (``nan`` when the cross-check was skipped).
         cost_delta: ``streamed_cost - batch_cost`` (0 at 1x speed).
+        flight_snapshots: solve-state snapshots the server's flight
+            recorder captured (0 when the recorder is disabled).
+        incident_bundles: paths of incident bundles the server wrote.
+        slo_active: names of SLO objectives firing at the end of the
+            replay (empty when the SLO plane is disabled or healthy).
     """
 
     slots: int
@@ -69,6 +74,9 @@ class LoadgenReport:
     streamed_cost: float
     batch_cost: float
     cost_delta: float
+    flight_snapshots: int = 0
+    incident_bundles: tuple = ()
+    slo_active: tuple = ()
 
     def as_dict(self) -> dict:
         """Plain-dict (JSON-ready) form."""
@@ -84,6 +92,9 @@ class LoadgenReport:
             "streamed_cost": self.streamed_cost,
             "batch_cost": self.batch_cost,
             "cost_delta": self.cost_delta,
+            "flight_snapshots": self.flight_snapshots,
+            "incident_bundles": list(self.incident_bundles),
+            "slo_active": list(self.slo_active),
         }
 
     def render(self) -> str:
@@ -102,6 +113,17 @@ class LoadgenReport:
                 f"  batch cost          {self.batch_cost:.6f}   "
                 f"(delta {self.cost_delta:+.3e})"
             )
+        if self.flight_snapshots or self.incident_bundles:
+            lines.append(
+                f"  flight recorder     {self.flight_snapshots} snapshots, "
+                f"{len(self.incident_bundles)} bundle(s) written"
+            )
+            for path in self.incident_bundles:
+                lines.append(f"    bundle {path}")
+        if self.slo_active:
+            lines.append(
+                "  SLOs firing         " + ", ".join(self.slo_active)
+            )
         return "\n".join(lines)
 
 
@@ -112,8 +134,14 @@ async def _replay(
     port: int,
     period_s: float,
     trace_root: TraceContext | None = None,
-) -> list[dict]:
-    """Send the stream over one connection; return the slot_result replies.
+) -> tuple[list[dict], dict | None]:
+    """Send the stream over one connection; return (slot replies, stats).
+
+    After the last slot a ``stats`` request is sent on the same
+    connection, so the server-side session counters (deadline misses,
+    flight-recorder snapshots, incident bundles, firing SLOs) come back
+    over the wire — external servers report them exactly like the
+    in-process one.
 
     When ``trace_root`` is set (the replay runs under an active trace,
     e.g. ``repro-edge serve --loadgen --trace-context``), every update
@@ -122,6 +150,7 @@ async def _replay(
     """
     reader, writer = await asyncio.open_connection(host, port)
     replies: list[dict] = []
+    stats: dict | None = None
     try:
         writer.write(encode({"type": "hello"}))
         await writer.drain()
@@ -144,13 +173,18 @@ async def _replay(
                     f"slot {observation.slot} rejected: {reply}"
                 )
             replies.append(reply)
+        writer.write(encode({"type": "stats"}))
+        await writer.drain()
+        reply = json.loads(await reader.readline())
+        if reply.get("type") == "stats":
+            stats = reply
     finally:
         writer.close()
         try:
             await writer.wait_closed()
         except (ConnectionResetError, BrokenPipeError):
             pass
-    return replies
+    return replies, stats
 
 
 def batch_reference_cost(
@@ -223,15 +257,14 @@ def run_loadgen(
             await server.start()
             target_host, target_port = server.host, server.port
         try:
-            replies = await _replay(
+            replies, stats = await _replay(
                 observations,
                 host=target_host,
                 port=int(target_port),
                 period_s=period_s,
                 trace_root=trace_root,
             )
-            stats = None
-            if server is not None:
+            if stats is None and server is not None:
                 stats = server.session.stats()
             return replies, stats
         finally:
@@ -239,8 +272,9 @@ def run_loadgen(
                 await server.stop()
 
     start = time.perf_counter()
-    replies, _ = asyncio.run(_run())
+    replies, stats = asyncio.run(_run())
     wall_s = time.perf_counter() - start
+    stats = stats or {}
     latencies = [float(r["latency_ms"]) for r in replies]
     streamed_cost = float(replies[-1]["total_cost"])
     batch_cost = float("nan")
@@ -258,6 +292,9 @@ def run_loadgen(
         streamed_cost=streamed_cost,
         batch_cost=batch_cost,
         cost_delta=streamed_cost - batch_cost,
+        flight_snapshots=int(stats.get("flight_snapshots", 0)),
+        incident_bundles=tuple(stats.get("incident_bundles", ()) or ()),
+        slo_active=tuple(stats.get("slo_active", ()) or ()),
     )
 
 

@@ -35,7 +35,18 @@ from ..simulation.observations import SlotObservation, SystemDescription
 from ..simulation.spine import SlotStepper
 from ..solvers.registry import get_backend
 from ..solvers.registry import reset_session as reset_backend_session
-from ..telemetry import TraceContext, get_registry, trace_scope, trace_span
+from ..telemetry import (
+    Alert,
+    FlightRecorder,
+    SloTracker,
+    TraceContext,
+    Watchdog,
+    default_rules,
+    default_slos,
+    get_registry,
+    trace_scope,
+    trace_span,
+)
 from .config import ServiceConfig
 from .protocol import ProtocolError, parse_update
 
@@ -117,6 +128,28 @@ class AllocationSession:
         )
         self.results: list[ServiceSlotResult] = []
         self._deadline_misses = 0
+        # Incident plane: the flight recorder snapshots the last K slots
+        # (config.flight_slots), a session-local watchdog classifies the
+        # slot stream so alerts trigger bundle dumps even when global
+        # telemetry is off, and the SLO tracker keeps burn-rate state.
+        # All three are None when disabled — the serving path is then
+        # exactly the pre-recorder code.
+        self.recorder: FlightRecorder | None = None
+        self._watchdog: Watchdog | None = None
+        if config.flight_slots > 0:
+            self.recorder = FlightRecorder(
+                config.flight_slots, incident_dir=config.incident_dir
+            )
+            self._watchdog = Watchdog(default_rules())
+        self.slo: SloTracker | None = None
+        if config.slo:
+            self.slo = SloTracker(
+                default_slos(
+                    deadline_ms=None
+                    if config.deadline_s is None
+                    else config.deadline_s * 1000.0
+                )
+            )
         self._start_stepper()
 
     def _start_stepper(self) -> None:
@@ -125,6 +158,7 @@ class AllocationSession:
             self.controller,
             self.system,
             keep_schedule=self.config.keep_schedule,
+            recorder=self.recorder,
         )
         self.stepper.start()
 
@@ -236,8 +270,66 @@ class AllocationSession:
                 payload["trace_id"] = result.trace_id
             telemetry.event("service.slot", **payload)
             telemetry.maybe_flush()
+        self._observe_locally(result)
         self._trim_history()
         return result
+
+    def _observe_locally(self, result: ServiceSlotResult) -> None:
+        """Feed the incident plane, independent of global telemetry.
+
+        The session synthesizes the same ``slot`` / ``service.slot`` /
+        ``service.deadline.miss`` records the telemetry plane would emit
+        and runs them through its own watchdog and SLO tracker, so a
+        deadline-miss storm dumps an incident bundle even on a server
+        started without ``--telemetry``. Pure observation — no solver or
+        accounting state is touched.
+        """
+        if self.recorder is None and self.slo is None:
+            return
+        records = [
+            {"type": "slot", "slot": result.slot, "wall_ms": result.latency_ms},
+            {
+                "type": "service.slot",
+                "slot": result.slot,
+                "latency_ms": result.latency_ms,
+                "partial": result.partial,
+                "deadline_miss": result.deadline_miss,
+            },
+        ]
+        if result.deadline_miss:
+            records.append(
+                {
+                    "type": "service.deadline.miss",
+                    "slot": result.slot,
+                    "latency_ms": result.latency_ms,
+                    "partial": result.partial,
+                }
+            )
+        for record in records:
+            alerts = (
+                [] if self._watchdog is None else self._watchdog.observe(record)
+            )
+            if self.slo is not None:
+                for transition in self.slo.observe(record):
+                    if transition["state"] != "firing":
+                        continue
+                    alerts.append(
+                        Alert(
+                            rule=f"slo:{transition['objective']}",
+                            message=(
+                                f"SLO {transition['objective']} burning at "
+                                f"{transition['fast_burn']:.1f}x fast / "
+                                f"{transition['slow_burn']:.1f}x slow"
+                            ),
+                            slot=result.slot,
+                            value=float(transition["fast_burn"]),
+                            threshold=float(transition["fast_threshold"]),
+                        )
+                    )
+            if self.recorder is not None:
+                self.recorder.observe_event(record)
+                for alert in alerts:
+                    self.recorder.observe_event(alert.as_event())
 
     # ----- message dispatch ---------------------------------------------------
 
@@ -319,11 +411,24 @@ class AllocationSession:
         reset_backend_session(self._backend)
         self.results = []
         self._deadline_misses = 0
+        if self.recorder is not None:
+            # Stale snapshots would replay fine (bundles are self-
+            # contained) but describe the previous horizon; start clean.
+            self.recorder.snapshots.clear()
+            self._watchdog = Watchdog(default_rules())
+        if self.slo is not None:
+            self.slo = SloTracker(self.slo.objectives)
         self._start_stepper()
 
     def stats(self) -> dict:
-        """Session statistics: slots, costs, misses, latency percentiles."""
+        """Session statistics: slots, costs, misses, latency percentiles.
+
+        Always includes the incident-plane counters (zeros / empty when
+        the recorder and SLO tracker are disabled), so operators can see
+        at a glance whether the plane is armed and what it has captured.
+        """
         latencies = [r.latency_ms for r in self.results]
+        recorder = self.recorder
         return {
             "slots": self.stepper.processed,
             "expected_slot": self.expected_slot,
@@ -332,4 +437,10 @@ class AllocationSession:
             "latency_p50_ms": percentile(latencies, 0.50),
             "latency_p95_ms": percentile(latencies, 0.95),
             "latency_p99_ms": percentile(latencies, 0.99),
+            "flight_snapshots": 0 if recorder is None else recorder.snapshots_taken,
+            "incident_bundles": (
+                [] if recorder is None
+                else [str(path) for path in recorder.bundles_written]
+            ),
+            "slo_active": [] if self.slo is None else list(self.slo.active),
         }

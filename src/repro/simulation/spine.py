@@ -31,7 +31,13 @@ import numpy as np
 from ..core.allocation import AllocationSchedule, FeasibilityReport
 from ..core.costs import CostBreakdown
 from ..core.problem import ProblemInstance
-from ..telemetry import active_profile, get_registry, phase, trace_span
+from ..telemetry import (
+    active_profile,
+    active_recorder,
+    get_registry,
+    phase,
+    trace_span,
+)
 from .accounting import AccumulatorState, CostAccumulator, SlotCosts
 from .hooks import SlotHook
 from .observations import (
@@ -116,11 +122,24 @@ class SlotStepper:
         hooks: Iterable[SlotHook] = (),
         keep_schedule: bool = True,
         resume_from: SimulationCheckpoint | None = None,
+        recorder: "object | None" = None,
     ) -> None:
+        """Create the stepper (see the class docstring for the lifecycle).
+
+        Args:
+            recorder: an explicit
+                :class:`repro.telemetry.flight.FlightRecorder` this
+                stepper snapshots into. When ``None`` (the default) the
+                process-wide recorder installed by
+                :func:`repro.telemetry.flight.flight_session` is used,
+                if any — so batch runs opt in via the CLI without
+                threading the recorder through every layer.
+        """
         self.controller = controller
         self.system = system
         self.hooks = tuple(hooks)
         self.keep_schedule = keep_schedule
+        self._recorder = recorder
         self.accumulator = CostAccumulator(system)
         if resume_from is None:
             controller.reset()
@@ -160,20 +179,29 @@ class SlotStepper:
         self.start()
         telemetry = get_registry()
         observing = telemetry.enabled
+        recorder = self._recorder if self._recorder is not None else active_recorder()
+        timing = observing or recorder is not None
         for hook in self.hooks:
             hook.on_slot_start(observation)
+        # The flight recorder snapshots the *pre-solve* state (x*_{t-1},
+        # warm caches, accumulator totals) before the timed window, so
+        # slot.wall_ms keeps meaning "solve + accounting" exactly.
+        if recorder is not None:
+            recorder.begin_slot(self, observation)
         # Per-slot phase attribution: snapshot the active profile's totals
         # for this thread before the solve, diff after — the window covers
         # exactly what slot.wall_ms covers, so the two reconcile.
         profile = active_profile() if observing else None
         mark = profile.marker() if profile is not None else None
-        if observing:
+        if timing:
             slot_start = time.perf_counter()
         x_t = np.asarray(self.controller.observe(observation), dtype=float)
         with phase("spine.account"):
             costs = self.accumulator.update(observation, x_t)
-        if observing:
+        slot_ms = 0.0
+        if timing:
             slot_ms = (time.perf_counter() - slot_start) * 1000.0
+        if observing:
             telemetry.histogram("slot.wall_ms").observe(slot_ms)
             telemetry.event(
                 "slot",
@@ -207,6 +235,8 @@ class SlotStepper:
             # watcher's staleness is bounded by the flush interval
             # even when slots are slow and events sparse.
             telemetry.maybe_flush()
+        if recorder is not None:
+            recorder.end_slot(self, observation, costs, slot_ms)
         self._residual_demand = max(
             self._residual_demand, float((self._workloads - x_t.sum(axis=0)).max())
         )

@@ -29,7 +29,17 @@ The pieces (docs/OBSERVABILITY.md):
   forests render as one connected tree per run or request;
 * **profiling** (:mod:`repro.telemetry.profiling`) — deterministic phase
   timers plus a ``sys._current_frames()`` sampling profiler, folded-stack
-  output exportable to speedscope/collapsed formats.
+  output exportable to speedscope/collapsed formats;
+* the **flight recorder** (:mod:`repro.telemetry.flight`) — a bounded
+  ring of replayable slot snapshots dumped as ``repro.incident/1``
+  bundles on watchdog alerts, with bit-for-bit offline replay
+  (``repro-edge incident replay``);
+* **SLO objectives** (:mod:`repro.telemetry.slo`) — declarative error
+  budgets (deadline-miss ratio, latency, fallback rate, ratio vs the
+  Theorem 2 bound) with fast/slow burn-rate alerting;
+* the **environment fingerprint** (:mod:`repro.telemetry.environment`) —
+  python/numpy/scipy/BLAS versions and ``REPRO_*`` flags stamped into
+  every manifest and incident bundle.
 
 Enabling telemetry never changes results: instrumented code only *reads*
 the quantities it reports, and the bit-identity is pinned by
@@ -45,6 +55,20 @@ from .exporters import (
     openmetrics,
     write_chrome_trace,
     write_openmetrics,
+)
+from .environment import environment_fingerprint
+from .flight import (
+    INCIDENT_FORMAT,
+    FlightRecorder,
+    FlightRecorderSink,
+    IncidentBundle,
+    ReplayDiff,
+    ReplayReport,
+    SlotSnapshot,
+    active_recorder,
+    flight_session,
+    read_bundle,
+    replay_bundle,
 )
 from .manifest import MANIFEST_FORMAT, RunRecord, read_manifest, write_manifest
 from .metrics import (
@@ -82,6 +106,7 @@ from .sinks import (
     StreamingManifestWriter,
     streaming_manifest_session,
 )
+from .slo import SLO_SIGNALS, SloObjective, SloTracker, default_slos
 from .tracing import (
     TraceContext,
     current_trace,
@@ -106,17 +131,22 @@ from .watchdog import (
 )
 
 __all__ = [
+    "INCIDENT_FORMAT",
     "MANIFEST_FORMAT",
     "MAX_SPAN_CHILDREN",
     "NULL_REGISTRY",
+    "SLO_SIGNALS",
     "Alert",
     "CertificateGapRule",
     "Counter",
     "DeadlineMissRule",
     "EventSink",
     "FallbackStormRule",
+    "FlightRecorder",
+    "FlightRecorderSink",
     "Gauge",
     "Histogram",
+    "IncidentBundle",
     "ManifestTail",
     "MetricsEndpoint",
     "MetricsRegistry",
@@ -125,9 +155,14 @@ __all__ = [
     "PhaseAccumulator",
     "ProfileHandle",
     "RatioBoundRule",
+    "ReplayDiff",
+    "ReplayReport",
     "RingSink",
     "RunRecord",
     "SamplingProfiler",
+    "SloObjective",
+    "SloTracker",
+    "SlotSnapshot",
     "SolverStallRule",
     "StreamingManifestWriter",
     "TraceContext",
@@ -136,17 +171,23 @@ __all__ = [
     "WatchdogSink",
     "WatchState",
     "active_profile",
+    "active_recorder",
     "chrome_trace",
     "current_trace",
     "default_rules",
+    "default_slos",
+    "environment_fingerprint",
+    "flight_session",
     "get_registry",
     "merge_folded",
     "new_trace",
     "openmetrics",
     "phase",
     "profiling_session",
+    "read_bundle",
     "read_manifest",
     "render_spans",
+    "replay_bundle",
     "set_registry",
     "sketch_upper_edge",
     "span",

@@ -25,6 +25,7 @@ import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from .environment import environment_fingerprint
 from .metrics import MetricsRegistry
 
 #: Format tag written into every manifest (bump on breaking change).
@@ -44,6 +45,10 @@ class RunRecord:
 
     Attributes:
         config: the run configuration written at ``manifest_start``.
+        environment: the writing process's environment fingerprint
+            (python/numpy/scipy/BLAS versions, ``REPRO_*`` flags — see
+            :func:`repro.telemetry.environment.environment_fingerprint`),
+            also from ``manifest_start``; empty for pre-fingerprint files.
         events: every event line in file order (each a dict with ``type``).
         counters: metric name -> accumulated value.
         gauges: metric name -> last value.
@@ -55,6 +60,7 @@ class RunRecord:
     """
 
     config: dict = field(default_factory=dict)
+    environment: dict = field(default_factory=dict)
     events: list = field(default_factory=list)
     counters: dict = field(default_factory=dict)
     gauges: dict = field(default_factory=dict)
@@ -109,6 +115,7 @@ def write_manifest(
                 "format": MANIFEST_FORMAT,
                 "created_unix": time.time(),
                 "config": config or {},
+                "environment": environment_fingerprint(),
             }
         )
         for event in snap["events"]:
@@ -138,6 +145,7 @@ def read_manifest(path: str | Path, *, strict: bool = True) -> RunRecord:
     """
     path = Path(path)
     config: dict = {}
+    environment: dict = {}
     created = 0.0
     events: list[dict] = []
     counters: dict = {}
@@ -165,6 +173,7 @@ def read_manifest(path: str | Path, *, strict: bool = True) -> RunRecord:
                         f"{path}: unknown manifest format {record.get('format')!r}"
                     )
                 config = record.get("config", {})
+                environment = record.get("environment", {})
                 created = float(record.get("created_unix", 0.0))
             elif kind == "metrics":
                 counters = record.get("counters", {})
@@ -185,6 +194,7 @@ def read_manifest(path: str | Path, *, strict: bool = True) -> RunRecord:
         raise ValueError(f"{path}: truncated manifest (no manifest_end record)")
     return RunRecord(
         config=config,
+        environment=environment,
         events=events,
         counters=counters,
         gauges=gauges,

@@ -33,6 +33,7 @@ from contextlib import contextmanager
 from pathlib import Path
 from typing import Iterator, Sequence
 
+from .environment import environment_fingerprint
 from .manifest import MANIFEST_FORMAT, _jsonify
 from .metrics import MetricsRegistry, telemetry_session
 
@@ -151,6 +152,7 @@ class StreamingManifestWriter(EventSink):
                 "format": MANIFEST_FORMAT,
                 "created_unix": time.time(),
                 "config": config or {},
+                "environment": environment_fingerprint(),
                 "streaming": True,
             }
         )
@@ -248,6 +250,8 @@ def streaming_manifest_session(
     flush_every: int = DEFAULT_FLUSH_EVERY,
     flush_interval_s: float = DEFAULT_FLUSH_INTERVAL_S,
     watchdog_rules: "Sequence | None" = None,
+    slo=None,
+    recorder=None,
 ) -> Iterator[MetricsRegistry]:
     """Run a block under a registry that streams its events to a manifest.
 
@@ -273,6 +277,13 @@ def streaming_manifest_session(
             in memory.
         flush_every, flush_interval_s: the writer's flush policy.
         watchdog_rules: optional rule instances for a live watchdog.
+        slo: optional SLO plane for the watchdog sink — a
+            :class:`repro.telemetry.slo.SloTracker`, ``True`` (defaults),
+            or objectives (see :class:`repro.telemetry.watchdog.WatchdogSink`).
+            Implies a watchdog sink even without ``watchdog_rules``.
+        recorder: optional :class:`repro.telemetry.flight.FlightRecorder`
+            — the stream is teed into it (outermost, so re-emitted
+            watchdog/SLO alerts trigger incident dumps).
     """
     writer = StreamingManifestWriter(
         path,
@@ -281,13 +292,19 @@ def streaming_manifest_session(
         flush_interval_s=flush_interval_s,
     )
     sink: EventSink = writer
-    if watchdog_rules is not None:
+    watchdog_sink = None
+    if watchdog_rules is not None or slo is not None:
         from .watchdog import WatchdogSink  # lazy: watchdog builds on sinks
 
-        sink = WatchdogSink(writer, rules=watchdog_rules)
+        watchdog_sink = WatchdogSink(writer, rules=watchdog_rules, slo=slo)
+        sink = watchdog_sink
+    if recorder is not None:
+        from .flight import FlightRecorderSink  # lazy: flight builds on sinks
+
+        sink = FlightRecorderSink(sink, recorder)
     registry = MetricsRegistry(sink=sink, max_events=max_events)
-    if watchdog_rules is not None:
-        sink.bind(registry)
+    if watchdog_sink is not None:
+        watchdog_sink.bind(registry)
     try:
         with telemetry_session(registry):
             yield registry

@@ -1,0 +1,253 @@
+"""Declarative SLO objectives with multi-window burn-rate alerting.
+
+The watchdog's rules (:mod:`repro.telemetry.watchdog`) are point
+detectors: a stalled solve, a fallback storm, a violated certificate.
+Service operation needs the complementary *error-budget* view — "at most
+1% of slots may miss their deadline" — evaluated the way SRE practice
+evaluates it: a **burn rate** (observed bad fraction divided by the
+budgeted bad fraction) over a *fast* and a *slow* window simultaneously.
+The fast window catches sudden storms quickly; the slow window keeps a
+brief blip from paging. An objective **fires** only when both windows
+burn above their thresholds, and resolves once the fast window recovers.
+
+:class:`SloTracker` folds the existing event stream — ``service.slot``
+for latency and deadline misses, ``slot`` + ``solver.fallback`` for
+fallback rate, ``diag.ratio.point`` for the empirical ratio against the
+Theorem 2 bound ``1 + γ|I|`` — so the plane is observe-only: no solver
+code changes, no new instrumentation points. The
+:class:`~repro.telemetry.watchdog.WatchdogSink` hosts a tracker, emits
+``slo.burn`` transition events, keeps ``slo.burn.fast.*`` /
+``slo.burn.slow.*`` gauges fresh for the OpenMetrics endpoint, and
+raises a synthetic ``slo:<name>`` alert on firing — which also triggers
+the flight recorder (:mod:`repro.telemetry.flight`), so every burn alert
+leaves a replayable incident bundle behind.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+#: Signals an objective can watch (each maps to existing event types).
+SLO_SIGNALS = ("latency", "deadline-miss", "fallback", "ratio-bound")
+
+
+@dataclass(frozen=True)
+class SloObjective:
+    """One declarative service-level objective.
+
+    Attributes:
+        name: objective identifier (``deadline-miss``, ``latency-p99`` ...).
+        signal: which event-stream signal classifies slots good/bad —
+            one of :data:`SLO_SIGNALS`.
+        budget: the error budget — the fraction of slots allowed to be
+            bad while the objective is still met (e.g. ``0.01`` = 1%).
+        threshold_ms: for the ``latency`` signal, the per-slot latency
+            bound; ignored by the other signals.
+        fast_window: sample count of the fast (storm-detection) window.
+        slow_window: sample count of the slow (sustained-burn) window.
+        fast_burn: burn-rate threshold on the fast window (classic
+            multi-window alerting uses ~10x budget consumption).
+        slow_burn: burn-rate threshold on the slow window.
+        min_samples: samples required in a window before it can fire —
+            keeps the first bad slot of a run from paging instantly.
+    """
+
+    name: str
+    signal: str
+    budget: float
+    threshold_ms: float | None = None
+    fast_window: int = 32
+    slow_window: int = 256
+    fast_burn: float = 10.0
+    slow_burn: float = 2.0
+    min_samples: int = 8
+
+    def __post_init__(self) -> None:
+        if self.signal not in SLO_SIGNALS:
+            raise ValueError(
+                f"unknown SLO signal {self.signal!r}; expected one of "
+                f"{SLO_SIGNALS}"
+            )
+        if not 0.0 < self.budget <= 1.0:
+            raise ValueError(f"budget must be in (0, 1], got {self.budget}")
+        if self.fast_window < 1 or self.slow_window < self.fast_window:
+            raise ValueError(
+                "windows must satisfy 1 <= fast_window <= slow_window, got "
+                f"{self.fast_window}/{self.slow_window}"
+            )
+        if self.signal == "latency" and self.threshold_ms is None:
+            raise ValueError("latency objectives require threshold_ms")
+
+
+def default_slos(*, deadline_ms: float | None = None) -> tuple[SloObjective, ...]:
+    """The paper-centric default objectives.
+
+    Args:
+        deadline_ms: latency threshold for the p99-style latency
+            objective; defaults to 250 ms when the run has no deadline.
+
+    Returns the four objectives the serving story cares about: slot
+    latency, deadline-miss ratio, solver fallback rate, and the
+    empirical competitive ratio staying under the Theorem 2 bound
+    ``1 + γ|I|`` (any measured violation burns that budget).
+    """
+    return (
+        SloObjective(
+            name="latency-p99",
+            signal="latency",
+            budget=0.01,
+            threshold_ms=250.0 if deadline_ms is None else float(deadline_ms),
+        ),
+        SloObjective(name="deadline-miss", signal="deadline-miss", budget=0.01),
+        SloObjective(name="fallback-rate", signal="fallback", budget=0.01),
+        SloObjective(
+            name="ratio-bound",
+            signal="ratio-bound",
+            budget=0.001,
+            fast_burn=1.0,
+            slow_burn=1.0,
+            min_samples=1,
+        ),
+    )
+
+
+class _ObjectiveState:
+    """Rolling good/bad windows plus firing state for one objective."""
+
+    __slots__ = ("objective", "fast", "slow", "firing", "sampled")
+
+    def __init__(self, objective: SloObjective) -> None:
+        self.objective = objective
+        self.fast: deque[bool] = deque(maxlen=objective.fast_window)
+        self.slow: deque[bool] = deque(maxlen=objective.slow_window)
+        self.firing = False
+        self.sampled = 0
+
+    def burn(self, window: deque[bool]) -> float:
+        """Burn rate of one window: bad fraction over the error budget."""
+        if not window:
+            return 0.0
+        return (sum(window) / len(window)) / self.objective.budget
+
+    def push(self, bad: bool) -> dict | None:
+        """Fold one sample; return a transition payload if state flips."""
+        self.fast.append(bad)
+        self.slow.append(bad)
+        self.sampled += 1
+        objective = self.objective
+        if len(self.fast) < objective.min_samples:
+            return None
+        fast_rate = self.burn(self.fast)
+        slow_rate = self.burn(self.slow)
+        if not self.firing:
+            if fast_rate >= objective.fast_burn and slow_rate >= objective.slow_burn:
+                self.firing = True
+                return self._transition("firing", fast_rate, slow_rate)
+            return None
+        if fast_rate < objective.fast_burn:
+            self.firing = False
+            return self._transition("resolved", fast_rate, slow_rate)
+        return None
+
+    def _transition(self, state: str, fast_rate: float, slow_rate: float) -> dict:
+        objective = self.objective
+        return {
+            "objective": objective.name,
+            "signal": objective.signal,
+            "state": state,
+            "fast_burn": fast_rate,
+            "slow_burn": slow_rate,
+            "fast_threshold": objective.fast_burn,
+            "slow_threshold": objective.slow_burn,
+            "budget": objective.budget,
+            "samples": self.sampled,
+        }
+
+
+class SloTracker:
+    """Evaluate a set of :class:`SloObjective` over the live event stream.
+
+    Feed it raw event records via :meth:`observe`; it returns the
+    ``slo.burn`` transition payloads (state flips only — steady burn is
+    silent, so manifests never flood). Reading the stream is
+    observe-only and never raises on unknown or partial records.
+    """
+
+    def __init__(self, objectives: tuple[SloObjective, ...] | None = None) -> None:
+        """Track ``objectives`` (:func:`default_slos` when omitted)."""
+        self.objectives = tuple(
+            default_slos() if objectives is None else objectives
+        )
+        self._states = {o.name: _ObjectiveState(o) for o in self.objectives}
+        self._fallback_pending = False
+        self.transitions = 0
+
+    @property
+    def active(self) -> tuple[str, ...]:
+        """Names of the objectives currently firing."""
+        return tuple(
+            name for name, state in self._states.items() if state.firing
+        )
+
+    def burn_rates(self) -> dict[str, dict[str, float]]:
+        """Current fast/slow burn rates per objective (sampled ones only)."""
+        return {
+            name: {
+                "fast": state.burn(state.fast),
+                "slow": state.burn(state.slow),
+                "firing": state.firing,
+            }
+            for name, state in self._states.items()
+            if state.sampled
+        }
+
+    def _sample(self, objective: SloObjective, record: dict) -> bool | None:
+        """Classify ``record`` for ``objective``; ``None`` = not a sample."""
+        kind = record.get("type")
+        if objective.signal == "latency":
+            if kind != "service.slot":
+                return None
+            latency = record.get("latency_ms")
+            if latency is None:
+                return None
+            return float(latency) > float(objective.threshold_ms or 0.0)
+        if objective.signal == "deadline-miss":
+            if kind != "service.slot":
+                return None
+            return bool(record.get("deadline_miss", False))
+        if objective.signal == "fallback":
+            if kind != "slot":
+                return None
+            return self._fallback_pending
+        if objective.signal == "ratio-bound":
+            if kind != "diag.ratio.point":
+                return None
+            ratio = record.get("ratio")
+            bound = record.get("bound")
+            if ratio is None or bound is None:
+                return None
+            return float(ratio) > float(bound)
+        return None
+
+    def observe(self, record: dict) -> list[dict]:
+        """Fold one event record; return any ``slo.burn`` transitions."""
+        kind = record.get("type")
+        if kind == "solver.fallback":
+            self._fallback_pending = True
+            return []
+        transitions: list[dict] = []
+        slot = record.get("slot")
+        for state in self._states.values():
+            bad = self._sample(state.objective, record)
+            if bad is None:
+                continue
+            transition = state.push(bool(bad))
+            if transition is not None:
+                if slot is not None:
+                    transition["slot"] = slot
+                transitions.append(transition)
+        if kind == "slot":
+            self._fallback_pending = False
+        self.transitions += len(transitions)
+        return transitions

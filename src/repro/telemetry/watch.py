@@ -132,6 +132,9 @@ class WatchState:
         self.watchdog = Watchdog(rules)
         self.alerts: list[Alert] = []
         self._alert_keys: set[tuple] = set()
+        self.slo_burn: dict[str, dict] = {}
+        self.slo_firing: set[str] = set()
+        self.incidents: list[str] = []
 
     # ----- folding ------------------------------------------------------------
 
@@ -198,6 +201,17 @@ class WatchState:
             self.ratio_bound = float(record.get("bound", 0.0))
             self.ratio_worst = float(record.get("worst_ratio", 0.0))
             self.ratio_certified = bool(record.get("certified", False))
+        elif kind == "slo.burn":
+            name = str(record.get("objective", "?"))
+            self.slo_burn[name] = dict(record)
+            if record.get("state") == "firing":
+                self.slo_firing.add(name)
+            else:
+                self.slo_firing.discard(name)
+        elif kind == "incident.written":
+            path = str(record.get("path", "?"))
+            if path not in self.incidents:
+                self.incidents.append(path)
         elif kind == "alert":
             self._add_alert(
                 Alert(
@@ -340,6 +354,25 @@ class WatchState:
                 for name, histogram in ranked[:3]
             )
             lines.append(f"  phases : {shown}")
+        if self.slo_burn:
+            firing = sorted(self.slo_firing)
+            summary = "FIRING " + ", ".join(firing) if firing else "healthy"
+            lines.append(
+                f"  slo    : {len(self.slo_burn)} objective(s) tracked  "
+                f"{summary}"
+            )
+            for name in firing[:MAX_LISTED]:
+                burn = self.slo_burn.get(name, {})
+                lines.append(
+                    f"    [{name}] burn fast "
+                    f"{float(burn.get('fast_burn', 0.0)):.1f}x  slow "
+                    f"{float(burn.get('slow_burn', 0.0)):.1f}x  "
+                    f"(budget {float(burn.get('budget', 0.0)):g})"
+                )
+        if self.incidents:
+            lines.append(f"  incid  : {len(self.incidents)} bundle(s) written")
+            for path in self.incidents[:MAX_LISTED]:
+                lines.append(f"    {path}")
         if self.alerts:
             lines.append(f"  alerts : {len(self.alerts)}")
             for alert in self.alerts[:MAX_LISTED]:

@@ -359,6 +359,17 @@ class Watchdog:
         return fired
 
 
+#: Default per-rule alert cooldown, in accounted slots: a rule that
+#: fires again within this many slots of its last *emitted* alert is
+#: suppressed (counted, not written), so a persistent condition cannot
+#: flood a streaming manifest with one alert per slot.
+DEFAULT_ALERT_COOLDOWN = 25
+
+#: Event kinds the SLO tracker can sample — used to keep the exported
+#: burn-rate gauges fresh without recomputing them on unrelated records.
+_SLO_SAMPLE_KINDS = ("slot", "service.slot", "diag.ratio.point")
+
+
 class WatchdogSink(EventSink):
     """Wrap a sink with live rule evaluation; alerts join the stream.
 
@@ -369,10 +380,25 @@ class WatchdogSink(EventSink):
     inner sink otherwise. Re-entrancy is safe because the engine skips
     ``alert`` records.
 
+    Repeated alerts from the same rule are rate-limited: after a rule's
+    alert is emitted, further firings within ``cooldown`` slots are
+    suppressed (the engine's ``.alerts`` list still records them), and
+    each suppression increments the ``watchdog.suppressed`` counter.
+
+    When an SLO tracker is attached (``slo=``), every record is also
+    folded into its burn-rate windows; state transitions are emitted as
+    ``slo.burn`` events, the current rates are exported as
+    ``slo.burn.fast.*`` / ``slo.burn.slow.*`` gauges, and a newly firing
+    objective raises a synthetic ``slo:<name>`` alert — joining the
+    normal alert path, so it also triggers the flight recorder.
+
     Attributes:
         inner: the wrapped sink (e.g. a
             :class:`repro.telemetry.sinks.StreamingManifestWriter`).
         watchdog: the rule engine (``.alerts`` holds everything fired).
+        slo: the attached :class:`repro.telemetry.slo.SloTracker` or ``None``.
+        cooldown: the per-rule suppression window (0 disables).
+        suppressed: alerts suppressed by the cooldown so far.
     """
 
     def __init__(
@@ -380,28 +406,101 @@ class WatchdogSink(EventSink):
         inner: EventSink,
         *,
         rules: "tuple[WatchdogRule, ...] | list | None" = None,
+        cooldown: int = DEFAULT_ALERT_COOLDOWN,
+        slo=None,
     ) -> None:
-        """Wrap ``inner`` with a fresh :class:`Watchdog` over ``rules``."""
+        """Wrap ``inner`` with a fresh :class:`Watchdog` over ``rules``.
+
+        Args:
+            inner: the sink every record is forwarded to.
+            rules: watchdog rules (``None`` = :func:`default_rules`).
+            cooldown: per-rule alert suppression window in slots.
+            slo: ``None`` (no SLO plane), a
+                :class:`repro.telemetry.slo.SloTracker`, ``True`` (track
+                :func:`repro.telemetry.slo.default_slos`), or an iterable
+                of :class:`repro.telemetry.slo.SloObjective`.
+        """
         self.inner = inner
         self.watchdog = Watchdog(rules)
+        self.cooldown = int(cooldown)
+        self.suppressed = 0
+        self._last_emitted: dict[str, int] = {}
         self._registry: MetricsRegistry | None = None
+        if slo is None:
+            self.slo = None
+        elif hasattr(slo, "observe"):
+            self.slo = slo
+        else:
+            from .slo import SloTracker
+
+            self.slo = SloTracker(None if slo is True else tuple(slo))
 
     def bind(self, registry: MetricsRegistry) -> None:
         """Route fired alerts through ``registry.event`` (context-tagged)."""
         self._registry = registry
 
+    def _emit_record(self, payload: dict) -> None:
+        """Emit a synthesized record through the registry or the inner sink."""
+        if self._registry is not None:
+            kind = dict(payload)
+            self._registry.event(kind.pop("type"), **kind)
+        else:
+            self.inner.emit(payload)
+
+    def _suppress(self, alert: Alert) -> bool:
+        """Whether the cooldown swallows this alert (and count it if so)."""
+        if self.cooldown <= 0:
+            return False
+        now = self.watchdog.state.slots
+        last = self._last_emitted.get(alert.rule)
+        if last is not None and now - last < self.cooldown:
+            self.suppressed += 1
+            if self._registry is not None:
+                self._registry.counter("watchdog.suppressed").inc()
+            return True
+        self._last_emitted[alert.rule] = now
+        return False
+
+    def _export_burn_gauges(self) -> None:
+        """Keep the OpenMetrics-facing burn-rate gauges fresh."""
+        if self._registry is None or self.slo is None:
+            return
+        for name, rates in self.slo.burn_rates().items():
+            self._registry.gauge(f"slo.burn.fast.{name}").set(rates["fast"])
+            self._registry.gauge(f"slo.burn.slow.{name}").set(rates["slow"])
+
     def emit(self, record: dict) -> None:
-        """Forward the record, evaluate rules, emit any fired alerts."""
+        """Forward the record, evaluate rules and SLOs, emit what fired."""
         self.inner.emit(record)
-        if record.get("type") == "alert":
+        kind = record.get("type")
+        if kind in ("alert", "slo.burn"):
             return
         for alert in self.watchdog.observe(record):
-            if self._registry is not None:
-                payload = alert.as_event()
-                payload.pop("type")
-                self._registry.event("alert", **payload)
-            else:
-                self.inner.emit(alert.as_event())
+            if self._suppress(alert):
+                continue
+            self._emit_record(alert.as_event())
+        if self.slo is not None:
+            for transition in self.slo.observe(record):
+                self._emit_record({"type": "slo.burn", **transition})
+                if transition["state"] == "firing":
+                    if self._registry is not None:
+                        self._registry.counter("slo.alerts").inc()
+                    self._emit_record(
+                        Alert(
+                            rule=f"slo:{transition['objective']}",
+                            message=(
+                                f"SLO {transition['objective']} burning at "
+                                f"{transition['fast_burn']:.1f}x fast / "
+                                f"{transition['slow_burn']:.1f}x slow "
+                                f"(budget {transition['budget']:g})"
+                            ),
+                            slot=transition.get("slot"),
+                            value=float(transition["fast_burn"]),
+                            threshold=float(transition["fast_threshold"]),
+                        ).as_event()
+                    )
+            if kind in _SLO_SAMPLE_KINDS:
+                self._export_burn_gauges()
 
     def flush(self) -> None:
         """Delegate to the inner sink."""

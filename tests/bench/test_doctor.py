@@ -213,6 +213,62 @@ class TestObservabilitySections:
         assert "deadline misses: 3 (1 budget-truncated solves)" in report
         assert "miss at slot    4" in report and "partial solve" in report
 
+    def test_slo_incident_section_renders_its_fallback(self, manifest_file):
+        report = doctor_report(manifest_file)
+        assert "SLOs & Incidents" in report
+        assert "no SLO plane or flight recorder active" in report
+
+    def test_slo_incident_section_lists_burns_and_bundles(self):
+        record = self._record(
+            counters={"flight.snapshots": 12, "watchdog.suppressed": 4},
+            gauges={
+                "slo.burn.fast.deadline-miss": 25.0,
+                "slo.burn.slow.deadline-miss": 9.0,
+            },
+            events=[
+                {
+                    "type": "slo.burn",
+                    "objective": "deadline-miss",
+                    "state": "firing",
+                    "fast_burn": 25.0,
+                    "slow_burn": 9.0,
+                    "budget": 0.01,
+                },
+                {
+                    "type": "incident.written",
+                    "path": "/tmp/incident-000-deadline-miss.jsonl",
+                    "rule": "deadline-miss",
+                    "snapshots": 4,
+                },
+            ],
+        )
+        report = doctor_report(record)
+        assert "SLOs & Incidents" in report
+        assert "FIRING [deadline-miss]" in report
+        assert "burn [deadline-miss] fast 25.00x / slow 9.00x" in report
+        assert "flight snapshots captured: 12" in report
+        assert "incident bundles written: 1" in report
+        assert "repro-edge incident replay" in report
+        assert "suppressed by cooldown: 4" in report
+
+    def test_slo_resolution_clears_the_firing_line(self):
+        burn = {
+            "type": "slo.burn",
+            "objective": "deadline-miss",
+            "fast_burn": 1.0,
+            "slow_burn": 1.0,
+            "budget": 0.01,
+        }
+        record = self._record(
+            events=[
+                dict(burn, state="firing"),
+                dict(burn, state="resolved"),
+            ]
+        )
+        report = doctor_report(record)
+        assert "FIRING" not in report
+        assert "0 still firing, 1 resolved" in report
+
     def test_parallel_fallback_regression_surfaces_in_doctor(self):
         """Regression pin: an inline fallback must never be silent."""
         record = self._record(

@@ -1,0 +1,86 @@
+"""Environment fingerprint: content, manifest stamping, doctor surface."""
+
+from __future__ import annotations
+
+from repro.bench.doctor import doctor_report
+from repro.telemetry import (
+    MetricsRegistry,
+    environment_fingerprint,
+    read_manifest,
+    streaming_manifest_session,
+    telemetry_session,
+    write_manifest,
+)
+
+
+class TestFingerprint:
+    def test_carries_the_reproducibility_relevant_versions(self):
+        fingerprint = environment_fingerprint()
+        for key in ("python", "implementation", "numpy", "blas", "platform",
+                    "machine", "cpu_count", "executable", "repro_flags"):
+            assert key in fingerprint, key
+        assert fingerprint["python"].count(".") >= 1
+        assert isinstance(fingerprint["repro_flags"], dict)
+
+    def test_captures_repro_env_flags(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_FLAG", "on")
+        fingerprint = environment_fingerprint()
+        assert fingerprint["repro_flags"]["REPRO_TEST_FLAG"] == "on"
+
+    def test_is_json_serializable(self):
+        import json
+
+        json.dumps(environment_fingerprint())
+
+
+class TestManifestStamping:
+    def test_buffered_manifest_start_carries_the_fingerprint(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        registry = MetricsRegistry()
+        with telemetry_session(registry):
+            registry.event("slot", slot=0, wall_ms=1.0)
+        write_manifest(path, registry, config={"command": "test"})
+        record = read_manifest(path)
+        assert record.environment["python"]
+        assert record.environment["numpy"]
+
+    def test_streamed_manifest_start_carries_the_fingerprint(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with streaming_manifest_session(path, config={}) as registry:
+            registry.event("slot", slot=0, wall_ms=1.0)
+        record = read_manifest(path)
+        assert record.environment["python"]
+
+    def test_pre_fingerprint_manifests_read_back_empty(self, tmp_path):
+        import json
+
+        path = tmp_path / "old.jsonl"
+        lines = [
+            {"type": "manifest_start", "format": "repro.telemetry/1",
+             "created_unix": 0.0, "config": {}},
+            {"type": "manifest_end", "events": 0},
+        ]
+        path.write_text("\n".join(json.dumps(l) for l in lines) + "\n")
+        record = read_manifest(path)
+        assert record.environment == {}
+
+    def test_doctor_surfaces_the_environment_line(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with streaming_manifest_session(path, config={}) as registry:
+            registry.event("slot", slot=0, wall_ms=1.0)
+        report = doctor_report(path)
+        assert "environment:" in report
+        assert "numpy" in report
+
+    def test_doctor_flags_pre_fingerprint_manifests(self, tmp_path):
+        import json
+
+        path = tmp_path / "old.jsonl"
+        lines = [
+            {"type": "manifest_start", "format": "repro.telemetry/1",
+             "created_unix": 0.0, "config": {}},
+            {"type": "manifest_end", "events": 0},
+        ]
+        path.write_text("\n".join(json.dumps(l) for l in lines) + "\n")
+        report = doctor_report(path)
+        assert "pre-fingerprint" in report

@@ -1,0 +1,341 @@
+"""Flight recorder: ring eviction, bundle IO, and deterministic replay.
+
+The replay tests are the acceptance gate of the incident plane: a
+bundle dumped from a budget-truncated run must reproduce every captured
+slot's costs, iteration count, and partial flag bit-for-bit when
+replayed, and a tampered or torn bundle must be caught, not glossed
+over.
+"""
+
+from __future__ import annotations
+
+import json
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.regularization import OnlineRegularizedAllocator
+from repro.simulation.observations import (
+    SystemDescription,
+    observations_from_instance,
+)
+from repro.simulation.spine import SlotStepper
+from repro.solvers.base import SolveBudget
+from repro.telemetry import (
+    FlightRecorder,
+    FlightRecorderSink,
+    RingSink,
+    active_recorder,
+    flight_session,
+    read_bundle,
+    replay_bundle,
+)
+from repro.telemetry.flight import decode_state, encode_state
+from tests.conftest import make_tiny_instance
+
+
+def _tiny_setup(num_slots: int = 5, budget: SolveBudget | None = None):
+    instance = make_tiny_instance(num_slots=num_slots)
+    system = SystemDescription.from_instance(instance)
+    observations = observations_from_instance(instance)
+    allocator = OnlineRegularizedAllocator(budget=budget)
+    return system, observations, allocator.as_controller(system)
+
+
+def _record_run(recorder: FlightRecorder, num_slots: int = 5, budget=None):
+    system, observations, controller = _tiny_setup(num_slots, budget)
+    stepper = SlotStepper(
+        controller, system, keep_schedule=False, recorder=recorder
+    )
+    for observation in observations:
+        stepper.step(observation)
+
+
+class TestStateCodec:
+    def test_round_trips_arrays_with_dtype(self):
+        value = np.arange(6, dtype=np.float64).reshape(2, 3)
+        decoded = decode_state(json.loads(json.dumps(encode_state(value))))
+        np.testing.assert_array_equal(decoded, value)
+        assert decoded.dtype == value.dtype
+
+    def test_round_trips_integer_arrays(self):
+        value = np.array([[1, 2], [3, 4]], dtype=np.int64)
+        decoded = decode_state(json.loads(json.dumps(encode_state(value))))
+        assert decoded.dtype == np.int64
+        np.testing.assert_array_equal(decoded, value)
+
+    def test_distinguishes_tuples_from_lists(self):
+        value = {"t": (1, 2.5, "x"), "l": [1, 2.5, "x"]}
+        decoded = decode_state(json.loads(json.dumps(encode_state(value))))
+        assert decoded["t"] == (1, 2.5, "x")
+        assert isinstance(decoded["t"], tuple)
+        assert isinstance(decoded["l"], list)
+
+    def test_round_trips_bytes(self):
+        value = {"digest": b"\x00\xffsig"}
+        decoded = decode_state(json.loads(json.dumps(encode_state(value))))
+        assert decoded["digest"] == b"\x00\xffsig"
+
+    def test_numpy_scalars_become_python_scalars(self):
+        assert encode_state(np.float64(1.5)) == 1.5
+        assert encode_state(np.int32(7)) == 7
+
+    def test_rejects_unknown_types(self):
+        with pytest.raises(TypeError):
+            encode_state({"bad": {1, 2}})
+
+
+class TestRingEviction:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        capacity=st.integers(min_value=1, max_value=8),
+        slots=st.integers(min_value=0, max_value=40),
+    )
+    def test_never_exceeds_capacity_and_evicts_oldest_first(
+        self, capacity, slots
+    ):
+        recorder = FlightRecorder(capacity)
+        stepper = SimpleNamespace(
+            system=object(),
+            controller=object(),
+            checkpoint=lambda: object(),
+        )
+        costs = SimpleNamespace(
+            operation=0.0,
+            service_quality=0.0,
+            reconfiguration=0.0,
+            migration=0.0,
+            total=0.0,
+        )
+        for slot in range(slots):
+            observation = SimpleNamespace(slot=slot)
+            recorder.begin_slot(stepper, observation)
+            recorder.end_slot(stepper, observation, costs, 0.0)
+        assert len(recorder.snapshots) <= capacity
+        assert recorder.snapshots_taken == slots
+        expected = list(range(max(0, slots - capacity), slots))
+        assert [s.slot for s in recorder.snapshots] == expected
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(0)
+
+    def test_unmatched_begin_is_discarded(self):
+        recorder = FlightRecorder(4)
+        stepper = SimpleNamespace(
+            system=object(), controller=object(), checkpoint=lambda: object()
+        )
+        costs = SimpleNamespace(
+            operation=0.0,
+            service_quality=0.0,
+            reconfiguration=0.0,
+            migration=0.0,
+            total=0.0,
+        )
+        recorder.begin_slot(stepper, SimpleNamespace(slot=0))
+        # A different observation seals nothing (interleaved steppers).
+        recorder.end_slot(stepper, SimpleNamespace(slot=0), costs, 0.0)
+        assert len(recorder.snapshots) == 0
+
+
+class TestFlightSession:
+    def test_session_installs_and_restores_the_recorder(self):
+        recorder = FlightRecorder(2)
+        assert active_recorder() is None
+        with flight_session(recorder):
+            assert active_recorder() is recorder
+            with flight_session(None):
+                assert active_recorder() is None
+            assert active_recorder() is recorder
+        assert active_recorder() is None
+
+    def test_global_recorder_captures_spine_slots(self):
+        recorder = FlightRecorder(3)
+        system, observations, controller = _tiny_setup()
+        with flight_session(recorder):
+            stepper = SlotStepper(controller, system, keep_schedule=False)
+            for observation in observations:
+                stepper.step(observation)
+        assert recorder.snapshots_taken == len(observations)
+        assert len(recorder.snapshots) == 3
+
+
+class TestBundleIO:
+    def test_dump_and_read_round_trip(self, tmp_path):
+        recorder = FlightRecorder(4, incident_dir=tmp_path)
+        _record_run(recorder)
+        path = recorder.dump()
+        bundle = read_bundle(path)
+        assert bundle.reason == "manual"
+        assert not bundle.truncated
+        assert len(bundle.snapshots) == 4
+        assert bundle.controller["kind"] == "regularized"
+        assert bundle.controller["replayable"] is True
+        assert bundle.environment["python"]
+        assert [s["slot"] for s in bundle.snapshots] == [1, 2, 3, 4]
+
+    def test_dump_without_snapshots_writes_nothing(self, tmp_path):
+        recorder = FlightRecorder(4, incident_dir=tmp_path)
+        assert recorder.dump() is None
+        assert list(tmp_path.iterdir()) == []
+
+    def test_alert_event_triggers_auto_dump(self, tmp_path):
+        recorder = FlightRecorder(4, incident_dir=tmp_path)
+        _record_run(recorder)
+        recorder.observe_event(
+            {"type": "alert", "rule": "deadline-miss", "message": "storm"}
+        )
+        assert len(recorder.bundles_written) == 1
+        bundle = read_bundle(recorder.bundles_written[0])
+        assert bundle.reason == "alert:deadline-miss"
+        assert bundle.alert["rule"] == "deadline-miss"
+
+    def test_repeated_alerts_are_cooled_down(self, tmp_path):
+        recorder = FlightRecorder(4, incident_dir=tmp_path)
+        _record_run(recorder)
+        alert = {"type": "alert", "rule": "deadline-miss", "message": "storm"}
+        recorder.observe_event(alert)
+        recorder.observe_event(alert)  # same ring content: suppressed
+        assert len(recorder.bundles_written) == 1
+        assert recorder.dumps_suppressed == 1
+
+    def test_sink_tees_events_into_the_context_window(self, tmp_path):
+        recorder = FlightRecorder(4, incident_dir=tmp_path)
+        inner = RingSink(capacity=16)
+        sink = FlightRecorderSink(inner, recorder)
+        sink.emit({"type": "slot", "slot": 0, "wall_ms": 1.0})
+        assert inner.records[0]["type"] == "slot"
+        _record_run(recorder)
+        sink.emit({"type": "alert", "rule": "solver-stall", "message": "x"})
+        assert len(recorder.bundles_written) == 1
+        bundle = read_bundle(recorder.bundles_written[0])
+        kinds = [e.get("type") for e in bundle.context["events"]]
+        assert "slot" in kinds and "alert" in kinds
+
+
+class TestTornBundles:
+    def _torn_copy(self, tmp_path, drop_lines: int = 2):
+        recorder = FlightRecorder(4, incident_dir=tmp_path)
+        _record_run(recorder)
+        path = recorder.dump()
+        lines = path.read_text().splitlines()
+        torn = tmp_path / "torn.jsonl"
+        torn.write_text("\n".join(lines[:-drop_lines]) + "\n")
+        return torn
+
+    def test_strict_read_raises_on_truncation(self, tmp_path):
+        torn = self._torn_copy(tmp_path)
+        with pytest.raises(ValueError, match="truncated"):
+            read_bundle(torn)
+
+    def test_salvage_read_marks_truncated(self, tmp_path):
+        torn = self._torn_copy(tmp_path)
+        bundle = read_bundle(torn, strict=False)
+        assert bundle.truncated
+        assert len(bundle.snapshots) >= 1
+
+    def test_salvage_read_drops_a_half_written_line(self, tmp_path):
+        recorder = FlightRecorder(4, incident_dir=tmp_path)
+        _record_run(recorder)
+        path = recorder.dump()
+        lines = path.read_text().splitlines()
+        torn = tmp_path / "half.jsonl"
+        torn.write_text("\n".join(lines[:-2]) + "\n" + lines[-2][: len(lines[-2]) // 2])
+        with pytest.raises(ValueError, match="unparseable"):
+            read_bundle(torn)
+        bundle = read_bundle(torn, strict=False)
+        assert bundle.truncated
+
+    def test_replay_refuses_truncated_bundles(self, tmp_path):
+        torn = self._torn_copy(tmp_path)
+        bundle = read_bundle(torn, strict=False)
+        with pytest.raises(ValueError, match="refusing to replay"):
+            replay_bundle(bundle)
+
+    def test_read_rejects_non_bundles(self, tmp_path):
+        other = tmp_path / "not-a-bundle.jsonl"
+        other.write_text(json.dumps({"type": "slot", "slot": 0}) + "\n")
+        with pytest.raises(ValueError, match="incident_start"):
+            read_bundle(other)
+
+    def test_read_rejects_unknown_formats(self, tmp_path):
+        other = tmp_path / "future.jsonl"
+        other.write_text(
+            json.dumps({"type": "incident_start", "format": "repro.incident/99"})
+            + "\n"
+        )
+        with pytest.raises(ValueError, match="unknown incident format"):
+            read_bundle(other)
+
+
+class TestReplay:
+    def test_unbudgeted_run_reproduces_bit_for_bit(self, tmp_path):
+        recorder = FlightRecorder(4, incident_dir=tmp_path)
+        _record_run(recorder)
+        report = replay_bundle(recorder.dump())
+        assert report.ok
+        assert report.slots == 4
+        assert "REPRODUCED bit-for-bit" in report.render()
+
+    def test_iteration_truncated_run_reproduces_bit_for_bit(self, tmp_path):
+        recorder = FlightRecorder(4, incident_dir=tmp_path)
+        _record_run(recorder, budget=SolveBudget(max_iterations=1))
+        bundle = read_bundle(recorder.dump())
+        assert all(s["recorded"]["partial"] for s in bundle.snapshots)
+        report = replay_bundle(bundle)
+        assert report.ok
+
+    def test_replay_does_not_re_record(self, tmp_path):
+        recorder = FlightRecorder(4, incident_dir=tmp_path)
+        _record_run(recorder)
+        path = recorder.dump()
+        taken = recorder.snapshots_taken
+        with flight_session(recorder):
+            assert replay_bundle(path).ok
+        assert recorder.snapshots_taken == taken
+
+    def test_tampered_costs_are_reported_per_field(self, tmp_path):
+        recorder = FlightRecorder(4, incident_dir=tmp_path)
+        _record_run(recorder)
+        path = recorder.dump()
+        lines = []
+        for line in path.read_text().splitlines():
+            record = json.loads(line)
+            if record.get("type") == "snapshot" and record["slot"] == 2:
+                record["recorded"]["costs"]["migration"] += 1e-9
+            lines.append(json.dumps(record))
+        tampered = tmp_path / "tampered.jsonl"
+        tampered.write_text("\n".join(lines) + "\n")
+        report = replay_bundle(tampered)
+        assert not report.ok
+        assert [(d.slot, d.field) for d in report.diffs] == [
+            (2, "costs.migration")
+        ]
+        assert "DIVERGED" in report.render()
+
+    def test_refuses_non_replayable_controllers(self, tmp_path):
+        class OpaqueController:
+            def solve_slot(self, observation, x_prev):  # pragma: no cover
+                raise NotImplementedError
+
+        system, _, _ = _tiny_setup()
+        recorder = FlightRecorder(2, incident_dir=tmp_path)
+        stepper = SimpleNamespace(
+            system=system, controller=OpaqueController(), checkpoint=lambda: None
+        )
+        costs = SimpleNamespace(
+            operation=0.0,
+            service_quality=0.0,
+            reconfiguration=0.0,
+            migration=0.0,
+            total=0.0,
+        )
+        observation = SimpleNamespace(slot=0)
+        recorder.begin_slot(stepper, observation)
+        recorder.end_slot(stepper, observation, costs, 0.0)
+        path = recorder.dump()
+        with pytest.raises(ValueError, match="not replayable"):
+            replay_bundle(path)

@@ -159,6 +159,37 @@ class TestWatchState:
         assert "svc    :" not in text
         assert "phases :" not in text
 
+    def test_slo_burn_and_incidents_fold_into_the_dashboard(self):
+        state = WatchState(rules=[])
+        state.update(
+            {"type": "slo.burn", "objective": "deadline-miss",
+             "state": "firing", "fast_burn": 12.0, "slow_burn": 4.0,
+             "budget": 0.01}
+        )
+        state.update(
+            {"type": "incident.written", "path": "/tmp/incident-000.jsonl",
+             "rule": "deadline-miss", "snapshots": 4}
+        )
+        text = state.render()
+        assert "FIRING deadline-miss" in text
+        assert "burn fast 12.0x" in text
+        assert "1 bundle(s) written" in text
+        assert "/tmp/incident-000.jsonl" in text
+        # Resolution clears the firing line but keeps the objective.
+        state.update(
+            {"type": "slo.burn", "objective": "deadline-miss",
+             "state": "resolved", "fast_burn": 0.5, "slow_burn": 1.0,
+             "budget": 0.01}
+        )
+        assert "healthy" in state.render()
+
+    def test_duplicate_incident_paths_are_listed_once(self):
+        state = WatchState(rules=[])
+        record = {"type": "incident.written", "path": "/tmp/a.jsonl"}
+        state.update(record)
+        state.update(dict(record))
+        assert state.incidents == ["/tmp/a.jsonl"]
+
     def test_ratio_trace_summary_overrides_points(self):
         state = WatchState(rules=[])
         state.update(

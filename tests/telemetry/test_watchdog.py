@@ -134,6 +134,52 @@ class TestWatchdogSink:
         assert registry.events[1]["run"] == 3
         assert [r["type"] for r in ring.records] == ["diag.certificate", "alert"]
 
+    def test_repeated_alerts_are_suppressed_within_the_cooldown(self):
+        """Regression pin: one alert per rule per cooldown window.
+
+        A sustained certificate gap fires the rule on every slot; the
+        sink must emit the first alert, suppress the repeats, and count
+        them in both ``.suppressed`` and the ``watchdog.suppressed``
+        counter.
+        """
+        ring = RingSink()
+        sink = WatchdogSink(ring, rules=[CertificateGapRule(tol=0.0)], cooldown=25)
+        registry = MetricsRegistry(sink=sink)
+        sink.bind(registry)
+        for slot in range(10):
+            registry.event("slot", slot=slot, wall_ms=1.0)
+            registry.event("diag.certificate", slot=slot, relative_gap=1.0)
+        alerts = [r for r in ring.records if r["type"] == "alert"]
+        assert len(alerts) == 1
+        assert sink.suppressed == 9
+        assert registry.counter("watchdog.suppressed").value == 9
+        # The engine's history stays complete for post-mortems.
+        assert len(sink.watchdog.alerts) == 10
+
+    def test_alert_re_emits_after_the_cooldown_expires(self):
+        ring = RingSink()
+        sink = WatchdogSink(ring, rules=[CertificateGapRule(tol=0.0)], cooldown=3)
+        registry = MetricsRegistry(sink=sink)
+        sink.bind(registry)
+        for slot in range(8):
+            registry.event("slot", slot=slot, wall_ms=1.0)
+            registry.event("diag.certificate", slot=slot, relative_gap=1.0)
+        alerts = [r for r in ring.records if r["type"] == "alert"]
+        # Emitted at slots 0, 3, 6 — once per 3-slot window.
+        assert len(alerts) == 3
+
+    def test_zero_cooldown_disables_suppression(self):
+        ring = RingSink()
+        sink = WatchdogSink(ring, rules=[CertificateGapRule(tol=0.0)], cooldown=0)
+        registry = MetricsRegistry(sink=sink)
+        sink.bind(registry)
+        for slot in range(5):
+            registry.event("slot", slot=slot, wall_ms=1.0)
+            registry.event("diag.certificate", slot=slot, relative_gap=1.0)
+        alerts = [r for r in ring.records if r["type"] == "alert"]
+        assert len(alerts) == 5
+        assert sink.suppressed == 0
+
     def test_injected_solver_stall_lands_in_streamed_manifest(self, tmp_path):
         """Acceptance: a stalled slot produces an alert event in the file."""
         path = tmp_path / "run.jsonl"
